@@ -1,0 +1,71 @@
+// Command genstream generates the synthetic analogues of the paper's 16
+// test streams (Table 4) as MPEG-2 video elementary stream files.
+//
+// Usage:
+//
+//	genstream -out dir [-stream N | -all] [-frames 240] [-scale 1] [-closed]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tiledwall/internal/catalog"
+	"tiledwall/internal/mpegps"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "streams", "output directory")
+		id     = flag.Int("stream", 0, "stream id 1..16 (0 with -all)")
+		all    = flag.Bool("all", false, "generate every catalogue stream")
+		frames = flag.Int("frames", 240, "frames per stream")
+		scale  = flag.Int("scale", 1, "resolution divisor (1 = paper scale)")
+		closed = flag.Bool("closed", false, "closed GOPs (for the GOP-level baseline)")
+		ps     = flag.Bool("ps", false, "wrap the video in an MPEG-2 program stream (.mpg)")
+		seed   = flag.Int64("seed", 1, "content seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	opts := catalog.GenOptions{Frames: *frames, Scale: *scale, ClosedGOP: *closed, Seed: *seed}
+
+	var specs []catalog.StreamSpec
+	switch {
+	case *all:
+		specs = catalog.Streams
+	case *id >= 1:
+		spec, err := catalog.ByID(*id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = []catalog.StreamSpec{spec}
+	default:
+		log.Fatal("genstream: pass -stream N or -all")
+	}
+
+	for _, spec := range specs {
+		w, h := spec.Dimensions(opts)
+		fmt.Printf("generating %2d %-8s %4dx%-4d %d frames...\n", spec.ID, spec.Name, w, h, *frames)
+		data, err := spec.Generate(opts)
+		if err != nil {
+			log.Fatalf("stream %d: %v", spec.ID, err)
+		}
+		ext := "m2v"
+		if *ps {
+			data = mpegps.Mux(data, mpegps.MuxOptions{FrameRate: 30})
+			ext = "mpg"
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%02d_%s.%s", spec.ID, spec.Name, ext))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s (%d bytes, %.3f bit/pixel)\n", path, len(data),
+			float64(len(data)*8)/float64(*frames)/float64(w*h))
+	}
+}

@@ -1,0 +1,109 @@
+// Command mpeg2info inspects an MPEG-2 video elementary stream: sequence
+// parameters, picture counts by type, average frame size and bits per pixel
+// (the columns of the paper's Table 4).
+//
+// Usage:
+//
+//	mpeg2info file.m2v [file2.m2v ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/mpegps"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "per-picture listing")
+	stats := flag.Bool("stats", false, "macroblock-level statistics (full VLD parse)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("mpeg2info: pass at least one stream file")
+	}
+	for _, path := range flag.Args() {
+		if err := inspect(path, *verbose, *stats); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func inspect(path string, verbose, stats bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if mpegps.IsProgramStream(data) {
+		es, err := mpegps.Demux(data)
+		if err != nil {
+			return fmt.Errorf("program stream demux: %w", err)
+		}
+		fmt.Printf("%s: MPEG-2 program stream (%d bytes), video ES %d bytes", path, len(data), len(es))
+		if pts, ok := mpegps.ParsePTS(data); ok {
+			fmt.Printf(", first PTS %d (90 kHz)", pts)
+		}
+		fmt.Println()
+		data = es
+	}
+	s, err := mpeg2.ParseStream(data)
+	if err != nil {
+		return err
+	}
+	seq := s.Seq
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  sequence: %dx%d, %.3f fps, chroma 4:2:0, profile/level %#02x, progressive=%v\n",
+		seq.Width, seq.Height, mpeg2.FrameRate(seq.FrameRateCode), seq.ProfileLevel, seq.Progressive)
+	fmt.Printf("  declared bit rate: %.2f Mbit/s, vbv %d\n", float64(seq.BitRate)*400/1e6, seq.VBVBufferSize)
+
+	counts := map[mpeg2.PictureType]int{}
+	var totalBytes int64
+	for i, unit := range s.Pictures {
+		pt, err := mpeg2.PeekPictureType(unit)
+		if err != nil {
+			return fmt.Errorf("picture %d: %w", i, err)
+		}
+		counts[pt]++
+		totalBytes += int64(len(unit))
+		if verbose {
+			fmt.Printf("  pic %4d: %s %8d bytes\n", i, pt, len(unit))
+		}
+	}
+	n := len(s.Pictures)
+	avg := float64(len(data)) / float64(n)
+	fmt.Printf("  pictures: %d (I:%d P:%d B:%d)\n", n,
+		counts[mpeg2.PictureI], counts[mpeg2.PictureP], counts[mpeg2.PictureB])
+	fmt.Printf("  avg frame size: %.0f bytes, %.3f bit/pixel\n",
+		avg, avg*8/float64(seq.Width*seq.Height))
+	fmt.Printf("  stream rate at %.3f fps: %.2f Mbit/s\n",
+		mpeg2.FrameRate(seq.FrameRateCode),
+		avg*8*mpeg2.FrameRate(seq.FrameRateCode)/1e6)
+	if stats {
+		ss, err := mpeg2.CollectStreamStats(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  macroblock statistics:\n")
+		for _, line := range splitLines(ss.Format()) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	return nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Command playwall plays an MPEG-2 stream on a simulated 1-k-(m,n) tiled
+// display wall and reports frame rate, runtime breakdown and bandwidth —
+// the interactive face of the system the paper describes.
+//
+// Usage:
+//
+//	playwall -in stream.m2v -m 4 -n 4 [-k 4 | -auto] [-overlap 40] [-verify]
+//
+// With -auto, k is chosen by the §4.6 calibration (ts/td); -k 0 runs the
+// one-level 1-(m,n) system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/mpegps"
+	"tiledwall/internal/system"
+	"tiledwall/internal/video"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input MPEG-2 video elementary stream")
+		k       = flag.Int("k", 0, "second-level splitters (0 = one-level)")
+		auto    = flag.Bool("auto", false, "choose k by calibration (§4.6)")
+		m       = flag.Int("m", 2, "tiles across")
+		n       = flag.Int("n", 2, "tiles down")
+		overlap = flag.Int("overlap", 0, "projector overlap in pixels")
+		verify  = flag.Bool("verify", false, "compare output against the serial decoder")
+		snap    = flag.String("snapshot", "", "write the first displayed frame as a PPM image")
+		bwBps   = flag.Float64("bandwidth", 0, "fabric throttle in bytes/s (0 = unthrottled)")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("playwall: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mpegps.IsProgramStream(data) {
+		if data, err = mpegps.Demux(data); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *auto {
+		cal, err := system.Calibrate(data, *m, *n, *overlap, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*k = cal.RecommendedK(0)
+		fmt.Printf("calibration: ts=%v td=%v -> k=%d (predicted %.1f fps)\n",
+			cal.TS, cal.TD, *k, cal.PredictedFPS(*k))
+	}
+
+	cfg := system.Config{K: *k, M: *m, N: *n, Overlap: *overlap, CollectFrames: *verify || *snap != ""}
+	cfg.Fabric.BandwidthBps = *bwBps
+	res, err := system.Run(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	name := fmt.Sprintf("1-%d-(%d,%d)", *k, *m, *n)
+	if *k == 0 {
+		name = fmt.Sprintf("1-(%d,%d)", *m, *n)
+	}
+	tp := res.Modeled()
+	fmt.Printf("%s on %d PCs: %d pictures, busiest node %v\n", name, cfg.NumNodes(), tp.Pictures, tp.Elapsed)
+	fmt.Printf("  pipeline throughput %.1f fps, %.1f Mpixel/s, equivalent bit rate %.1f Mbit/s\n",
+		tp.FPS(), tp.PixelRate(), tp.EquivalentBitRate(res.StreamBytes))
+	fmt.Printf("  (simulation wall clock: %v on %d cores)\n", res.Throughput.Elapsed, runtime.NumCPU())
+
+	fmt.Printf("  decoder runtime breakdown (ms/picture):\n")
+	fmt.Printf("  %-8s", "decoder")
+	for _, p := range metrics.Phases() {
+		fmt.Printf("%9s", p)
+	}
+	fmt.Println()
+	for i, d := range res.Decoders {
+		fmt.Printf("  %-8d", i)
+		for _, p := range metrics.Phases() {
+			fmt.Printf("%9.2f", d.Breakdown.PerPicture(p))
+		}
+		fmt.Println()
+	}
+
+	secs := tp.Elapsed.Seconds()
+	fmt.Printf("  bandwidth over modelled playback time (MB/s):\n")
+	for i, id := range res.DecoderNodeIDs {
+		st := res.NodeStats[id]
+		fmt.Printf("  D%-3d recv %7.2f  send %7.2f\n", i, float64(st.BytesRecv)/secs/1e6, float64(st.BytesSent)/secs/1e6)
+	}
+	for i, id := range res.SplitterNodeIDs {
+		st := res.NodeStats[id]
+		fmt.Printf("  S%-3d recv %7.2f  send %7.2f\n", i, float64(st.BytesRecv)/secs/1e6, float64(st.BytesSent)/secs/1e6)
+	}
+
+	if *snap != "" && len(res.Frames) > 0 {
+		f, err := os.Create(*snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := video.WritePPM(f, res.Frames[0]); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s (%dx%d)\n", *snap, res.Frames[0].W, res.Frames[0].H)
+	}
+
+	if *verify {
+		dec, err := mpeg2.NewDecoder(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := dec.DecodeAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(ref) != len(res.Frames) {
+			log.Fatalf("verify: %d parallel frames vs %d serial", len(res.Frames), len(ref))
+		}
+		for i := range ref {
+			if !video.Equal(ref[i].Buf, res.Frames[i]) {
+				log.Fatalf("verify: frame %d differs from serial decode", i)
+			}
+		}
+		fmt.Printf("  verify: %d frames bit-exact with the serial decoder\n", len(ref))
+	}
+}

@@ -1,0 +1,3 @@
+module tiledwall
+
+go 1.22

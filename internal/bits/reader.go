@@ -1,0 +1,135 @@
+// Package bits provides MSB-first bit-level readers and writers and the
+// MPEG-2 start-code scanning primitives shared by the decoder, the encoder
+// and the splitters.
+//
+// MPEG-2 video is a bit-oriented format: macroblocks start and end at
+// arbitrary bit positions, while the higher-level syntactic elements
+// (sequence, GOP, picture, slice) begin with 32-bit byte-aligned start codes.
+// Reader therefore tracks an exact bit position so callers can record the
+// [start,end) bit range of a parsed macroblock — the second-level splitter
+// copies those raw bits into sub-pictures.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnderflow is returned (via Reader.Err) when a read runs past the end of
+// the buffer. Reads after underflow return zeros so parsing code can check
+// the error once per syntactic element instead of on every field.
+var ErrUnderflow = errors.New("bits: read past end of stream")
+
+// Reader reads an in-memory buffer MSB first.
+//
+// The zero value is an empty reader; use NewReader. Reader is not safe for
+// concurrent use.
+type Reader struct {
+	data []byte
+	pos  int // absolute bit position from the start of data
+	err  error
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Reset re-points the reader at data and clears position and error state.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.err = nil
+}
+
+// Err reports the first underflow encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// BitPos returns the absolute bit position from the start of the buffer.
+func (r *Reader) BitPos() int { return r.pos }
+
+// SeekBit moves the read position to the absolute bit offset pos.
+func (r *Reader) SeekBit(pos int) {
+	if pos < 0 || pos > len(r.data)*8 {
+		r.err = ErrUnderflow
+		return
+	}
+	r.pos = pos
+}
+
+// Len returns the total length of the underlying buffer in bits.
+func (r *Reader) Len() int { return len(r.data) * 8 }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.data)*8 - r.pos }
+
+// Byte-aligned reports whether the read position is on a byte boundary.
+func (r *Reader) ByteAligned() bool { return r.pos&7 == 0 }
+
+// Peek returns the next n bits (0 <= n <= 32) without advancing. Bits past
+// the end of the buffer read as zero; Err is not set by Peek so that VLC
+// lookahead near the end of a buffer does not poison the reader.
+func (r *Reader) Peek(n int) uint32 {
+	if n == 0 {
+		return 0
+	}
+	byteIdx := r.pos >> 3
+	bitOff := uint(r.pos & 7)
+	// Fast path: the 8 bytes starting at byteIdx are in bounds, so a single
+	// 64-bit load covers any (bitOff, n<=32) combination.
+	if byteIdx+8 <= len(r.data) {
+		b := r.data[byteIdx:]
+		w := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+			uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+		return uint32(w << bitOff >> (64 - uint(n)))
+	}
+	// Slow path near the end of the buffer: missing bytes read as zero.
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w <<= 8
+		if byteIdx+i < len(r.data) {
+			w |= uint64(r.data[byteIdx+i])
+		}
+	}
+	return uint32(w << bitOff >> (64 - uint(n)))
+}
+
+// Read returns the next n bits (0 <= n <= 32) and advances. On underflow it
+// sets Err and returns zeros for the missing bits.
+func (r *Reader) Read(n int) uint32 {
+	v := r.Peek(n)
+	r.pos += n
+	if r.pos > len(r.data)*8 {
+		r.pos = len(r.data) * 8
+		if r.err == nil {
+			r.err = ErrUnderflow
+		}
+	}
+	return v
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() uint32 { return r.Read(1) }
+
+// Skip advances the position by n bits.
+func (r *Reader) Skip(n int) {
+	r.pos += n
+	if r.pos > len(r.data)*8 {
+		r.pos = len(r.data) * 8
+		if r.err == nil {
+			r.err = ErrUnderflow
+		}
+	}
+}
+
+// AlignByte advances to the next byte boundary (no-op when already aligned).
+func (r *Reader) AlignByte() {
+	if rem := r.pos & 7; rem != 0 {
+		r.Skip(8 - rem)
+	}
+}
+
+// String describes the reader state for debugging.
+func (r *Reader) String() string {
+	return fmt.Sprintf("bits.Reader{pos=%d/%d err=%v}", r.pos, len(r.data)*8, r.err)
+}

@@ -1,0 +1,88 @@
+package bits
+
+import "fmt"
+
+// Writer accumulates bits MSB first into a growing byte buffer.
+//
+// The zero value is ready to use. Writer is not safe for concurrent use.
+type Writer struct {
+	buf  []byte
+	acc  uint64 // pending bits, left-justified at bit 63
+	nacc uint   // number of valid pending bits (0..7 after flushAcc)
+}
+
+// NewWriter returns a Writer with capacity pre-allocated for n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// Reset discards all written bits, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nacc = 0
+}
+
+// WriteBits appends the low n bits of v (0 <= n <= 32), MSB first.
+func (w *Writer) WriteBits(v uint32, n int) {
+	if n == 0 {
+		return
+	}
+	if n < 32 {
+		v &= 1<<uint(n) - 1
+	}
+	w.acc |= uint64(v) << (64 - w.nacc - uint(n))
+	w.nacc += uint(n)
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc <<= 8
+		w.nacc -= 8
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(v uint32) { w.WriteBits(v, 1) }
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nacc) }
+
+// ByteAligned reports whether the write position is on a byte boundary.
+func (w *Writer) ByteAligned() bool { return w.nacc == 0 }
+
+// AlignZero pads with zero bits to the next byte boundary.
+func (w *Writer) AlignZero() {
+	if w.nacc != 0 {
+		w.WriteBits(0, int(8-w.nacc))
+	}
+}
+
+// AlignOne pads with one bits to the next byte boundary (MPEG-2 slice
+// stuffing uses zero padding; AlignOne exists for container formats).
+func (w *Writer) AlignOne() {
+	for w.nacc != 0 {
+		w.WriteBit(1)
+	}
+}
+
+// WriteBytes appends whole bytes. The writer must be byte-aligned.
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nacc != 0 {
+		panic("bits: WriteBytes on unaligned writer")
+	}
+	w.buf = append(w.buf, p...)
+}
+
+// Bytes returns the written bytes. Any trailing partial byte is padded with
+// zero bits. The returned slice aliases the writer's buffer; it is valid
+// until the next Write or Reset.
+func (w *Writer) Bytes() []byte {
+	if w.nacc == 0 {
+		return w.buf
+	}
+	return append(w.buf[:len(w.buf):len(w.buf)], byte(w.acc>>56))
+}
+
+// String describes the writer state for debugging.
+func (w *Writer) String() string {
+	return fmt.Sprintf("bits.Writer{bits=%d}", w.BitLen())
+}

@@ -1,0 +1,144 @@
+// Package catalog defines the synthetic analogues of the paper's 16 test
+// video streams (Table 4) and the per-stream wall configurations of Table 6.
+// The originals (DVD movie clips, Intel MRL fish-tank HDTV footage, FOX/NBC/
+// CBS broadcast recordings, UCSD Orion Nebula flybys) are not
+// redistributable; each analogue matches its class's resolution, bit rate
+// per pixel and motion structure (see DESIGN.md §2).
+package catalog
+
+import (
+	"fmt"
+
+	"tiledwall/internal/encoder"
+	"tiledwall/internal/video"
+)
+
+// StreamSpec describes one catalogue entry.
+type StreamSpec struct {
+	ID    int
+	Name  string
+	Scene video.SceneKind
+	W, H  int     // full (paper-scale) resolution, multiples of 16
+	BPP   float64 // target bits per pixel
+
+	// K, M, N is the 1-k-(m,n) configuration Table 6 pairs with the stream
+	// (K = 0 means one-level).
+	K, M, N int
+}
+
+// Nodes returns the PC count of the stream's Table 6 configuration.
+func (s StreamSpec) Nodes() int { return 1 + s.K + s.M*s.N }
+
+// Streams is the Table 4 analogue catalogue. Streams 1-3 are DVD-rate film
+// clips; 4 and 12 the same animation at 1x and quadrupled resolution; 5-8
+// HDTV fish-tank camera shots; 9-11 broadcast recordings; 13-16 the Orion
+// flyby visualisations whose detail concentrates in part of the frame.
+var Streams = []StreamSpec{
+	{1, "spr", video.SceneFilm, 720, 480, 0.60, 0, 1, 1},
+	{2, "matrix", video.SceneFilm, 720, 480, 0.55, 0, 1, 1},
+	{3, "t2", video.SceneFilm, 720, 480, 0.50, 0, 1, 1},
+	{4, "anim1", video.SceneAnimation, 960, 640, 0.30, 0, 2, 1},
+	{5, "fish1", video.SceneFishTank, 1024, 768, 0.30, 0, 2, 1},
+	{6, "fish2", video.SceneFishTank, 1152, 768, 0.30, 1, 2, 1},
+	{7, "fish3", video.SceneFishTank, 1280, 720, 0.30, 1, 2, 1},
+	{8, "fish4", video.SceneFishTank, 1280, 720, 0.30, 1, 2, 1},
+	{9, "fox", video.SceneBroadcast, 1280, 720, 0.30, 1, 2, 1},
+	{10, "nbc", video.SceneBroadcast, 1920, 1088, 0.30, 1, 2, 2},
+	{11, "cbs", video.SceneBroadcast, 1920, 1088, 0.30, 1, 2, 2},
+	{12, "anim4", video.SceneAnimation, 1920, 1280, 0.30, 2, 3, 2},
+	{13, "orion1", video.SceneFlyby, 2560, 1920, 0.30, 2, 3, 2},
+	{14, "orion2", video.SceneFlyby, 2880, 2048, 0.30, 3, 3, 3},
+	{15, "orion3", video.SceneFlyby, 3200, 2400, 0.30, 4, 4, 3},
+	{16, "orion4", video.SceneFlyby, 3840, 2800, 0.30, 4, 4, 4},
+}
+
+// ByID returns the spec with the given 1-based id.
+func ByID(id int) (StreamSpec, error) {
+	for _, s := range Streams {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return StreamSpec{}, fmt.Errorf("catalog: no stream %d", id)
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (StreamSpec, error) {
+	for _, s := range Streams {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return StreamSpec{}, fmt.Errorf("catalog: no stream %q", name)
+}
+
+// GenOptions controls stream generation.
+type GenOptions struct {
+	// Frames is the sequence length; the paper trims every stream to 240.
+	Frames int
+	// Scale divides the resolution by the given factor (1 = paper scale).
+	// Useful for fast benchmark runs; the result stays macroblock aligned.
+	Scale int
+	// ClosedGOP produces self-contained GOPs (needed by the GOP-level
+	// baseline).
+	ClosedGOP bool
+	// Seed varies the content deterministically.
+	Seed int64
+}
+
+func (o *GenOptions) defaults() {
+	if o.Frames == 0 {
+		o.Frames = 240
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Dimensions returns the generated stream's dimensions for the options.
+func (s StreamSpec) Dimensions(opts GenOptions) (int, int) {
+	opts.defaults()
+	w := s.W / opts.Scale / 16 * 16
+	h := s.H / opts.Scale / 16 * 16
+	if w < s.M*16 {
+		w = s.M * 16
+	}
+	if h < s.N*16 {
+		h = s.N * 16
+	}
+	return w, h
+}
+
+// Generate renders and encodes the stream.
+func (s StreamSpec) Generate(opts GenOptions) ([]byte, error) {
+	opts.defaults()
+	w, h := s.Dimensions(opts)
+	cfg := encoder.Config{
+		Width: w, Height: h,
+		FrameRateCode: 5, // 30 fps, as the paper's high-resolution content
+		GOPSize:       12,
+		BSpacing:      3,
+		TargetBPP:     s.BPP,
+		InitialQScale: 8,
+		ClosedGOP:     opts.ClosedGOP,
+	}
+	src := video.NewSource(s.Scene, w, h, opts.Seed+int64(s.ID))
+	enc, err := encoder.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Frames; i++ {
+		// Each frame is a fresh buffer: the encoder holds B pictures until
+		// the next anchor arrives.
+		if err := enc.Push(src.Frame(i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return enc.Bytes(), nil
+}

@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	if len(Streams) != 16 {
+		t.Fatalf("catalogue has %d streams, want 16 (Table 4)", len(Streams))
+	}
+	for i, s := range Streams {
+		if s.ID != i+1 {
+			t.Errorf("stream %d has ID %d", i, s.ID)
+		}
+		if s.W%16 != 0 || s.H%16 != 0 {
+			t.Errorf("stream %d: %dx%d not macroblock aligned", s.ID, s.W, s.H)
+		}
+		if s.M < 1 || s.N < 1 {
+			t.Errorf("stream %d: invalid wall %dx%d", s.ID, s.M, s.N)
+		}
+		if s.BPP <= 0 {
+			t.Errorf("stream %d: bpp %f", s.ID, s.BPP)
+		}
+	}
+	// Resolutions are non-decreasing in pixel count within the orion ladder.
+	for i := 13; i < 16; i++ {
+		a, _ := ByID(i)
+		b, _ := ByID(i + 1)
+		if a.W*a.H >= b.W*b.H {
+			t.Errorf("orion ladder not increasing at %d", i)
+		}
+	}
+	// The headline configuration matches the abstract: 1-4-(4,4) on 21 PCs.
+	last, _ := ByID(16)
+	if last.Nodes() != 21 {
+		t.Errorf("stream 16 uses %d nodes, want 21", last.Nodes())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := ByID(0); err == nil {
+		t.Error("ByID(0) accepted")
+	}
+	if _, err := ByID(17); err == nil {
+		t.Error("ByID(17) accepted")
+	}
+	s, err := ByName("orion4")
+	if err != nil || s.ID != 16 {
+		t.Errorf("ByName(orion4) = %v, %v", s.ID, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestDimensionsScaling(t *testing.T) {
+	s, _ := ByID(16) // 3840x2800
+	w, h := s.Dimensions(GenOptions{Scale: 4})
+	if w != 960 || h != 688 { // 700 rounds down to the macroblock grid
+		t.Errorf("scale 4 = %dx%d", w, h)
+	}
+	if w%16 != 0 || h%16 != 0 {
+		t.Errorf("scaled dims not aligned: %dx%d", w, h)
+	}
+	// Extreme scaling never goes below the wall's minimum.
+	w, h = s.Dimensions(GenOptions{Scale: 1000})
+	if w < s.M*16 || h < s.N*16 {
+		t.Errorf("minimum clamp failed: %dx%d", w, h)
+	}
+}
+
+func TestGenerateDecodable(t *testing.T) {
+	s, _ := ByID(5)
+	data, err := s.Generate(GenOptions{Frames: 6, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := mpeg2.NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pics, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pics) != 6 {
+		t.Fatalf("%d pictures", len(pics))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s, _ := ByID(4)
+	opts := GenOptions{Frames: 4, Scale: 8, Seed: 3}
+	a, err := s.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams differ at byte %d", i)
+		}
+	}
+}

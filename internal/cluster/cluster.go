@@ -1,0 +1,242 @@
+// Package cluster provides the in-process message-passing fabric standing in
+// for the paper's Myrinet/GM user-level network (DESIGN.md §2). It preserves
+// the properties the algorithms depend on:
+//
+//   - addressed, reliable messages with per-sender FIFO order but NO global
+//     ordering across senders (GM's semantics — the reason the paper needs
+//     the ANID ack-redirect protocol);
+//   - zero-copy transfer (payload slices are handed over, never copied);
+//   - receive into posted buffers, modelled by per-kind receive queues with
+//     bounded depth;
+//   - per-link byte accounting for the bandwidth experiments (Fig. 9) and
+//     optional bandwidth/latency throttling.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MsgKind tags a message with its protocol role.
+type MsgKind uint8
+
+const (
+	// MsgPicture is a picture unit from the root splitter to a second-level
+	// splitter (paper Fig. 5: root -> splitter).
+	MsgPicture MsgKind = iota
+	// MsgSubPicture is an SP+MEI bundle from a splitter to a decoder.
+	MsgSubPicture
+	// MsgBlocks carries exchanged reference macroblocks between decoders.
+	MsgBlocks
+	// MsgAck is the credit/go-ahead message of the flow-control protocol.
+	MsgAck
+	// MsgHalo carries band-edge reference strips between neighbours in the
+	// slice-level baseline pipeline.
+	MsgHalo
+	// MsgPixels carries decoded pixels redistributed to display nodes in
+	// the coarse-granularity baseline pipelines (Table 1).
+	MsgPixels
+	numKinds
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgPicture:
+		return "picture"
+	case MsgSubPicture:
+		return "subpicture"
+	case MsgBlocks:
+		return "blocks"
+	case MsgAck:
+		return "ack"
+	case MsgHalo:
+		return "halo"
+	case MsgPixels:
+		return "pixels"
+	}
+	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// messageHeaderBytes approximates the per-message wire overhead counted in
+// the bandwidth statistics (GM header + our tags).
+const messageHeaderBytes = 16
+
+// Message is one fabric message.
+type Message struct {
+	From, To int
+	Kind     MsgKind
+	// Seq carries a protocol sequence number (picture index for data
+	// messages, acked index for acks).
+	Seq int
+	// Tag carries protocol-specific routing info (NSID for pictures, ANID
+	// for sub-pictures, reference selector for block messages).
+	Tag int
+	// Payload is handed over without copying.
+	Payload []byte
+}
+
+func (m *Message) wireBytes() int64 { return int64(len(m.Payload) + messageHeaderBytes) }
+
+// LinkStats counts traffic of one node.
+type LinkStats struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+}
+
+// Config tunes the fabric.
+type Config struct {
+	// BandwidthBps throttles each sender's links (bytes per second);
+	// 0 disables throttling. The paper's Myrinet delivered on the order of
+	// 100 MB/s per link.
+	BandwidthBps float64
+	// Latency is added per message when throttling is enabled.
+	Latency time.Duration
+	// QueueDepth bounds each node's receive queue (posted buffers per
+	// sender-role); sends block when the receiver's queue for that kind is
+	// full. Defaults to 64: deep enough that the paper's credit protocol,
+	// not the transport, is what limits the pipeline.
+	QueueDepth int
+}
+
+// Fabric connects a fixed set of nodes.
+type Fabric struct {
+	cfg   Config
+	nodes []*Node
+	stats []LinkStats // indexed by node id; atomic access
+	pair  []int64     // bytes sent per (from*n + to), atomic
+
+	done     chan struct{}
+	abortErr error
+	abort1   sync.Once
+}
+
+// New creates a fabric with n nodes.
+func New(n int, cfg Config) *Fabric {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	f := &Fabric{
+		cfg:   cfg,
+		nodes: make([]*Node, n),
+		stats: make([]LinkStats, n),
+		pair:  make([]int64, n*n),
+		done:  make(chan struct{}),
+	}
+	for i := range f.nodes {
+		node := &Node{id: i, fabric: f}
+		for k := range node.queues {
+			node.queues[k] = make(chan *Message, cfg.QueueDepth)
+		}
+		f.nodes[i] = node
+	}
+	return f
+}
+
+// Node returns node id.
+func (f *Fabric) Node(id int) *Node { return f.nodes[id] }
+
+// NumNodes returns the node count.
+func (f *Fabric) NumNodes() int { return len(f.nodes) }
+
+// Stats returns a snapshot of per-node traffic counters.
+func (f *Fabric) Stats() []LinkStats {
+	out := make([]LinkStats, len(f.stats))
+	for i := range f.stats {
+		out[i] = LinkStats{
+			BytesSent: atomic.LoadInt64(&f.stats[i].BytesSent),
+			BytesRecv: atomic.LoadInt64(&f.stats[i].BytesRecv),
+			MsgsSent:  atomic.LoadInt64(&f.stats[i].MsgsSent),
+			MsgsRecv:  atomic.LoadInt64(&f.stats[i].MsgsRecv),
+		}
+	}
+	return out
+}
+
+// PairBytes returns bytes sent from node a to node b.
+func (f *Fabric) PairBytes(a, b int) int64 {
+	return atomic.LoadInt64(&f.pair[a*len(f.nodes)+b])
+}
+
+// Node is one cluster endpoint. A node's receive methods must be called from
+// a single goroutine (the node's process), matching one PC per role.
+type Node struct {
+	id     int
+	fabric *Fabric
+	queues [numKinds]chan *Message
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Send delivers msg to node `to`. It blocks only when the receiver's queue
+// for this kind is full (transport backpressure; the protocols are designed
+// so their own credit scheme keeps queues shallow).
+func (n *Node) Send(to int, msg *Message) {
+	f := n.fabric
+	msg.From = n.id
+	msg.To = to
+	bytes := msg.wireBytes()
+	if f.cfg.BandwidthBps > 0 {
+		d := time.Duration(float64(bytes)/f.cfg.BandwidthBps*1e9) + f.cfg.Latency
+		time.Sleep(d)
+	}
+	atomic.AddInt64(&f.stats[n.id].BytesSent, bytes)
+	atomic.AddInt64(&f.stats[n.id].MsgsSent, 1)
+	atomic.AddInt64(&f.stats[to].BytesRecv, bytes)
+	atomic.AddInt64(&f.stats[to].MsgsRecv, 1)
+	atomic.AddInt64(&f.pair[n.id*len(f.nodes)+to], bytes)
+	select {
+	case f.nodes[to].queues[msg.Kind] <- msg:
+	case <-f.done:
+	}
+}
+
+// Abort unblocks every pending Recv/Send with a nil result so node loops
+// can unwind after a peer failed. The first recorded cause wins.
+func (f *Fabric) Abort(cause error) {
+	f.abort1.Do(func() {
+		f.abortErr = cause
+		close(f.done)
+	})
+}
+
+// AbortCause returns the error passed to Abort, if any.
+func (f *Fabric) AbortCause() error {
+	select {
+	case <-f.done:
+		return f.abortErr
+	default:
+		return nil
+	}
+}
+
+// Recv blocks until a message of the given kind arrives. It returns nil
+// when the fabric has been aborted.
+func (n *Node) Recv(kind MsgKind) *Message {
+	select {
+	case m := <-n.queues[kind]:
+		return m
+	case <-n.fabric.done:
+		return nil
+	}
+}
+
+// Queue exposes the receive channel for one kind so a node process can
+// select across kinds (e.g. a display goroutine multiplexing fabric traffic
+// with local hand-offs). Combine with Done for abort handling.
+func (n *Node) Queue(kind MsgKind) <-chan *Message { return n.queues[kind] }
+
+// Done is closed when the fabric aborts.
+func (n *Node) Done() <-chan struct{} { return n.fabric.done }
+
+// TryRecv returns a message of the given kind if one is queued.
+func (n *Node) TryRecv(kind MsgKind) (*Message, bool) {
+	select {
+	case m := <-n.queues[kind]:
+		return m, true
+	default:
+		return nil, false
+	}
+}

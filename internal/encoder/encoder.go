@@ -1,0 +1,241 @@
+package encoder
+
+import (
+	"errors"
+	"fmt"
+
+	"tiledwall/internal/bits"
+	"tiledwall/internal/mpeg2"
+)
+
+// Config selects the stream parameters. The zero value is not usable; call
+// (*Config).setDefaults via New, or fill every field.
+type Config struct {
+	Width, Height int     // must be multiples of 16
+	FrameRateCode int     // table 6-4 code (5 = 30 fps)
+	GOPSize       int     // N: display frames per GOP
+	BSpacing      int     // M: anchor distance; 1 disables B pictures
+	TargetBPP     float64 // average bits per pixel; 0 fixes the quantiser
+	InitialQScale int     // starting quantiser_scale_code
+
+	IntraDCPrecision int
+	QScaleType       bool // nonlinear quantiser scale
+	IntraVLCFormat   bool // use table B-15 for intra blocks
+	AlternateScan    bool
+	FCode            int // used for all f_code[s][t], 1..9
+	SearchRange      int // full-pel motion search range
+	AdaptiveQuant    bool
+
+	// ClosedGOP makes every GOP self-contained: the B pictures that would
+	// reference the next GOP's I picture are coded as P instead, and the GOP
+	// headers set closed_gop. Required by GOP-level parallel decoding
+	// (Table 1 baseline), where whole GOPs go to different nodes.
+	ClosedGOP bool
+
+	// IntraQMatrix / NonIntraQMatrix override the default quantisation
+	// matrices (raster order); nil keeps the standard defaults. Custom
+	// matrices are signalled in the sequence header.
+	IntraQMatrix    *[64]uint8
+	NonIntraQMatrix *[64]uint8
+}
+
+func (c *Config) setDefaults() error {
+	if c.Width <= 0 || c.Height <= 0 || c.Width%16 != 0 || c.Height%16 != 0 {
+		return fmt.Errorf("encoder: dimensions %dx%d must be positive multiples of 16", c.Width, c.Height)
+	}
+	if c.FrameRateCode == 0 {
+		c.FrameRateCode = 5
+	}
+	if c.GOPSize == 0 {
+		c.GOPSize = 12
+	}
+	if c.BSpacing == 0 {
+		c.BSpacing = 3
+	}
+	if c.GOPSize%c.BSpacing != 0 {
+		return fmt.Errorf("encoder: GOP size %d must be a multiple of B spacing %d", c.GOPSize, c.BSpacing)
+	}
+	if c.InitialQScale == 0 {
+		c.InitialQScale = 8
+	}
+	if c.FCode == 0 {
+		c.FCode = 3 // ±32 px
+	}
+	if c.FCode < 1 || c.FCode > 9 {
+		return fmt.Errorf("encoder: f_code %d out of range", c.FCode)
+	}
+	if c.SearchRange == 0 {
+		c.SearchRange = 15
+	}
+	if c.IntraDCPrecision < 0 || c.IntraDCPrecision > 3 {
+		return fmt.Errorf("encoder: intra_dc_precision %d out of range", c.IntraDCPrecision)
+	}
+	return nil
+}
+
+// Stats accumulates encoding statistics.
+type Stats struct {
+	Pictures       int
+	PicturesByType [4]int // indexed by mpeg2.PictureType
+	BitsByType     [4]int64
+	TotalBits      int64
+	SkippedMBs     int64
+	IntraMBs       int64
+	InterMBs       int64
+}
+
+// Encoder encodes frames pushed in display order into an MPEG-2 elementary
+// stream. Frames are *mpeg2.PixelBuf windows covering the full picture.
+type Encoder struct {
+	cfg Config
+	seq *mpeg2.SequenceHeader
+	w   *bits.Writer
+
+	refA, refB *mpeg2.PixelBuf // reconstructed anchors, older/newer
+	pendingB   []*mpeg2.PixelBuf
+	pendingIdx []int
+
+	displayIdx int
+	qByType    [4]float64 // adaptive quantiser per picture type
+	avgAct     float64    // average macroblock activity of the last picture
+	stats      Stats
+	flushed    bool
+}
+
+// New creates an Encoder and emits the sequence header.
+func New(cfg Config) (*Encoder, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	bitRate := int(cfg.TargetBPP * float64(cfg.Width*cfg.Height) * mpeg2.FrameRate(cfg.FrameRateCode) / 400)
+	if bitRate <= 0 {
+		bitRate = 0x3FFFF
+	}
+	seq := &mpeg2.SequenceHeader{
+		Width:         cfg.Width,
+		Height:        cfg.Height,
+		AspectRatio:   1,
+		FrameRateCode: cfg.FrameRateCode,
+		BitRate:       bitRate,
+		VBVBufferSize: 112,
+		IntraQ:        mpeg2.DefaultIntraQuantMatrix,
+		NonIntraQ:     mpeg2.DefaultNonIntraQuantMatrix,
+		ProfileLevel:  0x44, // Main Profile @ High Level
+		Progressive:   true,
+		ChromaFormat:  1,
+	}
+	if cfg.IntraQMatrix != nil {
+		seq.IntraQ = *cfg.IntraQMatrix
+		seq.CustomIntraQ = true
+	}
+	if cfg.NonIntraQMatrix != nil {
+		seq.NonIntraQ = *cfg.NonIntraQMatrix
+		seq.CustomNonIntraQ = true
+	}
+	e := &Encoder{cfg: cfg, seq: seq, w: bits.NewWriter(1 << 16)}
+	for i := range e.qByType {
+		e.qByType[i] = float64(cfg.InitialQScale)
+	}
+	seq.Write(e.w)
+	return e, nil
+}
+
+// Seq returns the sequence header being emitted.
+func (e *Encoder) Seq() *mpeg2.SequenceHeader { return e.seq }
+
+// Stats returns accumulated statistics.
+func (e *Encoder) Stats() Stats { return e.stats }
+
+// Push encodes the next display-order frame.
+func (e *Encoder) Push(f *mpeg2.PixelBuf) error {
+	if e.flushed {
+		return errors.New("encoder: Push after Flush")
+	}
+	if f.W != e.cfg.Width || f.H != e.cfg.Height || f.X0 != 0 || f.Y0 != 0 {
+		return fmt.Errorf("encoder: frame geometry %d,%d %dx%d does not match config", f.X0, f.Y0, f.W, f.H)
+	}
+	i := e.displayIdx
+	e.displayIdx++
+	inGOP := i % e.cfg.GOPSize
+	tailB := e.cfg.ClosedGOP && inGOP > e.cfg.GOPSize-e.cfg.BSpacing
+	switch {
+	case inGOP == 0:
+		g := &mpeg2.GOPHeader{ClosedGOP: i == 0 || e.cfg.ClosedGOP}
+		// Encode the anchor first (decode order), then the buffered B
+		// pictures that display before it.
+		if err := e.encodeAnchor(f, mpeg2.PictureI, i, g); err != nil {
+			return err
+		}
+	case inGOP%e.cfg.BSpacing == 0 || tailB:
+		// In closed-GOP mode the pictures that would be the GOP's trailing
+		// B pictures (referencing the next GOP's I) are coded as P.
+		if err := e.encodeAnchor(f, mpeg2.PictureP, i, nil); err != nil {
+			return err
+		}
+	default:
+		e.pendingB = append(e.pendingB, f)
+		e.pendingIdx = append(e.pendingIdx, i)
+	}
+	return nil
+}
+
+func (e *Encoder) encodeAnchor(f *mpeg2.PixelBuf, t mpeg2.PictureType, displayIdx int, gop *mpeg2.GOPHeader) error {
+	if gop != nil {
+		gop.Write(e.w)
+	}
+	recon, err := e.encodePicture(f, t, displayIdx, e.refB, nil)
+	if err != nil {
+		return err
+	}
+	e.refA, e.refB = e.refB, recon
+	// Now the buffered B pictures (they reference refA and refB).
+	for k, bf := range e.pendingB {
+		if _, err := e.encodePicture(bf, mpeg2.PictureB, e.pendingIdx[k], e.refA, e.refB); err != nil {
+			return err
+		}
+	}
+	e.pendingB = e.pendingB[:0]
+	e.pendingIdx = e.pendingIdx[:0]
+	return nil
+}
+
+// Flush encodes any trailing buffered B pictures (as P pictures, since no
+// future anchor exists) and emits the sequence end code.
+func (e *Encoder) Flush() error {
+	if e.flushed {
+		return nil
+	}
+	for k, bf := range e.pendingB {
+		recon, err := e.encodePicture(bf, mpeg2.PictureP, e.pendingIdx[k], e.refB, nil)
+		if err != nil {
+			return err
+		}
+		e.refA, e.refB = e.refB, recon
+	}
+	e.pendingB = nil
+	e.pendingIdx = nil
+	mpeg2.WriteSequenceEnd(e.w)
+	e.flushed = true
+	return nil
+}
+
+// Bytes returns the encoded stream; call after Flush.
+func (e *Encoder) Bytes() []byte { return e.w.Bytes() }
+
+// EncodeFrames is a convenience wrapping New/Push/Flush for in-memory frame
+// slices.
+func EncodeFrames(cfg Config, frames []*mpeg2.PixelBuf) ([]byte, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range frames {
+		if err := e.Push(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}

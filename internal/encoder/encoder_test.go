@@ -1,0 +1,245 @@
+package encoder
+
+import (
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/video"
+)
+
+func encodeScene(t *testing.T, kind video.SceneKind, cfg Config, frames int) ([]byte, []*mpeg2.PixelBuf, *Encoder) {
+	t.Helper()
+	src := video.NewSource(kind, cfg.Width, cfg.Height, 7)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig []*mpeg2.PixelBuf
+	for i := 0; i < frames; i++ {
+		f := src.Frame(i)
+		orig = append(orig, f)
+		if err := e.Push(f); err != nil {
+			t.Fatalf("Push frame %d: %v", i, err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Bytes(), orig, e
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := Config{Width: 128, Height: 96, GOPSize: 6, BSpacing: 3, InitialQScale: 4}
+	data, orig, _ := encodeScene(t, video.SceneFishTank, cfg, 12)
+
+	dec, err := mpeg2.NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pics, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pics) != len(orig) {
+		t.Fatalf("decoded %d pictures, want %d", len(pics), len(orig))
+	}
+	for i, p := range pics {
+		psnr, err := video.PSNR(orig[i], p.Buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < 28 {
+			t.Errorf("frame %d (%s): PSNR %.1f dB too low", i, p.Pic.PicType, psnr)
+		}
+	}
+}
+
+// TestEncodeDecodeAllScenes covers every generator and several coding-tool
+// combinations.
+func TestEncodeDecodeAllScenes(t *testing.T) {
+	kinds := []video.SceneKind{video.SceneFilm, video.SceneAnimation, video.SceneFishTank, video.SceneBroadcast, video.SceneFlyby}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Width: 96, Height: 64, GOPSize: 6, BSpacing: 2, InitialQScale: 6}
+			data, orig, _ := encodeScene(t, kind, cfg, 8)
+			dec, err := mpeg2.NewDecoder(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pics, err := dec.DecodeAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pics) != len(orig) {
+				t.Fatalf("decoded %d pictures, want %d", len(pics), len(orig))
+			}
+			for i, p := range pics {
+				psnr, _ := video.PSNR(orig[i], p.Buf)
+				if psnr < 24 {
+					t.Errorf("frame %d: PSNR %.1f dB too low", i, psnr)
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeCodingTools(t *testing.T) {
+	type tc struct {
+		name string
+		mod  func(*Config)
+	}
+	cases := []tc{
+		{"intra_vlc_format", func(c *Config) { c.IntraVLCFormat = true }},
+		{"alternate_scan", func(c *Config) { c.AlternateScan = true }},
+		{"nonlinear_qscale", func(c *Config) { c.QScaleType = true }},
+		{"adaptive_quant", func(c *Config) { c.AdaptiveQuant = true }},
+		{"dc_precision_2", func(c *Config) { c.IntraDCPrecision = 2 }},
+		{"no_b_frames", func(c *Config) { c.BSpacing = 1; c.GOPSize = 6 }},
+		{"small_fcode", func(c *Config) { c.FCode = 1; c.SearchRange = 3 }},
+		{"everything", func(c *Config) {
+			c.IntraVLCFormat = true
+			c.AlternateScan = true
+			c.QScaleType = true
+			c.AdaptiveQuant = true
+			c.IntraDCPrecision = 1
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Width: 96, Height: 64, GOPSize: 6, BSpacing: 3, InitialQScale: 5}
+			c.mod(&cfg)
+			data, orig, _ := encodeScene(t, video.SceneFilm, cfg, 7)
+			dec, err := mpeg2.NewDecoder(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pics, err := dec.DecodeAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pics) != len(orig) {
+				t.Fatalf("decoded %d pictures, want %d", len(pics), len(orig))
+			}
+			for i, p := range pics {
+				psnr, _ := video.PSNR(orig[i], p.Buf)
+				if psnr < 22 {
+					t.Errorf("frame %d: PSNR %.1f dB", i, psnr)
+				}
+			}
+		})
+	}
+}
+
+func TestRateControlConverges(t *testing.T) {
+	cfg := Config{Width: 128, Height: 96, GOPSize: 6, BSpacing: 3, TargetBPP: 0.4, InitialQScale: 20}
+	data, orig, e := encodeScene(t, video.SceneFilm, cfg, 24)
+	gotBPP := float64(len(data)*8) / float64(len(orig)*cfg.Width*cfg.Height)
+	if gotBPP < cfg.TargetBPP/4 || gotBPP > cfg.TargetBPP*4 {
+		t.Errorf("achieved %.3f bpp, target %.3f (off by more than 4x)", gotBPP, cfg.TargetBPP)
+	}
+	if e.Stats().Pictures != 24 {
+		t.Errorf("stats count %d pictures, want 24", e.Stats().Pictures)
+	}
+}
+
+func TestEncoderStreamStructure(t *testing.T) {
+	cfg := Config{Width: 64, Height: 48, GOPSize: 4, BSpacing: 2, InitialQScale: 8}
+	data, _, _ := encodeScene(t, video.SceneAnimation, cfg, 8)
+	s, err := mpeg2.ParseStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq.Width != 64 || s.Seq.Height != 48 {
+		t.Fatalf("sequence %dx%d", s.Seq.Width, s.Seq.Height)
+	}
+	if !s.Seq.Progressive {
+		t.Error("expected progressive sequence")
+	}
+	if len(s.Pictures) != 8 {
+		t.Fatalf("%d picture units, want 8", len(s.Pictures))
+	}
+	// Decode order for display 0..7 with N=4, M=2: I0 P2 B1 I4 B3 P6 B5 (+tail)
+	wantTypes := []mpeg2.PictureType{
+		mpeg2.PictureI, mpeg2.PictureP, mpeg2.PictureB, mpeg2.PictureI,
+		mpeg2.PictureB, mpeg2.PictureP, mpeg2.PictureB, mpeg2.PictureP,
+	}
+	for i, unit := range s.Pictures {
+		got, err := mpeg2.PeekPictureType(unit)
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		if got != wantTypes[i] {
+			t.Errorf("unit %d type %s, want %s", i, got, wantTypes[i])
+		}
+	}
+}
+
+func TestEncoderRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{Width: 100, Height: 96},                         // not multiple of 16
+		{Width: 96, Height: 96, GOPSize: 7, BSpacing: 3}, // N not multiple of M
+		{Width: 96, Height: 96, FCode: 12},
+		{Width: 96, Height: 96, IntraDCPrecision: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestEncoderSkipsStaticContent(t *testing.T) {
+	// A completely static scene should produce skipped macroblocks in P/B
+	// pictures.
+	cfg := Config{Width: 128, Height: 96, GOPSize: 6, BSpacing: 3, InitialQScale: 8}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := video.NewSource(video.SceneFishTank, 128, 96, 3).Frame(0)
+	for i := 0; i < 6; i++ {
+		if err := e.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().SkippedMBs == 0 {
+		t.Error("static content produced no skipped macroblocks")
+	}
+	// And the reconstruction must still be exact-ish.
+	dec, err := mpeg2.NewDecoder(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pics, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pics {
+		if psnr, _ := video.PSNR(f, p.Buf); psnr < 30 {
+			t.Errorf("static frame %d PSNR %.1f", i, psnr)
+		}
+	}
+}
+
+func BenchmarkEncodeCIF(b *testing.B) {
+	cfg := Config{Width: 352, Height: 288, GOPSize: 12, BSpacing: 3, InitialQScale: 8}
+	src := video.NewSource(video.SceneFilm, cfg.Width, cfg.Height, 1)
+	frames := make([]*mpeg2.PixelBuf, 12)
+	for i := range frames {
+		frames[i] = src.Frame(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeFrames(cfg, frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frames) * cfg.Width * cfg.Height * 3 / 2))
+}

@@ -1,0 +1,61 @@
+// Package encoder implements a from-scratch MPEG-2 Main Profile video
+// encoder producing exactly the stream subset the decoder in internal/mpeg2
+// supports: progressive frame pictures, frame prediction/DCT, 4:2:0, I/P/B
+// GOPs, optional alternate scan, nonlinear quantiser scale and intra VLC
+// format. It exists because the paper's test content (movie clips, HDTV
+// camera footage, visualisation flybys) is not redistributable; the
+// generators in internal/video plus this encoder reproduce each stream
+// class's resolution, bit rate and motion structure (DESIGN.md §2).
+//
+// The encoder is closed-loop: every macroblock is reconstructed through the
+// same dequantisation, IDCT and motion compensation code the decoder uses,
+// so encoder and decoder reference frames match bit for bit.
+package encoder
+
+import "math"
+
+// dctMat[u][x] = c(u)/2 * cos((2x+1)u*pi/16), the 1-D DCT-II basis used for
+// the separable forward transform.
+var dctMat [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = math.Sqrt2 / 2
+		}
+		for x := 0; x < 8; x++ {
+			dctMat[u][x] = cu / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+}
+
+// fdct computes the 8x8 forward DCT of blk in place (raster order),
+// rounding to the nearest integer. Separable row-column evaluation.
+func fdct(blk *[64]int32) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		row := blk[y*8 : y*8+8]
+		for u := 0; u < 8; u++ {
+			m := &dctMat[u]
+			tmp[y*8+u] = m[0]*float64(row[0]) + m[1]*float64(row[1]) +
+				m[2]*float64(row[2]) + m[3]*float64(row[3]) +
+				m[4]*float64(row[4]) + m[5]*float64(row[5]) +
+				m[6]*float64(row[6]) + m[7]*float64(row[7])
+		}
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		var col [8]float64
+		for y := 0; y < 8; y++ {
+			col[y] = tmp[y*8+x]
+		}
+		for v := 0; v < 8; v++ {
+			m := &dctMat[v]
+			s := m[0]*col[0] + m[1]*col[1] + m[2]*col[2] + m[3]*col[3] +
+				m[4]*col[4] + m[5]*col[5] + m[6]*col[6] + m[7]*col[7]
+			blk[v*8+x] = int32(math.Round(s))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package encoder
+
+import "tiledwall/internal/mpeg2"
+
+// Motion estimation: a predictive full-pel search (candidate seeds + greedy
+// step refinement) followed by half-sample refinement. SAD on 16×16 luma.
+
+// sad16 computes the sum of absolute differences between the 16x16 luma
+// block at (x, y) in cur and the block at (rx, ry) in ref, stopping early
+// once best is exceeded.
+func sad16(cur, ref *mpeg2.PixelBuf, x, y, rx, ry int, best int32) int32 {
+	var sum int32
+	for r := 0; r < 16; r++ {
+		ci := (y+r-cur.Y0)*cur.W + (x - cur.X0)
+		ri := (ry+r-ref.Y0)*ref.W + (rx - ref.X0)
+		c := cur.Y[ci : ci+16]
+		p := ref.Y[ri : ri+16]
+		for k := 0; k < 16; k++ {
+			d := int32(c[k]) - int32(p[k])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum >= best {
+			return sum
+		}
+	}
+	return sum
+}
+
+// sadHalf computes SAD against a half-sample interpolated reference
+// position. mv is in half-sample units relative to (x, y).
+func sadHalf(cur, ref *mpeg2.PixelBuf, x, y int, mvx, mvy int32, best int32) int32 {
+	rx := x + int(mvx>>1)
+	ry := y + int(mvy>>1)
+	hx := int(mvx & 1)
+	hy := int(mvy & 1)
+	if hx == 0 && hy == 0 {
+		return sad16(cur, ref, x, y, rx, ry, best)
+	}
+	var sum int32
+	for r := 0; r < 16; r++ {
+		ci := (y+r-cur.Y0)*cur.W + (x - cur.X0)
+		ri := (ry+r-ref.Y0)*ref.W + (rx - ref.X0)
+		c := cur.Y[ci : ci+16]
+		row := ref.Y[ri:]
+		nxt := ref.Y[ri+hy*ref.W:]
+		for k := 0; k < 16; k++ {
+			var p int32
+			switch {
+			case hx == 1 && hy == 1:
+				p = (int32(row[k]) + int32(row[k+1]) + int32(nxt[k]) + int32(nxt[k+1]) + 2) >> 2
+			case hx == 1:
+				p = (int32(row[k]) + int32(row[k+1]) + 1) >> 1
+			default:
+				p = (int32(row[k]) + int32(nxt[k]) + 1) >> 1
+			}
+			d := int32(c[k]) - p
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum >= best {
+			return sum
+		}
+	}
+	return sum
+}
+
+// estimator carries the search bounds for one picture/reference pair.
+type estimator struct {
+	cur, ref *mpeg2.PixelBuf
+	rangePx  int // full-pel search range (bounded by f_code)
+	maxHalf  int32
+}
+
+func newEstimator(cur, ref *mpeg2.PixelBuf, searchRange, fcode int) *estimator {
+	// f_code f permits half-sample vectors in [-16<<(f-1), 16<<(f-1)-1].
+	maxHalf := int32(16) << uint(fcode-1)
+	r := searchRange
+	if max := int(maxHalf/2) - 1; r > max {
+		r = max
+	}
+	return &estimator{cur: cur, ref: ref, rangePx: r, maxHalf: maxHalf}
+}
+
+// clampFull keeps a full-pel displacement (dx, dy) for the macroblock at
+// (x, y) inside both the search range and the reference picture.
+func (e *estimator) clampFull(x, y, dx, dy int) (int, int) {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	dx = clamp(dx, -e.rangePx, e.rangePx)
+	dy = clamp(dy, -e.rangePx, e.rangePx)
+	dx = clamp(dx, e.ref.X0-x, e.ref.X0+e.ref.W-16-x)
+	dy = clamp(dy, e.ref.Y0-y, e.ref.Y0+e.ref.H-16-y)
+	return dx, dy
+}
+
+// search finds a motion vector (half-sample units) for the macroblock at
+// luma position (x, y), seeded with candidate predictors (half-sample
+// units). It returns the vector and its SAD.
+func (e *estimator) search(x, y int, seeds [][2]int32) ([2]int32, int32) {
+	type cand struct{ dx, dy int }
+	cands := []cand{{0, 0}}
+	for _, s := range seeds {
+		cands = append(cands, cand{int(s[0] >> 1), int(s[1] >> 1)})
+	}
+	best := int32(1 << 30)
+	bx, by := 0, 0
+	seen := map[[2]int]bool{}
+	eval := func(dx, dy int) {
+		dx, dy = e.clampFull(x, y, dx, dy)
+		k := [2]int{dx, dy}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if s := sad16(e.cur, e.ref, x, y, x+dx, y+dy, best); s < best {
+			best, bx, by = s, dx, dy
+		}
+	}
+	for _, c := range cands {
+		eval(c.dx, c.dy)
+	}
+	// Coarse grid scan across the whole range so strong motion with a flat
+	// SAD gradient (noise-like content) is not lost to local minima.
+	r := e.rangePx
+	for _, dy := range [5]int{-r, -r / 2, 0, r / 2, r} {
+		for _, dx := range [5]int{-r, -r / 2, 0, r / 2, r} {
+			eval(dx, dy)
+		}
+	}
+	// Greedy large-to-small step refinement.
+	for _, step := range []int{4, 2, 1} {
+		for {
+			cx, cy := bx, by
+			eval(cx+step, cy)
+			eval(cx-step, cy)
+			eval(cx, cy+step)
+			eval(cx, cy-step)
+			eval(cx+step, cy+step)
+			eval(cx-step, cy-step)
+			eval(cx+step, cy-step)
+			eval(cx-step, cy+step)
+			if bx == cx && by == cy {
+				break
+			}
+		}
+	}
+
+	// Half-sample refinement around the full-pel winner.
+	mv := [2]int32{int32(bx) * 2, int32(by) * 2}
+	bestMV := mv
+	for dy := int32(-1); dy <= 1; dy++ {
+		for dx := int32(-1); dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			c := [2]int32{mv[0] + dx, mv[1] + dy}
+			if !e.mvValid(x, y, c) {
+				continue
+			}
+			if s := sadHalf(e.cur, e.ref, x, y, c[0], c[1], best); s < best {
+				best, bestMV = s, c
+			}
+		}
+	}
+	return bestMV, best
+}
+
+// mvValid reports whether the half-sample vector keeps every sample the
+// interpolator touches inside the reference window and the f_code range.
+func (e *estimator) mvValid(x, y int, mv [2]int32) bool {
+	if mv[0] < -e.maxHalf || mv[0] > e.maxHalf-1 || mv[1] < -e.maxHalf || mv[1] > e.maxHalf-1 {
+		return false
+	}
+	rx := x + int(mv[0]>>1)
+	ry := y + int(mv[1]>>1)
+	hx := int(mv[0] & 1)
+	hy := int(mv[1] & 1)
+	return e.ref.Contains(rx, ry, 16+hx, 16+hy)
+}

@@ -1,0 +1,146 @@
+package encoder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/video"
+)
+
+// shifted builds a reference frame and a current frame that is the reference
+// translated by (dx, dy) full pixels. The texture is smooth (two
+// incommensurate sinusoids plus mild noise): hierarchical search — like any
+// real estimator — relies on a correlated SAD surface, which pure noise does
+// not provide.
+func shifted(rng *rand.Rand, w, h, dx, dy int) (cur, ref *mpeg2.PixelBuf) {
+	ref = mpeg2.NewPixelBuf(0, 0, w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 128 + 60*math.Sin(0.21*float64(x)+0.13*float64(y)) +
+				40*math.Sin(0.07*float64(x)-0.17*float64(y)) +
+				float64(rng.Intn(7))
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			ref.Y[y*w+x] = uint8(v)
+		}
+	}
+	rng.Read(ref.Cb)
+	rng.Read(ref.Cr)
+	cur = mpeg2.NewPixelBuf(0, 0, w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx, sy := x+dx, y+dy
+			if sx >= 0 && sx < w && sy >= 0 && sy < h {
+				cur.Y[y*w+x] = ref.Y[sy*w+sx]
+			}
+		}
+	}
+	return cur, ref
+}
+
+// TestSearchFindsExactTranslation: for a pure translation the estimator must
+// find the exact vector with SAD 0 (away from frame borders).
+func TestSearchFindsExactTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range [][2]int{{0, 0}, {3, -2}, {-7, 5}, {12, 12}, {-15, -15}} {
+		cur, ref := shifted(rng, 128, 128, d[0], d[1])
+		est := newEstimator(cur, ref, 15, 3)
+		mv, sad := est.search(48, 48, nil)
+		if sad != 0 {
+			t.Errorf("shift %v: sad %d", d, sad)
+		}
+		if int(mv[0]) != 2*d[0] || int(mv[1]) != 2*d[1] {
+			t.Errorf("shift %v: found mv %v (half-pel), want (%d,%d)", d, mv, 2*d[0], 2*d[1])
+		}
+	}
+}
+
+// TestSearchRespectsFCodeBound: vectors never exceed the f_code range even
+// when the true motion does.
+func TestSearchRespectsFCodeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cur, ref := shifted(rng, 256, 64, 24, 0) // true motion 24 px
+	est := newEstimator(cur, ref, 40, 2)     // f_code 2: |mv| < 16 px
+	mv, _ := est.search(112, 32, nil)
+	if mv[0] < -32 || mv[0] > 31 || mv[1] < -32 || mv[1] > 31 {
+		t.Errorf("vector %v outside f_code 2 range", mv)
+	}
+}
+
+// TestSearchStaysInsidePicture: near borders the candidate clamping must
+// keep every probed block inside the reference.
+func TestSearchStaysInsidePicture(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cur, ref := shifted(rng, 64, 64, 0, 0)
+	est := newEstimator(cur, ref, 15, 3)
+	for _, pos := range [][2]int{{0, 0}, {48, 0}, {0, 48}, {48, 48}} {
+		mv, _ := est.search(pos[0], pos[1], [][2]int32{{-60, -60}, {60, 60}})
+		if !est.mvValid(pos[0], pos[1], mv) {
+			t.Errorf("position %v: invalid vector %v", pos, mv)
+		}
+	}
+}
+
+// TestSadHalfMatchesPrediction: the estimator's half-sample SAD agrees with
+// the real prediction path.
+func TestSadHalfMatchesPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cur, ref := shifted(rng, 96, 96, 1, 1)
+	for _, mv := range [][2]int32{{3, -5}, {1, 1}, {-1, 0}, {0, -1}} {
+		var pY [256]uint8
+		var pCb, pCr [64]uint8
+		if err := mpeg2.PredictMacroblock(ref, 32, 32, mv, &pY, &pCb, &pCr); err != nil {
+			t.Fatal(err)
+		}
+		var want int32
+		for r := 0; r < 16; r++ {
+			for c := 0; c < 16; c++ {
+				d := int32(cur.Y[(32+r)*96+32+c]) - int32(pY[r*16+c])
+				if d < 0 {
+					d = -d
+				}
+				want += d
+			}
+		}
+		got := sadHalf(cur, ref, 32, 32, mv[0], mv[1], 1<<30)
+		if got != want {
+			t.Errorf("mv %v: sadHalf %d, prediction-path SAD %d", mv, got, want)
+		}
+	}
+}
+
+func TestCustomMatricesRoundTrip(t *testing.T) {
+	var intra, nonIntra [64]uint8
+	for i := range intra {
+		intra[i] = uint8(8 + i/2)
+		nonIntra[i] = uint8(12 + i/4)
+	}
+	intra[0] = 8
+	cfg := Config{Width: 96, Height: 64, GOPSize: 6, BSpacing: 3, InitialQScale: 6,
+		IntraQMatrix: &intra, NonIntraQMatrix: &nonIntra}
+	data, orig, _ := encodeScene(t, video.SceneFilm, cfg, 7)
+	dec, err := mpeg2.NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Seq().CustomIntraQ || !dec.Seq().CustomNonIntraQ {
+		t.Fatal("custom matrices not signalled")
+	}
+	if dec.Seq().IntraQ != intra || dec.Seq().NonIntraQ != nonIntra {
+		t.Fatal("matrices did not survive the bitstream")
+	}
+	pics, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pics {
+		if psnr, _ := video.PSNR(orig[i], p.Buf); psnr < 22 {
+			t.Errorf("frame %d PSNR %.1f with custom matrices", i, psnr)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package encoder
+
+import (
+	"math"
+
+	"tiledwall/internal/mpeg2"
+)
+
+// encodePicture encodes one picture, reconstructs it through the shared
+// decoder path, updates rate control, and returns the reconstruction.
+func (e *Encoder) encodePicture(src *mpeg2.PixelBuf, t mpeg2.PictureType, displayIdx int, fwd, bwd *mpeg2.PixelBuf) (*mpeg2.PixelBuf, error) {
+	startBits := e.w.BitLen()
+
+	picQ := int(math.Round(e.qByType[t]))
+	if picQ < 1 {
+		picQ = 1
+	} else if picQ > 31 {
+		picQ = 31
+	}
+
+	ph := &mpeg2.PictureHeader{
+		TemporalRef:      displayIdx % 1024,
+		PicType:          t,
+		VBVDelay:         0xFFFF,
+		FCode:            [2][2]int{{15, 15}, {15, 15}},
+		IntraDCPrecision: e.cfg.IntraDCPrecision,
+		PictureStructure: 3,
+		FramePredDCT:     true,
+		QScaleType:       e.cfg.QScaleType,
+		IntraVLCFormat:   e.cfg.IntraVLCFormat,
+		AlternateScan:    e.cfg.AlternateScan,
+		ProgressiveFrame: true,
+	}
+	if t == mpeg2.PictureP || t == mpeg2.PictureB {
+		ph.FCode[0][0], ph.FCode[0][1] = e.cfg.FCode, e.cfg.FCode
+	}
+	if t == mpeg2.PictureB {
+		ph.FCode[1][0], ph.FCode[1][1] = e.cfg.FCode, e.cfg.FCode
+	}
+	ph.Write(e.w)
+
+	ctx, err := mpeg2.NewPictureContext(e.seq, ph)
+	if err != nil {
+		return nil, err
+	}
+	recon := mpeg2.NewPixelBuf(0, 0, e.cfg.Width, e.cfg.Height)
+	pe := &picEncoder{
+		e: e, ctx: ctx, ph: ph, src: src, recon: recon,
+		fwd: fwd, bwd: bwd,
+		rc:   mpeg2.NewReconstructor(ph),
+		picQ: picQ,
+	}
+	if fwd != nil {
+		pe.estF = newEstimator(src, fwd, e.cfg.SearchRange, e.cfg.FCode)
+	}
+	if bwd != nil {
+		pe.estB = newEstimator(src, bwd, e.cfg.SearchRange, e.cfg.FCode)
+	}
+	for row := 0; row < ctx.MBH; row++ {
+		if err := pe.encodeRow(row); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rate control and stats.
+	bits := int64(e.w.BitLen() - startBits)
+	e.stats.Pictures++
+	e.stats.PicturesByType[t]++
+	e.stats.BitsByType[t] += bits
+	e.stats.TotalBits += bits
+	if e.cfg.TargetBPP > 0 {
+		e.updateRate(t, bits)
+	}
+	if pe.mbCount > 0 {
+		e.avgAct = pe.actSum / float64(pe.mbCount)
+		if e.avgAct < 1 {
+			e.avgAct = 1
+		}
+	}
+	return recon, nil
+}
+
+// updateRate nudges the per-type quantiser toward the per-picture bit
+// target derived from TargetBPP and the GOP structure.
+func (e *Encoder) updateRate(t mpeg2.PictureType, bits int64) {
+	n := float64(e.cfg.GOPSize)
+	nP := n/float64(e.cfg.BSpacing) - 1
+	nB := n - nP - 1
+	const wI, wP, wB = 3.0, 1.6, 1.0
+	total := e.cfg.TargetBPP * float64(e.cfg.Width*e.cfg.Height) * n
+	denom := wI + wP*nP + wB*nB
+	var target float64
+	switch t {
+	case mpeg2.PictureI:
+		target = total * wI / denom
+	case mpeg2.PictureP:
+		target = total * wP / denom
+	default:
+		target = total * wB / denom
+	}
+	if target < 1 {
+		return
+	}
+	ratio := float64(bits) / target
+	q := e.qByType[t] * math.Pow(ratio, 0.7)
+	q = 0.5*q + 0.5*e.qByType[t]
+	if q < 1 {
+		q = 1
+	} else if q > 31 {
+		q = 31
+	}
+	e.qByType[t] = q
+}
+
+// picEncoder carries the per-picture encoding state.
+type picEncoder struct {
+	e          *Encoder
+	ctx        *mpeg2.PictureContext
+	ph         *mpeg2.PictureHeader
+	src, recon *mpeg2.PixelBuf
+	fwd, bwd   *mpeg2.PixelBuf
+	rc         *mpeg2.Reconstructor
+	estF, estB *estimator
+	picQ       int
+
+	lastMVF, lastMVB [2]int32
+	prevMotion       mpeg2.MotionInfo
+	prevIntra        bool
+
+	actSum  float64
+	mbCount int
+
+	// Scratch buffers.
+	pY, qY   [256]uint8
+	pCb, pCr [64]uint8
+	qCb, qCr [64]uint8
+	blocks   [6][64]int32
+}
+
+// encodeRow emits one slice (one macroblock row).
+func (pe *picEncoder) encodeRow(row int) error {
+	e := pe.e
+	sw := mpeg2.NewSliceWriter(pe.ctx, e.w, row, pe.picQ)
+	pe.lastMVF, pe.lastMVB = [2]int32{}, [2]int32{}
+	pe.prevMotion = mpeg2.MotionInfo{}
+	pe.prevIntra = true // nothing to inherit at slice start
+
+	skipRun := 0
+	for col := 0; col < pe.ctx.MBW; col++ {
+		mb, skip, err := pe.encodeMB(row, col, skipRun, sw.State())
+		if err != nil {
+			return err
+		}
+		if skip {
+			skipRun++
+			e.stats.SkippedMBs++
+			continue
+		}
+		mb.SkipBefore = skipRun
+		skipRun = 0
+		if err := sw.WriteMB(mb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// activity returns a SAD-style activity measure of the source macroblock.
+func (pe *picEncoder) activity(x, y int) int32 {
+	var sum int32
+	var mean int32
+	for r := 0; r < 16; r++ {
+		i := (y+r-pe.src.Y0)*pe.src.W + x
+		for _, v := range pe.src.Y[i : i+16] {
+			mean += int32(v)
+		}
+	}
+	mean /= 256
+	for r := 0; r < 16; r++ {
+		i := (y+r-pe.src.Y0)*pe.src.W + x
+		for _, v := range pe.src.Y[i : i+16] {
+			d := int32(v) - mean
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// encodeMB decides the mode for one macroblock. It either reconstructs a
+// skipped macroblock and returns skip=true, or returns the MBCode to write
+// (already reconstructed into pe.recon).
+func (pe *picEncoder) encodeMB(row, col, skipRun int, st mpeg2.PredState) (*mpeg2.MBCode, bool, error) {
+	e := pe.e
+	ctx := pe.ctx
+	x, y := col*16, row*16
+	addr := row*ctx.MBW + col
+	picType := pe.ph.PicType
+
+	act := pe.activity(x, y)
+	pe.actSum += float64(act)
+	pe.mbCount++
+
+	desiredQ := pe.picQ
+	if e.cfg.AdaptiveQuant && e.avgAct > 0 {
+		a := float64(act)
+		f := (2*a + e.avgAct) / (a + 2*e.avgAct)
+		q := int(math.Round(float64(pe.picQ) * f))
+		if q < 1 {
+			q = 1
+		} else if q > 31 {
+			q = 31
+		}
+		desiredQ = q
+	}
+	qs := mpeg2.QuantiserScale(desiredQ, pe.ph.QScaleType)
+
+	// Motion search.
+	var m mpeg2.MotionInfo
+	var bestSAD int32 = 1 << 30
+	if picType != mpeg2.PictureI {
+		mvF, sadF := pe.estF.search(x, y, [][2]int32{pe.lastMVF})
+		m = mpeg2.MotionInfo{Fwd: true, MVFwd: mvF}
+		bestSAD = sadF
+		if picType == mpeg2.PictureB {
+			mvB, sadB := pe.estB.search(x, y, [][2]int32{pe.lastMVB})
+			if sadB < bestSAD {
+				m = mpeg2.MotionInfo{Bwd: true, MVBwd: mvB}
+				bestSAD = sadB
+			}
+			// Bidirectional candidate.
+			if err := mpeg2.PredictMacroblock(pe.fwd, x, y, mvF, &pe.pY, &pe.pCb, &pe.pCr); err == nil {
+				if err := mpeg2.PredictMacroblock(pe.bwd, x, y, mvB, &pe.qY, &pe.qCb, &pe.qCr); err == nil {
+					mpeg2.AveragePrediction(&pe.pY, &pe.pCb, &pe.pCr, &pe.qY, &pe.qCb, &pe.qCr)
+					if s := pe.sadAgainst(x, y, &pe.pY); s < bestSAD {
+						m = mpeg2.MotionInfo{Fwd: true, Bwd: true, MVFwd: mvF, MVBwd: mvB}
+						bestSAD = s
+					}
+				}
+			}
+		}
+	}
+
+	intra := picType == mpeg2.PictureI || bestSAD > act+act/4+256
+
+	firstInSlice := col == 0
+	lastInSlice := col == ctx.MBW-1
+
+	if intra {
+		mb := pe.buildIntra(addr, x, y, desiredQ, qs)
+		if err := pe.reconstruct(mb, desiredQ); err != nil {
+			return nil, false, err
+		}
+		e.stats.IntraMBs++
+		pe.prevIntra = true
+		pe.prevMotion = mpeg2.MotionInfo{}
+		return mb, false, nil
+	}
+
+	// Build the prediction actually used.
+	if err := pe.buildPrediction(x, y, m); err != nil {
+		return nil, false, err
+	}
+	cbp := pe.quantResidual(x, y, qs)
+
+	// Skip decision.
+	if cbp == 0 && !firstInSlice && !lastInSlice {
+		skippable := false
+		if picType == mpeg2.PictureP {
+			skippable = m.Fwd && !m.Bwd && m.MVFwd == [2]int32{}
+		} else if picType == mpeg2.PictureB && !pe.prevIntra {
+			skippable = m == pe.prevMotion
+		}
+		if skippable {
+			if err := pe.rc.Skipped(pe.recon, pe.fwd, pe.bwd, col, row, pe.prevMotion); err != nil {
+				return nil, false, err
+			}
+			// Mirror decoder-side predictor resets for P skips so the
+			// encoder's view matches; SliceWriter applies them when the next
+			// coded macroblock is written.
+			if picType == mpeg2.PictureP {
+				pe.lastMVF = [2]int32{}
+			}
+			return nil, true, nil
+		}
+	}
+
+	mb := &mpeg2.MBCode{Addr: addr, QuantCode: desiredQ, CBP: cbp}
+	if m.Fwd {
+		mb.Flags |= mpeg2.MBMotionFwd
+		mb.MVFwd = m.MVFwd
+		pe.lastMVF = m.MVFwd
+	}
+	if m.Bwd {
+		mb.Flags |= mpeg2.MBMotionBwd
+		mb.MVBwd = m.MVBwd
+		pe.lastMVB = m.MVBwd
+	}
+	if cbp != 0 {
+		mb.Flags |= mpeg2.MBPattern
+	}
+	if picType == mpeg2.PictureP && m.MVFwd == [2]int32{} && m.Fwd && cbp != 0 {
+		// "No MC, coded" saves the vector bits; the writer resets PMVs the
+		// same way the decoder does.
+		mb.Flags &^= mpeg2.MBMotionFwd
+		pe.lastMVF = [2]int32{}
+	}
+	blocks := pe.blocks
+	mb.Blocks = &blocks
+	if err := pe.reconstruct(mb, desiredQ); err != nil {
+		return nil, false, err
+	}
+	e.stats.InterMBs++
+	pe.prevIntra = false
+	pe.prevMotion = m
+	return mb, false, nil
+}
+
+// sadAgainst computes luma SAD between the source macroblock and a 16×16
+// prediction buffer.
+func (pe *picEncoder) sadAgainst(x, y int, pred *[256]uint8) int32 {
+	var sum int32
+	for r := 0; r < 16; r++ {
+		i := (y+r-pe.src.Y0)*pe.src.W + x
+		c := pe.src.Y[i : i+16]
+		p := pred[r*16 : r*16+16]
+		for k := 0; k < 16; k++ {
+			d := int32(c[k]) - int32(p[k])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// buildPrediction fills pe.pY/pCb/pCr with the prediction for mode m.
+func (pe *picEncoder) buildPrediction(x, y int, m mpeg2.MotionInfo) error {
+	switch {
+	case m.Fwd && m.Bwd:
+		if err := mpeg2.PredictMacroblock(pe.fwd, x, y, m.MVFwd, &pe.pY, &pe.pCb, &pe.pCr); err != nil {
+			return err
+		}
+		if err := mpeg2.PredictMacroblock(pe.bwd, x, y, m.MVBwd, &pe.qY, &pe.qCb, &pe.qCr); err != nil {
+			return err
+		}
+		mpeg2.AveragePrediction(&pe.pY, &pe.pCb, &pe.pCr, &pe.qY, &pe.qCb, &pe.qCr)
+		return nil
+	case m.Fwd:
+		return mpeg2.PredictMacroblock(pe.fwd, x, y, m.MVFwd, &pe.pY, &pe.pCb, &pe.pCr)
+	case m.Bwd:
+		return mpeg2.PredictMacroblock(pe.bwd, x, y, m.MVBwd, &pe.pY, &pe.pCb, &pe.pCr)
+	}
+	return nil
+}
+
+// quantResidual computes residual blocks source-minus-prediction, transforms
+// and quantises them into pe.blocks, returning the coded block pattern.
+func (pe *picEncoder) quantResidual(x, y int, qs int32) int {
+	cbp := 0
+	for i := 0; i < 4; i++ {
+		bx, by := x+(i&1)*8, y+(i>>1)*8
+		blk := &pe.blocks[i]
+		for r := 0; r < 8; r++ {
+			si := (by+r-pe.src.Y0)*pe.src.W + bx
+			pi := ((i>>1)*8+r)*16 + (i&1)*8
+			for c := 0; c < 8; c++ {
+				blk[r*8+c] = int32(pe.src.Y[si+c]) - int32(pe.pY[pi+c])
+			}
+		}
+		fdct(blk)
+		if quantNonIntra(blk, &pe.e.seq.NonIntraQ, qs) {
+			cbp |= 1 << uint(5-i)
+		}
+	}
+	cx, cy := x/2, y/2
+	cw := pe.src.W / 2
+	for i := 4; i < 6; i++ {
+		srcPlane, predPlane := pe.src.Cb, &pe.pCb
+		if i == 5 {
+			srcPlane, predPlane = pe.src.Cr, &pe.pCr
+		}
+		blk := &pe.blocks[i]
+		for r := 0; r < 8; r++ {
+			si := (cy+r-pe.src.Y0/2)*cw + cx
+			for c := 0; c < 8; c++ {
+				blk[r*8+c] = int32(srcPlane[si+c]) - int32(predPlane[r*8+c])
+			}
+		}
+		fdct(blk)
+		if quantNonIntra(blk, &pe.e.seq.NonIntraQ, qs) {
+			cbp |= 1 << uint(5-i)
+		}
+	}
+	return cbp
+}
+
+// buildIntra transforms and quantises the source macroblock as intra.
+func (pe *picEncoder) buildIntra(addr, x, y, desiredQ int, qs int32) *mpeg2.MBCode {
+	for i := 0; i < 4; i++ {
+		bx, by := x+(i&1)*8, y+(i>>1)*8
+		blk := &pe.blocks[i]
+		for r := 0; r < 8; r++ {
+			si := (by+r-pe.src.Y0)*pe.src.W + bx
+			for c := 0; c < 8; c++ {
+				blk[r*8+c] = int32(pe.src.Y[si+c])
+			}
+		}
+		fdct(blk)
+		quantIntra(blk, &pe.e.seq.IntraQ, qs, pe.ph.DCShift())
+	}
+	cx, cy := x/2, y/2
+	cw := pe.src.W / 2
+	for i := 4; i < 6; i++ {
+		plane := pe.src.Cb
+		if i == 5 {
+			plane = pe.src.Cr
+		}
+		blk := &pe.blocks[i]
+		for r := 0; r < 8; r++ {
+			si := (cy+r-pe.src.Y0/2)*cw + cx
+			for c := 0; c < 8; c++ {
+				blk[r*8+c] = int32(plane[si+c])
+			}
+		}
+		fdct(blk)
+		quantIntra(blk, &pe.e.seq.IntraQ, qs, pe.ph.DCShift())
+	}
+	blocks := pe.blocks
+	return &mpeg2.MBCode{Addr: addr, Flags: mpeg2.MBIntra, QuantCode: desiredQ, CBP: 63, Blocks: &blocks}
+}
+
+// reconstruct runs the shared decoder reconstruction on the macroblock so
+// encoder and decoder reference pictures match bit for bit.
+func (pe *picEncoder) reconstruct(mb *mpeg2.MBCode, actualQ int) error {
+	qs := mpeg2.QuantiserScale(actualQ, pe.ph.QScaleType)
+	var blocks [6][64]int32
+	for i := 0; i < 6; i++ {
+		coded := mb.CBP&(1<<uint(5-i)) != 0
+		if !coded {
+			continue
+		}
+		blocks[i] = mb.Blocks[i]
+		if mb.Flags&mpeg2.MBIntra != 0 {
+			mpeg2.DequantIntra(&blocks[i], &pe.e.seq.IntraQ, qs, pe.ph.DCShift())
+		} else {
+			mpeg2.DequantNonIntra(&blocks[i], &pe.e.seq.NonIntraQ, qs)
+		}
+	}
+	dm := &mpeg2.Macroblock{
+		Addr:   mb.Addr,
+		Flags:  mb.Flags,
+		CBP:    mb.CBP,
+		MVFwd:  mb.MVFwd,
+		MVBwd:  mb.MVBwd,
+		Blocks: &blocks,
+	}
+	if pe.ph.PicType == mpeg2.PictureP && mb.Flags&mpeg2.MBIntra == 0 && mb.Flags&mpeg2.MBMotionFwd == 0 {
+		// "No MC": reconstruct with a zero forward vector, as the decoder
+		// does.
+		dm.Flags |= mpeg2.MBMotionFwd
+	}
+	return pe.rc.Macroblock(pe.recon, pe.fwd, pe.bwd, dm, pe.ctx.MBW)
+}

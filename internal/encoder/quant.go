@@ -1,0 +1,94 @@
+package encoder
+
+import "tiledwall/internal/mpeg2"
+
+// Forward quantisation, the inverse of mpeg2.DequantIntra/DequantNonIntra.
+// Levels are clamped to ±2047 so every coefficient is expressible (at worst
+// as a 12-bit escape).
+
+func clampLevel(v int32) int32 {
+	if v > 2047 {
+		return 2047
+	}
+	if v < -2047 {
+		return -2047
+	}
+	return v
+}
+
+// quantIntra quantises an intra block in place. blk holds FDCT coefficients;
+// on return blk[0] is the quantised DC (before differential coding) and
+// blk[1..] the quantised AC levels. Returns true if any AC level is nonzero
+// (always true for intra coding purposes: the DC is always sent).
+func quantIntra(blk *[64]int32, w *[64]uint8, quantiserScale int32, dcShift uint) {
+	// DC: dequant multiplies by 1<<dcShift.
+	half := int32(1) << dcShift >> 1
+	dc := blk[0]
+	if dc >= 0 {
+		dc = (dc + half) >> dcShift
+	} else {
+		dc = -((-dc + half) >> dcShift)
+	}
+	// intra_dc_precision p gives the DC p+8 bits: clamp to [0, 2^(p+8)-1].
+	maxDC := int32(1)<<(11-dcShift) - 1
+	if dc < 0 {
+		dc = 0
+	} else if dc > maxDC {
+		dc = maxDC
+	}
+	blk[0] = dc
+	for i := 1; i < 64; i++ {
+		f := blk[i]
+		if f == 0 {
+			continue
+		}
+		d := int32(w[i]) * quantiserScale // dequant scale numerator (×2/32)
+		var q int32
+		if f >= 0 {
+			q = (16*f + d/2) / d
+		} else {
+			q = -((-16*f + d/2) / d)
+		}
+		blk[i] = clampLevel(q)
+	}
+}
+
+// quantNonIntra quantises a non-intra (residual) block in place with a dead
+// zone, returning true when any level is nonzero.
+func quantNonIntra(blk *[64]int32, w *[64]uint8, quantiserScale int32) bool {
+	any := false
+	for i := 0; i < 64; i++ {
+		f := blk[i]
+		if f == 0 {
+			continue
+		}
+		d := int32(w[i]) * quantiserScale
+		var q int32
+		if f >= 0 {
+			q = 16 * f / d
+		} else {
+			q = -(16 * -f / d)
+		}
+		q = clampLevel(q)
+		blk[i] = q
+		if q != 0 {
+			any = true
+		}
+	}
+	return any
+}
+
+// dcSizeOf returns the dct_dc_size for a DC differential.
+func dcSizeOf(diff int32) int {
+	if diff < 0 {
+		diff = -diff
+	}
+	size := 0
+	for diff != 0 {
+		diff >>= 1
+		size++
+	}
+	return size
+}
+
+var _ = mpeg2.DequantIntra // quant.go mirrors the arithmetic defined there

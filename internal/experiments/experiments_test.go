@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tiledwall/internal/catalog"
+	"tiledwall/internal/metrics"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny() Options { return Options{Frames: 8, Scale: 8} }
+
+func TestTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all 16 streams")
+	}
+	rows, err := Table4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(catalog.Streams) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgFrameSize <= 0 {
+			t.Errorf("stream %d: zero frame size", r.ID)
+		}
+		if r.BitsPerPixel <= 0.02 || r.BitsPerPixel > 4 {
+			t.Errorf("stream %d: implausible bpp %.3f", r.ID, r.BitsPerPixel)
+		}
+	}
+	// DVD-class streams carry more bits per pixel than the 0.3 bpp content.
+	if rows[0].BitsPerPixel <= rows[12].BitsPerPixel {
+		t.Logf("note: dvd bpp %.3f vs orion bpp %.3f (rate control at tiny scale is coarse)",
+			rows[0].BitsPerPixel, rows[12].BitsPerPixel)
+	}
+	var buf bytes.Buffer
+	PrintTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 4") {
+		t.Error("printout missing title")
+	}
+}
+
+func TestTable5SmallStream(t *testing.T) {
+	// Stream 1 is 720x480; scale 2 keeps a 4x4 wall viable.
+	o := Options{Frames: 6, Scale: 2}
+	one, two, err := Table5(1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != len(Table5Configs) || len(two) != len(Table5Configs) {
+		t.Fatalf("row counts %d/%d", len(one), len(two))
+	}
+	for i := range one {
+		if one[i].FPS <= 0 || two[i].FPS <= 0 {
+			t.Errorf("config %d: zero fps", i)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable5(&buf, "stream 1", one, two)
+	if !strings.Contains(buf.String(), "1-(4,4)") {
+		t.Error("printout missing configs")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	rows, err := Fig7(1, 2, 2, 2, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d decoders", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ms[metrics.PhaseWork] <= 0 {
+			t.Errorf("decoder %d: no Work time", r.Decoder)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig7(&buf, "test", rows)
+	if !strings.Contains(buf.String(), "avg") {
+		t.Error("printout missing average row")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	rows, err := Fig9(1, 2, 2, 2, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 decoders + 2 splitters + root.
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Node == "root" && r.SendMBps <= 0 {
+			t.Error("root sent nothing")
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig9(&buf, "test", rows)
+	if !strings.Contains(buf.String(), "D0") {
+		t.Error("printout missing decoders")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(1, 2, 2, Options{Frames: 12, Scale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byLevel := map[string]Table1Row{}
+	for _, r := range rows {
+		byLevel[r.Level] = r
+	}
+	// Shape checks mirroring the paper's qualitative table.
+	if byLevel["GOP"].InterDecoderKBPerPicture != 0 {
+		t.Error("GOP level should have zero inter-decoder traffic")
+	}
+	if byLevel["picture"].InterDecoderKBPerPicture <= byLevel["slice"].InterDecoderKBPerPicture {
+		t.Error("picture-level communication should exceed slice-level")
+	}
+	if byLevel["macroblock"].RedistributionKBPerPicture != 0 {
+		t.Error("macroblock level should have no pixel redistribution")
+	}
+	if byLevel["macroblock"].SplitMsPerPicture <= byLevel["GOP"].SplitMsPerPicture {
+		t.Error("macroblock splitting should cost more than GOP scanning")
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, "test", rows)
+	if !strings.Contains(buf.String(), "macroblock") {
+		t.Error("printout missing macroblock row")
+	}
+}
+
+func TestStreamCache(t *testing.T) {
+	a, _, err := Stream(1, tiny(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Stream(1, tiny(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("cache miss for identical request")
+	}
+}

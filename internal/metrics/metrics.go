@@ -1,0 +1,138 @@
+// Package metrics instruments the pipeline nodes: the per-decoder runtime
+// breakdown of Figure 7 (Work / Serve / Receive / Wait / Ack) and derived
+// throughput figures.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase identifies one component of a decoder's runtime (paper §5.4).
+type Phase int
+
+const (
+	// PhaseWork is time decoding and displaying pictures.
+	PhaseWork Phase = iota
+	// PhaseServe is time preparing and sending reference macroblocks for
+	// remote decoders (MEI SEND execution).
+	PhaseServe
+	// PhaseReceive is time waiting for sub-pictures from splitters.
+	PhaseReceive
+	// PhaseWaitMB is time waiting for remote reference macroblocks.
+	PhaseWaitMB
+	// PhaseAck is time spent sending ack/go-ahead messages.
+	PhaseAck
+	numPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseWork:
+		return "Work"
+	case PhaseServe:
+		return "Serve"
+	case PhaseReceive:
+		return "Receive"
+	case PhaseWaitMB:
+		return "WaitMB"
+	case PhaseAck:
+		return "Ack"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Phases lists all phases in display order.
+func Phases() []Phase {
+	return []Phase{PhaseWork, PhaseServe, PhaseReceive, PhaseWaitMB, PhaseAck}
+}
+
+// Breakdown accumulates time per phase for one node. It is written by the
+// node's own goroutine and read after the pipeline finishes; no locking.
+type Breakdown struct {
+	Durations [numPhases]time.Duration
+	Pictures  int
+}
+
+// Add accrues d into phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) { b.Durations[p] += d }
+
+// Timed runs fn and accrues its duration into phase p.
+func (b *Breakdown) Timed(p Phase, fn func()) {
+	start := time.Now()
+	fn()
+	b.Durations[p] += time.Since(start)
+}
+
+// Total returns the sum over phases.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.Durations {
+		t += d
+	}
+	return t
+}
+
+// Busy returns the node's CPU time: Work + Serve + Ack. Receive and WaitMB
+// are idle waits on other nodes and do not consume the node's processor.
+// On a single-core host the simulation's goroutines timeshare, so pipeline
+// throughput is modelled from per-node busy times rather than wall clock
+// (see Throughput and EXPERIMENTS.md).
+func (b *Breakdown) Busy() time.Duration {
+	return b.Durations[PhaseWork] + b.Durations[PhaseServe] + b.Durations[PhaseAck]
+}
+
+// Fraction returns phase p's share of the total (0 when idle).
+func (b *Breakdown) Fraction(p Phase) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Durations[p]) / float64(t)
+}
+
+// PerPicture returns the mean time per picture in phase p, in milliseconds.
+func (b *Breakdown) PerPicture(p Phase) float64 {
+	if b.Pictures == 0 {
+		return 0
+	}
+	return b.Durations[p].Seconds() * 1000 / float64(b.Pictures)
+}
+
+func (b *Breakdown) String() string {
+	s := ""
+	for _, p := range Phases() {
+		s += fmt.Sprintf("%s=%.1fms ", p, b.PerPicture(p))
+	}
+	return s
+}
+
+// Throughput summarises a pipeline run.
+type Throughput struct {
+	Pictures         int
+	Elapsed          time.Duration
+	PixelsPerPicture int64
+}
+
+// FPS returns decoded pictures per second.
+func (t Throughput) FPS() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Pictures) / t.Elapsed.Seconds()
+}
+
+// PixelRate returns decoded pixels per second (Mpixel/s), the resolution-
+// scalability metric of Figure 8.
+func (t Throughput) PixelRate() float64 {
+	return t.FPS() * float64(t.PixelsPerPicture) / 1e6
+}
+
+// EquivalentBitRate returns the consumed stream bit rate in Mbit/s given the
+// stream size, the figure the paper quotes alongside fps (§1: 130 Mbps).
+func (t Throughput) EquivalentBitRate(streamBytes int64) float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(streamBytes) * 8 / t.Elapsed.Seconds() / 1e6
+}

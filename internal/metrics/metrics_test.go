@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(PhaseWork, 100*time.Millisecond)
+	b.Add(PhaseServe, 50*time.Millisecond)
+	b.Add(PhaseReceive, 150*time.Millisecond)
+	b.Add(PhaseAck, 10*time.Millisecond)
+	b.Pictures = 10
+
+	if b.Total() != 310*time.Millisecond {
+		t.Errorf("total %v", b.Total())
+	}
+	if b.Busy() != 160*time.Millisecond {
+		t.Errorf("busy %v (waits must not count)", b.Busy())
+	}
+	if f := b.Fraction(PhaseWork); f < 0.32 || f > 0.33 {
+		t.Errorf("work fraction %f", f)
+	}
+	if ms := b.PerPicture(PhaseWork); ms != 10 {
+		t.Errorf("per-picture %f ms", ms)
+	}
+	if !strings.Contains(b.String(), "Work=10.0ms") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestBreakdownZero(t *testing.T) {
+	var b Breakdown
+	if b.Fraction(PhaseWork) != 0 || b.PerPicture(PhaseAck) != 0 {
+		t.Error("zero breakdown should report zeros")
+	}
+}
+
+func TestTimed(t *testing.T) {
+	var b Breakdown
+	b.Timed(PhaseWaitMB, func() { time.Sleep(5 * time.Millisecond) })
+	if b.Durations[PhaseWaitMB] < 4*time.Millisecond {
+		t.Errorf("timed recorded %v", b.Durations[PhaseWaitMB])
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Pictures: 240, Elapsed: 8 * time.Second, PixelsPerPicture: 1920 * 1080}
+	if f := tp.FPS(); f != 30 {
+		t.Errorf("fps %f", f)
+	}
+	if r := tp.PixelRate(); r < 62.2 || r > 62.3 {
+		t.Errorf("pixel rate %f", r)
+	}
+	// 130 Mbps at 38.9 fps is the paper's headline; sanity-check the math:
+	// streamBytes such that rate = bytes*8/secs.
+	if mb := tp.EquivalentBitRate(10e6); mb != 10 {
+		t.Errorf("equivalent rate %f", mb)
+	}
+	var zero Throughput
+	if zero.FPS() != 0 || zero.PixelRate() != 0 || zero.EquivalentBitRate(1) != 0 {
+		t.Error("zero throughput should report zeros")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	if len(Phases()) != 5 {
+		t.Fatalf("%d phases", len(Phases()))
+	}
+	seen := map[string]bool{}
+	for _, p := range Phases() {
+		name := p.String()
+		if name == "" || seen[name] {
+			t.Errorf("phase %d name %q", p, name)
+		}
+		seen[name] = true
+	}
+}

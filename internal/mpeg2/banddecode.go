@@ -1,0 +1,73 @@
+package mpeg2
+
+import (
+	"fmt"
+
+	"tiledwall/internal/bits"
+)
+
+// DecodePictureUnitBand decodes only the slices of a picture unit whose
+// macroblock rows fall within [rowMin, rowMax] (inclusive). dst and the
+// reference windows need only cover that band (plus, for the references,
+// whatever halo the stream's motion vectors can reach). It is the decoding
+// primitive of slice-level parallelism (Table 1), where each node owns a
+// horizontal band of whole slices and no mid-slice state propagation is
+// needed.
+func DecodePictureUnitBand(seq *SequenceHeader, unit []byte, fwd, bwd, dst *PixelBuf, rowMin, rowMax int) (*PictureHeader, error) {
+	ph, sliceOff, err := ParsePictureUnit(unit)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := NewPictureContext(seq, ph)
+	if err != nil {
+		return nil, err
+	}
+	rc := NewReconstructor(ph)
+	r := bits.NewReader(unit)
+	r.SeekBit(sliceOff)
+	for bits.NextStartCodeReader(r) {
+		pos := r.BitPos() / 8
+		code := unit[pos+3]
+		if !bits.IsSliceStartCode(code) {
+			break
+		}
+		r.Skip(32)
+		vpos := int(code)
+		if seq.Height > 2800 {
+			vpos = int(r.Read(3))<<7 + vpos
+		}
+		row := vpos - 1
+		if row < rowMin || row > rowMax {
+			continue // the scan loop advances to the next start code
+		}
+		if err := decodeSlice(ctx, rc, r, vpos, fwd, bwd, dst); err != nil {
+			return nil, fmt.Errorf("band slice row %d: %w", row, err)
+		}
+	}
+	return ph, nil
+}
+
+// IndexPictureUnits returns the byte ranges of the picture units inside data
+// (which may be a GOP unit without a sequence header). Used by the GOP- and
+// picture-level baseline splitters.
+func IndexPictureUnits(data []byte) [][]byte {
+	var units [][]byte
+	picStart := -1
+	flush := func(end int) {
+		if picStart >= 0 {
+			units = append(units, data[picStart:end])
+			picStart = -1
+		}
+	}
+	for off := bits.NextStartCode(data, 0); off >= 0; off = bits.NextStartCode(data, off+4) {
+		switch c := data[off+3]; {
+		case c == bits.PictureStartCode:
+			flush(off)
+			picStart = off
+		case c == bits.GroupStartCode, c == bits.SequenceHeaderCod, c == bits.SequenceEndCode:
+			flush(off)
+		}
+	}
+	flush(len(data))
+	return units
+}

@@ -1,0 +1,147 @@
+package mpeg2
+
+import (
+	"tiledwall/internal/bits"
+)
+
+// Error concealment: broadcast-grade decoders do not abort a picture on a
+// corrupt slice; they conceal the damaged macroblock rows and resynchronise
+// at the next start code. DecodePictureUnitConcealing decodes like
+// DecodePictureUnit but recovers from slice-level syntax errors by
+// concealing the slice's rows: co-located copy from the forward reference
+// when one exists, mid-grey otherwise. The return value reports how many
+// slices were concealed so callers can surface stream health.
+func DecodePictureUnitConcealing(seq *SequenceHeader, unit []byte, fwd, bwd, dst *PixelBuf) (*PictureHeader, int, error) {
+	ph, sliceOff, err := ParsePictureUnit(unit)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, err := NewPictureContext(seq, ph)
+	if err != nil {
+		return nil, 0, err
+	}
+	rc := NewReconstructor(ph)
+	concealed := 0
+	r := bits.NewReader(unit)
+	r.SeekBit(sliceOff)
+	for bits.NextStartCodeReader(r) {
+		pos := r.BitPos() / 8
+		code := unit[pos+3]
+		if !bits.IsSliceStartCode(code) {
+			break
+		}
+		r.Skip(32)
+		vpos := int(code)
+		if seq.Height > 2800 {
+			vpos = int(r.Read(3))<<7 + vpos
+		}
+		if err := decodeSlice(ctx, rc, r, vpos, fwd, bwd, dst); err != nil {
+			concealRow(ctx, rc, vpos-1, fwd, dst)
+			concealed++
+			// Resynchronise: NextStartCodeReader aligns and scans forward,
+			// skipping whatever corrupt bits remain in this slice.
+		}
+	}
+	return ph, concealed, nil
+}
+
+// concealRow replaces macroblock row `row` with the co-located forward
+// reference (temporal concealment) or mid-grey when no reference exists.
+func concealRow(ctx *PictureContext, rc *Reconstructor, row int, fwd, dst *PixelBuf) {
+	if row < 0 || row >= ctx.MBH {
+		return
+	}
+	if fwd != nil {
+		for col := 0; col < ctx.MBW; col++ {
+			dst.CopyMacroblock(fwd, col, row)
+		}
+		return
+	}
+	y0 := row * 16
+	for y := y0; y < y0+16; y++ {
+		base := (y - dst.Y0) * dst.W
+		for x := 0; x < dst.W; x++ {
+			dst.Y[base+x] = 128
+		}
+	}
+	cw := dst.W / 2
+	for y := y0 / 2; y < y0/2+8; y++ {
+		base := (y - dst.Y0/2) * cw
+		for x := 0; x < cw; x++ {
+			dst.Cb[base+x] = 128
+			dst.Cr[base+x] = 128
+		}
+	}
+}
+
+// ResilientDecoder wraps the serial decoder with slice concealment: corrupt
+// pictures degrade instead of failing. ConcealedSlices accumulates across
+// the stream.
+type ResilientDecoder struct {
+	inner           *Decoder
+	ConcealedSlices int
+}
+
+// NewResilientDecoder parses data and returns a concealment-enabled decoder.
+func NewResilientDecoder(data []byte) (*ResilientDecoder, error) {
+	d, err := NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	return &ResilientDecoder{inner: d}, nil
+}
+
+// DecodeAll decodes the stream in display order, concealing slice errors.
+func (rd *ResilientDecoder) DecodeAll() ([]DecodedPicture, error) {
+	d := rd.inner
+	var out []DecodedPicture
+	for d.next < len(d.stream.Pictures) {
+		unit := d.stream.Pictures[d.next]
+		idx := d.next
+		d.next++
+		picType, err := PeekPictureType(unit)
+		if err != nil {
+			// The picture header itself is damaged: skip the unit entirely
+			// (a real decoder would wait for the next anchor; B/P chains
+			// degrade but the stream keeps playing).
+			rd.ConcealedSlices += d.stream.Seq.MBHeight()
+			continue
+		}
+		w, h := codedSize(d.stream.Seq)
+		dst := NewPixelBuf(0, 0, w, h)
+		var fwd, bwd *PixelBuf
+		switch picType {
+		case PictureP:
+			if d.refB == nil {
+				continue
+			}
+			fwd = d.refB
+		case PictureB:
+			if d.refA == nil || d.refB == nil {
+				continue
+			}
+			fwd, bwd = d.refA, d.refB
+		}
+		ph, concealed, err := DecodePictureUnitConcealing(d.stream.Seq, unit, fwd, bwd, dst)
+		if err != nil {
+			rd.ConcealedSlices += d.stream.Seq.MBHeight()
+			continue
+		}
+		rd.ConcealedSlices += concealed
+		if picType == PictureB {
+			out = append(out, DecodedPicture{Buf: dst, Pic: ph, DecodeIndex: idx})
+			continue
+		}
+		if d.havePendingAnchor {
+			out = append(out, DecodedPicture{Buf: d.refB, Pic: d.refBPic, DecodeIndex: d.refBIdx})
+		}
+		d.refA, d.refB = d.refB, dst
+		d.refBPic, d.refBIdx = ph, idx
+		d.havePendingAnchor = true
+	}
+	if d.havePendingAnchor {
+		out = append(out, DecodedPicture{Buf: d.refB, Pic: d.refBPic, DecodeIndex: d.refBIdx})
+		d.havePendingAnchor = false
+	}
+	return out, nil
+}

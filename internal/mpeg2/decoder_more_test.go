@@ -1,0 +1,202 @@
+package mpeg2
+
+import (
+	"testing"
+
+	"tiledwall/internal/bits"
+)
+
+// buildTinyStream hand-writes a minimal stream: seq header + n intra
+// pictures with constant luma values (one value per picture), so tests can
+// verify decode and ordering without the encoder package (no import cycle).
+func buildTinyStream(t *testing.T, w, h int, lumas []uint8, types []PictureType) []byte {
+	t.Helper()
+	if len(lumas) != len(types) {
+		t.Fatal("bad test setup")
+	}
+	seq := testSeq(w, h)
+	bw := bits.NewWriter(1024)
+	seq.Write(bw)
+	for i := range lumas {
+		ph := testPic(types[i], false, false, false)
+		ph.TemporalRef = i
+		ph.Write(bw)
+		writeFlatPicture(t, bw, seq, ph, lumas[i])
+	}
+	WriteSequenceEnd(bw)
+	return bw.Bytes()
+}
+
+// writeFlatPicture writes slices where every macroblock is intra with a
+// constant DC (for I pictures) or a coded zero-vector copy (for P pictures,
+// giving cbp 0 "no MC" macroblocks — which copy the reference).
+func writeFlatPicture(t *testing.T, bw *bits.Writer, seq *SequenceHeader, ph *PictureHeader, luma uint8) {
+	t.Helper()
+	ctx, err := NewPictureContext(seq, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < ctx.MBH; row++ {
+		sw := NewSliceWriter(ctx, bw, row, 8)
+		for col := 0; col < ctx.MBW; col++ {
+			mb := &MBCode{Addr: row*ctx.MBW + col, QuantCode: 8}
+			switch ph.PicType {
+			case PictureI:
+				mb.Flags = MBIntra
+				var blocks [6][64]int32
+				for b := 0; b < 4; b++ {
+					blocks[b][0] = int32(luma) // quantised DC at precision 0: value*8 after dequant
+				}
+				blocks[4][0] = 128
+				blocks[5][0] = 128
+				mb.Blocks = &blocks
+				mb.CBP = 63
+			default: // P and B: forward motion, zero vector, no pattern — a copy
+				mb.Flags = MBMotionFwd
+			}
+			if err := sw.WriteMB(mb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestHandWrittenIntraDecodes(t *testing.T) {
+	data := buildTinyStream(t, 48, 32, []uint8{25}, []PictureType{PictureI})
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pics, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pics) != 1 {
+		t.Fatalf("%d pictures", len(pics))
+	}
+	// Quantised DC 25 at precision 0 dequantises to 200; IDCT of a pure DC
+	// block is flat DC/8 = 25.
+	for i, v := range pics[0].Buf.Y {
+		if v != 25 {
+			t.Fatalf("luma[%d] = %d, want 25", i, v)
+		}
+	}
+}
+
+func TestPCopyPropagatesReference(t *testing.T) {
+	data := buildTinyStream(t, 48, 32,
+		[]uint8{77, 0, 0},
+		[]PictureType{PictureI, PictureP, PictureP})
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pics, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pics) != 3 {
+		t.Fatalf("%d pictures", len(pics))
+	}
+	for pi, p := range pics {
+		for i, v := range p.Buf.Y {
+			if v != 77 {
+				t.Fatalf("picture %d luma[%d] = %d, want propagated 77", pi, i, v)
+			}
+		}
+	}
+}
+
+func TestDisplayReordering(t *testing.T) {
+	// Decode order I(10) P(30) B(20): display order must be 10, 20, 30.
+	data := buildTinyStream(t, 48, 32,
+		[]uint8{10, 30, 20},
+		[]PictureType{PictureI, PictureP, PictureB})
+	// The B picture here is hand-written as... buildTinyStream only writes
+	// I-as-intra and P-as-copy; a B needs motion flags. Patch: treat B like
+	// P is not possible with the B type table, so write it with forward
+	// motion (legal in B).
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pics, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pics) != 3 {
+		t.Fatalf("%d pictures", len(pics))
+	}
+	// Display order indices: B emitted before the held anchor. (The P and B
+	// pictures are zero-vector copies, so pixel content is inherited from
+	// the I picture; ordering is observable through DecodeIndex.)
+	if pics[0].DecodeIndex != 0 || pics[1].DecodeIndex != 2 || pics[2].DecodeIndex != 1 {
+		t.Fatalf("display order decode-indices = %d,%d,%d, want 0,2,1",
+			pics[0].DecodeIndex, pics[1].DecodeIndex, pics[2].DecodeIndex)
+	}
+	for i, p := range pics {
+		if p.Buf.Y[0] != 10 {
+			t.Fatalf("display frame %d luma %d, want the copied 10", i, p.Buf.Y[0])
+		}
+	}
+}
+
+func TestBBeforeAnchorsRejected(t *testing.T) {
+	data := buildTinyStream(t, 48, 32, []uint8{5}, []PictureType{PictureB})
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeAll(); err == nil {
+		t.Error("B picture without anchors decoded")
+	}
+	data = buildTinyStream(t, 48, 32, []uint8{5}, []PictureType{PictureP})
+	dec, _ = NewDecoder(data)
+	if _, err := dec.DecodeAll(); err == nil {
+		t.Error("P picture without anchor decoded")
+	}
+}
+
+func TestBandDecodeMatchesFull(t *testing.T) {
+	data := buildTinyStream(t, 64, 64, []uint8{50, 0}, []PictureType{PictureI, PictureP})
+	s, err := ParseStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewPixelBuf(0, 0, 64, 64)
+	if _, err := DecodePictureUnit(s.Seq, s.Pictures[0], nil, nil, full); err != nil {
+		t.Fatal(err)
+	}
+	// Band rows 1..2 only.
+	band := NewPixelBuf(0, 0, 64, 64)
+	if _, err := DecodePictureUnitBand(s.Seq, s.Pictures[0], nil, nil, band, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 64; y++ {
+		inBand := y >= 16 && y < 48
+		for x := 0; x < 64; x++ {
+			v := band.Y[y*64+x]
+			if inBand && v != full.Y[y*64+x] {
+				t.Fatalf("band decode differs at %d,%d", x, y)
+			}
+			if !inBand && v != 0 {
+				t.Fatalf("band decode touched row %d outside its band", y)
+			}
+		}
+	}
+}
+
+func TestIndexPictureUnits(t *testing.T) {
+	data := buildTinyStream(t, 48, 32, []uint8{1, 2}, []PictureType{PictureI, PictureP})
+	units := IndexPictureUnits(data)
+	if len(units) != 2 {
+		t.Fatalf("%d units", len(units))
+	}
+	for i, u := range units {
+		if pt, err := PeekPictureType(u); err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		} else if i == 0 && pt != PictureI || i == 1 && pt != PictureP {
+			t.Fatalf("unit %d type %v", i, pt)
+		}
+	}
+}

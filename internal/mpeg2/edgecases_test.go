@@ -1,0 +1,219 @@
+package mpeg2
+
+import (
+	"testing"
+
+	"tiledwall/internal/bits"
+)
+
+// Edge cases of the macroblock syntax machinery.
+
+// TestLongSkipRunEscapes: address increments beyond 33 use macroblock_escape
+// codes; write a slice with a 75-macroblock gap and parse it back.
+func TestLongSkipRunEscapes(t *testing.T) {
+	seq := testSeq(80*16, 32) // 80 macroblocks per row
+	pic := testPic(PictureP, false, false, false)
+	ctx, err := NewPictureContext(seq, pic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bits.NewWriter(128)
+	sw := NewSliceWriter(ctx, w, 0, 8)
+	first := &MBCode{Addr: 0, Flags: MBMotionFwd, QuantCode: 8}
+	if err := sw.WriteMB(first); err != nil {
+		t.Fatal(err)
+	}
+	last := &MBCode{Addr: 76, SkipBefore: 75, Flags: MBMotionFwd, QuantCode: 8}
+	if err := sw.WriteMB(last); err != nil {
+		t.Fatal(err)
+	}
+	w.AlignZero()
+	w.WriteBytes([]byte{0, 0, 1})
+
+	r := bits.NewReader(w.Bytes())
+	r.Skip(32)
+	sd, err := NewSliceDecoder(ctx, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb Macroblock
+	if ok, err := sd.Next(&mb); !ok || err != nil || mb.Addr != 0 {
+		t.Fatalf("first: ok=%v err=%v addr=%d", ok, err, mb.Addr)
+	}
+	if ok, err := sd.Next(&mb); !ok || err != nil {
+		t.Fatalf("second: ok=%v err=%v", ok, err)
+	}
+	if mb.Addr != 76 || mb.SkippedBefore != 75 {
+		t.Fatalf("second: addr=%d skipped=%d, want 76/75", mb.Addr, mb.SkippedBefore)
+	}
+	// Skipped run in P resets the motion predictors: state must be clean.
+	if mb.StateBefore.PMV != ([2][2][2]int32{}) {
+		t.Fatalf("PMVs not reset across skip run: %v", mb.StateBefore.PMV)
+	}
+}
+
+// TestQuantChangeMidSlice: a macroblock-level quantiser change must stick
+// for subsequent macroblocks and be visible in the parsed QuantCode.
+func TestQuantChangeMidSlice(t *testing.T) {
+	seq := testSeq(64, 32)
+	pic := testPic(PictureI, false, false, false)
+	ctx, err := NewPictureContext(seq, pic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bits.NewWriter(256)
+	sw := NewSliceWriter(ctx, w, 0, 4)
+	quants := []int{4, 20, 20, 7}
+	for i, q := range quants {
+		var blocks [6][64]int32
+		for b := 0; b < 6; b++ {
+			blocks[b][0] = 100
+		}
+		mb := &MBCode{Addr: i, Flags: MBIntra, QuantCode: q, CBP: 63, Blocks: &blocks}
+		if err := sw.WriteMB(mb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.AlignZero()
+	w.WriteBytes([]byte{0, 0, 1})
+
+	r := bits.NewReader(w.Bytes())
+	r.Skip(32)
+	sd, err := NewSliceDecoder(ctx, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb Macroblock
+	for i, want := range quants {
+		if ok, err := sd.Next(&mb); !ok || err != nil {
+			t.Fatalf("mb %d: ok=%v err=%v", i, ok, err)
+		}
+		if mb.QuantCode != want {
+			t.Fatalf("mb %d quant %d, want %d", i, mb.QuantCode, want)
+		}
+		// MBQuant flag appears exactly when the code changes.
+		changed := i == 0 && want != 4 || i > 0 && want != quants[i-1]
+		if got := mb.Flags&MBQuant != 0; got != changed && i > 0 {
+			t.Fatalf("mb %d MBQuant=%v, change=%v", i, got, changed)
+		}
+	}
+}
+
+// TestMotionVectorWraparound: deltas that exceed the f_code range wrap at
+// the decoder; encode a vector far from its predictor and verify.
+func TestMotionVectorWraparound(t *testing.T) {
+	seq := testSeq(64, 32)
+	pic := testPic(PictureP, false, false, false)
+	pic.FCode[0][0], pic.FCode[0][1] = 2, 2 // range [-32, 31] half-samples
+	ctx, err := NewPictureContext(seq, pic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bits.NewWriter(128)
+	sw := NewSliceWriter(ctx, w, 0, 8)
+	// First vector at +30, second at -30: the raw delta (-60) is outside the
+	// [-32, 31] range and must be transmitted wrapped.
+	for i, mv := range [][2]int32{{30, 0}, {-30, 0}} {
+		mb := &MBCode{Addr: i, Flags: MBMotionFwd, QuantCode: 8, MVFwd: mv}
+		if err := sw.WriteMB(mb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.AlignZero()
+	w.WriteBytes([]byte{0, 0, 1})
+
+	r := bits.NewReader(w.Bytes())
+	r.Skip(32)
+	sd, err := NewSliceDecoder(ctx, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb Macroblock
+	for i, want := range [][2]int32{{30, 0}, {-30, 0}} {
+		if ok, err := sd.Next(&mb); !ok || err != nil {
+			t.Fatalf("mb %d: ok=%v err=%v", i, ok, err)
+		}
+		if mb.MVFwd != want {
+			t.Fatalf("mb %d vector %v, want %v", i, mb.MVFwd, want)
+		}
+	}
+}
+
+// TestWriterRejectsIllegalMacroblocks covers SliceWriter validation.
+func TestWriterRejectsIllegalMacroblocks(t *testing.T) {
+	seq := testSeq(64, 32)
+	pic := testPic(PictureP, false, false, false)
+	ctx, err := NewPictureContext(seq, pic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bits.NewWriter(64)
+	sw := NewSliceWriter(ctx, w, 0, 8)
+	// Skips before the first macroblock of a slice.
+	if err := sw.WriteMB(&MBCode{Addr: 2, SkipBefore: 2, Flags: MBMotionFwd}); err == nil {
+		t.Error("leading skip accepted")
+	}
+	if err := sw.WriteMB(&MBCode{Addr: 0, Flags: MBMotionFwd}); err != nil {
+		t.Fatal(err)
+	}
+	// Address going backwards.
+	if err := sw.WriteMB(&MBCode{Addr: 0, Flags: MBMotionFwd}); err == nil {
+		t.Error("non-increasing address accepted")
+	}
+	// Pattern flag with empty CBP.
+	if err := sw.WriteMB(&MBCode{Addr: 1, Flags: MBMotionFwd | MBPattern}); err == nil {
+		t.Error("MBPattern with empty CBP accepted")
+	}
+	// Vector outside the f_code range.
+	if err := sw.WriteMB(&MBCode{Addr: 1, Flags: MBMotionFwd, MVFwd: [2]int32{4000, 0}}); err == nil {
+		t.Error("out-of-range vector accepted")
+	}
+}
+
+// TestIntraVLCFormatTables: the same intra block round-trips under both
+// intra VLC formats (B-14 and B-15).
+func TestIntraVLCFormatTables(t *testing.T) {
+	for _, intraVLC := range []bool{false, true} {
+		seq := testSeq(32, 32)
+		pic := testPic(PictureI, intraVLC, false, false)
+		ctx, err := NewPictureContext(seq, pic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var blocks [6][64]int32
+		for b := 0; b < 6; b++ {
+			blocks[b][0] = 80
+			blocks[b][ZigZagScan[1]] = 3
+			blocks[b][ZigZagScan[5]] = -2
+			blocks[b][ZigZagScan[20]] = 1
+		}
+		w := bits.NewWriter(128)
+		sw := NewSliceWriter(ctx, w, 0, 8)
+		want := blocks
+		if err := sw.WriteMB(&MBCode{Addr: 0, Flags: MBIntra, QuantCode: 8, CBP: 63, Blocks: &blocks}); err != nil {
+			t.Fatal(err)
+		}
+		w.AlignZero()
+		w.WriteBytes([]byte{0, 0, 1})
+
+		r := bits.NewReader(w.Bytes())
+		r.Skip(32)
+		sd, err := NewSliceDecoder(ctx, r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mb Macroblock
+		if ok, err := sd.Next(&mb); !ok || err != nil {
+			t.Fatalf("intraVLC=%v: ok=%v err=%v", intraVLC, ok, err)
+		}
+		// Compare against the dequantised original.
+		qs := QuantiserScale(8, false)
+		for b := 0; b < 6; b++ {
+			ref := want[b]
+			DequantIntra(&ref, &seq.IntraQ, qs, pic.DCShift())
+			if ref != mb.Blocks[b] {
+				t.Fatalf("intraVLC=%v block %d mismatch", intraVLC, b)
+			}
+		}
+	}
+}

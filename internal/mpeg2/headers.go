@@ -1,0 +1,393 @@
+package mpeg2
+
+import (
+	"errors"
+	"fmt"
+
+	"tiledwall/internal/bits"
+)
+
+// PictureType identifies the coding type of a picture.
+type PictureType int
+
+const (
+	PictureI PictureType = 1
+	PictureP PictureType = 2
+	PictureB PictureType = 3
+)
+
+func (t PictureType) String() string {
+	switch t {
+	case PictureI:
+		return "I"
+	case PictureP:
+		return "P"
+	case PictureB:
+		return "B"
+	}
+	return fmt.Sprintf("PictureType(%d)", int(t))
+}
+
+// Extension identifiers (§6.3.3 table 6-2).
+const (
+	extSequence      = 0x1
+	extSequenceDisp  = 0x2
+	extQuantMatrix   = 0x3
+	extPictureCoding = 0x8
+)
+
+// FrameRate returns the frames-per-second value of a frame_rate_code.
+func FrameRate(code int) float64 {
+	switch code {
+	case 1:
+		return 24000.0 / 1001
+	case 2:
+		return 24
+	case 3:
+		return 25
+	case 4:
+		return 30000.0 / 1001
+	case 5:
+		return 30
+	case 6:
+		return 50
+	case 7:
+		return 60000.0 / 1001
+	case 8:
+		return 60
+	}
+	return 0
+}
+
+// SequenceHeader carries the sequence header plus sequence extension fields
+// the decoder subset needs. Quant matrices are stored in raster order.
+type SequenceHeader struct {
+	Width, Height int // frame dimensions in pixels (luma)
+
+	AspectRatio   int
+	FrameRateCode int
+	BitRate       int // units of 400 bit/s
+	VBVBufferSize int
+
+	IntraQ, NonIntraQ             [64]uint8
+	CustomIntraQ, CustomNonIntraQ bool
+
+	ProfileLevel int
+	Progressive  bool
+	ChromaFormat int // 1 = 4:2:0 (only supported value)
+	LowDelay     bool
+}
+
+// MBWidth returns the picture width in macroblocks.
+func (s *SequenceHeader) MBWidth() int { return (s.Width + 15) / 16 }
+
+// MBHeight returns the picture height in macroblocks.
+func (s *SequenceHeader) MBHeight() int { return (s.Height + 15) / 16 }
+
+// PictureHeader carries the picture header and picture coding extension.
+type PictureHeader struct {
+	TemporalRef int
+	PicType     PictureType
+	VBVDelay    int
+
+	// FCode[s][t]: s = 0 forward / 1 backward, t = 0 horizontal / 1 vertical.
+	// The value 15 means "unused".
+	FCode            [2][2]int
+	IntraDCPrecision int
+	PictureStructure int // 3 = frame picture (only supported value)
+	TopFieldFirst    bool
+	FramePredDCT     bool
+	ConcealmentMV    bool
+	QScaleType       bool
+	IntraVLCFormat   bool
+	AlternateScan    bool
+	RepeatFirstField bool
+	Chroma420Type    bool
+	ProgressiveFrame bool
+}
+
+// DCShift returns 3 - intra_dc_precision, the left shift applied to intra DC.
+func (p *PictureHeader) DCShift() uint { return uint(3 - p.IntraDCPrecision) }
+
+var (
+	errSyntax      = errors.New("mpeg2: syntax error")
+	errUnsupported = errors.New("mpeg2: unsupported feature")
+)
+
+func syntaxErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errSyntax}, args...)...)
+}
+
+// ParseSequenceHeader parses a sequence header; r must be positioned just
+// after the 32-bit start code. A following sequence extension, if present in
+// the stream, is parsed by ParseSequenceExtension.
+func ParseSequenceHeader(r *bits.Reader) (*SequenceHeader, error) {
+	s := &SequenceHeader{ChromaFormat: 1}
+	s.Width = int(r.Read(12))
+	s.Height = int(r.Read(12))
+	s.AspectRatio = int(r.Read(4))
+	s.FrameRateCode = int(r.Read(4))
+	s.BitRate = int(r.Read(18))
+	if r.ReadBit() != 1 {
+		return nil, syntaxErrf("sequence header marker bit")
+	}
+	s.VBVBufferSize = int(r.Read(10))
+	r.ReadBit() // constrained_parameters_flag
+	if r.ReadBit() == 1 {
+		s.CustomIntraQ = true
+		for i := 0; i < 64; i++ {
+			s.IntraQ[ZigZagScan[i]] = uint8(r.Read(8))
+		}
+	} else {
+		s.IntraQ = DefaultIntraQuantMatrix
+	}
+	if r.ReadBit() == 1 {
+		s.CustomNonIntraQ = true
+		for i := 0; i < 64; i++ {
+			s.NonIntraQ[ZigZagScan[i]] = uint8(r.Read(8))
+		}
+	} else {
+		s.NonIntraQ = DefaultNonIntraQuantMatrix
+	}
+	if s.Width == 0 || s.Height == 0 {
+		return nil, syntaxErrf("zero picture dimensions")
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseSequenceExtension parses a sequence extension into s; r must be
+// positioned after the extension start code (the 4-bit identifier is still
+// unread).
+func ParseSequenceExtension(r *bits.Reader, s *SequenceHeader) error {
+	if id := int(r.Read(4)); id != extSequence {
+		return syntaxErrf("expected sequence extension, got id %d", id)
+	}
+	s.ProfileLevel = int(r.Read(8))
+	s.Progressive = r.ReadBit() == 1
+	s.ChromaFormat = int(r.Read(2))
+	s.Width |= int(r.Read(2)) << 12
+	s.Height |= int(r.Read(2)) << 12
+	s.BitRate |= int(r.Read(12)) << 18
+	if r.ReadBit() != 1 {
+		return syntaxErrf("sequence extension marker bit")
+	}
+	s.VBVBufferSize |= int(r.Read(8)) << 10
+	s.LowDelay = r.ReadBit() == 1
+	r.Read(2) // frame_rate_extension_n
+	r.Read(5) // frame_rate_extension_d
+	if s.ChromaFormat != 1 {
+		return fmt.Errorf("%w: chroma format %d (only 4:2:0)", errUnsupported, s.ChromaFormat)
+	}
+	return r.Err()
+}
+
+// ParsePictureHeader parses a picture header; r must be positioned after the
+// start code.
+func ParsePictureHeader(r *bits.Reader) (*PictureHeader, error) {
+	p := &PictureHeader{}
+	p.TemporalRef = int(r.Read(10))
+	p.PicType = PictureType(r.Read(3))
+	if p.PicType < PictureI || p.PicType > PictureB {
+		return nil, syntaxErrf("picture coding type %d", int(p.PicType))
+	}
+	p.VBVDelay = int(r.Read(16))
+	if p.PicType == PictureP || p.PicType == PictureB {
+		r.ReadBit() // full_pel_forward_vector (MPEG-1 only, 0 in MPEG-2)
+		r.Read(3)   // forward_f_code (111 in MPEG-2)
+	}
+	if p.PicType == PictureB {
+		r.ReadBit() // full_pel_backward_vector
+		r.Read(3)   // backward_f_code
+	}
+	// extra_information_picture
+	for r.ReadBit() == 1 {
+		r.Read(8)
+	}
+	// Defaults in case no coding extension follows (MPEG-1-ish streams are
+	// not supported; the caller is expected to parse the extension).
+	p.FCode = [2][2]int{{15, 15}, {15, 15}}
+	p.PictureStructure = 3
+	p.FramePredDCT = true
+	return p, r.Err()
+}
+
+// ParsePictureCodingExtension parses a picture coding extension into p; r
+// must be positioned after the extension start code.
+func ParsePictureCodingExtension(r *bits.Reader, p *PictureHeader) error {
+	if id := int(r.Read(4)); id != extPictureCoding {
+		return syntaxErrf("expected picture coding extension, got id %d", id)
+	}
+	for s := 0; s < 2; s++ {
+		for t := 0; t < 2; t++ {
+			p.FCode[s][t] = int(r.Read(4))
+		}
+	}
+	p.IntraDCPrecision = int(r.Read(2))
+	p.PictureStructure = int(r.Read(2))
+	p.TopFieldFirst = r.ReadBit() == 1
+	p.FramePredDCT = r.ReadBit() == 1
+	p.ConcealmentMV = r.ReadBit() == 1
+	p.QScaleType = r.ReadBit() == 1
+	p.IntraVLCFormat = r.ReadBit() == 1
+	p.AlternateScan = r.ReadBit() == 1
+	p.RepeatFirstField = r.ReadBit() == 1
+	p.Chroma420Type = r.ReadBit() == 1
+	p.ProgressiveFrame = r.ReadBit() == 1
+	if r.ReadBit() == 1 { // composite_display_flag
+		r.Read(20)
+	}
+	if p.PictureStructure != 3 {
+		return fmt.Errorf("%w: field pictures", errUnsupported)
+	}
+	if !p.FramePredDCT {
+		return fmt.Errorf("%w: field prediction in frame pictures", errUnsupported)
+	}
+	if p.ConcealmentMV {
+		return fmt.Errorf("%w: concealment motion vectors", errUnsupported)
+	}
+	return r.Err()
+}
+
+// GOPHeader carries a group-of-pictures header.
+type GOPHeader struct {
+	TimeCode   int // 25-bit SMPTE time code, opaque here
+	ClosedGOP  bool
+	BrokenLink bool
+}
+
+// ParseGOPHeader parses a GOP header; r must be positioned after the start
+// code.
+func ParseGOPHeader(r *bits.Reader) (*GOPHeader, error) {
+	g := &GOPHeader{}
+	g.TimeCode = int(r.Read(25))
+	g.ClosedGOP = r.ReadBit() == 1
+	g.BrokenLink = r.ReadBit() == 1
+	return g, r.Err()
+}
+
+// --- Writing (used by the encoder and by header round-trip tests) ----------
+
+func writeStartCode(w *bits.Writer, code byte) {
+	w.AlignZero()
+	w.WriteBits(0x000001, 24)
+	w.WriteBits(uint32(code), 8)
+}
+
+// WriteSequenceHeader emits the sequence header followed by the sequence
+// extension (this package only produces MPEG-2 streams).
+func (s *SequenceHeader) Write(w *bits.Writer) {
+	writeStartCode(w, bits.SequenceHeaderCod)
+	w.WriteBits(uint32(s.Width&0xFFF), 12)
+	w.WriteBits(uint32(s.Height&0xFFF), 12)
+	w.WriteBits(uint32(s.AspectRatio), 4)
+	w.WriteBits(uint32(s.FrameRateCode), 4)
+	w.WriteBits(uint32(s.BitRate&0x3FFFF), 18)
+	w.WriteBit(1)
+	w.WriteBits(uint32(s.VBVBufferSize&0x3FF), 10)
+	w.WriteBit(0) // constrained_parameters_flag
+	if s.CustomIntraQ {
+		w.WriteBit(1)
+		for i := 0; i < 64; i++ {
+			w.WriteBits(uint32(s.IntraQ[ZigZagScan[i]]), 8)
+		}
+	} else {
+		w.WriteBit(0)
+	}
+	if s.CustomNonIntraQ {
+		w.WriteBit(1)
+		for i := 0; i < 64; i++ {
+			w.WriteBits(uint32(s.NonIntraQ[ZigZagScan[i]]), 8)
+		}
+	} else {
+		w.WriteBit(0)
+	}
+
+	writeStartCode(w, bits.ExtensionStartCod)
+	w.WriteBits(extSequence, 4)
+	w.WriteBits(uint32(s.ProfileLevel), 8)
+	if s.Progressive {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteBits(uint32(s.ChromaFormat), 2)
+	w.WriteBits(uint32(s.Width>>12), 2)
+	w.WriteBits(uint32(s.Height>>12), 2)
+	w.WriteBits(uint32(s.BitRate>>18), 12)
+	w.WriteBit(1)
+	w.WriteBits(uint32(s.VBVBufferSize>>10), 8)
+	if s.LowDelay {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteBits(0, 2)
+	w.WriteBits(0, 5)
+}
+
+// Write emits the GOP header.
+func (g *GOPHeader) Write(w *bits.Writer) {
+	writeStartCode(w, bits.GroupStartCode)
+	w.WriteBits(uint32(g.TimeCode), 25)
+	b := func(f bool) {
+		if f {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+	}
+	b(g.ClosedGOP)
+	b(g.BrokenLink)
+}
+
+// Write emits the picture header followed by the picture coding extension.
+func (p *PictureHeader) Write(w *bits.Writer) {
+	writeStartCode(w, bits.PictureStartCode)
+	w.WriteBits(uint32(p.TemporalRef), 10)
+	w.WriteBits(uint32(p.PicType), 3)
+	w.WriteBits(uint32(p.VBVDelay), 16)
+	if p.PicType == PictureP || p.PicType == PictureB {
+		w.WriteBit(0)
+		w.WriteBits(7, 3)
+	}
+	if p.PicType == PictureB {
+		w.WriteBit(0)
+		w.WriteBits(7, 3)
+	}
+	w.WriteBit(0) // no extra information
+
+	writeStartCode(w, bits.ExtensionStartCod)
+	w.WriteBits(extPictureCoding, 4)
+	for s := 0; s < 2; s++ {
+		for t := 0; t < 2; t++ {
+			w.WriteBits(uint32(p.FCode[s][t]), 4)
+		}
+	}
+	w.WriteBits(uint32(p.IntraDCPrecision), 2)
+	w.WriteBits(uint32(p.PictureStructure), 2)
+	b := func(f bool) {
+		if f {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+	}
+	b(p.TopFieldFirst)
+	b(p.FramePredDCT)
+	b(p.ConcealmentMV)
+	b(p.QScaleType)
+	b(p.IntraVLCFormat)
+	b(p.AlternateScan)
+	b(p.RepeatFirstField)
+	b(p.Chroma420Type)
+	b(p.ProgressiveFrame)
+	w.WriteBit(0) // composite_display_flag
+}
+
+// WriteSequenceEnd emits the sequence end code.
+func WriteSequenceEnd(w *bits.Writer) {
+	writeStartCode(w, bits.SequenceEndCode)
+}

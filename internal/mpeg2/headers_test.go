@@ -1,0 +1,215 @@
+package mpeg2
+
+import (
+	"strings"
+	"testing"
+
+	"tiledwall/internal/bits"
+)
+
+func TestSequenceHeaderRoundTrip(t *testing.T) {
+	orig := &SequenceHeader{
+		Width: 1920, Height: 1088,
+		AspectRatio:   3,
+		FrameRateCode: 4,
+		BitRate:       200000,
+		VBVBufferSize: 500,
+		IntraQ:        DefaultIntraQuantMatrix,
+		NonIntraQ:     DefaultNonIntraQuantMatrix,
+		ProfileLevel:  0x44,
+		Progressive:   true,
+		ChromaFormat:  1,
+	}
+	w := bits.NewWriter(256)
+	orig.Write(w)
+	data := w.Bytes()
+
+	r := bits.NewReader(data)
+	if !bits.NextStartCodeReader(r) {
+		t.Fatal("no start code")
+	}
+	r.Skip(32)
+	got, err := ParseSequenceHeader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.NextStartCodeReader(r) {
+		t.Fatal("no extension start code")
+	}
+	r.Skip(32)
+	if err := ParseSequenceExtension(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != orig.Width || got.Height != orig.Height {
+		t.Errorf("size %dx%d, want %dx%d", got.Width, got.Height, orig.Width, orig.Height)
+	}
+	if got.BitRate != orig.BitRate {
+		t.Errorf("bitrate %d, want %d", got.BitRate, orig.BitRate)
+	}
+	if got.VBVBufferSize != orig.VBVBufferSize {
+		t.Errorf("vbv %d, want %d", got.VBVBufferSize, orig.VBVBufferSize)
+	}
+	if got.FrameRateCode != orig.FrameRateCode || got.AspectRatio != orig.AspectRatio {
+		t.Errorf("rate/aspect %d/%d", got.FrameRateCode, got.AspectRatio)
+	}
+	if !got.Progressive || got.ChromaFormat != 1 || got.ProfileLevel != 0x44 {
+		t.Errorf("extension fields: %+v", got)
+	}
+	if got.IntraQ != DefaultIntraQuantMatrix || got.NonIntraQ != DefaultNonIntraQuantMatrix {
+		t.Error("default matrices not restored")
+	}
+}
+
+func TestSequenceHeaderCustomMatrices(t *testing.T) {
+	orig := &SequenceHeader{
+		Width: 64, Height: 48, AspectRatio: 1, FrameRateCode: 5,
+		BitRate: 1000, VBVBufferSize: 100, ChromaFormat: 1,
+		CustomIntraQ: true, CustomNonIntraQ: true,
+	}
+	for i := range orig.IntraQ {
+		orig.IntraQ[i] = uint8(8 + i%32)
+		orig.NonIntraQ[i] = uint8(16 + i%16)
+	}
+	orig.IntraQ[0] = 8 // the intra DC weight is conventionally 8
+	w := bits.NewWriter(256)
+	orig.Write(w)
+	r := bits.NewReader(w.Bytes())
+	r.Skip(32)
+	got, err := ParseSequenceHeader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IntraQ != orig.IntraQ || got.NonIntraQ != orig.NonIntraQ {
+		t.Error("custom matrices did not round-trip")
+	}
+}
+
+func TestPictureHeaderRoundTrip(t *testing.T) {
+	for _, picType := range []PictureType{PictureI, PictureP, PictureB} {
+		orig := testPic(picType, true, true, true)
+		orig.TemporalRef = 519
+		orig.IntraDCPrecision = 2
+		w := bits.NewWriter(64)
+		orig.Write(w)
+
+		r := bits.NewReader(w.Bytes())
+		r.Skip(32)
+		got, err := ParsePictureHeader(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bits.NextStartCodeReader(r) {
+			t.Fatal("no extension")
+		}
+		r.Skip(32)
+		if err := ParsePictureCodingExtension(r, got); err != nil {
+			t.Fatal(err)
+		}
+		if got.TemporalRef != orig.TemporalRef || got.PicType != picType {
+			t.Errorf("%s: tref/type %d/%s", picType, got.TemporalRef, got.PicType)
+		}
+		if got.FCode != orig.FCode {
+			t.Errorf("%s: fcode %v, want %v", picType, got.FCode, orig.FCode)
+		}
+		if got.IntraDCPrecision != 2 || !got.QScaleType || !got.IntraVLCFormat || !got.AlternateScan {
+			t.Errorf("%s: coding flags lost: %+v", picType, got)
+		}
+	}
+}
+
+func TestGOPHeaderRoundTrip(t *testing.T) {
+	orig := &GOPHeader{TimeCode: 12345, ClosedGOP: true, BrokenLink: false}
+	w := bits.NewWriter(16)
+	orig.Write(w)
+	r := bits.NewReader(w.Bytes())
+	r.Skip(32)
+	got, err := ParseGOPHeader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *orig {
+		t.Errorf("got %+v, want %+v", got, orig)
+	}
+}
+
+func TestParsePictureCodingExtensionRejectsUnsupported(t *testing.T) {
+	p := testPic(PictureP, false, false, false)
+	p.PictureStructure = 1 // field picture
+	w := bits.NewWriter(64)
+	p.Write(w)
+	r := bits.NewReader(w.Bytes())
+	// Skip picture header to the extension.
+	r.Skip(32)
+	if _, err := ParsePictureHeader(r); err != nil {
+		t.Fatal(err)
+	}
+	bits.NextStartCodeReader(r)
+	r.Skip(32)
+	got := &PictureHeader{PicType: PictureP}
+	err := ParsePictureCodingExtension(r, got)
+	if err == nil || !strings.Contains(err.Error(), "field pictures") {
+		t.Errorf("field pictures not rejected: %v", err)
+	}
+}
+
+func TestFrameRate(t *testing.T) {
+	if FrameRate(5) != 30 || FrameRate(3) != 25 || FrameRate(8) != 60 {
+		t.Error("frame rate table broken")
+	}
+	if FrameRate(0) != 0 || FrameRate(9) != 0 {
+		t.Error("invalid codes should map to 0")
+	}
+	if r := FrameRate(4); r < 29.96 || r > 29.98 {
+		t.Errorf("29.97 = %f", r)
+	}
+}
+
+func TestParseStreamErrors(t *testing.T) {
+	if _, err := ParseStream(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ParseStream([]byte{0, 0, 1, 0xB8, 0, 0, 0, 0}); err == nil {
+		t.Error("stream without sequence header accepted")
+	}
+	// A sequence header with no pictures.
+	seq := testSeq(64, 48)
+	w := bits.NewWriter(64)
+	seq.Write(w)
+	WriteSequenceEnd(w)
+	if _, err := ParseStream(w.Bytes()); err == nil {
+		t.Error("pictureless stream accepted")
+	}
+}
+
+func TestDecoderRejectsTruncatedStream(t *testing.T) {
+	seq := testSeq(64, 48)
+	pic := testPic(PictureI, false, false, false)
+	w := bits.NewWriter(256)
+	seq.Write(w)
+	pic.Write(w)
+	// A slice header followed by garbage that dies mid-macroblock.
+	w.AlignZero()
+	w.WriteBits(0x000001, 24)
+	w.WriteBits(1, 8)
+	w.WriteBits(8, 5)  // quantiser
+	w.WriteBit(0)      // extra_bit
+	w.WriteBits(1, 1)  // address increment 1
+	w.WriteBits(1, 1)  // macroblock_type: intra
+	w.WriteBits(0, 10) // invalid: dct_dc_size luma '00'=1, then truncation
+	dec, err := NewDecoder(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeAll(); err == nil {
+		t.Error("truncated stream decoded without error")
+	}
+}
+
+func TestPictureTypeString(t *testing.T) {
+	if PictureI.String() != "I" || PictureP.String() != "P" || PictureB.String() != "B" {
+		t.Error("PictureType.String broken")
+	}
+	if PictureType(9).String() == "" {
+		t.Error("unknown type should still format")
+	}
+}

@@ -1,0 +1,194 @@
+package mpeg2
+
+import "math"
+
+// Fast fixed-point 8x8 inverse DCT after Wang (the classic row/column
+// butterfly used by the MPEG Software Simulation Group decoder), operating
+// in place on a raster-order int32 block. Accuracy comfortably passes the
+// IEEE 1180-style test in idct_test.go against the double-precision
+// reference below.
+const (
+	idctW1 = 2841 // 2048*sqrt(2)*cos(1*pi/16)
+	idctW2 = 2676 // 2048*sqrt(2)*cos(2*pi/16)
+	idctW3 = 2408 // 2048*sqrt(2)*cos(3*pi/16)
+	idctW5 = 1609 // 2048*sqrt(2)*cos(5*pi/16)
+	idctW6 = 1108 // 2048*sqrt(2)*cos(6*pi/16)
+	idctW7 = 565  // 2048*sqrt(2)*cos(7*pi/16)
+)
+
+func idctRow(b []int32) {
+	x1 := b[4] << 11
+	x2 := b[6]
+	x3 := b[2]
+	x4 := b[1]
+	x5 := b[7]
+	x6 := b[5]
+	x7 := b[3]
+	// Shortcut: rows with only a DC term are common after quantisation.
+	if x1|x2|x3|x4|x5|x6|x7 == 0 {
+		v := b[0] << 3
+		for i := 0; i < 8; i++ {
+			b[i] = v
+		}
+		return
+	}
+	x0 := (b[0] << 11) + 128 // +128 rounds at the final >>8
+
+	// First stage.
+	x8 := idctW7 * (x4 + x5)
+	x4 = x8 + (idctW1-idctW7)*x4
+	x5 = x8 - (idctW1+idctW7)*x5
+	x8 = idctW3 * (x6 + x7)
+	x6 = x8 - (idctW3-idctW5)*x6
+	x7 = x8 - (idctW3+idctW5)*x7
+
+	// Second stage.
+	x8 = x0 + x1
+	x0 -= x1
+	x1 = idctW6 * (x3 + x2)
+	x2 = x1 - (idctW2+idctW6)*x2
+	x3 = x1 + (idctW2-idctW6)*x3
+	x1 = x4 + x6
+	x4 -= x6
+	x6 = x5 + x7
+	x5 -= x7
+
+	// Third stage.
+	x7 = x8 + x3
+	x8 -= x3
+	x3 = x0 + x2
+	x0 -= x2
+	x2 = (181*(x4+x5) + 128) >> 8
+	x4 = (181*(x4-x5) + 128) >> 8
+
+	// Fourth stage.
+	b[0] = (x7 + x1) >> 8
+	b[1] = (x3 + x2) >> 8
+	b[2] = (x0 + x4) >> 8
+	b[3] = (x8 + x6) >> 8
+	b[4] = (x8 - x6) >> 8
+	b[5] = (x0 - x4) >> 8
+	b[6] = (x3 - x2) >> 8
+	b[7] = (x7 - x1) >> 8
+}
+
+func idctCol(b []int32) {
+	x1 := b[8*4] << 8
+	x2 := b[8*6]
+	x3 := b[8*2]
+	x4 := b[8*1]
+	x5 := b[8*7]
+	x6 := b[8*5]
+	x7 := b[8*3]
+	if x1|x2|x3|x4|x5|x6|x7 == 0 {
+		v := (b[0] + 32) >> 6
+		for i := 0; i < 8; i++ {
+			b[8*i] = v
+		}
+		return
+	}
+	x0 := (b[8*0] << 8) + 8192
+
+	x8 := idctW7*(x4+x5) + 4
+	x4 = (x8 + (idctW1-idctW7)*x4) >> 3
+	x5 = (x8 - (idctW1+idctW7)*x5) >> 3
+	x8 = idctW3*(x6+x7) + 4
+	x6 = (x8 - (idctW3-idctW5)*x6) >> 3
+	x7 = (x8 - (idctW3+idctW5)*x7) >> 3
+
+	x8 = x0 + x1
+	x0 -= x1
+	x1 = idctW6*(x3+x2) + 4
+	x2 = (x1 - (idctW2+idctW6)*x2) >> 3
+	x3 = (x1 + (idctW2-idctW6)*x3) >> 3
+	x1 = x4 + x6
+	x4 -= x6
+	x6 = x5 + x7
+	x5 -= x7
+
+	x7 = x8 + x3
+	x8 -= x3
+	x3 = x0 + x2
+	x0 -= x2
+	x2 = (181*(x4+x5) + 128) >> 8
+	x4 = (181*(x4-x5) + 128) >> 8
+
+	b[8*0] = (x7 + x1) >> 14
+	b[8*1] = (x3 + x2) >> 14
+	b[8*2] = (x0 + x4) >> 14
+	b[8*3] = (x8 + x6) >> 14
+	b[8*4] = (x8 - x6) >> 14
+	b[8*5] = (x0 - x4) >> 14
+	b[8*6] = (x3 - x2) >> 14
+	b[8*7] = (x7 - x1) >> 14
+}
+
+// IDCT computes the 8x8 inverse DCT of block in place (raster order).
+func IDCT(block *[64]int32) {
+	for i := 0; i < 8; i++ {
+		idctRow(block[8*i : 8*i+8])
+	}
+	for i := 0; i < 8; i++ {
+		idctCol(block[i:])
+	}
+}
+
+// IDCTRef is the double-precision reference inverse DCT, used by tests and
+// available for bit-accuracy experiments.
+func IDCTRef(block *[64]int32) {
+	var tmp [64]float64
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				for y := 0; y < 8; y++ {
+					cu := 1.0
+					if x == 0 {
+						cu = math.Sqrt2 / 2
+					}
+					cv := 1.0
+					if y == 0 {
+						cv = math.Sqrt2 / 2
+					}
+					s += cu * cv * float64(block[y*8+x]) *
+						math.Cos(float64(2*u+1)*float64(x)*math.Pi/16) *
+						math.Cos(float64(2*v+1)*float64(y)*math.Pi/16)
+				}
+			}
+			tmp[v*8+u] = s / 4
+		}
+	}
+	for i, f := range tmp {
+		block[i] = int32(math.Round(f))
+	}
+}
+
+// FDCTRef is the double-precision forward DCT (raster order, in place),
+// used by the encoder and by transform round-trip tests.
+func FDCTRef(block *[64]int32) {
+	var tmp [64]float64
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					s += float64(block[y*8+x]) *
+						math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) *
+						math.Cos(float64(2*y+1)*float64(v)*math.Pi/16)
+				}
+			}
+			cu := 1.0
+			if u == 0 {
+				cu = math.Sqrt2 / 2
+			}
+			cv := 1.0
+			if v == 0 {
+				cv = math.Sqrt2 / 2
+			}
+			tmp[v*8+u] = s * cu * cv / 4
+		}
+	}
+	for i, f := range tmp {
+		block[i] = int32(math.Round(f))
+	}
+}

@@ -1,0 +1,246 @@
+package mpeg2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestIDCTAccuracy runs an IEEE 1180-style accuracy test: random blocks in
+// the coefficient range, fast IDCT vs the double-precision reference.
+// Thresholds follow the IEEE 1180 spirit (peak error <= 1, mean error small).
+func TestIDCTAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 2000
+	var peak int32
+	var sumErr, sumSqErr float64
+	for trial := 0; trial < trials; trial++ {
+		var blk, ref [64]int32
+		for i := range blk {
+			v := int32(rng.Intn(512) - 256)
+			blk[i] = v
+			ref[i] = v
+		}
+		IDCT(&blk)
+		IDCTRef(&ref)
+		for i := range blk {
+			d := blk[i] - ref[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > peak {
+				peak = d
+			}
+			sumErr += float64(d)
+			sumSqErr += float64(d) * float64(d)
+		}
+	}
+	if peak > 1 {
+		t.Errorf("peak IDCT error %d, want <= 1", peak)
+	}
+	// Note: IEEE 1180 generates inputs in the pixel domain; uniform random
+	// coefficients (used here) are a harsher distribution, so the mean/mse
+	// bounds are slightly wider than the 1180 numbers while peak stays at 1.
+	if mean := sumErr / (trials * 64); mean > 0.03 {
+		t.Errorf("mean IDCT error %f, want <= 0.03", mean)
+	}
+	if mse := sumSqErr / (trials * 64); mse > 0.03 {
+		t.Errorf("IDCT mse %f, want <= 0.03", mse)
+	}
+}
+
+func TestIDCTDCOnly(t *testing.T) {
+	var blk [64]int32
+	blk[0] = 64 // IDCT of constant: every output = DC/8
+	IDCT(&blk)
+	for i, v := range blk {
+		if v != 8 {
+			t.Fatalf("dc-only idct[%d] = %d, want 8", i, v)
+		}
+	}
+}
+
+func TestIDCTZero(t *testing.T) {
+	var blk [64]int32
+	IDCT(&blk)
+	for i, v := range blk {
+		if v != 0 {
+			t.Fatalf("zero idct[%d] = %d", i, v)
+		}
+	}
+}
+
+// Property: FDCTRef followed by IDCT returns close to the original samples.
+func TestTransformRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var orig, blk [64]int32
+		for i := range orig {
+			orig[i] = int32(rng.Intn(256)) - 128
+			blk[i] = orig[i]
+		}
+		FDCTRef(&blk)
+		IDCT(&blk)
+		for i := range blk {
+			if d := blk[i] - orig[i]; d > 2 || d < -2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFDCTParseval checks energy preservation of the reference FDCT.
+func TestFDCTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var blk [64]int32
+	var inEnergy float64
+	for i := range blk {
+		blk[i] = int32(rng.Intn(256)) - 128
+		inEnergy += float64(blk[i]) * float64(blk[i])
+	}
+	FDCTRef(&blk)
+	var outEnergy float64
+	for _, v := range blk {
+		outEnergy += float64(v) * float64(v)
+	}
+	if math.Abs(inEnergy-outEnergy) > 0.02*inEnergy {
+		t.Errorf("Parseval violated: in %.0f out %.0f", inEnergy, outEnergy)
+	}
+}
+
+func TestScanOrdersArePermutations(t *testing.T) {
+	for name, scan := range map[string]*[64]int{"zigzag": &ZigZagScan, "alternate": &AlternateScan} {
+		var seen [64]bool
+		for _, p := range scan {
+			if p < 0 || p > 63 || seen[p] {
+				t.Fatalf("%s scan is not a permutation", name)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestInverseScan(t *testing.T) {
+	for _, alt := range []bool{false, true} {
+		scan := ScanOrder(alt)
+		inv := InverseScan(alt)
+		for k := 0; k < 64; k++ {
+			if inv[scan[k]] != k {
+				t.Fatalf("alt=%v: inverse scan broken at %d", alt, k)
+			}
+		}
+	}
+}
+
+func TestQuantiserScale(t *testing.T) {
+	if got := QuantiserScale(10, false); got != 20 {
+		t.Errorf("linear scale(10) = %d, want 20", got)
+	}
+	if got := QuantiserScale(10, true); got != 12 {
+		t.Errorf("nonlinear scale(10) = %d, want 12", got)
+	}
+	// Clamping.
+	if got := QuantiserScale(0, false); got != 2 {
+		t.Errorf("scale(0) = %d, want clamp to 2", got)
+	}
+	if got := QuantiserScale(99, true); got != 112 {
+		t.Errorf("scale(99) = %d, want clamp to 112", got)
+	}
+	// Monotonic.
+	for _, qt := range []bool{false, true} {
+		for c := 2; c <= 31; c++ {
+			if QuantiserScale(c, qt) <= QuantiserScale(c-1, qt) {
+				t.Errorf("scale not strictly increasing at code %d (type %v)", c, qt)
+			}
+		}
+	}
+}
+
+func TestDequantIntraDC(t *testing.T) {
+	var qf [64]int32
+	qf[0] = 100
+	w := DefaultIntraQuantMatrix
+	DequantIntra(&qf, &w, 16, 3) // intra_dc_precision 0 -> shift 3
+	if qf[0] != 800 {
+		t.Errorf("DC dequant = %d, want 800", qf[0])
+	}
+}
+
+func TestDequantMismatchControl(t *testing.T) {
+	// A block whose coefficient sum is even must get its last coefficient
+	// LSB toggled.
+	var qf [64]int32
+	qf[0] = 2 // DC with shift 0 -> 2; sum even
+	w := DefaultIntraQuantMatrix
+	DequantIntra(&qf, &w, 2, 0)
+	if qf[63]&1 != 1 {
+		t.Errorf("mismatch control did not toggle qf[63]: %d", qf[63])
+	}
+}
+
+func TestDequantNonIntraZeroStaysZero(t *testing.T) {
+	var qf [64]int32
+	w := DefaultNonIntraQuantMatrix
+	DequantNonIntra(&qf, &w, 8)
+	for i := 0; i < 63; i++ {
+		if qf[i] != 0 {
+			t.Fatalf("zero coeff %d dequantised to %d", i, qf[i])
+		}
+	}
+	// Sum 0 is even: mismatch toggles 63.
+	if qf[63] != 1 {
+		t.Fatalf("qf[63] = %d, want mismatch toggle to 1", qf[63])
+	}
+}
+
+func TestDequantSaturation(t *testing.T) {
+	var qf [64]int32
+	qf[5] = 3000
+	qf[6] = -3000
+	w := DefaultNonIntraQuantMatrix
+	DequantNonIntra(&qf, &w, 62)
+	if qf[5] != 2047 || qf[6] != -2048 {
+		t.Errorf("saturation: got %d, %d", qf[5], qf[6])
+	}
+}
+
+// Property: non-intra dequantisation preserves sign and is monotone in the
+// quantised value.
+func TestDequantNonIntraMonotoneQuick(t *testing.T) {
+	w := DefaultNonIntraQuantMatrix
+	f := func(q uint8, a, b int16) bool {
+		qs := QuantiserScale(int(q%31)+1, false)
+		x, y := int32(a%200), int32(b%200)
+		if x == y {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		var qf [64]int32
+		qf[1], qf[2] = x, y
+		DequantNonIntra(&qf, &w, qs)
+		return qf[1] <= qf[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIDCT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = int32(rng.Intn(512) - 256)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tmp := blk
+		IDCT(&tmp)
+	}
+}

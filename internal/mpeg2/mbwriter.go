@@ -1,0 +1,296 @@
+package mpeg2
+
+import (
+	"tiledwall/internal/bits"
+)
+
+// SliceWriter emits slice and macroblock syntax, mirroring SliceDecoder's
+// prediction-state machine exactly (DC predictors, motion vector predictors,
+// quantiser scale, skipped-run resets). The encoder decides modes, vectors
+// and quantised levels; SliceWriter owns the bits.
+type SliceWriter struct {
+	ctx *PictureContext
+	w   *bits.Writer
+
+	state  PredState
+	mbAddr int
+	first  bool
+}
+
+// MBCode describes one coded macroblock for SliceWriter.
+type MBCode struct {
+	Addr       int
+	SkipBefore int // skipped macroblocks since the previous coded one
+	Flags      int // MBIntra/MBMotionFwd/MBMotionBwd/MBPattern (MBQuant is derived)
+	QuantCode  int // desired quantiser_scale_code (honoured only when legal)
+	MVFwd      [2]int32
+	MVBwd      [2]int32
+	CBP        int
+	// Blocks holds quantised levels in raster order. For intra macroblocks
+	// Blocks[i][0] is the absolute quantised DC (differential coding is
+	// applied here).
+	Blocks *[6][64]int32
+}
+
+// NewSliceWriter begins a slice for macroblock row (0-based) with the given
+// initial quantiser_scale_code, emitting the slice start code and header.
+func NewSliceWriter(ctx *PictureContext, w *bits.Writer, row, quantCode int) *SliceWriter {
+	w.AlignZero()
+	w.WriteBits(0x000001, 24)
+	if ctx.Seq.Height > 2800 {
+		// Tall pictures: slice_vertical_position carries the low 7 bits of
+		// the row (+1) and a 3-bit extension carries the rest, matching the
+		// parser in DecodePictureUnit.
+		w.WriteBits(uint32((row&0x7F)+1), 8)
+		w.WriteBits(uint32(row>>7), 3)
+	} else {
+		w.WriteBits(uint32(row+1), 8)
+	}
+	if quantCode < 1 {
+		quantCode = 1
+	} else if quantCode > 31 {
+		quantCode = 31
+	}
+	w.WriteBits(uint32(quantCode), 5)
+	w.WriteBit(0) // extra_bit_slice
+
+	sw := &SliceWriter{ctx: ctx, w: w, first: true, mbAddr: row*ctx.MBW - 1}
+	sw.state.ResetDC(ctx.Pic.IntraDCPrecision)
+	sw.state.ResetMV()
+	sw.state.QuantCode = quantCode
+	return sw
+}
+
+// State returns the writer's current prediction state (used by tests).
+func (sw *SliceWriter) State() PredState { return sw.state }
+
+func (sw *SliceWriter) writeIncrement(inc int) {
+	for inc > 33 {
+		code, n := parseCode(mbAddrIncEscape)
+		sw.w.WriteBits(code, n)
+		inc -= 33
+	}
+	mbAddrIncTable.encode(sw.w, inc)
+}
+
+// WriteMB encodes one macroblock. The caller must set MBPattern in Flags iff
+// CBP != 0 (non-intra), and must not request skips at the start of a slice.
+func (sw *SliceWriter) WriteMB(mb *MBCode) error {
+	pic := sw.ctx.Pic
+	if sw.first && mb.SkipBefore != 0 {
+		return syntaxErrf("first macroblock of a slice cannot be preceded by skips")
+	}
+	inc := mb.Addr - sw.mbAddr
+	if inc < 1 {
+		return syntaxErrf("macroblock address %d not after previous %d", mb.Addr, sw.mbAddr)
+	}
+	if !sw.first && inc != mb.SkipBefore+1 {
+		return syntaxErrf("address increment %d does not match SkipBefore %d", inc, mb.SkipBefore)
+	}
+	sw.writeIncrement(inc)
+
+	// Mirror the decoder's skipped-run resets.
+	if !sw.first && mb.SkipBefore > 0 {
+		sw.state.ResetDC(pic.IntraDCPrecision)
+		if pic.PicType == PictureP {
+			sw.state.ResetMV()
+		}
+	}
+
+	flags := mb.Flags &^ MBQuant
+	intra := flags&MBIntra != 0
+	if intra {
+		flags &^= MBPattern | MBMotionFwd | MBMotionBwd
+	} else if flags&MBPattern != 0 && mb.CBP == 0 {
+		return syntaxErrf("MBPattern set with empty CBP")
+	}
+	// A quantiser change can only be carried by types that have a quant
+	// variant: intra, or pattern-carrying macroblocks.
+	wantQuant := mb.QuantCode != 0 && mb.QuantCode != sw.state.QuantCode
+	canQuant := intra || flags&MBPattern != 0
+	if wantQuant && canQuant {
+		flags |= MBQuant
+	}
+	if _, ok := sw.ctx.mbTypeTable().codeLen(flags); !ok {
+		return syntaxErrf("macroblock type %#x not expressible in %s picture", flags, pic.PicType)
+	}
+	sw.ctx.mbTypeTable().encode(sw.w, flags)
+
+	if flags&MBQuant != 0 {
+		sw.w.WriteBits(uint32(mb.QuantCode), 5)
+		sw.state.QuantCode = mb.QuantCode
+	}
+
+	if flags&MBMotionFwd != 0 {
+		if err := sw.writeMV(0, mb.MVFwd); err != nil {
+			return err
+		}
+	}
+	if flags&MBMotionBwd != 0 {
+		if err := sw.writeMV(1, mb.MVBwd); err != nil {
+			return err
+		}
+	}
+	if !intra && flags&MBMotionFwd == 0 && pic.PicType == PictureP {
+		// "No MC": decoder resets predictors.
+		sw.state.ResetMV()
+	}
+	if intra {
+		sw.state.ResetMV()
+	} else {
+		sw.state.ResetDC(pic.IntraDCPrecision)
+	}
+
+	switch {
+	case intra:
+		for i := 0; i < 6; i++ {
+			if err := sw.writeIntraBlock(i, &mb.Blocks[i]); err != nil {
+				return err
+			}
+		}
+	case flags&MBPattern != 0:
+		cbpTable.encode(sw.w, mb.CBP)
+		for i := 0; i < 6; i++ {
+			if mb.CBP&(1<<uint(5-i)) != 0 {
+				if err := sw.writeNonIntraBlock(&mb.Blocks[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	sw.mbAddr = mb.Addr
+	sw.first = false
+	return nil
+}
+
+// writeMV encodes the vector for direction s and updates the predictors,
+// mirroring SliceDecoder.motionVector.
+func (sw *SliceWriter) writeMV(s int, mv [2]int32) error {
+	pic := sw.ctx.Pic
+	for t := 0; t < 2; t++ {
+		fcode := pic.FCode[s][t]
+		if fcode < 1 || fcode > 9 {
+			return syntaxErrf("f_code[%d][%d]=%d out of range", s, t, fcode)
+		}
+		rSize := uint(fcode - 1)
+		f := int32(1) << rSize
+		low, high, rng := -16*f, 16*f-1, 32*f
+		if mv[t] < low || mv[t] > high {
+			return syntaxErrf("motion vector component %d outside f_code %d range", mv[t], fcode)
+		}
+		// Any representative of delta modulo rng within [-16f, 16f] decodes
+		// to the same vector after the decoder's range wrap.
+		delta := mv[t] - sw.state.PMV[0][s][t]
+		if delta < low {
+			delta += rng
+		} else if delta > high {
+			delta -= rng
+		}
+		if delta == 0 {
+			motionCodeTable.encode(sw.w, 0)
+		} else {
+			mag := delta
+			neg := mag < 0
+			if neg {
+				mag = -mag
+			}
+			code := int((mag-1)>>rSize) + 1
+			residual := (mag - 1) & (f - 1)
+			if code > 16 {
+				return syntaxErrf("motion delta %d unrepresentable with f_code %d", delta, fcode)
+			}
+			motionCodeTable.encode(sw.w, code)
+			if neg {
+				sw.w.WriteBit(1)
+			} else {
+				sw.w.WriteBit(0)
+			}
+			if fcode > 1 {
+				sw.w.WriteBits(uint32(residual), int(rSize))
+			}
+		}
+		sw.state.PMV[0][s][t] = mv[t]
+		sw.state.PMV[1][s][t] = mv[t]
+	}
+	return nil
+}
+
+func (sw *SliceWriter) writeIntraBlock(i int, blk *[64]int32) error {
+	comp := 0
+	table := dcSizeLumaTable
+	if i >= 4 {
+		comp = i - 3
+		table = dcSizeChromaTable
+	}
+	diff := blk[0] - sw.state.DCPred[comp]
+	sw.state.DCPred[comp] = blk[0]
+	size := dcSizeOfInternal(diff)
+	if size > 11 {
+		return syntaxErrf("DC differential %d too large", diff)
+	}
+	table.encode(sw.w, size)
+	if size > 0 {
+		v := diff
+		if v < 0 {
+			v += (1 << uint(size)) - 1
+		}
+		sw.w.WriteBits(uint32(v), size)
+	}
+	sw.writeAC(blk, 1, sw.ctx.intraDCT, sw.ctx.intraDCT)
+	return nil
+}
+
+func (sw *SliceWriter) writeNonIntraBlock(blk *[64]int32) error {
+	sw.writeAC(blk, 0, dctTableB14First, dctTableB14)
+	return nil
+}
+
+// writeAC emits (run, level) pairs for coefficients from scan index start,
+// using firstTab for the first symbol, then tab, then EOB from tab.
+func (sw *SliceWriter) writeAC(blk *[64]int32, start int, firstTab, tab *dctTable) {
+	scan := sw.ctx.scan
+	run := 0
+	cur := firstTab
+	for n := start; n < 64; n++ {
+		level := blk[scan[n]]
+		if level == 0 {
+			run++
+			continue
+		}
+		neg := level < 0
+		mag := level
+		if neg {
+			mag = -mag
+		}
+		if c, ok := cur.code(run, int(mag)); ok {
+			sw.w.WriteBits(c.bits, int(c.n))
+			if neg {
+				sw.w.WriteBit(1)
+			} else {
+				sw.w.WriteBit(0)
+			}
+		} else {
+			code, nb := parseCode(dctEscape)
+			sw.w.WriteBits(code, nb)
+			sw.w.WriteBits(uint32(run), 6)
+			sw.w.WriteBits(uint32(level)&0xFFF, 12)
+		}
+		run = 0
+		cur = tab
+	}
+	sw.w.WriteBits(tab.eob.bits, int(tab.eob.n))
+}
+
+// dcSizeOfInternal returns the dct_dc_size of a differential.
+func dcSizeOfInternal(diff int32) int {
+	if diff < 0 {
+		diff = -diff
+	}
+	size := 0
+	for diff != 0 {
+		diff >>= 1
+		size++
+	}
+	return size
+}

@@ -1,0 +1,27 @@
+package mpeg2
+
+import "fmt"
+
+// CopyRect copies the luma rectangle (x, y, w, h) — and the corresponding
+// chroma — from src into b, both addressed globally. All four values must be
+// even. It is the primitive behind the display blit and frame assembly.
+func (b *PixelBuf) CopyRect(src *PixelBuf, x, y, w, h int) {
+	if x&1 != 0 || y&1 != 0 || w&1 != 0 || h&1 != 0 {
+		panic(fmt.Sprintf("mpeg2: odd CopyRect %d,%d %dx%d", x, y, w, h))
+	}
+	if !src.Contains(x, y, w, h) || !b.Contains(x, y, w, h) {
+		panic(fmt.Sprintf("mpeg2: CopyRect %d,%d %dx%d outside window", x, y, w, h))
+	}
+	for r := 0; r < h; r++ {
+		si := src.lumaIndex(x, y+r)
+		di := b.lumaIndex(x, y+r)
+		copy(b.Y[di:di+w], src.Y[si:si+w])
+	}
+	cx, cy, cw := x/2, y/2, w/2
+	for r := 0; r < h/2; r++ {
+		si := src.chromaIndex(cx, cy+r)
+		di := b.chromaIndex(cx, cy+r)
+		copy(b.Cb[di:di+cw], src.Cb[si:si+cw])
+		copy(b.Cr[di:di+cw], src.Cr[si:si+cw])
+	}
+}

@@ -1,0 +1,107 @@
+package mpeg2
+
+// Quantisation (ISO/IEC 13818-2 §7.4): quantiser-scale mapping, default
+// weighting matrices, and inverse quantisation with saturation and mismatch
+// control. The forward direction used by the encoder lives in
+// internal/encoder; it inverts the exact arithmetic defined here.
+
+// DefaultIntraQuantMatrix is the default intra weighting matrix, in raster
+// order (§6.3.11).
+var DefaultIntraQuantMatrix = [64]uint8{
+	8, 16, 19, 22, 26, 27, 29, 34,
+	16, 16, 22, 24, 27, 29, 34, 37,
+	19, 22, 26, 27, 29, 34, 34, 38,
+	22, 22, 26, 27, 29, 34, 37, 40,
+	22, 26, 27, 29, 32, 35, 40, 48,
+	26, 27, 29, 32, 35, 40, 48, 58,
+	26, 27, 29, 34, 38, 46, 56, 69,
+	27, 29, 35, 38, 46, 56, 69, 83,
+}
+
+// DefaultNonIntraQuantMatrix is the flat default non-intra matrix.
+var DefaultNonIntraQuantMatrix = [64]uint8{
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+}
+
+// nonLinearQuantScale is the q_scale_type = 1 mapping (table 7-6).
+var nonLinearQuantScale = [32]int32{
+	0, 1, 2, 3, 4, 5, 6, 7,
+	8, 10, 12, 14, 16, 18, 20, 22,
+	24, 28, 32, 36, 40, 44, 48, 52,
+	56, 64, 72, 80, 88, 96, 104, 112,
+}
+
+// QuantiserScale maps quantiser_scale_code (1..31) to quantiser_scale for
+// the given q_scale_type.
+func QuantiserScale(code int, qScaleType bool) int32 {
+	if code < 1 {
+		code = 1
+	} else if code > 31 {
+		code = 31
+	}
+	if qScaleType {
+		return nonLinearQuantScale[code]
+	}
+	return int32(code) * 2
+}
+
+func saturateCoeff(v int32) int32 {
+	if v > 2047 {
+		return 2047
+	}
+	if v < -2048 {
+		return -2048
+	}
+	return v
+}
+
+// DequantIntra inverse-quantises an intra block in place. qf holds the
+// quantised coefficients in raster order with qf[0] the (already
+// size-decoded) differential-reconstructed DC. dcShift is
+// 3 - intra_dc_precision, i.e. the DC multiplier is 1<<dcShift.
+// Mismatch control (§7.4.4) toggles the LSB of coefficient 63 when the sum
+// of all coefficients is even.
+func DequantIntra(qf *[64]int32, w *[64]uint8, quantiserScale int32, dcShift uint) {
+	var sum int32
+	qf[0] <<= dcShift
+	sum = qf[0]
+	for i := 1; i < 64; i++ {
+		v := (qf[i] * int32(w[i]) * quantiserScale * 2) / 32
+		v = saturateCoeff(v)
+		qf[i] = v
+		sum += v
+	}
+	if sum&1 == 0 {
+		qf[63] ^= 1
+	}
+}
+
+// DequantNonIntra inverse-quantises a non-intra block in place.
+func DequantNonIntra(qf *[64]int32, w *[64]uint8, quantiserScale int32) {
+	var sum int32
+	for i := 0; i < 64; i++ {
+		q := qf[i]
+		if q == 0 {
+			continue
+		}
+		var v int32
+		if q > 0 {
+			v = ((2*q + 1) * int32(w[i]) * quantiserScale) / 32
+		} else {
+			v = ((2*q - 1) * int32(w[i]) * quantiserScale) / 32
+		}
+		v = saturateCoeff(v)
+		qf[i] = v
+		sum += v
+	}
+	if sum&1 == 0 {
+		qf[63] ^= 1
+	}
+}

@@ -1,0 +1,249 @@
+package mpeg2
+
+import "fmt"
+
+// Reconstructor turns parsed macroblocks into pixels: IDCT, motion
+// compensation with half-sample interpolation, and skipped-macroblock
+// reconstruction. One Reconstructor per decoding goroutine; it holds scratch
+// prediction buffers to avoid per-macroblock allocation.
+type Reconstructor struct {
+	pic *PictureHeader
+
+	predY          [256]uint8
+	predCb, predCr [64]uint8
+	aY             [256]uint8
+	aCb, aCr       [64]uint8
+}
+
+// NewReconstructor returns a Reconstructor for pictures described by pic.
+func NewReconstructor(pic *PictureHeader) *Reconstructor {
+	return &Reconstructor{pic: pic}
+}
+
+func clip255(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// blockOffsets maps block index 0..3 to the luma offset within a macroblock.
+var blockOffsets = [4][2]int{{0, 0}, {8, 0}, {0, 8}, {8, 8}}
+
+// Macroblock reconstructs mb into dst. fwd and bwd are the forward and
+// backward reference windows (bwd may be nil outside B pictures). The
+// macroblock position is derived from mb.Addr and mbWidth.
+func (rc *Reconstructor) Macroblock(dst, fwd, bwd *PixelBuf, mb *Macroblock, mbWidth int) error {
+	mbx := mb.Addr % mbWidth
+	mby := mb.Addr / mbWidth
+	if mb.Intra() {
+		rc.intra(dst, mbx, mby, mb.Blocks)
+		return nil
+	}
+	return rc.inter(dst, fwd, bwd, mbx, mby, mb.Motion(), mb.CBP, mb.Blocks)
+}
+
+// Skipped reconstructs one skipped macroblock at (mbx, mby). In P pictures a
+// skipped macroblock is a zero-vector forward copy; in B pictures it repeats
+// the previous macroblock's prediction (prev).
+func (rc *Reconstructor) Skipped(dst, fwd, bwd *PixelBuf, mbx, mby int, prev MotionInfo) error {
+	m := MotionInfo{Fwd: true}
+	if rc.pic.PicType == PictureB {
+		m = prev
+		if !m.Fwd && !m.Bwd {
+			return syntaxErrf("skipped B macroblock after intra at (%d,%d)", mbx, mby)
+		}
+	}
+	return rc.inter(dst, fwd, bwd, mbx, mby, m, 0, nil)
+}
+
+func (rc *Reconstructor) intra(dst *PixelBuf, mbx, mby int, blocks *[6][64]int32) {
+	x, y := mbx*16, mby*16
+	for i := 0; i < 4; i++ {
+		blk := &blocks[i]
+		IDCT(blk)
+		bx, by := x+blockOffsets[i][0], y+blockOffsets[i][1]
+		for r := 0; r < 8; r++ {
+			di := dst.lumaIndex(bx, by+r)
+			src := blk[r*8 : r*8+8]
+			for c := 0; c < 8; c++ {
+				dst.Y[di+c] = clip255(src[c])
+			}
+		}
+	}
+	cx, cy := x/2, y/2
+	for i := 4; i < 6; i++ {
+		blk := &blocks[i]
+		IDCT(blk)
+		plane := dst.Cb
+		if i == 5 {
+			plane = dst.Cr
+		}
+		for r := 0; r < 8; r++ {
+			di := dst.chromaIndex(cx, cy+r)
+			src := blk[r*8 : r*8+8]
+			for c := 0; c < 8; c++ {
+				plane[di+c] = clip255(src[c])
+			}
+		}
+	}
+}
+
+func (rc *Reconstructor) inter(dst, fwd, bwd *PixelBuf, mbx, mby int, m MotionInfo, cbp int, blocks *[6][64]int32) error {
+	x, y := mbx*16, mby*16
+	switch {
+	case m.Fwd && m.Bwd:
+		if err := rc.predict(fwd, x, y, m.MVFwd, &rc.predY, &rc.predCb, &rc.predCr); err != nil {
+			return err
+		}
+		if err := rc.predict(bwd, x, y, m.MVBwd, &rc.aY, &rc.aCb, &rc.aCr); err != nil {
+			return err
+		}
+		for i := range rc.predY {
+			rc.predY[i] = uint8((int32(rc.predY[i]) + int32(rc.aY[i]) + 1) >> 1)
+		}
+		for i := range rc.predCb {
+			rc.predCb[i] = uint8((int32(rc.predCb[i]) + int32(rc.aCb[i]) + 1) >> 1)
+			rc.predCr[i] = uint8((int32(rc.predCr[i]) + int32(rc.aCr[i]) + 1) >> 1)
+		}
+	case m.Fwd:
+		if err := rc.predict(fwd, x, y, m.MVFwd, &rc.predY, &rc.predCb, &rc.predCr); err != nil {
+			return err
+		}
+	case m.Bwd:
+		if err := rc.predict(bwd, x, y, m.MVBwd, &rc.predY, &rc.predCb, &rc.predCr); err != nil {
+			return err
+		}
+	default:
+		return syntaxErrf("inter macroblock with no prediction at (%d,%d)", mbx, mby)
+	}
+
+	// Store prediction plus residual.
+	for i := 0; i < 4; i++ {
+		bx, by := x+blockOffsets[i][0], y+blockOffsets[i][1]
+		coded := cbp&(1<<uint(5-i)) != 0
+		var blk *[64]int32
+		if coded {
+			blk = &blocks[i]
+			IDCT(blk)
+		}
+		for r := 0; r < 8; r++ {
+			di := dst.lumaIndex(bx, by+r)
+			pi := (blockOffsets[i][1]+r)*16 + blockOffsets[i][0]
+			if coded {
+				res := blk[r*8 : r*8+8]
+				for c := 0; c < 8; c++ {
+					dst.Y[di+c] = clip255(int32(rc.predY[pi+c]) + res[c])
+				}
+			} else {
+				copy(dst.Y[di:di+8], rc.predY[pi:pi+8])
+			}
+		}
+	}
+	cx, cy := x/2, y/2
+	for i := 4; i < 6; i++ {
+		plane, pred := dst.Cb, &rc.predCb
+		if i == 5 {
+			plane, pred = dst.Cr, &rc.predCr
+		}
+		coded := cbp&(1<<uint(5-i)) != 0
+		var blk *[64]int32
+		if coded {
+			blk = &blocks[i]
+			IDCT(blk)
+		}
+		for r := 0; r < 8; r++ {
+			di := dst.chromaIndex(cx, cy+r)
+			if coded {
+				res := blk[r*8 : r*8+8]
+				for c := 0; c < 8; c++ {
+					plane[di+c] = clip255(int32(pred[r*8+c]) + res[c])
+				}
+			} else {
+				copy(plane[di:di+8], pred[r*8:r*8+8])
+			}
+		}
+	}
+	return nil
+}
+
+// predict fills the 16×16 luma and 8×8 chroma prediction buffers from ref
+// for the macroblock at luma position (x, y) with motion vector mv in
+// half-sample units.
+func (rc *Reconstructor) predict(ref *PixelBuf, x, y int, mv [2]int32, py *[256]uint8, pcb, pcr *[64]uint8) error {
+	if ref == nil {
+		return syntaxErrf("missing reference picture")
+	}
+	// Luma.
+	sx := x + int(mv[0]>>1)
+	sy := y + int(mv[1]>>1)
+	hx := int(mv[0] & 1)
+	hy := int(mv[1] & 1)
+	if !ref.Contains(sx, sy, 16+hx, 16+hy) {
+		return fmt.Errorf("%w: motion vector (%d,%d) at (%d,%d) leaves reference window [%d,%d %dx%d]",
+			errSyntax, mv[0], mv[1], x, y, ref.X0, ref.Y0, ref.W, ref.H)
+	}
+	samplePlane(py[:], 16, 16, ref.Y, ref.W, ref.lumaIndex(sx, sy), hx, hy)
+
+	// Chroma: vectors are halved with truncation toward zero (§7.6.3.7).
+	cmvx := mv[0] / 2
+	cmvy := mv[1] / 2
+	csx := x/2 + int(cmvx>>1)
+	csy := y/2 + int(cmvy>>1)
+	chx := int(cmvx & 1)
+	chy := int(cmvy & 1)
+	cw := ref.W / 2
+	ci := ref.chromaIndex(csx, csy)
+	samplePlane(pcb[:], 8, 8, ref.Cb, cw, ci, chx, chy)
+	samplePlane(pcr[:], 8, 8, ref.Cr, cw, ci, chx, chy)
+	return nil
+}
+
+// samplePlane copies a w×h block from src (starting at index si, given
+// stride) into dst with optional half-sample interpolation.
+func samplePlane(dst []uint8, w, h int, src []uint8, stride, si, hx, hy int) {
+	switch {
+	case hx == 0 && hy == 0:
+		for r := 0; r < h; r++ {
+			copy(dst[r*w:r*w+w], src[si+r*stride:si+r*stride+w])
+		}
+	case hx == 1 && hy == 0:
+		for r := 0; r < h; r++ {
+			row := src[si+r*stride:]
+			d := dst[r*w:]
+			for c := 0; c < w; c++ {
+				d[c] = uint8((int32(row[c]) + int32(row[c+1]) + 1) >> 1)
+			}
+		}
+	case hx == 0 && hy == 1:
+		for r := 0; r < h; r++ {
+			row := src[si+r*stride:]
+			nxt := src[si+(r+1)*stride:]
+			d := dst[r*w:]
+			for c := 0; c < w; c++ {
+				d[c] = uint8((int32(row[c]) + int32(nxt[c]) + 1) >> 1)
+			}
+		}
+	default:
+		for r := 0; r < h; r++ {
+			row := src[si+r*stride:]
+			nxt := src[si+(r+1)*stride:]
+			d := dst[r*w:]
+			for c := 0; c < w; c++ {
+				d[c] = uint8((int32(row[c]) + int32(row[c+1]) + int32(nxt[c]) + int32(nxt[c+1]) + 2) >> 2)
+			}
+		}
+	}
+}
+
+// mv/2 truncation toward zero for negative values is what Go's integer
+// division provides, matching the spec's "/" operator.
+var _ = func() bool {
+	if -3/2 != -1 {
+		panic("integer division semantics changed")
+	}
+	return true
+}()

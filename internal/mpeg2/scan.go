@@ -1,0 +1,56 @@
+package mpeg2
+
+// Coefficient scan orders (ISO/IEC 13818-2 figures 7-2 and 7-3). scan[k] is
+// the raster index (v*8+u) of the k-th transmitted coefficient.
+
+// ZigZagScan is the conventional zig-zag order (alternate_scan = 0).
+var ZigZagScan = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// AlternateScan is the vertical-biased order (alternate_scan = 1).
+var AlternateScan = [64]int{
+	0, 8, 16, 24, 1, 9, 2, 10,
+	17, 25, 32, 40, 48, 56, 57, 49,
+	41, 33, 26, 18, 3, 11, 4, 12,
+	19, 27, 34, 42, 50, 58, 35, 43,
+	51, 59, 20, 28, 5, 13, 6, 14,
+	21, 29, 36, 44, 52, 60, 37, 45,
+	53, 61, 22, 30, 7, 15, 23, 31,
+	38, 46, 54, 62, 39, 47, 55, 63,
+}
+
+// ScanOrder returns the scan for the alternate_scan flag.
+func ScanOrder(alternate bool) *[64]int {
+	if alternate {
+		return &AlternateScan
+	}
+	return &ZigZagScan
+}
+
+// inverseScan caches position -> scan index maps, used by the encoder.
+var zigZagInv, alternateInv [64]int
+
+func init() {
+	for k, p := range ZigZagScan {
+		zigZagInv[p] = k
+	}
+	for k, p := range AlternateScan {
+		alternateInv[p] = k
+	}
+}
+
+// InverseScan returns the raster-to-scan-index map for the flag.
+func InverseScan(alternate bool) *[64]int {
+	if alternate {
+		return &alternateInv
+	}
+	return &zigZagInv
+}

@@ -1,0 +1,148 @@
+package mpeg2
+
+import (
+	"fmt"
+
+	"tiledwall/internal/bits"
+)
+
+// PictureStats summarises a picture's macroblock population — what the
+// second-level splitter effectively learns while splitting. It drives
+// cmd/mpeg2info -stats and the content-analysis experiments.
+type PictureStats struct {
+	Type    PictureType
+	Slices  int
+	Intra   int
+	Inter   int
+	Skipped int
+	Coded   int // macroblocks with at least one coded block
+	Bits    int // total macroblock-layer bits
+
+	// MaxMV is the largest absolute motion component (half-sample units).
+	MaxMV int32
+	// AvgQuant is the mean quantiser_scale_code over coded macroblocks.
+	AvgQuant float64
+}
+
+// MBs returns the total macroblocks accounted for.
+func (s *PictureStats) MBs() int { return s.Intra + s.Inter + s.Skipped }
+
+// CollectPictureStats parses one picture unit (VLD only, no pixels).
+func CollectPictureStats(seq *SequenceHeader, unit []byte) (*PictureStats, error) {
+	ph, sliceOff, err := ParsePictureUnit(unit)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := NewPictureContext(seq, ph)
+	if err != nil {
+		return nil, err
+	}
+	st := &PictureStats{Type: ph.PicType}
+	var quantSum int64
+
+	r := bits.NewReader(unit)
+	r.SeekBit(sliceOff)
+	for bits.NextStartCodeReader(r) {
+		pos := r.BitPos() / 8
+		code := unit[pos+3]
+		if !bits.IsSliceStartCode(code) {
+			break
+		}
+		r.Skip(32)
+		vpos := int(code)
+		if seq.Height > 2800 {
+			vpos = int(r.Read(3))<<7 + vpos
+		}
+		sd, err := NewSliceDecoder(ctx, r, vpos)
+		if err != nil {
+			return nil, err
+		}
+		sd.SetParseOnly(true)
+		st.Slices++
+		var mb Macroblock
+		for {
+			ok, err := sd.Next(&mb)
+			if err != nil {
+				return nil, fmt.Errorf("stats slice %d: %w", vpos, err)
+			}
+			if !ok {
+				break
+			}
+			st.Skipped += mb.SkippedBefore
+			if mb.Intra() {
+				st.Intra++
+			} else {
+				st.Inter++
+			}
+			if mb.CBP != 0 {
+				st.Coded++
+			}
+			st.Bits += mb.BitEnd - mb.BitStart
+			quantSum += int64(mb.QuantCode)
+			for _, v := range []int32{mb.MVFwd[0], mb.MVFwd[1], mb.MVBwd[0], mb.MVBwd[1]} {
+				if v < 0 {
+					v = -v
+				}
+				if v > st.MaxMV {
+					st.MaxMV = v
+				}
+			}
+		}
+	}
+	if n := st.Intra + st.Inter; n > 0 {
+		st.AvgQuant = float64(quantSum) / float64(n)
+	}
+	return st, nil
+}
+
+// StreamStats aggregates per-type totals across a stream.
+type StreamStats struct {
+	Pictures map[PictureType]int
+	Stats    map[PictureType]PictureStats // summed fields
+}
+
+// CollectStreamStats runs CollectPictureStats over every picture.
+func CollectStreamStats(s *Stream) (*StreamStats, error) {
+	out := &StreamStats{
+		Pictures: map[PictureType]int{},
+		Stats:    map[PictureType]PictureStats{},
+	}
+	for i, unit := range s.Pictures {
+		ps, err := CollectPictureStats(s.Seq, unit)
+		if err != nil {
+			return nil, fmt.Errorf("picture %d: %w", i, err)
+		}
+		out.Pictures[ps.Type]++
+		acc := out.Stats[ps.Type]
+		acc.Type = ps.Type
+		acc.Slices += ps.Slices
+		acc.Intra += ps.Intra
+		acc.Inter += ps.Inter
+		acc.Skipped += ps.Skipped
+		acc.Coded += ps.Coded
+		acc.Bits += ps.Bits
+		if ps.MaxMV > acc.MaxMV {
+			acc.MaxMV = ps.MaxMV
+		}
+		acc.AvgQuant += ps.AvgQuant // averaged on output
+		out.Stats[ps.Type] = acc
+	}
+	return out, nil
+}
+
+// Format renders the aggregate as the table cmd/mpeg2info -stats prints.
+func (ss *StreamStats) Format() string {
+	out := fmt.Sprintf("%-5s %5s %8s %8s %8s %8s %10s %7s %6s\n",
+		"type", "pics", "intra", "inter", "skipped", "coded", "kbits/pic", "maxMV", "avgQ")
+	for _, t := range []PictureType{PictureI, PictureP, PictureB} {
+		n := ss.Pictures[t]
+		if n == 0 {
+			continue
+		}
+		a := ss.Stats[t]
+		out += fmt.Sprintf("%-5s %5d %8d %8d %8d %8d %10.1f %7d %6.1f\n",
+			t, n, a.Intra, a.Inter, a.Skipped, a.Coded,
+			float64(a.Bits)/float64(n)/1000, a.MaxMV, a.AvgQuant/float64(n))
+	}
+	return out
+}

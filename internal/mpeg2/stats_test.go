@@ -1,0 +1,59 @@
+package mpeg2
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectPictureStats(t *testing.T) {
+	data := buildTinyStream(t, 64, 48, []uint8{40, 0}, []PictureType{PictureI, PictureP})
+	s, err := ParseStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iStats, err := CollectPictureStats(s.Seq, s.Pictures[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iStats.Type != PictureI || iStats.Intra != 12 || iStats.Inter != 0 || iStats.Skipped != 0 {
+		t.Fatalf("I stats: %+v", iStats)
+	}
+	if iStats.Slices != 3 || iStats.Coded != 12 {
+		t.Fatalf("I slices/coded: %+v", iStats)
+	}
+	if iStats.Bits <= 0 {
+		t.Fatal("no bits counted")
+	}
+	pStats, err := CollectPictureStats(s.Seq, s.Pictures[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pStats.Type != PictureP || pStats.Inter != 12 || pStats.Intra != 0 {
+		t.Fatalf("P stats: %+v", pStats)
+	}
+	if pStats.MaxMV != 0 {
+		t.Fatalf("pure-copy P has MaxMV %d", pStats.MaxMV)
+	}
+}
+
+func TestCollectStreamStats(t *testing.T) {
+	data := buildTinyStream(t, 64, 48,
+		[]uint8{40, 0, 0}, []PictureType{PictureI, PictureP, PictureB})
+	s, err := ParseStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := CollectStreamStats(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Pictures[PictureI] != 1 || ss.Pictures[PictureP] != 1 || ss.Pictures[PictureB] != 1 {
+		t.Fatalf("picture counts %+v", ss.Pictures)
+	}
+	out := ss.Format()
+	for _, want := range []string{"type", "I", "P", "B", "kbits/pic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted stats missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package mpeg2
+
+// This file transcribes the Annex B variable-length code tables of
+// ISO/IEC 13818-2. Each table is declared as (code string, value) pairs and
+// compiled at init; buildVLC panics on any prefix collision, so the package
+// fails loudly if a transcription error breaks the code space.
+
+// --- Table B-1: macroblock_address_increment -------------------------------
+
+// mbAddrIncEscape is the special "macroblock_escape" code adding 33 to the
+// increment; it may repeat.
+const (
+	mbAddrIncEscapeVal = 34
+	mbAddrIncEscape    = "0000 0001 000"
+)
+
+var mbAddrIncTable = buildVLC("B-1 macroblock_address_increment", []vlcSpec{
+	{"1", 1},
+	{"011", 2}, {"010", 3},
+	{"0011", 4}, {"0010", 5},
+	{"0001 1", 6}, {"0001 0", 7},
+	{"0000 111", 8}, {"0000 110", 9},
+	{"0000 1011", 10}, {"0000 1010", 11}, {"0000 1001", 12}, {"0000 1000", 13},
+	{"0000 0111", 14}, {"0000 0110", 15},
+	{"0000 0101 11", 16}, {"0000 0101 10", 17}, {"0000 0101 01", 18}, {"0000 0101 00", 19},
+	{"0000 0100 11", 20}, {"0000 0100 10", 21},
+	{"0000 0100 011", 22}, {"0000 0100 010", 23}, {"0000 0100 001", 24}, {"0000 0100 000", 25},
+	{"0000 0011 111", 26}, {"0000 0011 110", 27}, {"0000 0011 101", 28}, {"0000 0011 100", 29},
+	{"0000 0011 011", 30}, {"0000 0011 010", 31}, {"0000 0011 001", 32}, {"0000 0011 000", 33},
+	{mbAddrIncEscape, mbAddrIncEscapeVal},
+})
+
+// --- Tables B-2/B-3/B-4: macroblock_type -----------------------------------
+
+// Macroblock type flag bits, combined into the VLC value.
+const (
+	MBQuant     = 1 << 0 // macroblock_quant
+	MBMotionFwd = 1 << 1 // macroblock_motion_forward
+	MBMotionBwd = 1 << 2 // macroblock_motion_backward
+	MBPattern   = 1 << 3 // macroblock_pattern (coded block pattern follows)
+	MBIntra     = 1 << 4 // macroblock_intra
+)
+
+// Table B-2 (I-pictures).
+var mbTypeITable = buildVLC("B-2 macroblock_type I", []vlcSpec{
+	{"1", MBIntra},
+	{"01", MBIntra | MBQuant},
+})
+
+// Table B-3 (P-pictures).
+var mbTypePTable = buildVLC("B-3 macroblock_type P", []vlcSpec{
+	{"1", MBMotionFwd | MBPattern},
+	{"01", MBPattern},
+	{"001", MBMotionFwd},
+	{"0001 1", MBIntra},
+	{"0001 0", MBMotionFwd | MBPattern | MBQuant},
+	{"0000 1", MBPattern | MBQuant},
+	{"0000 01", MBIntra | MBQuant},
+})
+
+// Table B-4 (B-pictures).
+var mbTypeBTable = buildVLC("B-4 macroblock_type B", []vlcSpec{
+	{"10", MBMotionFwd | MBMotionBwd},
+	{"11", MBMotionFwd | MBMotionBwd | MBPattern},
+	{"010", MBMotionBwd},
+	{"011", MBMotionBwd | MBPattern},
+	{"0010", MBMotionFwd},
+	{"0011", MBMotionFwd | MBPattern},
+	{"0001 1", MBIntra},
+	{"0001 0", MBMotionFwd | MBMotionBwd | MBPattern | MBQuant},
+	{"0000 11", MBMotionFwd | MBPattern | MBQuant},
+	{"0000 10", MBMotionBwd | MBPattern | MBQuant},
+	{"0000 01", MBIntra | MBQuant},
+})
+
+// --- Table B-9: coded_block_pattern (4:2:0) --------------------------------
+
+var cbpTable = buildVLC("B-9 coded_block_pattern", []vlcSpec{
+	{"111", 60},
+	{"1101", 4}, {"1100", 8}, {"1011", 16}, {"1010", 32},
+	{"1001 1", 12}, {"1001 0", 48}, {"1000 1", 20}, {"1000 0", 40},
+	{"0111 1", 28}, {"0111 0", 44}, {"0110 1", 52}, {"0110 0", 56},
+	{"0101 1", 1}, {"0101 0", 61}, {"0100 1", 2}, {"0100 0", 62},
+	{"0011 11", 24}, {"0011 10", 36}, {"0011 01", 3}, {"0011 00", 63},
+	{"0010 111", 5}, {"0010 110", 9}, {"0010 101", 17}, {"0010 100", 33},
+	{"0010 011", 6}, {"0010 010", 10}, {"0010 001", 18}, {"0010 000", 34},
+	{"0001 1111", 7}, {"0001 1110", 11}, {"0001 1101", 19}, {"0001 1100", 35},
+	{"0001 1011", 13}, {"0001 1010", 49}, {"0001 1001", 21}, {"0001 1000", 41},
+	{"0001 0111", 14}, {"0001 0110", 50}, {"0001 0101", 22}, {"0001 0100", 42},
+	{"0001 0011", 15}, {"0001 0010", 51}, {"0001 0001", 23}, {"0001 0000", 43},
+	{"0000 1111", 25}, {"0000 1110", 37}, {"0000 1101", 26}, {"0000 1100", 38},
+	{"0000 1011", 29}, {"0000 1010", 45}, {"0000 1001", 53}, {"0000 1000", 57},
+	{"0000 0111", 30}, {"0000 0110", 46}, {"0000 0101", 54}, {"0000 0100", 58},
+	{"0000 0011 1", 31}, {"0000 0011 0", 47}, {"0000 0010 1", 55}, {"0000 0010 0", 59},
+	{"0000 0001 1", 27}, {"0000 0001 0", 39},
+	{"0000 0000 1", 0}, // cbp 0: only valid for 4:2:2/4:4:4; kept for completeness
+})
+
+// --- Table B-10: motion_code ------------------------------------------------
+
+// Motion codes are stored as magnitude codes 0..16; a sign bit follows every
+// non-zero magnitude (0 = positive, 1 = negative).
+var motionCodeTable = buildVLC("B-10 motion_code magnitude", []vlcSpec{
+	{"1", 0},
+	{"01", 1},
+	{"001", 2},
+	{"0001", 3},
+	{"0000 11", 4},
+	{"0000 101", 5}, {"0000 100", 6}, {"0000 011", 7},
+	{"0000 0101 1", 8}, {"0000 0101 0", 9}, {"0000 0100 1", 10},
+	{"0000 0100 01", 11}, {"0000 0100 00", 12},
+	{"0000 0011 11", 13}, {"0000 0011 10", 14}, {"0000 0011 01", 15}, {"0000 0011 00", 16},
+})
+
+// --- Tables B-12/B-13: dct_dc_size ------------------------------------------
+
+var dcSizeLumaTable = buildVLC("B-12 dct_dc_size_luminance", []vlcSpec{
+	{"100", 0},
+	{"00", 1}, {"01", 2},
+	{"101", 3}, {"110", 4},
+	{"1110", 5}, {"1111 0", 6}, {"1111 10", 7}, {"1111 110", 8},
+	{"1111 1110", 9}, {"1111 1111 0", 10}, {"1111 1111 1", 11},
+})
+
+var dcSizeChromaTable = buildVLC("B-13 dct_dc_size_chrominance", []vlcSpec{
+	{"00", 0}, {"01", 1}, {"10", 2},
+	{"110", 3}, {"1110", 4}, {"1111 0", 5}, {"1111 10", 6}, {"1111 110", 7},
+	{"1111 1110", 8}, {"1111 1111 0", 9}, {"1111 1111 10", 10}, {"1111 1111 11", 11},
+})

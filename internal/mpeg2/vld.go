@@ -1,0 +1,441 @@
+package mpeg2
+
+import (
+	"fmt"
+
+	"tiledwall/internal/bits"
+)
+
+// PictureContext bundles the per-picture parameters needed to parse slices.
+// It is shared by the serial decoder, the second-level splitter and the tile
+// decoders.
+type PictureContext struct {
+	Seq *SequenceHeader
+	Pic *PictureHeader
+
+	MBW, MBH int // picture size in macroblocks
+
+	scan     *[64]int
+	intraDCT *dctTable
+}
+
+// NewPictureContext validates pic against the supported subset and returns a
+// context.
+func NewPictureContext(seq *SequenceHeader, pic *PictureHeader) (*PictureContext, error) {
+	if seq == nil || pic == nil {
+		return nil, syntaxErrf("nil sequence or picture header")
+	}
+	if pic.PictureStructure != 3 {
+		return nil, fmt.Errorf("%w: field pictures", errUnsupported)
+	}
+	ctx := &PictureContext{
+		Seq:  seq,
+		Pic:  pic,
+		MBW:  seq.MBWidth(),
+		MBH:  seq.MBHeight(),
+		scan: ScanOrder(pic.AlternateScan),
+	}
+	if pic.IntraVLCFormat {
+		ctx.intraDCT = dctTableB15
+	} else {
+		ctx.intraDCT = dctTableB14
+	}
+	return ctx, nil
+}
+
+func (c *PictureContext) mbTypeTable() *vlcTable {
+	switch c.Pic.PicType {
+	case PictureI:
+		return mbTypeITable
+	case PictureP:
+		return mbTypePTable
+	default:
+		return mbTypeBTable
+	}
+}
+
+// SliceDecoder parses the macroblocks of one (possibly partial) slice.
+//
+// A full slice is created with NewSliceDecoder, positioned just after the
+// 32-bit slice start code; it ends when the next start code is reached. A
+// partial slice (a sub-picture piece) is created with NewPartialSliceDecoder
+// seeded from SPH state; it ends after a known number of coded macroblocks.
+type SliceDecoder struct {
+	ctx *PictureContext
+	r   *bits.Reader
+
+	state      PredState
+	prevMotion MotionInfo
+
+	mbAddr int // address of the previous coded macroblock
+	first  bool
+
+	// Partial-slice mode.
+	partial       bool
+	remaining     int // coded macroblocks left
+	firstAddr     int // address override for the first macroblock
+	parseOnly     bool
+	scratchBlocks [6][64]int32
+}
+
+// NewSliceDecoder starts a full slice. r must be positioned immediately
+// after the slice start code; verticalPos is the 1-based macroblock row from
+// the start code value (plus slice_vertical_position_extension when the
+// picture is taller than 2800 lines, which the caller handles by passing the
+// combined value).
+func NewSliceDecoder(ctx *PictureContext, r *bits.Reader, verticalPos int) (*SliceDecoder, error) {
+	if verticalPos < 1 || verticalPos > ctx.MBH {
+		return nil, syntaxErrf("slice vertical position %d of %d", verticalPos, ctx.MBH)
+	}
+	d := &SliceDecoder{
+		ctx:    ctx,
+		r:      r,
+		first:  true,
+		mbAddr: (verticalPos-1)*ctx.MBW - 1,
+	}
+	d.state.ResetDC(ctx.Pic.IntraDCPrecision)
+	d.state.ResetMV()
+	d.state.QuantCode = int(r.Read(5))
+	if d.state.QuantCode == 0 {
+		return nil, syntaxErrf("quantiser_scale_code 0 in slice header")
+	}
+	// extra_bit_slice / extra_information_slice
+	for r.ReadBit() == 1 {
+		r.Read(8)
+	}
+	return d, r.Err()
+}
+
+// NewPartialSliceDecoder starts a partial slice seeded with predictor state
+// (from an SPH). r must be positioned at the first macroblock's address
+// increment. codedCount macroblocks will be parsed; the first one's address
+// is forced to firstAddr regardless of its parsed increment. When parseOnly
+// is set, coefficient blocks are parsed but not retained or dequantised.
+func NewPartialSliceDecoder(ctx *PictureContext, r *bits.Reader, st PredState, prev MotionInfo, firstAddr, codedCount int) *SliceDecoder {
+	return &SliceDecoder{
+		ctx:        ctx,
+		r:          r,
+		state:      st,
+		prevMotion: prev,
+		first:      true,
+		partial:    true,
+		remaining:  codedCount,
+		firstAddr:  firstAddr,
+	}
+}
+
+// SetParseOnly disables coefficient retention and dequantisation; used by
+// the splitter, which only needs bit boundaries and state snapshots.
+func (d *SliceDecoder) SetParseOnly(v bool) { d.parseOnly = v }
+
+// State returns the current prediction state (after the last parsed
+// macroblock).
+func (d *SliceDecoder) State() PredState { return d.state }
+
+// PrevMotion returns the motion summary of the most recently parsed coded
+// macroblock.
+func (d *SliceDecoder) PrevMotion() MotionInfo { return d.prevMotion }
+
+// atSliceEnd reports whether the reader has reached the end of the slice: a
+// run of at least 23 zero bits marks the byte-stuffing before the next start
+// code, and when fewer bits remain (the indexed picture unit excludes the
+// following start code) the slice ends once only alignment zeros are left.
+func (d *SliceDecoder) atSliceEnd() bool {
+	rem := d.r.Remaining()
+	if rem == 0 {
+		return true
+	}
+	n := rem
+	if n > 23 {
+		n = 23
+	}
+	return d.r.Peek(n) == 0
+}
+
+// Next parses the next coded macroblock into mb. It returns false at the end
+// of the slice (or when the partial slice's macroblock budget is exhausted).
+func (d *SliceDecoder) Next(mb *Macroblock) (bool, error) {
+	if d.partial {
+		if d.remaining == 0 {
+			return false, nil
+		}
+	} else if d.atSliceEnd() {
+		return false, nil
+	}
+
+	r := d.r
+	pic := d.ctx.Pic
+	mb.BitStart = r.BitPos()
+
+	// macroblock_address_increment with escapes.
+	increment := 0
+	for {
+		v, ok := mbAddrIncTable.decode(r)
+		if !ok {
+			return false, syntaxErrf("bad macroblock_address_increment at bit %d", r.BitPos())
+		}
+		if v == mbAddrIncEscapeVal {
+			increment += 33
+			continue
+		}
+		increment += v
+		break
+	}
+
+	if d.first && d.partial {
+		// The parsed increment belongs to the original picture-wide
+		// addressing; the SPH supplies this piece's first address.
+		mb.Addr = d.firstAddr
+		mb.SkippedBefore = 0
+	} else {
+		mb.Addr = d.mbAddr + increment
+		mb.SkippedBefore = increment - 1
+		if d.first {
+			// Slice start: "skipped" macroblocks before the first coded one
+			// do not exist; the increment only sets the column.
+			mb.SkippedBefore = 0
+		}
+	}
+	if mb.Addr >= d.ctx.MBW*d.ctx.MBH {
+		return false, syntaxErrf("macroblock address %d out of picture", mb.Addr)
+	}
+
+	// Skipped-run state resets (§7.6.6): DC predictors always reset; motion
+	// predictors reset in P pictures.
+	if mb.SkippedBefore > 0 {
+		d.state.ResetDC(pic.IntraDCPrecision)
+		if pic.PicType == PictureP {
+			d.state.ResetMV()
+		}
+	}
+
+	mb.StateBefore = d.state
+	mb.PrevMotion = d.prevMotion
+
+	// macroblock_modes.
+	flags, ok := d.ctx.mbTypeTable().decode(r)
+	if !ok {
+		return false, syntaxErrf("bad macroblock_type at bit %d", r.BitPos())
+	}
+	mb.Flags = flags
+	// frame_pred_frame_dct == 1 is enforced at header parse, so neither
+	// frame_motion_type nor dct_type is present.
+
+	if flags&MBQuant != 0 {
+		q := int(r.Read(5))
+		if q == 0 {
+			return false, syntaxErrf("quantiser_scale_code 0 in macroblock")
+		}
+		d.state.QuantCode = q
+	}
+	mb.QuantCode = d.state.QuantCode
+
+	// Motion vectors.
+	if flags&MBMotionFwd != 0 {
+		if err := d.motionVector(0, &mb.MVFwd); err != nil {
+			return false, err
+		}
+	}
+	if flags&MBMotionBwd != 0 {
+		if err := d.motionVector(1, &mb.MVBwd); err != nil {
+			return false, err
+		}
+	}
+	if flags&MBIntra == 0 && flags&MBMotionFwd == 0 && pic.PicType == PictureP {
+		// "No MC, coded": zero forward vector, predictors reset.
+		d.state.ResetMV()
+		mb.MVFwd = [2]int32{}
+		mb.Flags |= MBMotionFwd
+	}
+	if flags&MBIntra != 0 {
+		// Intra macroblocks reset the motion predictors (no concealment MVs
+		// in the supported subset).
+		d.state.ResetMV()
+	} else {
+		// Non-intra macroblocks reset the DC predictors.
+		d.state.ResetDC(pic.IntraDCPrecision)
+	}
+
+	// Coded block pattern.
+	switch {
+	case flags&MBIntra != 0:
+		mb.CBP = 63
+	case flags&MBPattern != 0:
+		cbp, ok := cbpTable.decode(r)
+		if !ok {
+			return false, syntaxErrf("bad coded_block_pattern at bit %d", r.BitPos())
+		}
+		if cbp == 0 {
+			return false, syntaxErrf("coded_block_pattern 0 in 4:2:0")
+		}
+		mb.CBP = cbp
+	default:
+		mb.CBP = 0
+	}
+
+	// Blocks. The buffer is owned by the SliceDecoder and reused across
+	// macroblocks: callers must consume mb.Blocks before the next call to
+	// Next (both the serial decoder and the tile decoders reconstruct each
+	// macroblock immediately).
+	blocks := &d.scratchBlocks
+	if d.parseOnly {
+		mb.Blocks = nil
+	} else {
+		mb.Blocks = blocks
+	}
+	for i := 0; i < 6; i++ {
+		if mb.CBP&(1<<uint(5-i)) == 0 {
+			continue
+		}
+		blk := &blocks[i]
+		if !d.parseOnly {
+			*blk = [64]int32{}
+		}
+		var err error
+		if flags&MBIntra != 0 {
+			err = d.intraBlock(i, blk)
+		} else {
+			err = d.nonIntraBlock(blk)
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+
+	mb.BitEnd = r.BitPos()
+	d.mbAddr = mb.Addr
+	d.prevMotion = mb.Motion()
+	d.first = false
+	if d.partial {
+		d.remaining--
+	}
+	return true, r.Err()
+}
+
+// motionVector decodes the motion vector for direction s (0 fwd, 1 bwd)
+// under frame prediction and reconstructs it against the predictors.
+func (d *SliceDecoder) motionVector(s int, out *[2]int32) error {
+	pic := d.ctx.Pic
+	for t := 0; t < 2; t++ {
+		fcode := pic.FCode[s][t]
+		if fcode < 1 || fcode > 9 {
+			return syntaxErrf("f_code[%d][%d]=%d out of range", s, t, fcode)
+		}
+		mag, ok := motionCodeTable.decode(d.r)
+		if !ok {
+			return syntaxErrf("bad motion_code at bit %d", d.r.BitPos())
+		}
+		var delta int32
+		if mag != 0 {
+			neg := d.r.ReadBit() == 1
+			rSize := uint(fcode - 1)
+			f := int32(1) << rSize
+			residual := int32(0)
+			if fcode > 1 {
+				residual = int32(d.r.Read(int(rSize)))
+			}
+			delta = (int32(mag)-1)*f + residual + 1
+			if neg {
+				delta = -delta
+			}
+		}
+		rSize := uint(fcode - 1)
+		f := int32(1) << rSize
+		high := 16*f - 1
+		low := -16 * f
+		rng := 32 * f
+		v := d.state.PMV[0][s][t] + delta
+		if v < low {
+			v += rng
+		} else if v > high {
+			v -= rng
+		}
+		d.state.PMV[0][s][t] = v
+		d.state.PMV[1][s][t] = v // frame prediction updates both
+		out[t] = v
+	}
+	return nil
+}
+
+// intraBlock parses and dequantises intra block i (0..3 luma, 4 Cb, 5 Cr).
+func (d *SliceDecoder) intraBlock(i int, blk *[64]int32) error {
+	r := d.r
+	pic := d.ctx.Pic
+	comp := 0
+	table := dcSizeLumaTable
+	if i >= 4 {
+		comp = i - 3
+		table = dcSizeChromaTable
+	}
+	size, ok := table.decode(r)
+	if !ok {
+		return syntaxErrf("bad dct_dc_size at bit %d", r.BitPos())
+	}
+	var diff int32
+	if size > 0 {
+		v := int32(r.Read(size))
+		if v < 1<<uint(size-1) {
+			diff = v - (1 << uint(size)) + 1
+		} else {
+			diff = v
+		}
+	}
+	d.state.DCPred[comp] += diff
+	blk[0] = d.state.DCPred[comp]
+
+	scan := d.ctx.scan
+	n := 1
+	for {
+		run, level, eob, ok := d.ctx.intraDCT.decode(r)
+		if !ok {
+			return syntaxErrf("bad intra DCT code at bit %d", r.BitPos())
+		}
+		if eob {
+			break
+		}
+		n += run
+		if n > 63 {
+			return syntaxErrf("intra DCT run past block end")
+		}
+		blk[scan[n]] = int32(level)
+		n++
+	}
+	if !d.parseOnly {
+		DequantIntra(blk, &d.ctx.Seq.IntraQ, QuantiserScale(d.state.QuantCode, pic.QScaleType), pic.DCShift())
+	}
+	return r.Err()
+}
+
+// nonIntraBlock parses and dequantises a non-intra block.
+func (d *SliceDecoder) nonIntraBlock(blk *[64]int32) error {
+	r := d.r
+	scan := d.ctx.scan
+	n := 0
+	first := true
+	for {
+		var run, level int
+		var eob, ok bool
+		if first {
+			run, level, eob, ok = dctTableB14First.decode(r)
+			first = false
+		} else {
+			run, level, eob, ok = dctTableB14.decode(r)
+		}
+		if !ok {
+			return syntaxErrf("bad DCT code at bit %d", r.BitPos())
+		}
+		if eob {
+			break
+		}
+		n += run
+		if n > 63 {
+			return syntaxErrf("DCT run past block end")
+		}
+		blk[scan[n]] = int32(level)
+		n++
+	}
+	if !d.parseOnly {
+		DequantNonIntra(blk, &d.ctx.Seq.NonIntraQ, QuantiserScale(d.state.QuantCode, d.ctx.Pic.QScaleType))
+	}
+	return r.Err()
+}

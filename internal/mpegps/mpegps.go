@@ -1,0 +1,249 @@
+// Package mpegps implements a minimal MPEG-2 Program Stream (ISO/IEC
+// 13818-1) multiplexer and demultiplexer for video elementary streams. The
+// paper's §2 notes MPEG-2 is three standards — video, audio and a system
+// layer for multiplexing; real display-wall content arrives as a program
+// stream, so the tools accept either form (cmd/mpeg2info auto-detects,
+// cmd/genstream can emit PS).
+//
+// The mux writes a pack header with SCR and mux rate, one system header,
+// and video PES packets (stream_id 0xE0) with periodic presentation time
+// stamps; the demux tolerates (and skips) padding and non-video streams.
+package mpegps
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	packStartCode   = 0x000001BA
+	systemStartCode = 0x000001BB
+	programEndCode  = 0x000001B9
+	videoStreamID   = 0xE0
+	paddingStreamID = 0xBE
+
+	// maxPESPayload keeps PES_packet_length within 16 bits including the
+	// extension header.
+	maxPESPayload = 65000
+	// packEvery groups this many PES packets per pack header.
+	packEvery = 8
+)
+
+// MuxOptions tunes the multiplexer.
+type MuxOptions struct {
+	// MuxRateBps is the program mux rate in bits per second (rounded up to
+	// 50-byte units as the standard requires). Default 15 Mbit/s.
+	MuxRateBps int
+	// FrameRate drives SCR/PTS advancement per PES packet group. Default 30.
+	FrameRate float64
+}
+
+func (o *MuxOptions) defaults() {
+	if o.MuxRateBps <= 0 {
+		o.MuxRateBps = 15_000_000
+	}
+	if o.FrameRate <= 0 {
+		o.FrameRate = 30
+	}
+}
+
+// Mux wraps a video elementary stream into a program stream.
+func Mux(es []byte, opts MuxOptions) []byte {
+	opts.defaults()
+	muxRate := (opts.MuxRateBps/8 + 49) / 50
+	out := make([]byte, 0, len(es)+len(es)/maxPESPayload*32+64)
+
+	var scr uint64 // 90 kHz units
+	scrStep := uint64(90000.0 / opts.FrameRate)
+
+	out = appendPackHeader(out, scr, muxRate)
+	out = appendSystemHeader(out)
+
+	pesInPack := 0
+	for off := 0; off < len(es); {
+		n := len(es) - off
+		if n > maxPESPayload {
+			n = maxPESPayload
+		}
+		if pesInPack == packEvery {
+			scr += scrStep
+			out = appendPackHeader(out, scr, muxRate)
+			pesInPack = 0
+		}
+		// PTS on the first PES of each pack (presentation ~ SCR + one frame).
+		var pts uint64
+		withPTS := pesInPack == 0
+		if withPTS {
+			pts = scr + scrStep
+		}
+		out = appendPES(out, es[off:off+n], withPTS, pts)
+		off += n
+		pesInPack++
+	}
+	out = binary.BigEndian.AppendUint32(out, programEndCode)
+	return out
+}
+
+func appendPackHeader(out []byte, scr uint64, muxRate int) []byte {
+	out = binary.BigEndian.AppendUint32(out, packStartCode)
+	base := scr & ((1 << 33) - 1)
+	ext := uint64(0)
+	var b [6]byte
+	// '01' + base[32:30] + marker + base[29:15] + marker + base[14:0] +
+	// marker + ext[8:0] + marker, packed MSB first across 48 bits.
+	v := uint64(0b01) << 46
+	v |= (base >> 30 & 0x7) << 43
+	v |= 1 << 42
+	v |= (base >> 15 & 0x7FFF) << 27
+	v |= 1 << 26
+	v |= (base & 0x7FFF) << 11
+	v |= 1 << 10
+	v |= (ext & 0x1FF) << 1
+	v |= 1
+	for i := 0; i < 6; i++ {
+		b[i] = byte(v >> (40 - 8*i))
+	}
+	out = append(out, b[:]...)
+	// program_mux_rate(22) + '11', then reserved(5) + stuffing length(3)=0.
+	out = append(out,
+		byte(muxRate>>14),
+		byte(muxRate>>6),
+		byte(muxRate<<2)|0b11,
+		0xF8,
+	)
+	return out
+}
+
+func appendSystemHeader(out []byte) []byte {
+	out = binary.BigEndian.AppendUint32(out, systemStartCode)
+	var b []byte
+	b = append(b, 0x80, 0x00, 0x01) // marker + rate_bound(22)=0 + marker
+	b = append(b, 0x00)             // audio_bound(6)=0, fixed=0, CSPS=0
+	b = append(b, 0x21)             // lock flags 0, marker, video_bound(5)=1
+	b = append(b, 0x7F)             // packet_rate_restriction=0 + reserved
+	// P-STD entry for the video stream: '11' + buffer_bound_scale=1 +
+	// buffer_size_bound (13 bits).
+	b = append(b, videoStreamID, 0xE0|0x1F, 0xFF)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(b)))
+	out = append(out, b...)
+	return out
+}
+
+func appendPES(out []byte, payload []byte, withPTS bool, pts uint64) []byte {
+	headerData := 0
+	flags := byte(0)
+	if withPTS {
+		headerData = 5
+		flags = 0x80
+	}
+	out = binary.BigEndian.AppendUint32(out, 0x00000100|videoStreamID)
+	out = binary.BigEndian.AppendUint16(out, uint16(3+headerData+len(payload)))
+	out = append(out, 0x80, flags, byte(headerData))
+	if withPTS {
+		p := pts & ((1 << 33) - 1)
+		out = append(out,
+			byte(0x20|(p>>29&0x0E)|1),
+			byte(p>>22),
+			byte(p>>14|1),
+			byte(p>>7),
+			byte(p<<1|1),
+		)
+	}
+	return append(out, payload...)
+}
+
+// IsProgramStream reports whether data begins with a pack start code.
+func IsProgramStream(data []byte) bool {
+	return len(data) >= 4 && binary.BigEndian.Uint32(data) == packStartCode
+}
+
+// Demux extracts the video elementary stream (stream_id 0xE0..0xEF) from a
+// program stream. It tolerates padding packets and skips audio/private
+// streams.
+func Demux(data []byte) ([]byte, error) {
+	if !IsProgramStream(data) {
+		return nil, fmt.Errorf("mpegps: not a program stream")
+	}
+	var es []byte
+	off := 0
+	for off+4 <= len(data) {
+		code := binary.BigEndian.Uint32(data[off:])
+		switch {
+		case code == packStartCode:
+			if off+14 > len(data) {
+				return nil, fmt.Errorf("mpegps: truncated pack header at %d", off)
+			}
+			if data[off+4]>>6 != 0b01 {
+				return nil, fmt.Errorf("mpegps: MPEG-1 pack headers not supported")
+			}
+			stuffing := int(data[off+13] & 0x7)
+			off += 14 + stuffing
+		case code == systemStartCode:
+			if off+6 > len(data) {
+				return nil, fmt.Errorf("mpegps: truncated system header")
+			}
+			off += 6 + int(binary.BigEndian.Uint16(data[off+4:]))
+		case code == programEndCode:
+			return es, nil
+		case code>>8 == 0x000001:
+			sid := byte(code)
+			if off+6 > len(data) {
+				return nil, fmt.Errorf("mpegps: truncated PES at %d", off)
+			}
+			plen := int(binary.BigEndian.Uint16(data[off+4:]))
+			pes := data[off+6:]
+			if plen > len(pes) {
+				return nil, fmt.Errorf("mpegps: PES length %d exceeds stream", plen)
+			}
+			pes = pes[:plen]
+			if sid >= videoStreamID && sid <= 0xEF {
+				if len(pes) < 3 || pes[0]>>6 != 0b10 {
+					return nil, fmt.Errorf("mpegps: malformed PES extension for stream %#x", sid)
+				}
+				hdl := int(pes[2])
+				if 3+hdl > len(pes) {
+					return nil, fmt.Errorf("mpegps: PES header data overruns packet")
+				}
+				es = append(es, pes[3+hdl:]...)
+			}
+			off += 6 + plen
+		default:
+			return nil, fmt.Errorf("mpegps: lost sync at offset %d (word %08x)", off, code)
+		}
+	}
+	return es, nil
+}
+
+// ParsePTS extracts the first presentation time stamp of the stream's video
+// PES packets, in 90 kHz units, for inspection tools.
+func ParsePTS(data []byte) (uint64, bool) {
+	off := 0
+	for off+6 <= len(data) {
+		code := binary.BigEndian.Uint32(data[off:])
+		switch {
+		case code == packStartCode:
+			if off+14 > len(data) {
+				return 0, false
+			}
+			off += 14 + int(data[off+13]&0x7)
+		case code == systemStartCode:
+			off += 6 + int(binary.BigEndian.Uint16(data[off+4:]))
+		case code == programEndCode:
+			return 0, false
+		case code>>8 == 0x000001 && byte(code) >= videoStreamID && byte(code) <= 0xEF:
+			pes := data[off+6:]
+			if len(pes) >= 8 && pes[1]&0x80 != 0 {
+				p := pes[3:8]
+				pts := uint64(p[0]>>1&0x07)<<30 | uint64(p[1])<<22 |
+					uint64(p[2]>>1)<<15 | uint64(p[3])<<7 | uint64(p[4])>>1
+				return pts, true
+			}
+			off += 6 + int(binary.BigEndian.Uint16(data[off+4:]))
+		case code>>8 == 0x000001:
+			off += 6 + int(binary.BigEndian.Uint16(data[off+4:]))
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}

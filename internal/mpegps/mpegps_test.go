@@ -1,0 +1,99 @@
+package mpegps
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMuxDemuxRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{0, 1, 100, maxPESPayload, maxPESPayload + 1, 300_000} {
+		es := make([]byte, size)
+		rng.Read(es)
+		ps := Mux(es, MuxOptions{})
+		if !IsProgramStream(ps) {
+			t.Fatalf("size %d: mux output not detected as PS", size)
+		}
+		got, err := Demux(ps)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, es) {
+			t.Fatalf("size %d: demux does not round-trip (%d bytes out)", size, len(got))
+		}
+	}
+}
+
+func TestMuxDemuxQuick(t *testing.T) {
+	f := func(es []byte, rate uint32) bool {
+		ps := Mux(es, MuxOptions{MuxRateBps: int(rate%50_000_000) + 1_000_000})
+		got, err := Demux(ps)
+		return err == nil && bytes.Equal(got, es)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPTSPresent(t *testing.T) {
+	es := make([]byte, 10*maxPESPayload)
+	ps := Mux(es, MuxOptions{FrameRate: 30})
+	pts, ok := ParsePTS(ps)
+	if !ok {
+		t.Fatal("no PTS found")
+	}
+	if pts != 3000 { // one frame at 30 fps in 90 kHz units
+		t.Errorf("first PTS = %d, want 3000", pts)
+	}
+}
+
+func TestDemuxRejectsGarbage(t *testing.T) {
+	if _, err := Demux([]byte{1, 2, 3, 4}); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A valid pack header followed by junk must report lost sync.
+	ps := Mux([]byte("hello"), MuxOptions{})
+	ps = ps[:len(ps)-4] // drop end code
+	ps = append(ps, 0xDE, 0xAD, 0xBE, 0xEF)
+	if _, err := Demux(ps); err == nil {
+		t.Error("lost sync not detected")
+	}
+}
+
+func TestDemuxTruncation(t *testing.T) {
+	ps := Mux(make([]byte, 100_000), MuxOptions{})
+	for cut := 4; cut < len(ps); cut += 997 {
+		// Either a clean error or a prefix of the ES — never a panic.
+		got, err := Demux(ps[:cut])
+		if err == nil && len(got) > 100_000 {
+			t.Fatalf("cut %d: demux invented data", cut)
+		}
+	}
+}
+
+func TestDemuxSkipsForeignStreams(t *testing.T) {
+	es := []byte("video payload")
+	ps := Mux(es, MuxOptions{})
+	// Splice in an audio PES (stream 0xC0) before the end code.
+	audio := []byte{0x00, 0x00, 0x01, 0xC0, 0x00, 0x08, 0x80, 0x00, 0x00, 'a', 'u', 'd', 'i', 'o'}
+	spliced := append(append([]byte{}, ps[:len(ps)-4]...), audio...)
+	spliced = append(spliced, ps[len(ps)-4:]...)
+	got, err := Demux(spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, es) {
+		t.Errorf("foreign stream leaked into video ES: %q", got)
+	}
+}
+
+func TestIsProgramStream(t *testing.T) {
+	if IsProgramStream([]byte{0, 0, 1, 0xB3}) {
+		t.Error("elementary stream detected as PS")
+	}
+	if !IsProgramStream(Mux(nil, MuxOptions{})) {
+		t.Error("PS not detected")
+	}
+}

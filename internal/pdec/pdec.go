@@ -1,0 +1,436 @@
+// Package pdec implements the tile decoder of the parallel system: it
+// receives sub-pictures from the splitters, executes pre-calculated
+// macroblock exchange instructions (SEND before decoding, RECV into the halo
+// of its reference windows), decodes the partial slices seeded from State
+// Propagation Headers, and displays its tile. Acknowledgements are redirected
+// to the splitter named by the message's ANID, which both grants flow-control
+// credit and keeps pictures in order across splitters (paper §4.4-§4.5).
+package pdec
+
+import (
+	"fmt"
+
+	"tiledwall/internal/bits"
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/wall"
+)
+
+// Config wires one tile decoder.
+type Config struct {
+	Seq  *mpeg2.SequenceHeader
+	Geo  *wall.Geometry
+	Tile int
+	// HaloPx is the reference-window margin in pixels, which must cover the
+	// maximum motion vector reach (derive it with HaloForFCode).
+	HaloPx int
+	// TileNode maps a tile index to its fabric node id (for peer exchanges).
+	TileNode func(tile int) int
+	// OnFrame, when non-nil, receives a copy of the tile's decoded pixels in
+	// display order (outside the measured path; used for verification).
+	OnFrame func(displayIdx int, tile int, buf *mpeg2.PixelBuf)
+
+	// UnbatchedSends ships every exchanged macroblock as its own message
+	// instead of one bundle per peer per picture. Ablation knob: quantifies
+	// how much the paper's batched pre-calculated exchange saves in message
+	// count (per-message overhead dominated GM-era networks).
+	UnbatchedSends bool
+}
+
+// HaloForFCode returns a macroblock-aligned halo margin covering the reach
+// of motion vectors with the given maximum f_code.
+func HaloForFCode(fcode int) int {
+	if fcode < 1 {
+		fcode = 1
+	}
+	reach := (16 << uint(fcode-1)) / 2 // max |mv| in full pixels
+	return (reach + 16 + 15) &^ 15     // + interpolation + alignment
+}
+
+// Result reports a decoder's run.
+type Result struct {
+	Breakdown metrics.Breakdown
+	Pictures  int
+}
+
+// Decoder is the per-tile decode engine, usable standalone (one-level
+// system tests) or inside Run.
+type Decoder struct {
+	cfg  Config
+	rect wall.Rect
+	node *cluster.Node
+
+	bufs             []*mpeg2.PixelBuf // ring of 3 halo-extended windows
+	cur, refA, refB  int               // indices into bufs (-1 = none)
+	display          *mpeg2.PixelBuf
+	pendingAnchor    bool
+	pendingAnchorIdx int
+	displayCount     int
+
+	// Out-of-order stash for block bundles from peers that run ahead.
+	stash []*subpic.BlockBundle
+
+	res     Result
+	nextPic int
+}
+
+// NewDecoder allocates the decoder's buffers.
+func NewDecoder(node *cluster.Node, cfg Config) *Decoder {
+	rect := cfg.Geo.Tile(cfg.Tile)
+	halo := cfg.HaloPx
+	x0 := rect.X0 - halo
+	y0 := rect.Y0 - halo
+	x1 := rect.X1 + halo
+	y1 := rect.Y1 + halo
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > cfg.Geo.PicW {
+		x1 = cfg.Geo.PicW
+	}
+	if y1 > cfg.Geo.PicH {
+		y1 = cfg.Geo.PicH
+	}
+	d := &Decoder{cfg: cfg, rect: rect, node: node, cur: 0, refA: -1, refB: -1}
+	for i := 0; i < 3; i++ {
+		d.bufs = append(d.bufs, mpeg2.NewPixelBuf(x0, y0, x1-x0, y1-y0))
+	}
+	d.display = mpeg2.NewPixelBuf(rect.X0, rect.Y0, rect.W(), rect.H())
+	return d
+}
+
+// Run processes sub-pictures until a Final message arrives.
+func (d *Decoder) Run() (*Result, error) {
+	for {
+		done, err := d.Step()
+		if err != nil {
+			return &d.res, err
+		}
+		if done {
+			break
+		}
+	}
+	// Flush the held anchor (display order tail).
+	if d.pendingAnchor {
+		d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		d.pendingAnchor = false
+	}
+	return &d.res, nil
+}
+
+// Step handles one sub-picture message; it reports done=true on Final.
+func (d *Decoder) Step() (bool, error) {
+	b := &d.res.Breakdown
+	var msg *cluster.Message
+	b.Timed(metrics.PhaseReceive, func() {
+		msg = d.node.Recv(cluster.MsgSubPicture)
+	})
+	if msg == nil {
+		return false, fmt.Errorf("tile %d: fabric aborted", d.cfg.Tile)
+	}
+	// Ack to the ANID node: grants the splitter holding the next picture
+	// its go-ahead (credit) — the ordering protocol of §4.5.
+	b.Timed(metrics.PhaseAck, func() {
+		d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
+	})
+	sp, err := subpic.Unmarshal(msg.Payload)
+	if err != nil {
+		return false, fmt.Errorf("tile %d: %w", d.cfg.Tile, err)
+	}
+	if sp.Final {
+		// A splitter that ran out of pictures early may deliver its end
+		// marker before the last pictures from the other splitters; only
+		// exit once every picture has been decoded.
+		if total := int(sp.Pic.Index); d.nextPic < total {
+			return false, nil
+		}
+		return true, nil
+	}
+	if int(sp.Pic.Index) != d.nextPic {
+		return false, fmt.Errorf("tile %d: picture %d arrived, expected %d (ordering protocol violated)",
+			d.cfg.Tile, sp.Pic.Index, d.nextPic)
+	}
+	d.nextPic++
+	if err := d.decodePicture(sp); err != nil {
+		return false, err
+	}
+	d.res.Pictures++
+	b.Pictures++
+	return false, nil
+}
+
+// refFor maps a reference selector to a buffer index for the picture type.
+func (d *Decoder) refFor(sel subpic.RefSel, picType mpeg2.PictureType) int {
+	if picType == mpeg2.PictureB && sel == subpic.RefFwd {
+		return d.refA
+	}
+	return d.refB
+}
+
+func (d *Decoder) decodePicture(sp *subpic.SubPicture) error {
+	b := &d.res.Breakdown
+	ph := sp.Pic.Header()
+	ctx, err := mpeg2.NewPictureContext(d.cfg.Seq, ph)
+	if err != nil {
+		return err
+	}
+
+	// Serve: execute SEND instructions, batched into one bundle per peer.
+	var serveErr error
+	b.Timed(metrics.PhaseServe, func() { serveErr = d.executeSends(sp, ph.PicType) })
+	if serveErr != nil {
+		return serveErr
+	}
+
+	// Wait: drain expected RECVs into the halo of the reference windows.
+	var waitErr error
+	b.Timed(metrics.PhaseWaitMB, func() { waitErr = d.drainRecvs(sp, ph.PicType) })
+	if waitErr != nil {
+		return waitErr
+	}
+
+	// Work: decode every piece, then display.
+	var workErr error
+	b.Timed(metrics.PhaseWork, func() { workErr = d.decodePieces(ctx, sp) })
+	if workErr != nil {
+		return workErr
+	}
+
+	b.Timed(metrics.PhaseWork, func() {
+		// Display: blit the tile's visible rectangle (models the frame
+		// buffer upload the paper counts inside Work).
+		d.display.CopyRect(d.bufs[d.cur], d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	})
+
+	// Reordering and reference management, as in the serial decoder.
+	if ph.PicType == mpeg2.PictureB {
+		d.emitFrame(int(sp.Pic.Index), d.bufs[d.cur])
+	} else {
+		if d.pendingAnchor {
+			d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		}
+		d.pendingAnchor = true
+		d.pendingAnchorIdx = int(sp.Pic.Index)
+		// Rotate: the old refA buffer becomes the next current buffer.
+		old := d.refA
+		d.refA = d.refB
+		d.refB = d.cur
+		if old >= 0 {
+			d.cur = old
+		} else {
+			for i := 0; i < 3; i++ {
+				if i != d.refA && i != d.refB {
+					d.cur = i
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// emitFrame hands a copy of the tile pixels to the collector.
+func (d *Decoder) emitFrame(picIndex int, buf *mpeg2.PixelBuf) {
+	d.displayCount++
+	if d.cfg.OnFrame == nil {
+		return
+	}
+	out := mpeg2.NewPixelBuf(d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	out.CopyRect(buf, d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	d.cfg.OnFrame(picIndex, d.cfg.Tile, out)
+}
+
+// executeSends ships owed reference macroblocks, one bundle per peer.
+func (d *Decoder) executeSends(sp *subpic.SubPicture, picType mpeg2.PictureType) error {
+	type bundle struct {
+		cells  []subpic.BlockCell
+		pixels []byte
+	}
+	perPeer := map[int]*bundle{}
+	var order []int
+	for _, in := range sp.MEI {
+		if in.Kind != subpic.MEISend {
+			continue
+		}
+		ref := d.refFor(in.Ref, picType)
+		if ref < 0 {
+			return fmt.Errorf("tile %d: SEND against missing reference (pic %d)", d.cfg.Tile, sp.Pic.Index)
+		}
+		if d.cfg.UnbatchedSends {
+			pixels := make([]byte, mpeg2.MacroblockBytes)
+			d.bufs[ref].ExtractMacroblock(int(in.MBX), int(in.MBY), pixels)
+			bb := subpic.BlockBundle{
+				PicIndex: sp.Pic.Index,
+				Cells:    []subpic.BlockCell{{Ref: in.Ref, MBX: in.MBX, MBY: in.MBY}},
+				Pixels:   pixels,
+			}
+			d.node.Send(d.cfg.TileNode(int(in.Peer)), &cluster.Message{
+				Kind:    cluster.MsgBlocks,
+				Seq:     int(sp.Pic.Index),
+				Payload: bb.Marshal(),
+			})
+			continue
+		}
+		peer := int(in.Peer)
+		bu := perPeer[peer]
+		if bu == nil {
+			bu = &bundle{}
+			perPeer[peer] = bu
+			order = append(order, peer)
+		}
+		bu.cells = append(bu.cells, subpic.BlockCell{Ref: in.Ref, MBX: in.MBX, MBY: in.MBY})
+		off := len(bu.pixels)
+		bu.pixels = append(bu.pixels, make([]byte, mpeg2.MacroblockBytes)...)
+		d.bufs[ref].ExtractMacroblock(int(in.MBX), int(in.MBY), bu.pixels[off:])
+	}
+	for _, peer := range order {
+		bu := perPeer[peer]
+		bb := subpic.BlockBundle{PicIndex: sp.Pic.Index, Cells: bu.cells, Pixels: bu.pixels}
+		d.node.Send(d.cfg.TileNode(peer), &cluster.Message{
+			Kind:    cluster.MsgBlocks,
+			Seq:     int(sp.Pic.Index),
+			Payload: bb.Marshal(),
+		})
+	}
+	return nil
+}
+
+// drainRecvs waits for every expected macroblock, stashing bundles from
+// decoders running one picture ahead.
+func (d *Decoder) drainRecvs(sp *subpic.SubPicture, picType mpeg2.PictureType) error {
+	expected := 0
+	for _, in := range sp.MEI {
+		if in.Kind == subpic.MEIRecv {
+			expected++
+		}
+	}
+	if expected == 0 {
+		return nil
+	}
+	apply := func(bb *subpic.BlockBundle) error {
+		if len(bb.Pixels) != len(bb.Cells)*mpeg2.MacroblockBytes {
+			return fmt.Errorf("tile %d: malformed block bundle", d.cfg.Tile)
+		}
+		for i, c := range bb.Cells {
+			ref := d.refFor(c.Ref, picType)
+			if ref < 0 {
+				return fmt.Errorf("tile %d: RECV into missing reference", d.cfg.Tile)
+			}
+			buf := d.bufs[ref]
+			if !buf.Contains(int(c.MBX)*16, int(c.MBY)*16, 16, 16) {
+				return fmt.Errorf("tile %d: RECV cell (%d,%d) outside halo window [%d,%d %dx%d] — increase HaloPx",
+					d.cfg.Tile, c.MBX, c.MBY, buf.X0, buf.Y0, buf.W, buf.H)
+			}
+			buf.InjectMacroblock(int(c.MBX), int(c.MBY), bb.Pixels[i*mpeg2.MacroblockBytes:(i+1)*mpeg2.MacroblockBytes])
+		}
+		expected -= len(bb.Cells)
+		return nil
+	}
+	// First serve the stash.
+	keep := d.stash[:0]
+	for _, bb := range d.stash {
+		if int(bb.PicIndex) == int(sp.Pic.Index) {
+			if err := apply(bb); err != nil {
+				return err
+			}
+		} else {
+			keep = append(keep, bb)
+		}
+	}
+	d.stash = keep
+	for expected > 0 {
+		msg := d.node.Recv(cluster.MsgBlocks)
+		if msg == nil {
+			return fmt.Errorf("tile %d: fabric aborted while waiting for reference macroblocks", d.cfg.Tile)
+		}
+		bb, err := subpic.UnmarshalBlocks(msg.Payload)
+		if err != nil {
+			return err
+		}
+		switch {
+		case int(bb.PicIndex) == int(sp.Pic.Index):
+			if err := apply(bb); err != nil {
+				return err
+			}
+		case int(bb.PicIndex) == int(sp.Pic.Index)+1:
+			d.stash = append(d.stash, bb)
+		default:
+			return fmt.Errorf("tile %d: block bundle for picture %d while decoding %d (sync broken)",
+				d.cfg.Tile, bb.PicIndex, sp.Pic.Index)
+		}
+	}
+	return nil
+}
+
+// decodePieces decodes every partial slice of the sub-picture.
+func (d *Decoder) decodePieces(ctx *mpeg2.PictureContext, sp *subpic.SubPicture) error {
+	picType := ctx.Pic.PicType
+	rc := mpeg2.NewReconstructor(ctx.Pic)
+	cur := d.bufs[d.cur]
+	var fwd, bwd *mpeg2.PixelBuf
+	switch picType {
+	case mpeg2.PictureP:
+		if d.refB < 0 {
+			return fmt.Errorf("tile %d: P picture before any anchor", d.cfg.Tile)
+		}
+		fwd = d.bufs[d.refB]
+	case mpeg2.PictureB:
+		if d.refA < 0 || d.refB < 0 {
+			return fmt.Errorf("tile %d: B picture without two anchors", d.cfg.Tile)
+		}
+		fwd, bwd = d.bufs[d.refA], d.bufs[d.refB]
+	}
+
+	skipped := func(addr int, prev mpeg2.MotionInfo) error {
+		return rc.Skipped(cur, fwd, bwd, addr%ctx.MBW, addr/ctx.MBW, prev)
+	}
+
+	for pi := range sp.Pieces {
+		p := &sp.Pieces[pi]
+		// Leading skipped macroblocks inherit the SPH's previous-macroblock
+		// motion (the predecessor may live on another tile).
+		for k := int(p.LeadingSkip); k > 0; k-- {
+			if err := skipped(int(p.FirstAddr)-k, p.Prev); err != nil {
+				return fmt.Errorf("tile %d pic %d: leading skip: %w", d.cfg.Tile, sp.Pic.Index, err)
+			}
+		}
+		if p.CodedCount == 0 {
+			continue
+		}
+		r := bits.NewReader(p.Payload)
+		r.Skip(int(p.SkipBits))
+		sd := mpeg2.NewPartialSliceDecoder(ctx, r, p.State(), p.Prev, int(p.FirstAddr), int(p.CodedCount))
+		var mb mpeg2.Macroblock
+		lastAddr := int(p.FirstAddr)
+		for {
+			ok, err := sd.Next(&mb)
+			if err != nil {
+				return fmt.Errorf("tile %d pic %d piece %d: %w", d.cfg.Tile, sp.Pic.Index, pi, err)
+			}
+			if !ok {
+				break
+			}
+			for k := mb.Addr - mb.SkippedBefore; k < mb.Addr; k++ {
+				if err := skipped(k, mb.PrevMotion); err != nil {
+					return fmt.Errorf("tile %d pic %d: interior skip: %w", d.cfg.Tile, sp.Pic.Index, err)
+				}
+			}
+			if err := rc.Macroblock(cur, fwd, bwd, &mb, ctx.MBW); err != nil {
+				return fmt.Errorf("tile %d pic %d addr %d: %w", d.cfg.Tile, sp.Pic.Index, mb.Addr, err)
+			}
+			lastAddr = mb.Addr
+		}
+		// Trailing skipped macroblocks inherit the last coded macroblock's
+		// motion, which this decoder just parsed.
+		for k := 1; k <= int(p.TrailingSkip); k++ {
+			if err := skipped(lastAddr+k, sd.PrevMotion()); err != nil {
+				return fmt.Errorf("tile %d pic %d: trailing skip: %w", d.cfg.Tile, sp.Pic.Index, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package splitter
+
+import (
+	"fmt"
+	"time"
+
+	"tiledwall/internal/bits"
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/wall"
+)
+
+// RootConfig wires the root splitter node.
+type RootConfig struct {
+	Stream []byte
+	// SplitterNodes lists the k second-level splitter node ids in
+	// round-robin order.
+	SplitterNodes []int
+	// Dynamic enables credit-based splitter selection instead of strict
+	// round-robin: each picture goes to the splitter with the most free
+	// receive buffers, so a splitter stuck on an expensive picture is not
+	// handed more work while an idle one waits. This implements the dynamic
+	// load balancing the paper's §6 leaves as future work; the ANID/NSID
+	// ordering protocol is unaffected because the root always announces the
+	// actual next assignee.
+	Dynamic bool
+}
+
+// RootResult reports the root splitter's run.
+type RootResult struct {
+	Pictures int
+	ScanTime time.Duration
+	CopyTime time.Duration
+	WaitTime time.Duration
+	SendTime time.Duration
+}
+
+// RunRoot scans the stream at picture level (start codes only — the cheap
+// split of Table 1), copies each picture unit into a send buffer and
+// round-robins it to the second-level splitters. Before every send except
+// the first it waits for an ack from any splitter (two posted receive
+// buffers at each splitter make the pipeline two pictures deep). The NSID —
+// the splitter responsible for the next picture — rides along so splitters
+// can fill in the ANID without knowing each other (§4.5, Table 3).
+func RunRoot(node *cluster.Node, cfg RootConfig) (*RootResult, error) {
+	res := &RootResult{}
+	k := len(cfg.SplitterNodes)
+	if k == 0 {
+		return nil, fmt.Errorf("splitter: root needs at least one second-level splitter")
+	}
+	data := cfg.Stream
+
+	// The root's per-picture work is exactly the paper's: find the picture
+	// boundaries by start-code scan and copy the bytes out. Flow control is
+	// credit-based (two posted receive buffers per splitter); the assignee
+	// of picture p+1 is fixed before p is sent so its id can ride along as
+	// the NSID.
+	credits := make([]int, k)
+	nodeIdx := make(map[int]int, k)
+	for i, id := range cfg.SplitterNodes {
+		credits[i] = 2
+		nodeIdx[id] = i
+	}
+	takeAck := func() error {
+		m := node.Recv(cluster.MsgAck)
+		if m == nil {
+			return fmt.Errorf("splitter: root aborted while waiting for splitter ack")
+		}
+		credits[nodeIdx[m.From]]++
+		return nil
+	}
+	// choose picks the next assignee: strict round-robin, or (Dynamic) the
+	// splitter with the most free buffers, ties broken round-robin.
+	rr := 0
+	choose := func() int {
+		if !cfg.Dynamic {
+			c := rr
+			rr = (rr + 1) % k
+			return c
+		}
+		best := rr
+		for off := 0; off < k; off++ {
+			i := (rr + off) % k
+			if credits[i] > credits[best] {
+				best = i
+			}
+		}
+		rr = (best + 1) % k
+		return best
+	}
+
+	a := choose()
+	pics := 0
+	picStart := -1
+	emit := func(end int) error {
+		if picStart < 0 {
+			return nil
+		}
+		t0 := time.Now()
+		buf := make([]byte, end-picStart)
+		copy(buf, data[picStart:end])
+		res.CopyTime += time.Since(t0)
+		picStart = -1
+
+		t0 = time.Now()
+		for credits[a] == 0 {
+			if err := takeAck(); err != nil {
+				return err
+			}
+		}
+		res.WaitTime += time.Since(t0)
+		// Drain any further acks without blocking so Dynamic sees fresh
+		// credit counts.
+		for {
+			m, ok := node.TryRecv(cluster.MsgAck)
+			if !ok {
+				break
+			}
+			credits[nodeIdx[m.From]]++
+		}
+		credits[a]--
+		next := choose()
+
+		t0 = time.Now()
+		node.Send(cfg.SplitterNodes[a], &cluster.Message{
+			Kind:    cluster.MsgPicture,
+			Seq:     pics,
+			Tag:     cfg.SplitterNodes[next], // NSID
+			Payload: buf,
+		})
+		res.SendTime += time.Since(t0)
+		a = next
+		pics++
+		return nil
+	}
+
+	scanStart := time.Now()
+	for off := bits.NextStartCode(data, 0); off >= 0; off = bits.NextStartCode(data, off+4) {
+		code := data[off+3]
+		switch {
+		case code == bits.PictureStartCode:
+			res.ScanTime += time.Since(scanStart)
+			if err := emit(off); err != nil {
+				return res, err
+			}
+			picStart = off
+			scanStart = time.Now()
+		case code == bits.GroupStartCode, code == bits.SequenceHeaderCod, code == bits.SequenceEndCode:
+			res.ScanTime += time.Since(scanStart)
+			if err := emit(off); err != nil {
+				return res, err
+			}
+			scanStart = time.Now()
+		}
+	}
+	res.ScanTime += time.Since(scanStart)
+	if err := emit(len(data)); err != nil {
+		return res, err
+	}
+	res.Pictures = pics
+	// Tell every splitter the stream has ended. The end marker carries the
+	// total picture count (in Tag): a decoder may see a Final forwarded by a
+	// splitter that finished early before the last pictures from the other
+	// splitters arrive, so it exits only once it has decoded them all.
+	for i := 0; i < k; i++ {
+		node.Send(cfg.SplitterNodes[i], &cluster.Message{Kind: cluster.MsgPicture, Seq: -1, Tag: pics})
+	}
+	return res, nil
+}
+
+// SecondConfig wires one second-level splitter node.
+type SecondConfig struct {
+	Seq *mpeg2.SequenceHeader
+	Geo *wall.Geometry
+	// Index is this splitter's position in the round-robin order (0-based);
+	// only the splitter with Index 0 skips the decoder-ack wait, and only
+	// for the very first picture of the stream (Table 3).
+	Index int
+	// DecoderNodes maps tile index to decoder node id.
+	DecoderNodes []int
+	// RootNode is the root splitter's node id.
+	RootNode int
+}
+
+// SecondResult reports a second-level splitter's run.
+type SecondResult struct {
+	Pictures   int
+	Breakdown  metrics.Breakdown // PhaseWork = splitting, PhaseReceive = waiting for root, PhaseWaitMB = waiting for decoder acks
+	SPBytes    int64             // serialised sub-picture bytes produced
+	InputBytes int64             // picture bytes received
+}
+
+// RunSecond receives pictures from the root, splits them at macroblock
+// level, and ships one sub-picture (with MEIs) to every decoder, gated on
+// decoder acks addressed to this node by the ANID redirect.
+func RunSecond(node *cluster.Node, cfg SecondConfig) (*SecondResult, error) {
+	res := &SecondResult{}
+	b := &res.Breakdown
+	ms := NewMBSplitter(cfg.Seq, cfg.Geo)
+	nd := len(cfg.DecoderNodes)
+	first := true
+
+	for {
+		var msg *cluster.Message
+		b.Timed(metrics.PhaseReceive, func() { msg = node.Recv(cluster.MsgPicture) })
+		if msg == nil {
+			return res, fmt.Errorf("splitter %d: fabric aborted", cfg.Index)
+		}
+		if msg.Seq < 0 { // end of stream: forward the marker and quit
+			for t := 0; t < nd; t++ {
+				sp := &subpic.SubPicture{Final: true}
+				sp.Pic.Index = int32(msg.Tag) // total picture count
+				node.Send(cfg.DecoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: sp.Marshal()})
+			}
+			return res, nil
+		}
+		// Ack the root immediately: the posted buffer is recycled.
+		b.Timed(metrics.PhaseAck, func() {
+			node.Send(cfg.RootNode, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
+		})
+		res.InputBytes += int64(len(msg.Payload))
+
+		var sps []*subpic.SubPicture
+		var err error
+		b.Timed(metrics.PhaseWork, func() { sps, err = ms.Split(msg.Payload, msg.Seq) })
+		if err != nil {
+			return res, fmt.Errorf("splitter %d: %w", cfg.Index, err)
+		}
+
+		// Wait for the go-ahead from every decoder (redirected acks), except
+		// for the very first picture in the stream.
+		if !(first && msg.Seq == 0) {
+			aborted := false
+			b.Timed(metrics.PhaseWaitMB, func() {
+				for i := 0; i < nd; i++ {
+					if node.Recv(cluster.MsgAck) == nil {
+						aborted = true
+						return
+					}
+				}
+			})
+			if aborted {
+				return res, fmt.Errorf("splitter %d: fabric aborted while waiting for decoder acks", cfg.Index)
+			}
+		}
+		first = false
+
+		anid := msg.Tag // root told us who handles the next picture
+		b.Timed(metrics.PhaseServe, func() {
+			for t := 0; t < nd; t++ {
+				payload := sps[t].Marshal()
+				res.SPBytes += int64(len(payload))
+				node.Send(cfg.DecoderNodes[t], &cluster.Message{
+					Kind:    cluster.MsgSubPicture,
+					Seq:     msg.Seq,
+					Tag:     anid,
+					Payload: payload,
+				})
+			}
+		})
+		res.Pictures++
+		b.Pictures++
+	}
+}

@@ -1,0 +1,339 @@
+// Package splitter implements the two splitter levels of the paper's
+// hierarchical decoder: the root splitter that scans the stream at picture
+// level (start codes only) and the second-level splitter that performs full
+// variable-length parsing, sorts macroblocks into per-tile sub-pictures with
+// State Propagation Headers, and pre-calculates the macroblock exchange
+// instructions (MEI) that replace on-demand remote fetches (§4.2-§4.3).
+// It also provides the coarse-granularity baseline splitters of Table 1.
+package splitter
+
+import (
+	"fmt"
+
+	"tiledwall/internal/bits"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/wall"
+)
+
+// MBSplitter splits picture units into per-tile sub-pictures.
+type MBSplitter struct {
+	seq *mpeg2.SequenceHeader
+	geo *wall.Geometry
+
+	// Per-call scratch, reused across pictures.
+	open    []openPiece
+	tileSet []int
+	meiSeen map[uint64]bool
+	outPcs  [][]subpic.Piece
+	outMEI  [][]subpic.MEIInstr
+}
+
+type openPiece struct {
+	active   bool
+	sph      subpic.SPH
+	startBit int
+	endBit   int
+	lastAddr int
+}
+
+// NewMBSplitter creates a splitter for one stream/geometry pair.
+func NewMBSplitter(seq *mpeg2.SequenceHeader, geo *wall.Geometry) *MBSplitter {
+	nt := geo.NumTiles()
+	return &MBSplitter{
+		seq:     seq,
+		geo:     geo,
+		open:    make([]openPiece, nt),
+		meiSeen: make(map[uint64]bool),
+		outPcs:  make([][]subpic.Piece, nt),
+		outMEI:  make([][]subpic.MEIInstr, nt),
+	}
+}
+
+// Split parses one picture unit and produces one sub-picture per tile.
+// The returned sub-pictures alias unit's bytes (zero copy).
+func (s *MBSplitter) Split(unit []byte, picIndex int) ([]*subpic.SubPicture, error) {
+	ph, sliceOff, err := mpeg2.ParsePictureUnit(unit)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := mpeg2.NewPictureContext(s.seq, ph)
+	if err != nil {
+		return nil, err
+	}
+	nt := s.geo.NumTiles()
+	for t := 0; t < nt; t++ {
+		s.outPcs[t] = s.outPcs[t][:0]
+		s.outMEI[t] = s.outMEI[t][:0]
+	}
+	for k := range s.meiSeen {
+		delete(s.meiSeen, k)
+	}
+
+	r := bits.NewReader(unit)
+	r.SeekBit(sliceOff)
+	for bits.NextStartCodeReader(r) {
+		pos := r.BitPos() / 8
+		code := unit[pos+3]
+		if !bits.IsSliceStartCode(code) {
+			break
+		}
+		r.Skip(32)
+		vpos := int(code)
+		if s.seq.Height > 2800 {
+			vpos = int(r.Read(3))<<7 + vpos
+		}
+		if err := s.splitSlice(ctx, r, unit, vpos); err != nil {
+			return nil, fmt.Errorf("picture %d slice row %d: %w", picIndex, vpos, err)
+		}
+	}
+
+	out := make([]*subpic.SubPicture, nt)
+	for t := 0; t < nt; t++ {
+		sp := &subpic.SubPicture{
+			Pieces: append([]subpic.Piece(nil), s.outPcs[t]...),
+			MEI:    append([]subpic.MEIInstr(nil), s.outMEI[t]...),
+		}
+		sp.Pic.FromHeader(picIndex, ph)
+		out[t] = sp
+	}
+	return out, nil
+}
+
+// splitSlice parses one slice in parse-only mode, routing macroblocks to
+// tiles and recording exchange instructions.
+func (s *MBSplitter) splitSlice(ctx *mpeg2.PictureContext, r *bits.Reader, unit []byte, vpos int) error {
+	sd, err := mpeg2.NewSliceDecoder(ctx, r, vpos)
+	if err != nil {
+		return err
+	}
+	sd.SetParseOnly(true)
+	geo := s.geo
+	picType := ctx.Pic.PicType
+
+	var mb mpeg2.Macroblock
+	for {
+		ok, err := sd.Next(&mb)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		mbx, mby := mb.Addr%ctx.MBW, mb.Addr/ctx.MBW
+		s.tileSet = geo.TilesForMB(mbx, mby, s.tileSet[:0])
+
+		// Route the preceding skipped run. Tiles covering skipped
+		// macroblocks but not this coded one get leading/trailing
+		// bookkeeping; skipped B macroblocks also generate MEIs since they
+		// inherit the previous macroblock's (possibly boundary-crossing)
+		// motion.
+		if mb.SkippedBefore > 0 {
+			s.routeSkipped(ctx, &mb, mbx, mby)
+		}
+
+		for _, t := range s.tileSet {
+			p := &s.open[t]
+			if !p.active {
+				p.active = true
+				p.startBit = mb.BitStart
+				p.sph = subpic.SPH{
+					SkipBits:   uint8(mb.BitStart & 7),
+					FirstAddr:  int32(mb.Addr),
+					CodedCount: 0,
+					Prev:       mb.PrevMotion,
+				}
+				p.sph.SetState(mb.StateBefore)
+				// Leading skips covered by this tile (suffix of the run).
+				if mb.SkippedBefore > 0 {
+					p.sph.LeadingSkip = s.countSkipsIn(t, &mb, mbx, mby)
+				}
+			}
+			p.sph.CodedCount++
+			p.endBit = mb.BitEnd
+			p.lastAddr = mb.Addr
+		}
+		// Close pieces of tiles whose run has ended (open but not covering
+		// this coded macroblock): the part of the skipped run they cover
+		// becomes their trailing count.
+		for t := range s.open {
+			p := &s.open[t]
+			if !p.active || covers(s.tileSet, t) {
+				continue
+			}
+			trailing := int32(0)
+			if mb.SkippedBefore > 0 {
+				trailing = s.countSkipsIn(t, &mb, mbx, mby)
+			}
+			s.closePiece(t, unit, trailing)
+		}
+
+		// Exchange instructions for this coded macroblock.
+		if picType != mpeg2.PictureI && !mb.Intra() {
+			s.addMEIForMB(ctx, mbx, mby, mb.Motion(), picType)
+		}
+	}
+	// Slice end: close everything (a conformant slice ends with a coded
+	// macroblock, so there are no trailing skips here).
+	for t := range s.open {
+		if s.open[t].active {
+			s.closePiece(t, unit, 0)
+		}
+	}
+	return nil
+}
+
+func covers(set []int, t int) bool {
+	for _, v := range set {
+		if v == t {
+			return true
+		}
+	}
+	return false
+}
+
+// countSkipsIn counts the skipped macroblocks before mb that tile t covers.
+func (s *MBSplitter) countSkipsIn(t int, mb *mpeg2.Macroblock, mbx, mby int) int32 {
+	var n int32
+	for k := 1; k <= mb.SkippedBefore; k++ {
+		if s.geo.TileHasMB(t, mbx-k, mby) {
+			n++
+		}
+	}
+	return n
+}
+
+// routeSkipped handles tiles that cover part of a skipped run:
+//
+//   - tiles that also cover the following coded macroblock count the skips
+//     as LeadingSkip when their piece opens (done by the caller);
+//   - tiles with an open piece count them as TrailingSkip when the run
+//     leaves them (done by the caller's close path);
+//   - tiles covering only skipped macroblocks of this slice get a
+//     self-contained empty piece (CodedCount 0) carrying just the count.
+//
+// Skipped B macroblocks also generate MEIs, since they inherit the previous
+// macroblock's possibly boundary-crossing motion; skipped P macroblocks are
+// zero-vector co-located copies that never reference remote data.
+func (s *MBSplitter) routeSkipped(ctx *mpeg2.PictureContext, mb *mpeg2.Macroblock, mbx, mby int) {
+	geo := s.geo
+	var set []int
+	var orphans []int
+	for k := 1; k <= mb.SkippedBefore; k++ {
+		sx := mbx - k
+		set = geo.TilesForMB(sx, mby, set[:0])
+		for _, t := range set {
+			if s.open[t].active || covers(s.tileSet, t) || covers(orphans, t) {
+				continue
+			}
+			orphans = append(orphans, t)
+		}
+		if ctx.Pic.PicType == mpeg2.PictureB {
+			s.addMEIForMB(ctx, sx, mby, mb.PrevMotion, mpeg2.PictureB)
+		}
+	}
+	for _, t := range orphans {
+		// Decoders reconstruct leading skips at [FirstAddr-LeadingSkip,
+		// FirstAddr), so FirstAddr points one past the tile's last owned
+		// skipped macroblock (the tile's coverage is a contiguous column
+		// interval, so its owned skips are contiguous).
+		lastOwned := -1
+		for a := mb.Addr - mb.SkippedBefore; a < mb.Addr; a++ {
+			if geo.TileHasMB(t, a%ctx.MBW, mby) {
+				lastOwned = a
+			}
+		}
+		sph := subpic.SPH{
+			FirstAddr:   int32(lastOwned + 1),
+			LeadingSkip: s.countSkipsIn(t, mb, mbx, mby),
+			Prev:        mb.PrevMotion,
+		}
+		sph.SetState(mb.StateBefore)
+		s.outPcs[t] = append(s.outPcs[t], subpic.Piece{SPH: sph})
+	}
+}
+
+// closePiece finalises tile t's open piece, extracting the payload bytes.
+func (s *MBSplitter) closePiece(t int, unit []byte, trailing int32) {
+	p := &s.open[t]
+	p.active = false
+	p.sph.TrailingSkip = trailing
+	var payload []byte
+	if p.sph.CodedCount > 0 {
+		start := p.startBit >> 3
+		end := (p.endBit + 7) >> 3
+		payload = unit[start:end:end]
+	}
+	piece := subpic.Piece{SPH: p.sph, Payload: payload}
+	s.outPcs[t] = append(s.outPcs[t], piece)
+}
+
+// addMEIForMB computes the reference cells needed by the macroblock at
+// (mbx, mby) with motion m, for every tile that will decode it, and appends
+// SEND/RECV instructions for cells outside the tile.
+func (s *MBSplitter) addMEIForMB(ctx *mpeg2.PictureContext, mbx, mby int, m mpeg2.MotionInfo, picType mpeg2.PictureType) {
+	if !m.Fwd && !m.Bwd && picType == mpeg2.PictureP {
+		// Parser guarantees P macroblocks always carry a forward prediction
+		// ("no MC" becomes a zero vector), but be safe.
+		m.Fwd = true
+	}
+	var tiles []int
+	tiles = s.geo.TilesForMB(mbx, mby, tiles)
+	if m.Fwd {
+		s.addMEIForVector(ctx, mbx, mby, m.MVFwd, subpic.RefFwd, tiles)
+	}
+	if m.Bwd {
+		s.addMEIForVector(ctx, mbx, mby, m.MVBwd, subpic.RefBwd, tiles)
+	}
+}
+
+func (s *MBSplitter) addMEIForVector(ctx *mpeg2.PictureContext, mbx, mby int, mv [2]int32, ref subpic.RefSel, tiles []int) {
+	// Luma reference footprint (the chroma footprint is contained within the
+	// same macroblock cells; see recon.go).
+	x0 := mbx*16 + int(mv[0]>>1)
+	y0 := mby*16 + int(mv[1]>>1)
+	x1 := x0 + 16 + int(mv[0]&1) - 1
+	y1 := y0 + 16 + int(mv[1]&1) - 1
+	cx0, cx1 := x0>>4, x1>>4
+	cy0, cy1 := y0>>4, y1>>4
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	maxX, maxY := ctx.MBW-1, ctx.MBH-1
+	if cx1 > maxX {
+		cx1 = maxX
+	}
+	if cy1 > maxY {
+		cy1 = maxY
+	}
+	for _, t := range tiles {
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				if s.geo.TileHasMB(t, cx, cy) {
+					continue // available locally
+				}
+				owner := s.geo.Owner(cx, cy)
+				key := meiKey(t, owner, cx, cy, ref)
+				if s.meiSeen[key] {
+					continue
+				}
+				s.meiSeen[key] = true
+				s.outMEI[owner] = append(s.outMEI[owner], subpic.MEIInstr{
+					Kind: subpic.MEISend, Ref: ref,
+					MBX: uint16(cx), MBY: uint16(cy), Peer: uint16(t),
+				})
+				s.outMEI[t] = append(s.outMEI[t], subpic.MEIInstr{
+					Kind: subpic.MEIRecv, Ref: ref,
+					MBX: uint16(cx), MBY: uint16(cy), Peer: uint16(owner),
+				})
+			}
+		}
+	}
+}
+
+func meiKey(t, owner, cx, cy int, ref subpic.RefSel) uint64 {
+	return uint64(t)<<40 | uint64(owner)<<28 | uint64(cx)<<14 | uint64(cy)<<1 | uint64(ref)
+}

@@ -1,0 +1,243 @@
+package splitter
+
+import (
+	"testing"
+
+	"tiledwall/internal/bits"
+	"tiledwall/internal/encoder"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/video"
+	"tiledwall/internal/wall"
+)
+
+func makeStream(t testing.TB, w, h, frames int) (*mpeg2.Stream, []byte) {
+	t.Helper()
+	cfg := encoder.Config{Width: w, Height: h, GOPSize: 6, BSpacing: 3, InitialQScale: 6}
+	src := video.NewSource(video.SceneFilm, w, h, 5)
+	e, err := encoder.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		if err := e.Push(src.Frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := e.Bytes()
+	s, err := mpeg2.ParseStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, data
+}
+
+func geometry(t testing.TB, s *mpeg2.Stream, m, n, overlap int) *wall.Geometry {
+	t.Helper()
+	geo, err := wall.NewGeometry(s.Seq.MBWidth()*16, s.Seq.MBHeight()*16, m, n, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return geo
+}
+
+// TestSplitCoverage: for every picture, every macroblock of every tile's
+// rectangle is delivered exactly once to that tile (as a coded macroblock or
+// as a leading/interior/trailing skip).
+func TestSplitCoverage(t *testing.T) {
+	s, _ := makeStream(t, 192, 128, 9)
+	for _, tc := range []struct{ m, n, ov int }{{2, 2, 0}, {3, 2, 0}, {2, 2, 16}, {4, 1, 0}} {
+		geo := geometry(t, s, tc.m, tc.n, tc.ov)
+		ms := NewMBSplitter(s.Seq, geo)
+		for pi, unit := range s.Pictures {
+			sps, err := ms.Split(unit, pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tile, sp := range sps {
+				counted := countTileMBs(t, s.Seq, geo, tile, sp)
+				x0, x1, y0, y1 := geo.MBSpan(tile)
+				want := (x1 - x0 + 1) * (y1 - y0 + 1)
+				if counted != want {
+					t.Fatalf("m=%d n=%d ov=%d pic %d tile %d: %d macroblocks delivered, want %d",
+						tc.m, tc.n, tc.ov, pi, tile, counted, want)
+				}
+			}
+		}
+	}
+}
+
+// countTileMBs decodes the sub-picture structure (without pixels) and counts
+// delivered macroblocks.
+func countTileMBs(t *testing.T, seq *mpeg2.SequenceHeader, geo *wall.Geometry, tile int, sp *subpic.SubPicture) int {
+	t.Helper()
+	ph := sp.Pic.Header()
+	ctx, err := mpeg2.NewPictureContext(seq, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for i := range sp.Pieces {
+		p := &sp.Pieces[i]
+		count += int(p.LeadingSkip) + int(p.TrailingSkip)
+		if p.CodedCount == 0 {
+			continue
+		}
+		r := pieceReader(p)
+		sd := mpeg2.NewPartialSliceDecoder(ctx, r, p.State(), p.Prev, int(p.FirstAddr), int(p.CodedCount))
+		sd.SetParseOnly(true)
+		var mb mpeg2.Macroblock
+		for {
+			ok, err := sd.Next(&mb)
+			if err != nil {
+				t.Fatalf("tile %d piece %d: %v", tile, i, err)
+			}
+			if !ok {
+				break
+			}
+			count += 1 + mb.SkippedBefore
+			// Every delivered macroblock must lie in the tile's rectangle.
+			if !geo.TileHasMB(tile, mb.Addr%ctx.MBW, mb.Addr/ctx.MBW) {
+				t.Fatalf("tile %d received macroblock %d outside its rectangle", tile, mb.Addr)
+			}
+		}
+	}
+	return count
+}
+
+// TestSplitMEISymmetry: every RECV instruction has a matching SEND on the
+// owner tile, senders own their cells, and I pictures carry no MEIs.
+func TestSplitMEISymmetry(t *testing.T) {
+	s, _ := makeStream(t, 192, 128, 9)
+	geo := geometry(t, s, 2, 2, 0)
+	ms := NewMBSplitter(s.Seq, geo)
+	for pi, unit := range s.Pictures {
+		sps, err := ms.Split(unit, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := mpeg2.PeekPictureType(unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type key struct {
+			from, to int
+			ref      subpic.RefSel
+			x, y     uint16
+		}
+		sends := map[key]int{}
+		recvs := map[key]int{}
+		for tile, sp := range sps {
+			if pt == mpeg2.PictureI && len(sp.MEI) != 0 {
+				t.Fatalf("pic %d (I) tile %d has %d MEIs", pi, tile, len(sp.MEI))
+			}
+			for _, in := range sp.MEI {
+				switch in.Kind {
+				case subpic.MEISend:
+					if !geo.TileHasMB(tile, int(in.MBX), int(in.MBY)) {
+						t.Fatalf("pic %d tile %d SEND of cell (%d,%d) it does not own", pi, tile, in.MBX, in.MBY)
+					}
+					sends[key{tile, int(in.Peer), in.Ref, in.MBX, in.MBY}]++
+				case subpic.MEIRecv:
+					recvs[key{int(in.Peer), tile, in.Ref, in.MBX, in.MBY}]++
+				}
+			}
+		}
+		if len(sends) != len(recvs) {
+			t.Fatalf("pic %d: %d sends vs %d recvs", pi, len(sends), len(recvs))
+		}
+		for k, n := range sends {
+			if n != 1 {
+				t.Fatalf("pic %d: duplicate send %+v", pi, k)
+			}
+			if recvs[k] != 1 {
+				t.Fatalf("pic %d: send %+v without matching recv", pi, k)
+			}
+		}
+	}
+}
+
+// TestSplitPayloadAliasesUnit: piece payloads are zero-copy sub-slices of
+// the picture unit, and their bit ranges decode the advertised macroblocks.
+func TestSplitPayloadAliasesUnit(t *testing.T) {
+	s, _ := makeStream(t, 128, 64, 3)
+	geo := geometry(t, s, 2, 1, 0)
+	ms := NewMBSplitter(s.Seq, geo)
+	unit := s.Pictures[0]
+	sps, err := ms.Split(unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile, sp := range sps {
+		for _, p := range sp.Pieces {
+			if p.CodedCount == 0 {
+				continue
+			}
+			if len(p.Payload) == 0 {
+				t.Fatalf("tile %d: empty payload with %d coded macroblocks", tile, p.CodedCount)
+			}
+			if !sameBacking(unit, p.Payload) {
+				t.Fatalf("tile %d: payload was copied, expected zero-copy aliasing", tile)
+			}
+			if p.SkipBits > 7 {
+				t.Fatalf("tile %d: skip bits %d", tile, p.SkipBits)
+			}
+		}
+	}
+}
+
+func pieceReader(p *subpic.Piece) *bits.Reader {
+	r := bits.NewReader(p.Payload)
+	r.Skip(int(p.SkipBits))
+	return r
+}
+
+func sameBacking(whole, part []byte) bool {
+	if len(part) == 0 {
+		return true
+	}
+	for i := range whole {
+		if &whole[i] == &part[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOnePiecePerSliceWithoutOverlap: the paper notes each row of
+// macroblocks in a sub-picture needs only one header.
+func TestOnePiecePerSliceWithoutOverlap(t *testing.T) {
+	s, _ := makeStream(t, 192, 128, 3)
+	geo := geometry(t, s, 2, 2, 0)
+	ms := NewMBSplitter(s.Seq, geo)
+	sps, err := ms.Split(s.Pictures[0], 0) // I picture: no skips possible
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile, sp := range sps {
+		_, _, y0, y1 := geo.MBSpan(tile)
+		rows := y1 - y0 + 1
+		if len(sp.Pieces) != rows {
+			t.Errorf("tile %d: %d pieces for %d slice rows", tile, len(sp.Pieces), rows)
+		}
+	}
+}
+
+// TestRootSplitterScan: the root's picture segmentation matches ParseStream.
+func TestRootSplitterScan(t *testing.T) {
+	s, data := makeStream(t, 128, 64, 9)
+	// Reuse the root's scan logic through the full system is heavier; here
+	// just compare counts using the shared indexer.
+	units := mpeg2.IndexPictureUnits(data)
+	if len(units) != len(s.Pictures) {
+		t.Fatalf("indexed %d units, stream has %d", len(units), len(s.Pictures))
+	}
+	for i := range units {
+		if len(units[i]) != len(s.Pictures[i]) {
+			t.Errorf("unit %d length %d vs %d", i, len(units[i]), len(s.Pictures[i]))
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package subpic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tiledwall/internal/mpeg2"
+)
+
+// BlockBundle is the payload of one decoder-to-decoder macroblock exchange
+// message: every reference macroblock one decoder owes another for one
+// picture, batched into a single message (executing a picture's MEI SEND
+// list produces one bundle per peer).
+type BlockBundle struct {
+	PicIndex int32
+	Cells    []BlockCell
+	// Pixels holds len(Cells) serialised macroblocks (mpeg2.MacroblockBytes
+	// each), in cell order.
+	Pixels []byte
+}
+
+// BlockCell identifies one exchanged macroblock.
+type BlockCell struct {
+	Ref      RefSel
+	MBX, MBY uint16
+}
+
+// Marshal serialises the bundle.
+func (b *BlockBundle) Marshal() []byte {
+	out := make([]byte, 0, 8+len(b.Cells)*6+len(b.Pixels))
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.PicIndex))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Cells)))
+	for _, c := range b.Cells {
+		out = append(out, byte(c.Ref), 0)
+		out = binary.LittleEndian.AppendUint16(out, c.MBX)
+		out = binary.LittleEndian.AppendUint16(out, c.MBY)
+	}
+	out = append(out, b.Pixels...)
+	return out
+}
+
+// UnmarshalBlocks parses a bundle.
+func UnmarshalBlocks(data []byte) (*BlockBundle, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("subpic: truncated block bundle")
+	}
+	b := &BlockBundle{PicIndex: int32(binary.LittleEndian.Uint32(data))}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	if n < 0 || len(data) < n*6 {
+		return nil, fmt.Errorf("subpic: block bundle cell list truncated")
+	}
+	b.Cells = make([]BlockCell, n)
+	for i := range b.Cells {
+		b.Cells[i] = BlockCell{
+			Ref: RefSel(data[0]),
+			MBX: binary.LittleEndian.Uint16(data[2:]),
+			MBY: binary.LittleEndian.Uint16(data[4:]),
+		}
+		data = data[6:]
+	}
+	if len(data) != n*mpeg2.MacroblockBytes {
+		return nil, fmt.Errorf("subpic: block bundle pixel payload %d bytes, want %d", len(data), n*mpeg2.MacroblockBytes)
+	}
+	b.Pixels = data
+	return b, nil
+}

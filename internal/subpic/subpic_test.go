@@ -1,0 +1,198 @@
+package subpic
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tiledwall/internal/mpeg2"
+)
+
+func randSPH(rng *rand.Rand) SPH {
+	h := SPH{
+		SkipBits:     uint8(rng.Intn(8)),
+		FirstAddr:    int32(rng.Intn(1 << 20)),
+		CodedCount:   int32(rng.Intn(1000)),
+		LeadingSkip:  int32(rng.Intn(10)),
+		TrailingSkip: int32(rng.Intn(10)),
+		QuantCode:    uint8(rng.Intn(31) + 1),
+	}
+	for i := range h.DCPred {
+		h.DCPred[i] = int32(rng.Intn(4096))
+	}
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			for t := 0; t < 2; t++ {
+				h.PMV[r][s][t] = int32(rng.Intn(257) - 128)
+			}
+		}
+	}
+	h.Prev = mpeg2.MotionInfo{
+		Fwd:   rng.Intn(2) == 0,
+		Bwd:   rng.Intn(2) == 0,
+		MVFwd: [2]int32{int32(rng.Intn(65) - 32), int32(rng.Intn(65) - 32)},
+		MVBwd: [2]int32{int32(rng.Intn(65) - 32), int32(rng.Intn(65) - 32)},
+	}
+	return h
+}
+
+func randSubPicture(rng *rand.Rand) *SubPicture {
+	sp := &SubPicture{}
+	sp.Pic = PicInfo{
+		Index:       int32(rng.Intn(10000)),
+		TemporalRef: int32(rng.Intn(1024)),
+		PicType:     uint8(rng.Intn(3) + 1),
+		Flags:       uint8(rng.Intn(8)),
+		DCPrecision: uint8(rng.Intn(4)),
+	}
+	for s := 0; s < 2; s++ {
+		for t := 0; t < 2; t++ {
+			sp.Pic.FCode[s][t] = uint8(rng.Intn(9) + 1)
+		}
+	}
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		payload := make([]byte, rng.Intn(200))
+		rng.Read(payload)
+		sp.Pieces = append(sp.Pieces, Piece{SPH: randSPH(rng), Payload: payload})
+	}
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		sp.MEI = append(sp.MEI, MEIInstr{
+			Kind: MEIKind(rng.Intn(2)),
+			Ref:  RefSel(rng.Intn(2)),
+			MBX:  uint16(rng.Intn(4096)),
+			MBY:  uint16(rng.Intn(4096)),
+			Peer: uint16(rng.Intn(64)),
+		})
+	}
+	return sp
+}
+
+func equalSP(a, b *SubPicture) bool {
+	if a.Final != b.Final || a.Pic != b.Pic || len(a.Pieces) != len(b.Pieces) || len(a.MEI) != len(b.MEI) {
+		return false
+	}
+	for i := range a.Pieces {
+		if a.Pieces[i].SPH != b.Pieces[i].SPH || !bytes.Equal(a.Pieces[i].Payload, b.Pieces[i].Payload) {
+			return false
+		}
+	}
+	for i := range a.MEI {
+		if a.MEI[i] != b.MEI[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSubPictureRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := randSubPicture(rng)
+		got, err := Unmarshal(sp.Marshal())
+		if err != nil {
+			return false
+		}
+		return equalSP(sp, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinalMarker(t *testing.T) {
+	sp := &SubPicture{Final: true}
+	got, err := Unmarshal(sp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Final {
+		t.Error("final flag lost")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sp := randSubPicture(rng)
+	sp.Pieces = append(sp.Pieces, Piece{SPH: randSPH(rng), Payload: []byte{1, 2, 3}})
+	full := sp.Marshal()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := Unmarshal(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+}
+
+func TestPicInfoHeaderRoundTrip(t *testing.T) {
+	ph := &mpeg2.PictureHeader{
+		TemporalRef:      77,
+		PicType:          mpeg2.PictureB,
+		FCode:            [2][2]int{{3, 2}, {4, 1}},
+		IntraDCPrecision: 2,
+		PictureStructure: 3,
+		FramePredDCT:     true,
+		QScaleType:       true,
+		AlternateScan:    true,
+		ProgressiveFrame: true,
+	}
+	var pi PicInfo
+	pi.FromHeader(42, ph)
+	got := pi.Header()
+	if got.TemporalRef != 77 || got.PicType != mpeg2.PictureB || got.FCode != ph.FCode {
+		t.Errorf("picture fields lost: %+v", got)
+	}
+	if !got.QScaleType || got.IntraVLCFormat || !got.AlternateScan || got.IntraDCPrecision != 2 {
+		t.Errorf("flags lost: %+v", got)
+	}
+	if pi.Index != 42 {
+		t.Errorf("index = %d", pi.Index)
+	}
+}
+
+func TestSPHState(t *testing.T) {
+	var st mpeg2.PredState
+	st.DCPred = [3]int32{1, 2, 3}
+	st.PMV[1][0][1] = -17
+	st.QuantCode = 13
+	var h SPH
+	h.SetState(st)
+	if h.State() != st {
+		t.Error("state round-trip broken")
+	}
+}
+
+func TestBlockBundleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(5)
+		b := &BlockBundle{PicIndex: int32(rng.Intn(100))}
+		for i := 0; i < n; i++ {
+			b.Cells = append(b.Cells, BlockCell{
+				Ref: RefSel(rng.Intn(2)),
+				MBX: uint16(rng.Intn(256)),
+				MBY: uint16(rng.Intn(256)),
+			})
+		}
+		b.Pixels = make([]byte, n*mpeg2.MacroblockBytes)
+		rng.Read(b.Pixels)
+		got, err := UnmarshalBlocks(b.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PicIndex != b.PicIndex || len(got.Cells) != n || !bytes.Equal(got.Pixels, b.Pixels) {
+			t.Fatal("bundle round-trip broken")
+		}
+		for i := range got.Cells {
+			if got.Cells[i] != b.Cells[i] {
+				t.Fatal("cell mismatch")
+			}
+		}
+	}
+}
+
+func TestBlockBundleRejectsBadPixelLength(t *testing.T) {
+	b := &BlockBundle{Cells: []BlockCell{{MBX: 1}}, Pixels: make([]byte, 10)}
+	if _, err := UnmarshalBlocks(b.Marshal()); err == nil {
+		t.Error("bad pixel payload accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package system
+
+import (
+	"fmt"
+	"time"
+
+	"tiledwall/internal/bits"
+
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/pdec"
+	"tiledwall/internal/splitter"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/wall"
+)
+
+// Calibration holds the measured per-picture costs of §4.6: ts, the time a
+// second-level splitter needs to split one picture at macroblock level, and
+// td, the time a decoder needs to decode and display its sub-picture.
+// The achievable frame rate of a 1-k-(m,n) system is
+//
+//	F = min(k/ts, 1/td)
+//
+// so the splitters stop being the bottleneck at k >= ts/td.
+type Calibration struct {
+	TS, TD   time.Duration
+	Pictures int
+}
+
+// RecommendedK returns the smallest k that keeps the decoders busy
+// (ceil(ts/td)), the paper's optimum; 0 when a one-level system suffices.
+// With targetFPS > 0, k is capped at what that frame rate requires
+// (k/ts >= F), the automation the paper's §6 proposes as future work.
+func (c Calibration) RecommendedK(targetFPS float64) int {
+	if c.TD <= 0 {
+		return 0
+	}
+	k := int((c.TS + c.TD - 1) / c.TD)
+	if targetFPS > 0 {
+		needed := int(targetFPS*c.TS.Seconds()) + 1
+		if needed < k {
+			k = needed
+		}
+	}
+	if k <= 1 {
+		return 0 // a 1-(m,n) system: the root splits alone (§4.6)
+	}
+	return k
+}
+
+// PredictedFPS evaluates the paper's frame-rate formula for a given k
+// (k = 0 is the one-level system, equivalent to k = 1 splitting capacity).
+func (c Calibration) PredictedFPS(k int) float64 {
+	if c.TS <= 0 || c.TD <= 0 {
+		return 0
+	}
+	kk := float64(k)
+	if k == 0 {
+		kk = 1
+	}
+	split := kk / c.TS.Seconds()
+	dec := 1 / c.TD.Seconds()
+	if split < dec {
+		return split
+	}
+	return dec
+}
+
+// Calibrate measures ts and td over the first maxPics pictures of the
+// stream for the given wall geometry, exactly as the paper's empirical
+// configuration procedure does: split each picture (parse-only full VLD),
+// then decode the resulting sub-pictures on single-tile decoders.
+func Calibrate(stream []byte, m, n, overlap, maxPics int) (*Calibration, error) {
+	s, err := mpeg2.ParseStream(stream)
+	if err != nil {
+		return nil, err
+	}
+	picW, picH := s.Seq.MBWidth()*16, s.Seq.MBHeight()*16
+	geo, err := wall.NewGeometry(picW, picH, m, n, overlap)
+	if err != nil {
+		return nil, err
+	}
+	if maxPics <= 0 || maxPics > len(s.Pictures) {
+		maxPics = len(s.Pictures)
+	}
+
+	ms := splitter.NewMBSplitter(s.Seq, geo)
+	cal := &Calibration{Pictures: maxPics}
+
+	// Standalone tile decode: run the sub-pictures of each tile through the
+	// piece decoder without a fabric, timing the slowest tile per picture
+	// (synchronised decoders run at the speed of the slowest, §5.5).
+	decs := make([]*offlineTileDecoder, geo.NumTiles())
+	for t := range decs {
+		decs[t] = newOfflineTileDecoder(s.Seq, geo, t)
+	}
+
+	for i := 0; i < maxPics; i++ {
+		t0 := time.Now()
+		sps, err := ms.Split(s.Pictures[i], i)
+		if err != nil {
+			return nil, err
+		}
+		cal.TS += time.Since(t0)
+
+		var worst time.Duration
+		for t, sp := range sps {
+			t1 := time.Now()
+			if err := decs[t].decode(sp); err != nil {
+				return nil, fmt.Errorf("calibrate tile %d picture %d: %w", t, i, err)
+			}
+			if d := time.Since(t1); d > worst {
+				worst = d
+			}
+		}
+		cal.TD += worst
+	}
+	cal.TS /= time.Duration(maxPics)
+	cal.TD /= time.Duration(maxPics)
+	return cal, nil
+}
+
+// offlineTileDecoder decodes a tile's sub-pictures outside any fabric by
+// satisfying MEI RECVs directly from the peer decoders' windows. It exists
+// for calibration and for splitter unit tests.
+type offlineTileDecoder struct {
+	seq  *mpeg2.SequenceHeader
+	geo  *wall.Geometry
+	tile int
+	rect wall.Rect
+
+	bufs            []*mpeg2.PixelBuf
+	cur, refA, refB int
+}
+
+func newOfflineTileDecoder(seq *mpeg2.SequenceHeader, geo *wall.Geometry, tile int) *offlineTileDecoder {
+	rect := geo.Tile(tile)
+	halo := pdec.HaloForFCode(3)
+	x0, y0 := rect.X0-halo, rect.Y0-halo
+	x1, y1 := rect.X1+halo, rect.Y1+halo
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > geo.PicW {
+		x1 = geo.PicW
+	}
+	if y1 > geo.PicH {
+		y1 = geo.PicH
+	}
+	d := &offlineTileDecoder{seq: seq, geo: geo, tile: tile, rect: rect, cur: 0, refA: -1, refB: -1}
+	for i := 0; i < 3; i++ {
+		d.bufs = append(d.bufs, mpeg2.NewPixelBuf(x0, y0, x1-x0, y1-y0))
+	}
+	return d
+}
+
+// decode processes one sub-picture. MEI RECV cells are not actually
+// transferred: calibration measures only this tile's decode cost, and the
+// motion-compensation cost is independent of the halo's contents (the
+// window geometry guarantees every access stays in bounds). The fabric
+// pipeline in pdec is authoritative for pixel correctness.
+func (d *offlineTileDecoder) decode(sp *subpic.SubPicture) error {
+	ph := sp.Pic.Header()
+	ctx, err := mpeg2.NewPictureContext(d.seq, ph)
+	if err != nil {
+		return err
+	}
+	rc := mpeg2.NewReconstructor(ph)
+	cur := d.bufs[d.cur]
+	var fwd, bwd *mpeg2.PixelBuf
+	switch ph.PicType {
+	case mpeg2.PictureP:
+		if d.refB < 0 {
+			return fmt.Errorf("system: calibration P picture before anchor")
+		}
+		fwd = d.bufs[d.refB]
+	case mpeg2.PictureB:
+		if d.refA < 0 || d.refB < 0 {
+			return fmt.Errorf("system: calibration B picture without two anchors")
+		}
+		fwd, bwd = d.bufs[d.refA], d.bufs[d.refB]
+	}
+	if err := decodeSubPicture(ctx, rc, sp, cur, fwd, bwd); err != nil {
+		return err
+	}
+	if ph.PicType != mpeg2.PictureB {
+		old := d.refA
+		d.refA, d.refB = d.refB, d.cur
+		if old >= 0 {
+			d.cur = old
+		} else {
+			for i := 0; i < 3; i++ {
+				if i != d.refA && i != d.refB {
+					d.cur = i
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// decodeSubPicture runs the piece decode loop shared with pdec (duplicated
+// here in simplified form for offline use).
+func decodeSubPicture(ctx *mpeg2.PictureContext, rc *mpeg2.Reconstructor, sp *subpic.SubPicture, cur, fwd, bwd *mpeg2.PixelBuf) error {
+	skipped := func(addr int, prev mpeg2.MotionInfo) error {
+		return rc.Skipped(cur, fwd, bwd, addr%ctx.MBW, addr/ctx.MBW, prev)
+	}
+	for pi := range sp.Pieces {
+		p := &sp.Pieces[pi]
+		for k := int(p.LeadingSkip); k > 0; k-- {
+			if err := skipped(int(p.FirstAddr)-k, p.Prev); err != nil {
+				return err
+			}
+		}
+		if p.CodedCount == 0 {
+			continue
+		}
+		r := newPieceReader(p)
+		sd := mpeg2.NewPartialSliceDecoder(ctx, r, p.State(), p.Prev, int(p.FirstAddr), int(p.CodedCount))
+		var mb mpeg2.Macroblock
+		lastAddr := int(p.FirstAddr)
+		for {
+			ok, err := sd.Next(&mb)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			for k := mb.Addr - mb.SkippedBefore; k < mb.Addr; k++ {
+				if err := skipped(k, mb.PrevMotion); err != nil {
+					return err
+				}
+			}
+			if err := rc.Macroblock(cur, fwd, bwd, &mb, ctx.MBW); err != nil {
+				return err
+			}
+			lastAddr = mb.Addr
+		}
+		for k := 1; k <= int(p.TrailingSkip); k++ {
+			if err := skipped(lastAddr+k, sd.PrevMotion()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// newPieceReader positions a bit reader at a piece's first macroblock.
+func newPieceReader(p *subpic.Piece) *bits.Reader {
+	r := bits.NewReader(p.Payload)
+	r.Skip(int(p.SkipBits))
+	return r
+}

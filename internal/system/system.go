@@ -1,0 +1,458 @@
+// Package system assembles the parallel decoding pipelines: the paper's
+// one-level 1-(m,n) and hierarchical two-level 1-k-(m,n) systems, plus the
+// coarse-granularity baselines of Table 1. Each simulated PC is a goroutine
+// attached to a cluster fabric node.
+package system
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/pdec"
+	"tiledwall/internal/splitter"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/wall"
+)
+
+// Config describes a 1-k-(m,n) run. K = 0 selects the one-level 1-(m,n)
+// system in which the root itself splits at macroblock level.
+type Config struct {
+	K       int // second-level splitters (0 = one-level)
+	M, N    int // decoder/tile grid
+	Overlap int // projector overlap in pixels
+
+	// MaxFCode bounds the stream's motion vector range and sizes the
+	// decoders' halo windows; 0 defaults to 3 (±32 px), the encoder default.
+	MaxFCode int
+
+	// DynamicBalance makes the root assign pictures to the least-loaded
+	// splitter instead of round-robin (the paper's §6 future work).
+	DynamicBalance bool
+
+	// UnbatchedExchange disables per-peer batching of MEI block messages
+	// (ablation; see pdec.Config.UnbatchedSends).
+	UnbatchedExchange bool
+
+	// Fabric carries throttling options for the message fabric.
+	Fabric cluster.Config
+
+	// CollectFrames assembles full output frames for verification (adds
+	// memory traffic outside the measured path).
+	CollectFrames bool
+}
+
+// Result reports one pipeline run.
+type Result struct {
+	Config     Config
+	Throughput metrics.Throughput
+
+	Root      *splitter.RootResult
+	Splitters []*splitter.SecondResult
+	Decoders  []*pdec.Result
+
+	// NodeStats indexes fabric traffic by node id (root, splitters,
+	// decoders in wiring order).
+	NodeStats []cluster.LinkStats
+	// RootNodeID, SplitterNodeIDs and DecoderNodeIDs give the wiring.
+	RootNodeID      int
+	SplitterNodeIDs []int
+	DecoderNodeIDs  []int
+
+	// Frames holds assembled output frames in display order when
+	// CollectFrames was set.
+	Frames []*mpeg2.PixelBuf
+
+	// StreamBytes is the input size, for equivalent-bit-rate reporting.
+	StreamBytes int64
+
+	fabric *cluster.Fabric
+}
+
+// PairBytes returns bytes sent from fabric node a to node b during the run.
+func (r *Result) PairBytes(a, b int) int64 {
+	if r.fabric == nil {
+		return 0
+	}
+	return r.fabric.PairBytes(a, b)
+}
+
+// Modeled returns the pipeline-model throughput: pictures divided by the
+// busiest node's CPU time. With the two-buffer credit protocol, a steady
+// pipeline runs at the rate of its slowest stage — the paper's formula
+// F = min(k/ts, 1/td) (§4.6) — and on a real cluster wall-clock throughput
+// converges to this. The simulation's own wall clock (Throughput) sums every
+// node's work when cores are scarce, so Modeled is what the evaluation
+// tables report; EXPERIMENTS.md discusses the methodology.
+func (r *Result) Modeled() metrics.Throughput {
+	var busiest time.Duration
+	if r.Root != nil {
+		if b := r.Root.ScanTime + r.Root.CopyTime + r.Root.SendTime; b > busiest {
+			busiest = b
+		}
+	}
+	for _, sp := range r.Splitters {
+		if sp == nil {
+			continue
+		}
+		if b := sp.Breakdown.Busy(); b > busiest {
+			busiest = b
+		}
+	}
+	for _, d := range r.Decoders {
+		if d == nil {
+			continue
+		}
+		if b := d.Breakdown.Busy(); b > busiest {
+			busiest = b
+		}
+	}
+	out := r.Throughput
+	if busiest > 0 {
+		out.Elapsed = busiest
+	}
+	return out
+}
+
+// NumNodes returns the PC count of the configuration (1 root + k + m*n),
+// the x-axis of the paper's Figures 6 and 8.
+func (c Config) NumNodes() int { return 1 + c.K + c.M*c.N }
+
+func (c *Config) defaults() {
+	if c.MaxFCode == 0 {
+		c.MaxFCode = 3
+	}
+}
+
+// frameCollector gathers per-tile outputs (display order per tile) and
+// assembles them.
+type frameCollector struct {
+	mu    sync.Mutex
+	geo   *wall.Geometry
+	tiles [][]*mpeg2.PixelBuf // [tile][emission index]
+}
+
+func newFrameCollector(geo *wall.Geometry) *frameCollector {
+	return &frameCollector{geo: geo, tiles: make([][]*mpeg2.PixelBuf, geo.NumTiles())}
+}
+
+func (fc *frameCollector) onFrame(_ int, tile int, buf *mpeg2.PixelBuf) {
+	fc.mu.Lock()
+	fc.tiles[tile] = append(fc.tiles[tile], buf)
+	fc.mu.Unlock()
+}
+
+// onIndexedFrame stores a tile frame at an explicit display index, for
+// pipelines whose display servers receive frames out of order.
+func (fc *frameCollector) onIndexedFrame(displayIdx, tile int, buf *mpeg2.PixelBuf) {
+	fc.mu.Lock()
+	for len(fc.tiles[tile]) <= displayIdx {
+		fc.tiles[tile] = append(fc.tiles[tile], nil)
+	}
+	fc.tiles[tile][displayIdx] = buf
+	fc.mu.Unlock()
+}
+
+// assembleIndexed assembles exactly total frames, requiring every slot to be
+// filled.
+func (fc *frameCollector) assembleIndexed(total int) ([]*mpeg2.PixelBuf, error) {
+	row := make([]*mpeg2.PixelBuf, len(fc.tiles))
+	var frames []*mpeg2.PixelBuf
+	for i := 0; i < total; i++ {
+		for t := range fc.tiles {
+			if i >= len(fc.tiles[t]) || fc.tiles[t][i] == nil {
+				return nil, fmt.Errorf("system: tile %d missing display frame %d", t, i)
+			}
+			row[t] = fc.tiles[t][i]
+		}
+		f, err := fc.geo.Assemble(row)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+func (fc *frameCollector) assemble() ([]*mpeg2.PixelBuf, error) {
+	n := -1
+	for t, list := range fc.tiles {
+		if n == -1 {
+			n = len(list)
+		} else if len(list) != n {
+			return nil, fmt.Errorf("system: tile %d emitted %d frames, others %d", t, len(list), n)
+		}
+	}
+	var frames []*mpeg2.PixelBuf
+	row := make([]*mpeg2.PixelBuf, len(fc.tiles))
+	for i := 0; i < n; i++ {
+		for t := range fc.tiles {
+			row[t] = fc.tiles[t][i]
+		}
+		f, err := fc.geo.Assemble(row)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// Run executes the pipeline over a complete elementary stream.
+func Run(stream []byte, cfg Config) (*Result, error) {
+	cfg.defaults()
+	s, err := mpeg2.ParseStream(stream)
+	if err != nil {
+		return nil, err
+	}
+	picW, picH := s.Seq.MBWidth()*16, s.Seq.MBHeight()*16
+	geo, err := wall.NewGeometry(picW, picH, cfg.M, cfg.N, cfg.Overlap)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.K > 0 {
+		return runTwoLevel(stream, s, geo, cfg)
+	}
+	return runOneLevel(stream, s, geo, cfg)
+}
+
+// runTwoLevel wires root -> k splitters -> m*n decoders.
+func runTwoLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config) (*Result, error) {
+	nTiles := geo.NumTiles()
+	nNodes := 1 + cfg.K + nTiles
+	fab := cluster.New(nNodes, cfg.Fabric)
+
+	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
+	for i := 0; i < cfg.K; i++ {
+		res.SplitterNodeIDs = append(res.SplitterNodeIDs, 1+i)
+	}
+	for t := 0; t < nTiles; t++ {
+		res.DecoderNodeIDs = append(res.DecoderNodeIDs, 1+cfg.K+t)
+	}
+	tileNode := func(t int) int { return res.DecoderNodeIDs[t] }
+
+	var collector *frameCollector
+	var onFrame func(int, int, *mpeg2.PixelBuf)
+	if cfg.CollectFrames {
+		collector = newFrameCollector(geo)
+		onFrame = collector.onFrame
+	}
+
+	res.Splitters = make([]*splitter.SecondResult, cfg.K)
+	res.Decoders = make([]*pdec.Result, nTiles)
+	errs := make([]error, 1+cfg.K+nTiles)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res.Root, errs[0] = splitter.RunRoot(fab.Node(0), splitter.RootConfig{
+			Stream:        stream,
+			SplitterNodes: res.SplitterNodeIDs,
+			Dynamic:       cfg.DynamicBalance,
+		})
+		if errs[0] != nil {
+			fab.Abort(errs[0])
+		}
+	}()
+	for i := 0; i < cfg.K; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res.Splitters[i], errs[1+i] = splitter.RunSecond(fab.Node(1+i), splitter.SecondConfig{
+				Seq:          s.Seq,
+				Geo:          geo,
+				Index:        i,
+				DecoderNodes: res.DecoderNodeIDs,
+				RootNode:     0,
+			})
+			if errs[1+i] != nil {
+				fab.Abort(errs[1+i])
+			}
+		}()
+	}
+	for t := 0; t < nTiles; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := pdec.NewDecoder(fab.Node(res.DecoderNodeIDs[t]), pdec.Config{
+				Seq:            s.Seq,
+				Geo:            geo,
+				Tile:           t,
+				HaloPx:         pdec.HaloForFCode(cfg.MaxFCode),
+				TileNode:       tileNode,
+				OnFrame:        onFrame,
+				UnbatchedSends: cfg.UnbatchedExchange,
+			})
+			res.Decoders[t], errs[1+cfg.K+t] = d.Run()
+			if errs[1+cfg.K+t] != nil {
+				fab.Abort(errs[1+cfg.K+t])
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if cause := fab.AbortCause(); cause != nil {
+		return res, cause
+	}
+	for _, e := range errs {
+		if e != nil {
+			return res, e
+		}
+	}
+	res.Throughput = metrics.Throughput{
+		Pictures:         len(s.Pictures),
+		Elapsed:          elapsed,
+		PixelsPerPicture: int64(geo.PicW) * int64(geo.PicH),
+	}
+	res.NodeStats = fab.Stats()
+	if collector != nil {
+		frames, err := collector.assemble()
+		if err != nil {
+			return res, err
+		}
+		res.Frames = frames
+	}
+	return res, nil
+}
+
+// runOneLevel wires a single combined picture+macroblock splitter (the
+// console PC) directly to the decoders: the paper's 1-(m,n) system whose
+// splitter saturates beyond a handful of decoders (§5.3).
+func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config) (*Result, error) {
+	nTiles := geo.NumTiles()
+	nNodes := 1 + nTiles
+	fab := cluster.New(nNodes, cfg.Fabric)
+
+	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
+	for t := 0; t < nTiles; t++ {
+		res.DecoderNodeIDs = append(res.DecoderNodeIDs, 1+t)
+	}
+	tileNode := func(t int) int { return res.DecoderNodeIDs[t] }
+
+	var collector *frameCollector
+	var onFrame func(int, int, *mpeg2.PixelBuf)
+	if cfg.CollectFrames {
+		collector = newFrameCollector(geo)
+		onFrame = collector.onFrame
+	}
+
+	res.Splitters = make([]*splitter.SecondResult, 1)
+	res.Decoders = make([]*pdec.Result, nTiles)
+	errs := make([]error, 1+nTiles)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res.Splitters[0], errs[0] = runCombinedSplitter(fab.Node(0), s, geo, res.DecoderNodeIDs)
+		if errs[0] != nil {
+			fab.Abort(errs[0])
+		}
+	}()
+	for t := 0; t < nTiles; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := pdec.NewDecoder(fab.Node(res.DecoderNodeIDs[t]), pdec.Config{
+				Seq:            s.Seq,
+				Geo:            geo,
+				Tile:           t,
+				HaloPx:         pdec.HaloForFCode(cfg.MaxFCode),
+				TileNode:       tileNode,
+				OnFrame:        onFrame,
+				UnbatchedSends: cfg.UnbatchedExchange,
+			})
+			res.Decoders[t], errs[1+t] = d.Run()
+			if errs[1+t] != nil {
+				fab.Abort(errs[1+t])
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if cause := fab.AbortCause(); cause != nil {
+		return res, cause
+	}
+	for _, e := range errs {
+		if e != nil {
+			return res, e
+		}
+	}
+	res.Throughput = metrics.Throughput{
+		Pictures:         len(s.Pictures),
+		Elapsed:          elapsed,
+		PixelsPerPicture: int64(geo.PicW) * int64(geo.PicH),
+	}
+	res.NodeStats = fab.Stats()
+	if collector != nil {
+		frames, err := collector.assemble()
+		if err != nil {
+			return res, err
+		}
+		res.Frames = frames
+	}
+	return res, nil
+}
+
+// runCombinedSplitter scans and splits on one node (the 1-(m,n) console).
+func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int) (*splitter.SecondResult, error) {
+	res := &splitter.SecondResult{}
+	b := &res.Breakdown
+	ms := splitter.NewMBSplitter(s.Seq, geo)
+	nd := len(decoderNodes)
+
+	for seq, unit := range s.Pictures {
+		res.InputBytes += int64(len(unit))
+		var sps []*subpic.SubPicture
+		var err error
+		b.Timed(metrics.PhaseWork, func() { sps, err = ms.Split(unit, seq) })
+		if err != nil {
+			return res, err
+		}
+		if seq > 0 {
+			aborted := false
+			b.Timed(metrics.PhaseWaitMB, func() {
+				for i := 0; i < nd; i++ {
+					if node.Recv(cluster.MsgAck) == nil {
+						aborted = true
+						return
+					}
+				}
+			})
+			if aborted {
+				return res, fmt.Errorf("system: fabric aborted while waiting for decoder acks")
+			}
+		}
+		b.Timed(metrics.PhaseServe, func() {
+			for t := 0; t < nd; t++ {
+				payload := sps[t].Marshal()
+				res.SPBytes += int64(len(payload))
+				node.Send(decoderNodes[t], &cluster.Message{
+					Kind:    cluster.MsgSubPicture,
+					Seq:     seq,
+					Tag:     node.ID(), // single splitter: acks come back here
+					Payload: payload,
+				})
+			}
+		})
+		res.Pictures++
+		b.Pictures++
+	}
+	for t := 0; t < nd; t++ {
+		sp := &subpic.SubPicture{Final: true}
+		sp.Pic.Index = int32(len(s.Pictures))
+		node.Send(decoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: sp.Marshal()})
+	}
+	return res, nil
+}

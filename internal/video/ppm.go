@@ -1,0 +1,55 @@
+package video
+
+import (
+	"fmt"
+	"io"
+
+	"tiledwall/internal/mpeg2"
+)
+
+// PPM export: turn decoded 4:2:0 YCbCr frames into viewable images (binary
+// P6, no external codecs needed). Used by `playwall -snapshot` to show what
+// the wall displays, including blended overlap composites.
+
+// YCbCrToRGB converts one BT.601 sample triplet.
+func YCbCrToRGB(y, cb, cr uint8) (r, g, b uint8) {
+	yy := int32(y) << 16
+	ccb := int32(cb) - 128
+	ccr := int32(cr) - 128
+	clip := func(v int32) uint8 {
+		v >>= 16
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	r = clip(yy + 91881*ccr)
+	g = clip(yy - 22554*ccb - 46802*ccr)
+	b = clip(yy + 116130*ccb)
+	return
+}
+
+// WritePPM writes the window as a binary PPM (P6) image. Chroma is
+// upsampled by sample replication.
+func WritePPM(w io.Writer, buf *mpeg2.PixelBuf) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", buf.W, buf.H); err != nil {
+		return err
+	}
+	cw := buf.W / 2
+	row := make([]byte, buf.W*3)
+	for y := 0; y < buf.H; y++ {
+		for x := 0; x < buf.W; x++ {
+			yy := buf.Y[y*buf.W+x]
+			ci := (y/2)*cw + x/2
+			r, g, b := YCbCrToRGB(yy, buf.Cb[ci], buf.Cr[ci])
+			row[x*3], row[x*3+1], row[x*3+2] = r, g, b
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

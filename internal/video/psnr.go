@@ -1,0 +1,59 @@
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"tiledwall/internal/mpeg2"
+)
+
+// PSNR returns the luma peak signal-to-noise ratio between two equally sized
+// windows, in dB. Identical buffers return +Inf.
+func PSNR(a, b *mpeg2.PixelBuf) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("video: PSNR size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sse float64
+	for i := range a.Y {
+		d := float64(int(a.Y[i]) - int(b.Y[i]))
+		sse += d * d
+	}
+	if sse == 0 {
+		return math.Inf(1), nil
+	}
+	mse := sse / float64(len(a.Y))
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// MaxAbsDiff returns the maximum absolute luma and chroma differences.
+func MaxAbsDiff(a, b *mpeg2.PixelBuf) (luma, chroma int) {
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for i := range a.Y {
+		if d := abs(int(a.Y[i]) - int(b.Y[i])); d > luma {
+			luma = d
+		}
+	}
+	for i := range a.Cb {
+		if d := abs(int(a.Cb[i]) - int(b.Cb[i])); d > chroma {
+			chroma = d
+		}
+		if d := abs(int(a.Cr[i]) - int(b.Cr[i])); d > chroma {
+			chroma = d
+		}
+	}
+	return luma, chroma
+}
+
+// Equal reports whether two windows hold identical samples.
+func Equal(a, b *mpeg2.PixelBuf) bool {
+	if a.W != b.W || a.H != b.H || a.X0 != b.X0 || a.Y0 != b.Y0 {
+		return false
+	}
+	l, c := MaxAbsDiff(a, b)
+	return l == 0 && c == 0
+}

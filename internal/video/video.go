@@ -1,0 +1,297 @@
+// Package video generates deterministic synthetic test content reproducing
+// the structure of the paper's 16 test streams (Table 4): DVD film clips,
+// computer animation, HDTV fish-tank camera footage, broadcast recordings
+// and the Orion Nebula visualisation flythroughs. The actual footage is not
+// redistributable; what the experiments depend on is resolution, bits per
+// pixel, motion structure and — for the flyby class — spatial locality of
+// detail (paper §5.5), all of which these scenes control.
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"tiledwall/internal/mpeg2"
+)
+
+// SceneKind selects a generator.
+type SceneKind int
+
+const (
+	// SceneFilm: camera pans over a textured scene with moving foreground
+	// blobs and film grain; models the DVD movie clips (streams 1-3).
+	SceneFilm SceneKind = iota
+	// SceneAnimation: flat-shaded regions with hard edges in smooth motion;
+	// models the rendered animation (streams 4, 12).
+	SceneAnimation
+	// SceneFishTank: static background, several independently moving
+	// fish-like ellipses and a slow ripple; models streams 5-8.
+	SceneFishTank
+	// SceneBroadcast: studio-like static layout with a scrolling ticker and
+	// a talking-head region of constant small motion; models streams 9-11.
+	SceneBroadcast
+	// SceneFlyby: star-field zoom whose visual detail and motion are
+	// concentrated in one region of the frame, reproducing the localised
+	// complexity of the Orion flybys (streams 13-16) that causes decoder
+	// load imbalance in the paper's §5.5.
+	SceneFlyby
+)
+
+func (k SceneKind) String() string {
+	switch k {
+	case SceneFilm:
+		return "film"
+	case SceneAnimation:
+		return "animation"
+	case SceneFishTank:
+		return "fishtank"
+	case SceneBroadcast:
+		return "broadcast"
+	case SceneFlyby:
+		return "flyby"
+	}
+	return fmt.Sprintf("SceneKind(%d)", int(k))
+}
+
+// Source produces frames of a scene.
+type Source struct {
+	Kind SceneKind
+	W, H int
+	Seed int64
+
+	// precomputed per-scene state
+	blobs []blob
+	noise []uint8
+}
+
+type blob struct {
+	x, y, vx, vy, r float64
+	shade           uint8
+}
+
+// NewSource creates a deterministic scene generator. w and h must be
+// multiples of 16.
+func NewSource(kind SceneKind, w, h int, seed int64) *Source {
+	s := &Source{Kind: kind, W: w, H: h, Seed: seed}
+	rng := newXorshift(uint64(seed)*2654435761 + 1)
+	n := 6 + int(rng.next()%5)
+	for i := 0; i < n; i++ {
+		s.blobs = append(s.blobs, blob{
+			x:     float64(rng.next() % uint64(w)),
+			y:     float64(rng.next() % uint64(h)),
+			vx:    float64(int(rng.next()%9)-4) / 2,
+			vy:    float64(int(rng.next()%9)-4) / 2,
+			r:     float64(16 + rng.next()%uint64(h/8+1)),
+			shade: uint8(64 + rng.next()%128),
+		})
+	}
+	// A tileable noise strip for texture/grain, cheap to index per pixel.
+	s.noise = make([]uint8, 4096)
+	for i := range s.noise {
+		s.noise[i] = uint8(rng.next())
+	}
+	return s
+}
+
+// xorshift is a tiny deterministic RNG so scenes do not depend on
+// math/rand's generator across Go versions.
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &xorshift{s: seed}
+}
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+// Frame renders display-order frame i into a fresh buffer.
+func (s *Source) Frame(i int) *mpeg2.PixelBuf {
+	f := mpeg2.NewPixelBuf(0, 0, s.W, s.H)
+	s.Render(i, f)
+	return f
+}
+
+// Render renders frame i into dst, which must be a full-picture window.
+func (s *Source) Render(i int, dst *mpeg2.PixelBuf) {
+	switch s.Kind {
+	case SceneFilm:
+		s.renderFilm(i, dst)
+	case SceneAnimation:
+		s.renderAnimation(i, dst)
+	case SceneFishTank:
+		s.renderFishTank(i, dst)
+	case SceneBroadcast:
+		s.renderBroadcast(i, dst)
+	case SceneFlyby:
+		s.renderFlyby(i, dst)
+	}
+}
+
+// fillChromaFromLuma derives smooth chroma planes from two phase-shifted
+// low-frequency fields; content is what matters, not colour fidelity.
+func (s *Source) fillChroma(dst *mpeg2.PixelBuf, t, scale int) {
+	cw, ch := s.W/2, s.H/2
+	for y := 0; y < ch; y++ {
+		row := y * cw
+		for x := 0; x < cw; x++ {
+			dst.Cb[row+x] = uint8(128 + 40*iSin((x+t*scale)*360/(cw+1))/256)
+			dst.Cr[row+x] = uint8(128 + 40*iSin((y-t*scale)*360/(ch+1))/256)
+		}
+	}
+}
+
+// iSin is a 256-scaled integer sine with degree argument.
+func iSin(deg int) int {
+	return int(256 * math.Sin(float64(deg)*math.Pi/180))
+}
+
+func (s *Source) renderFilm(i int, dst *mpeg2.PixelBuf) {
+	panX, panY := i*2, i
+	for y := 0; y < s.H; y++ {
+		row := y * s.W
+		ny := (y + panY) & 63
+		for x := 0; x < s.W; x++ {
+			nx := (x + panX) & 63
+			base := 80 + ((x+panX)>>4+(y+panY)>>4)&31*3
+			grain := int(s.noise[(ny*64+nx)&4095]) >> 4
+			dst.Y[row+x] = uint8(base + grain)
+		}
+	}
+	s.drawBlobs(i, dst, 1)
+	s.fillChroma(dst, i, 2)
+}
+
+func (s *Source) renderAnimation(i int, dst *mpeg2.PixelBuf) {
+	// Flat background bands.
+	for y := 0; y < s.H; y++ {
+		row := y * s.W
+		shade := uint8(60 + (y*4/s.H)*40)
+		for x := 0; x < s.W; x++ {
+			dst.Y[row+x] = shade
+		}
+	}
+	s.drawBlobs(i, dst, 2)
+	s.fillChroma(dst, i, 1)
+}
+
+func (s *Source) renderFishTank(i int, dst *mpeg2.PixelBuf) {
+	// Static gradient background with a slow vertical ripple.
+	for y := 0; y < s.H; y++ {
+		row := y * s.W
+		ripple := iSin((y*6+i*10)%360) >> 6
+		for x := 0; x < s.W; x++ {
+			dst.Y[row+x] = uint8(96 + (x * 48 / s.W) + ripple + int(s.noise[(y*61+x)&4095])>>5)
+		}
+	}
+	s.drawBlobs(i, dst, 1)
+	s.fillChroma(dst, 0, 0) // static chroma: camera scene
+}
+
+func (s *Source) renderBroadcast(i int, dst *mpeg2.PixelBuf) {
+	for y := 0; y < s.H; y++ {
+		row := y * s.W
+		for x := 0; x < s.W; x++ {
+			// Studio: vertical colour bars.
+			dst.Y[row+x] = uint8(64 + (x*8/s.W)*20)
+		}
+	}
+	// Talking-head region: small oscillating motion in the centre.
+	cx, cy := s.W/2, s.H/3
+	off := iSin(i*25) >> 6
+	for y := cy; y < cy+s.H/4 && y < s.H; y++ {
+		row := y * s.W
+		for x := cx - s.W/8; x < cx+s.W/8; x++ {
+			dst.Y[row+x] = uint8(150 + int(s.noise[((y+off)*37+x)&4095])>>3)
+		}
+	}
+	// Ticker: a band scrolling horizontally.
+	ty := s.H - s.H/8
+	for y := ty; y < ty+s.H/16 && y < s.H; y++ {
+		row := y * s.W
+		for x := 0; x < s.W; x++ {
+			dst.Y[row+x] = uint8(32 + int(s.noise[(y*13+x+i*8)&4095])>>2)
+		}
+	}
+	s.fillChroma(dst, 0, 0)
+}
+
+func (s *Source) renderFlyby(i int, dst *mpeg2.PixelBuf) {
+	// A dim star field drifting slowly across the whole frame: every tile
+	// sees some motion (the paper reports communication staying low and
+	// *balanced* even for this content, §5.6), but the bulk of the bits
+	// concentrate in the dense region below.
+	drift := i
+	for y := 0; y < s.H; y++ {
+		row := y * s.W
+		for x := 0; x < s.W; x++ {
+			v := s.noise[((y)*53+x+drift)&4095]
+			if v > 236 {
+				dst.Y[row+x] = 16 + v>>2
+			} else {
+				dst.Y[row+x] = 16
+			}
+		}
+	}
+	// Detail concentrated toward the upper-left (roughly a quarter of the
+	// screen carries most of it): a dense zooming turbulence field whose
+	// bit-rate dominates the picture, reproducing the per-tile load
+	// imbalance of the paper's highest-resolution streams (§5.5).
+	rw, rh := s.W*5/8, s.H*5/8
+	zoom := 1.0 + float64(i)*0.01
+	for y := 0; y < rh; y++ {
+		row := y * s.W
+		sy := int(float64(y)/zoom) + i
+		for x := 0; x < rw; x++ {
+			sx := int(float64(x)/zoom) + i*2
+			v := int(s.noise[(sy*97+sx)&4095])
+			if v < 72 {
+				v = 0 // sparsify: keep the region busy but compressible
+			}
+			v = v * (rw - x) / rw * (rh - y) / rh // fade toward region edge
+			if v > 0 {
+				dst.Y[row+x] = uint8(16 + v*3/4)
+			}
+		}
+	}
+	// A handful of bright moving stars crossing the whole frame.
+	s.drawBlobs(i, dst, 3)
+	s.fillChroma(dst, i, 1)
+}
+
+// drawBlobs renders the scene's moving objects; speed scales their motion.
+func (s *Source) drawBlobs(i int, dst *mpeg2.PixelBuf, speed int) {
+	t := float64(i * speed)
+	for _, b := range s.blobs {
+		cx := b.x + b.vx*t
+		cy := b.y + b.vy*t
+		// Wrap around the frame.
+		cx = math.Mod(math.Mod(cx, float64(s.W))+float64(s.W), float64(s.W))
+		cy = math.Mod(math.Mod(cy, float64(s.H))+float64(s.H), float64(s.H))
+		r := b.r
+		x0, x1 := int(cx-r), int(cx+r)
+		y0, y1 := int(cy-r), int(cy+r)
+		for y := y0; y <= y1; y++ {
+			if y < 0 || y >= s.H {
+				continue
+			}
+			row := y * s.W
+			dy := float64(y) - cy
+			for x := x0; x <= x1; x++ {
+				if x < 0 || x >= s.W {
+					continue
+				}
+				dx := float64(x) - cx
+				if dx*dx+dy*dy <= r*r {
+					dst.Y[row+x] = b.shade
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package video
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+)
+
+func allKinds() []SceneKind {
+	return []SceneKind{SceneFilm, SceneAnimation, SceneFishTank, SceneBroadcast, SceneFlyby}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, k := range allKinds() {
+		a := NewSource(k, 96, 64, 7).Frame(3)
+		b := NewSource(k, 96, 64, 7).Frame(3)
+		if !Equal(a, b) {
+			t.Errorf("%v: same seed produced different frames", k)
+		}
+		c := NewSource(k, 96, 64, 8).Frame(3)
+		if Equal(a, c) {
+			t.Errorf("%v: different seeds produced identical frames", k)
+		}
+	}
+}
+
+func TestFramesChangeOverTime(t *testing.T) {
+	for _, k := range allKinds() {
+		src := NewSource(k, 96, 64, 7)
+		if Equal(src.Frame(0), src.Frame(5)) {
+			t.Errorf("%v: static scene — frames 0 and 5 identical", k)
+		}
+	}
+}
+
+func TestRenderMatchesFrame(t *testing.T) {
+	src := NewSource(SceneFilm, 96, 64, 3)
+	buf := mpeg2.NewPixelBuf(0, 0, 96, 64)
+	src.Render(4, buf)
+	if !Equal(buf, src.Frame(4)) {
+		t.Error("Render and Frame disagree")
+	}
+}
+
+func TestChromaCentered(t *testing.T) {
+	// Chroma planes should hover around 128 (video is mostly luma detail).
+	for _, k := range allKinds() {
+		f := NewSource(k, 96, 64, 1).Frame(0)
+		var sum int64
+		for i := range f.Cb {
+			sum += int64(f.Cb[i])
+		}
+		mean := float64(sum) / float64(len(f.Cb))
+		if mean < 80 || mean > 176 {
+			t.Errorf("%v: Cb mean %.0f far from neutral", k, mean)
+		}
+	}
+}
+
+// TestFlybyLocalisedDetail: the flyby scene must concentrate its detail in
+// the upper-left region — the property driving the paper's §5.5 imbalance.
+func TestFlybyLocalisedDetail(t *testing.T) {
+	f := NewSource(SceneFlyby, 256, 192, 2).Frame(10)
+	activity := func(x0, y0, w, h int) float64 {
+		var sum float64
+		var n int
+		for y := y0; y < y0+h-1; y++ {
+			for x := x0; x < x0+w-1; x++ {
+				d := int(f.Y[y*256+x]) - int(f.Y[y*256+x+1])
+				sum += math.Abs(float64(d))
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	dense := activity(0, 0, 96, 72)
+	sparse := activity(160, 120, 96, 72)
+	if dense < sparse*2 {
+		t.Errorf("flyby detail not localised: dense %.2f vs sparse %.2f", dense, sparse)
+	}
+	if sparse == 0 {
+		t.Error("sparse region completely flat; every tile should see some activity")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := mpeg2.NewPixelBuf(0, 0, 32, 32)
+	b := mpeg2.NewPixelBuf(0, 0, 32, 32)
+	if p, err := PSNR(a, b); err != nil || !math.IsInf(p, 1) {
+		t.Errorf("identical PSNR = %v err %v", p, err)
+	}
+	b.Y[0] = 255
+	p, err := PSNR(a, b)
+	if err != nil || math.IsInf(p, 1) || p < 20 {
+		t.Errorf("single-pixel PSNR = %v err %v", p, err)
+	}
+	c := mpeg2.NewPixelBuf(0, 0, 16, 16)
+	if _, err := PSNR(a, c); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := mpeg2.NewPixelBuf(0, 0, 16, 16)
+	b := mpeg2.NewPixelBuf(0, 0, 16, 16)
+	b.Y[5] = 7
+	b.Cr[2] = 9
+	l, c := MaxAbsDiff(a, b)
+	if l != 7 || c != 9 {
+		t.Errorf("diff = %d,%d", l, c)
+	}
+}
+
+func TestSceneKindString(t *testing.T) {
+	for _, k := range allKinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if SceneKind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func BenchmarkRenderFlyby1080(b *testing.B) {
+	src := NewSource(SceneFlyby, 1920, 1088, 1)
+	buf := mpeg2.NewPixelBuf(0, 0, 1920, 1088)
+	b.SetBytes(1920 * 1088 * 3 / 2)
+	for i := 0; i < b.N; i++ {
+		src.Render(i, buf)
+	}
+}
+
+func TestYCbCrToRGB(t *testing.T) {
+	// Neutral grey stays grey.
+	r, g, b := YCbCrToRGB(128, 128, 128)
+	if r != 128 || g != 128 || b != 128 {
+		t.Errorf("grey -> %d,%d,%d", r, g, b)
+	}
+	// Black and white extremes.
+	if r, g, b = YCbCrToRGB(0, 128, 128); r != 0 || g != 0 || b != 0 {
+		t.Errorf("black -> %d,%d,%d", r, g, b)
+	}
+	if r, g, b = YCbCrToRGB(255, 128, 128); r != 255 || g != 255 || b != 255 {
+		t.Errorf("white -> %d,%d,%d", r, g, b)
+	}
+	// High Cr pushes red above green.
+	r, g, _ = YCbCrToRGB(128, 128, 200)
+	if r <= g {
+		t.Errorf("red cast missing: r=%d g=%d", r, g)
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	buf := mpeg2.NewPixelBuf(0, 0, 32, 16)
+	for i := range buf.Y {
+		buf.Y[i] = 128
+	}
+	for i := range buf.Cb {
+		buf.Cb[i] = 128
+		buf.Cr[i] = 128
+	}
+	var out bytes.Buffer
+	if err := WritePPM(&out, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := len("P6\n32 16\n255\n") + 32*16*3
+	if out.Len() != want {
+		t.Fatalf("PPM size %d, want %d", out.Len(), want)
+	}
+	if !bytes.HasPrefix(out.Bytes(), []byte("P6\n32 16\n255\n")) {
+		t.Fatal("bad PPM header")
+	}
+	// Grey frame: every RGB byte is 128.
+	body := out.Bytes()[want-32*16*3:]
+	for i, v := range body {
+		if v != 128 {
+			t.Fatalf("pixel byte %d = %d", i, v)
+		}
+	}
+}

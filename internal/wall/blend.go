@@ -1,0 +1,147 @@
+package wall
+
+import (
+	"fmt"
+
+	"tiledwall/internal/mpeg2"
+)
+
+// Edge blending: projectors overlap and each applies an intensity ramp
+// across the shared band so the two images sum to full brightness on the
+// screen (the paper's wall used ~40 px optical blending; §5.1 notes the
+// replicated macroblocks this costs the splitter). This file models the
+// optical side: per-tile ramp application and the composite the audience
+// sees, used by tools and tests to visualise overlap correctness.
+
+// BlendRamp returns per-position intensity weights (fixed point, 0..256)
+// across a shared band of the given width, rising from the tile's outer
+// edge inward; two opposing ramps sum to ~256 everywhere.
+func BlendRamp(width int) []int {
+	ramp := make([]int, width)
+	for i := range ramp {
+		ramp[i] = ((2*i + 1) * 256) / (2 * width)
+	}
+	return ramp
+}
+
+// ApplyBlend multiplies the tile image by its blend ramps in place. Ramp
+// widths are the *actual* shared band with each neighbour (the nominal
+// overlap after macroblock alignment), so opposing ramps always pair up.
+func (g *Geometry) ApplyBlend(tile int, buf *mpeg2.PixelBuf) {
+	if g.Overlap <= 0 {
+		return
+	}
+	r := g.Tile(tile)
+	col := tile % g.M
+	row := tile / g.M
+
+	scale := func(gx, gy, w int) {
+		i := (gy-buf.Y0)*buf.W + (gx - buf.X0)
+		buf.Y[i] = uint8(int(buf.Y[i]) * w >> 8)
+		if gx&1 == 0 && gy&1 == 0 {
+			ci := (gy/2-buf.Y0/2)*(buf.W/2) + (gx/2 - buf.X0/2)
+			// Chroma is centred at 128; blend the deviation so neutral
+			// colour stays neutral through the ramp.
+			buf.Cb[ci] = uint8(128 + ((int(buf.Cb[ci])-128)*w)>>8)
+			buf.Cr[ci] = uint8(128 + ((int(buf.Cr[ci])-128)*w)>>8)
+		}
+	}
+
+	fadeCols := func(x0, x1 int, outerLeft bool) {
+		width := x1 - x0
+		if width <= 0 {
+			return
+		}
+		ramp := BlendRamp(width)
+		for dx := 0; dx < width; dx++ {
+			w := ramp[dx]
+			x := x0 + dx
+			if !outerLeft {
+				x = x1 - 1 - dx
+			}
+			for y := r.Y0; y < r.Y1; y++ {
+				scale(x, y, w)
+			}
+		}
+	}
+	fadeRows := func(y0, y1 int, outerTop bool) {
+		height := y1 - y0
+		if height <= 0 {
+			return
+		}
+		ramp := BlendRamp(height)
+		for dy := 0; dy < height; dy++ {
+			w := ramp[dy]
+			y := y0 + dy
+			if !outerTop {
+				y = y1 - 1 - dy
+			}
+			for x := r.X0; x < r.X1; x++ {
+				scale(x, y, w)
+			}
+		}
+	}
+
+	if col > 0 {
+		left := g.Tile(g.TileIndex(col-1, row))
+		fadeCols(r.X0, min(left.X1, r.X1), true) // shared band with the left neighbour
+	}
+	if col < g.M-1 {
+		right := g.Tile(g.TileIndex(col+1, row))
+		fadeCols(max(right.X0, r.X0), r.X1, false)
+	}
+	if row > 0 {
+		up := g.Tile(g.TileIndex(col, row-1))
+		fadeRows(r.Y0, min(up.Y1, r.Y1), true)
+	}
+	if row < g.N-1 {
+		down := g.Tile(g.TileIndex(col, row+1))
+		fadeRows(max(down.Y0, r.Y0), r.Y1, false)
+	}
+}
+
+// CompositeBlend simulates the screen: every tile's (blended) light adds
+// up. With correct per-tile ramps and identical pixel data in the overlap,
+// the composite reproduces the unblended image up to small rounding error.
+func (g *Geometry) CompositeBlend(tiles []*mpeg2.PixelBuf) (*mpeg2.PixelBuf, error) {
+	if len(tiles) != g.NumTiles() {
+		return nil, fmt.Errorf("wall: composite needs %d tiles, got %d", g.NumTiles(), len(tiles))
+	}
+	out := mpeg2.NewPixelBuf(0, 0, g.PicW, g.PicH)
+	accY := make([]int, g.PicW*g.PicH)
+	accCb := make([]int, g.PicW*g.PicH/4)
+	accCr := make([]int, g.PicW*g.PicH/4)
+	for t, buf := range tiles {
+		r := g.Tile(t)
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				accY[y*g.PicW+x] += int(buf.Y[(y-buf.Y0)*buf.W+(x-buf.X0)])
+			}
+		}
+		cw := buf.W / 2
+		for y := r.Y0 / 2; y < r.Y1/2; y++ {
+			for x := r.X0 / 2; x < r.X1/2; x++ {
+				i := (y-buf.Y0/2)*cw + (x - buf.X0/2)
+				accCb[y*g.PicW/2+x] += int(buf.Cb[i]) - 128
+				accCr[y*g.PicW/2+x] += int(buf.Cr[i]) - 128
+			}
+		}
+	}
+	clip := func(v int) uint8 {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	for i, v := range accY {
+		out.Y[i] = clip(v)
+	}
+	for i := range accCb {
+		out.Cb[i] = clip(accCb[i] + 128)
+		out.Cr[i] = clip(accCr[i] + 128)
+	}
+	return out, nil
+}

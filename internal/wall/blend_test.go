@@ -1,0 +1,104 @@
+package wall
+
+import (
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+)
+
+func TestBlendRampPairsSumToUnity(t *testing.T) {
+	for _, w := range []int{16, 40, 48} {
+		ramp := BlendRamp(w)
+		for i := 0; i < w; i++ {
+			sum := ramp[i] + ramp[w-1-i]
+			if sum < 254 || sum > 258 {
+				t.Fatalf("width %d pos %d: opposing weights sum to %d", w, i, sum)
+			}
+		}
+		if ramp[0] >= ramp[w-1] {
+			t.Fatalf("width %d: ramp not increasing", w)
+		}
+	}
+}
+
+// TestBlendCompositeReconstructs: cut a picture into overlapping tiles,
+// apply each tile's ramps, and add the light back up: the screen must show
+// the original image within small rounding error.
+func TestBlendCompositeReconstructs(t *testing.T) {
+	g, err := NewGeometry(256, 128, 2, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mpeg2.NewPixelBuf(0, 0, 256, 128)
+	for i := range ref.Y {
+		ref.Y[i] = uint8(40 + (i*13)%160)
+	}
+	for i := range ref.Cb {
+		ref.Cb[i] = uint8(100 + (i*7)%56)
+		ref.Cr[i] = uint8(110 + (i*5)%40)
+	}
+	tiles := make([]*mpeg2.PixelBuf, g.NumTiles())
+	for ti := range tiles {
+		r := g.Tile(ti)
+		buf := mpeg2.NewPixelBuf(r.X0, r.Y0, r.W(), r.H())
+		buf.CopyRect(ref, r.X0, r.Y0, r.W(), r.H())
+		g.ApplyBlend(ti, buf)
+		tiles[ti] = buf
+	}
+	got, err := g.CompositeBlend(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst int
+	for i := range ref.Y {
+		d := int(got.Y[i]) - int(ref.Y[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 6 {
+		t.Errorf("composite luma deviates by up to %d", worst)
+	}
+	worstC := 0
+	for i := range ref.Cb {
+		for _, d := range []int{int(got.Cb[i]) - int(ref.Cb[i]), int(got.Cr[i]) - int(ref.Cr[i])} {
+			if d < 0 {
+				d = -d
+			}
+			if d > worstC {
+				worstC = d
+			}
+		}
+	}
+	if worstC > 8 {
+		t.Errorf("composite chroma deviates by up to %d", worstC)
+	}
+}
+
+func TestBlendNoOverlapIsNoop(t *testing.T) {
+	g, err := NewGeometry(128, 64, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Tile(0)
+	buf := mpeg2.NewPixelBuf(r.X0, r.Y0, r.W(), r.H())
+	for i := range buf.Y {
+		buf.Y[i] = 200
+	}
+	g.ApplyBlend(0, buf)
+	for i, v := range buf.Y {
+		if v != 200 {
+			t.Fatalf("no-overlap blend modified pixel %d", i)
+		}
+	}
+}
+
+func TestCompositeBlendRejectsShortList(t *testing.T) {
+	g, _ := NewGeometry(128, 64, 2, 1, 16)
+	if _, err := g.CompositeBlend(nil); err == nil {
+		t.Error("short tile list accepted")
+	}
+}

@@ -1,0 +1,80 @@
+// Package tiledwall is a from-scratch Go reproduction of "A Parallel
+// Ultra-High Resolution MPEG-2 Video Decoder for PC Cluster Based Tiled
+// Display Systems" (Chen, Li, Wei — IPDPS 2002): a hierarchical 1-k-(m,n)
+// parallel MPEG-2 decoder in which a root splitter distributes pictures to k
+// macroblock-level splitters feeding an m×n grid of tile decoders, plus
+// every substrate the paper depends on — an MPEG-2 MP video codec, a
+// GM/Myrinet-like message fabric, the tiled-wall geometry, the
+// coarse-granularity baseline systems of Table 1, and the full benchmark
+// harness for the paper's evaluation.
+//
+// This file is the façade over the implementation packages:
+//
+//	internal/mpeg2       MPEG-2 bitstream syntax, VLD, IDCT, MC, serial decoder
+//	internal/encoder     closed-loop MPEG-2 encoder (test content generation)
+//	internal/video       synthetic scene generators (Table 4 analogues)
+//	internal/catalog     the 16-stream catalogue and wall configurations
+//	internal/cluster     in-process message fabric with GM semantics
+//	internal/wall        tile geometry, overlap, frame assembly
+//	internal/subpic      sub-pictures: SPH headers and MEI instructions
+//	internal/splitter    root + second-level splitters, bit-exact SP cutting
+//	internal/pdec        tile decoders (MEI execution, halo windows)
+//	internal/system      pipeline assembly, baselines, §4.6 calibration
+//	internal/experiments the Table/Figure regeneration harness
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	stream, _ := tiledwall.GenerateStream(8, tiledwall.GenOptions{Frames: 48})
+//	res, _ := tiledwall.Play(stream, tiledwall.WallConfig{K: 2, M: 2, N: 2})
+//	fmt.Printf("%.1f fps\n", res.Throughput.FPS())
+package tiledwall
+
+import (
+	"tiledwall/internal/catalog"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/system"
+)
+
+// WallConfig selects a 1-k-(m,n) configuration (K = 0 for one-level).
+type WallConfig = system.Config
+
+// WallResult reports a pipeline run.
+type WallResult = system.Result
+
+// GenOptions controls catalogue stream generation.
+type GenOptions = catalog.GenOptions
+
+// StreamSpec describes one catalogue stream (paper Table 4).
+type StreamSpec = catalog.StreamSpec
+
+// Streams lists the 16 catalogue streams.
+func Streams() []StreamSpec { return catalog.Streams }
+
+// GenerateStream renders and encodes catalogue stream id (1..16).
+func GenerateStream(id int, opts GenOptions) ([]byte, error) {
+	spec, err := catalog.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(opts)
+}
+
+// Play decodes an MPEG-2 elementary stream on a simulated tiled wall.
+func Play(stream []byte, cfg WallConfig) (*WallResult, error) {
+	return system.Run(stream, cfg)
+}
+
+// Decode runs the serial reference decoder, returning pictures in display
+// order.
+func Decode(stream []byte) ([]mpeg2.DecodedPicture, error) {
+	dec, err := mpeg2.NewDecoder(stream)
+	if err != nil {
+		return nil, err
+	}
+	return dec.DecodeAll()
+}
+
+// Calibrate measures the §4.6 split/decode costs and recommends k.
+func Calibrate(stream []byte, m, n, overlap, maxPics int) (*system.Calibration, error) {
+	return system.Calibrate(stream, m, n, overlap, maxPics)
+}

@@ -1,0 +1,84 @@
+package tiledwall
+
+import (
+	"testing"
+
+	"tiledwall/internal/mpegps"
+	"tiledwall/internal/video"
+)
+
+// TestFacadeEndToEnd drives the public façade: generate a catalogue stream,
+// calibrate, play it on the recommended configuration, and verify against
+// the serial decoder.
+func TestFacadeEndToEnd(t *testing.T) {
+	stream, err := GenerateStream(5, GenOptions{Frames: 9, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(stream, 2, 2, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cal.RecommendedK(0)
+	if k == 0 {
+		k = 1
+	}
+	res, err := Play(stream, WallConfig{K: k, M: 2, N: 2, CollectFrames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(res.Frames) {
+		t.Fatalf("%d parallel frames vs %d serial", len(res.Frames), len(ref))
+	}
+	for i := range ref {
+		if !video.Equal(ref[i].Buf, res.Frames[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+	if res.Modeled().FPS() <= 0 {
+		t.Error("no throughput reported")
+	}
+}
+
+func TestStreamsCatalogue(t *testing.T) {
+	if len(Streams()) != 16 {
+		t.Fatalf("%d streams", len(Streams()))
+	}
+	if _, err := GenerateStream(99, GenOptions{}); err == nil {
+		t.Error("unknown stream id accepted")
+	}
+}
+
+// TestProgramStreamPlayback: a PS-wrapped catalogue stream demuxes and plays
+// identically to the raw elementary stream.
+func TestProgramStreamPlayback(t *testing.T) {
+	es, err := GenerateStream(4, GenOptions{Frames: 6, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := mpegps.Mux(es, mpegps.MuxOptions{})
+	back, err := mpegps.Demux(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA, err := Decode(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := Decode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refA) != len(refB) {
+		t.Fatalf("picture counts differ: %d vs %d", len(refA), len(refB))
+	}
+	for i := range refA {
+		if !video.Equal(refA[i].Buf, refB[i].Buf) {
+			t.Fatalf("frame %d differs after PS round trip", i)
+		}
+	}
+}
