@@ -25,11 +25,12 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment: all, table1, table4, table5, fig6, fig7, table6, fig8, fig9")
 		frames  = flag.Int("frames", 48, "frames per stream (paper: 240)")
 		scale   = flag.Int("scale", 2, "resolution divisor (paper: 1)")
+		seed    = flag.Int64("seed", 1, "content generator seed (results are reproducible per seed)")
 		verbose = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Frames: *frames, Scale: *scale}
+	o := experiments.Options{Frames: *frames, Scale: *scale, Seed: *seed}
 	if *verbose {
 		o.Log = os.Stderr
 	}

@@ -1,0 +1,141 @@
+// Command genfuzzcorpus regenerates the committed seed corpora under each
+// package's testdata/fuzz/ directory. The corpora give `go test -fuzz` real
+// MPEG-2 structure to mutate from the first execution — raw random bytes
+// rarely get past the start-code scan — and make plain `go test` replay the
+// seeds as regression inputs. Run from the repository root:
+//
+//	go run ./cmd/genfuzzcorpus
+//
+// Every input is derived deterministically (fixed encoder seeds, fixed
+// corruption seeds), so regeneration is reproducible and diffs are
+// reviewable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"tiledwall/internal/bits"
+	"tiledwall/internal/conformance"
+	"tiledwall/internal/encoder"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/video"
+)
+
+// writeCorpus writes one `go test fuzz v1` entry; each value becomes a
+// []byte(...) line, matching fuzz targets whose arguments are all []byte.
+func writeCorpus(dir, name string, values ...[]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n"
+	for _, v := range values {
+		body += "[]byte(" + strconv.Quote(string(v)) + ")\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func encodeStream(w, h, frames int, seed int64) []byte {
+	cfg := encoder.Config{Width: w, Height: h, GOPSize: 4, BSpacing: 2, InitialQScale: 6}
+	src := video.NewSource(video.SceneFilm, w, h, seed)
+	e, err := encoder.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		if err := e.Push(src.Frame(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	return e.Bytes()
+}
+
+func sliceOffset(unit []byte) int {
+	for off := bits.NextStartCode(unit, 0); off >= 0; off = bits.NextStartCode(unit, off+4) {
+		if bits.IsSliceStartCode(unit[off+3]) {
+			return off + 4
+		}
+	}
+	return -1
+}
+
+func main() {
+	stream := encodeStream(64, 48, 5, 7)
+	st, err := mpeg2.ParseStream(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// internal/bits: reader op programs and start-code fields.
+	bdir := "internal/bits/testdata/fuzz"
+	writeCorpus(filepath.Join(bdir, "FuzzReader"), "seed-stream", append([]byte{0x1f}, stream[:96]...))
+	writeCorpus(filepath.Join(bdir, "FuzzReader"), "seed-ops", []byte{0x10, 0x08, 0x11, 0x22, 0x33, 0x2a, 0x05, 0x18, 0xf0, 0x0f, 0xaa, 0x55, 0x77})
+	writeCorpus(filepath.Join(bdir, "FuzzNextStartCode"), "seed-stream", stream[:128])
+	writeCorpus(filepath.Join(bdir, "FuzzNextStartCode"), "seed-dense",
+		[]byte{0, 0, 1, 0xb3, 0, 0, 1, 0xb8, 0, 0, 1, 0x00, 0, 0, 1, 0x01, 0, 0, 0, 1, 0xb7})
+
+	// internal/mpeg2: real headers, picture units and corrupt variants.
+	mdir := "internal/mpeg2/testdata/fuzz"
+	writeCorpus(filepath.Join(mdir, "FuzzSequenceHeader"), "seed-real", stream[:160])
+	writeCorpus(filepath.Join(mdir, "FuzzSequenceHeader"), "seed-corrupt",
+		conformance.Corrupt(stream[:160], conformance.CorruptBitFlips, 1))
+	for i := 0; i < 3 && i < len(st.Pictures); i++ {
+		unit := st.Pictures[i]
+		writeCorpus(filepath.Join(mdir, "FuzzPictureHeader"), fmt.Sprintf("seed-pic%d", i), unit)
+		writeCorpus(filepath.Join(mdir, "FuzzDecodePictureUnit"), fmt.Sprintf("seed-pic%d", i), unit)
+		writeCorpus(filepath.Join(mdir, "FuzzDecodePictureUnit"), fmt.Sprintf("seed-pic%d-corrupt", i),
+			conformance.Corrupt(unit, conformance.CorruptBitFlips, int64(i)))
+		if off := sliceOffset(unit); off > 0 {
+			// Table selector sweeps picture type, DC precision and the
+			// QScaleType/IntraVLC/AltScan bits (see FuzzVLC).
+			writeCorpus(filepath.Join(mdir, "FuzzVLC"), fmt.Sprintf("seed-pic%d", i),
+				[]byte{byte(i)}, unit[off:])
+			writeCorpus(filepath.Join(mdir, "FuzzVLC"), fmt.Sprintf("seed-pic%d-tables", i),
+				[]byte{byte(0x30 + i)}, unit[off:])
+		}
+	}
+	writeCorpus(filepath.Join(mdir, "FuzzStream"), "seed-real", stream)
+	for _, kind := range conformance.CorruptionKinds() {
+		writeCorpus(filepath.Join(mdir, "FuzzStream"), "seed-"+kind.String(),
+			conformance.Corrupt(stream, kind, 5))
+	}
+
+	// internal/subpic: marshalled sub-pictures and block bundles.
+	sdir := "internal/subpic/testdata/fuzz"
+	sp := &subpic.SubPicture{
+		Pic: subpic.PicInfo{Index: 2, TemporalRef: 4, PicType: uint8(mpeg2.PictureB),
+			FCode: [2][2]uint8{{2, 2}, {3, 3}}, Flags: 0x5, DCPrecision: 2},
+		Pieces: []subpic.Piece{
+			{SPH: subpic.SPH{SkipBits: 3, FirstAddr: 7, CodedCount: 5, LeadingSkip: 1,
+				TrailingSkip: 2, QuantCode: 12, DCPred: [3]int32{896, 640, 640}},
+				Payload: []byte{0xca, 0xfe, 0xba, 0xbe}},
+		},
+		MEI: []subpic.MEIInstr{
+			{Kind: subpic.MEISend, Ref: subpic.RefFwd, MBX: 2, MBY: 1, Peer: 1},
+			{Kind: subpic.MEIRecv, Ref: subpic.RefBwd, MBX: 5, MBY: 0, Peer: 3},
+		},
+	}
+	writeCorpus(filepath.Join(sdir, "FuzzSubPictureUnmarshal"), "seed-subpic", sp.Marshal())
+	writeCorpus(filepath.Join(sdir, "FuzzSubPictureUnmarshal"), "seed-final",
+		(&subpic.SubPicture{Final: true}).Marshal())
+	writeCorpus(filepath.Join(sdir, "FuzzSubPictureUnmarshal"), "seed-corrupt",
+		conformance.Corrupt(sp.Marshal(), conformance.CorruptBitFlips, 3))
+	bb := &subpic.BlockBundle{
+		PicIndex: 1,
+		Cells:    []subpic.BlockCell{{Ref: subpic.RefFwd, MBX: 1, MBY: 1}},
+		Pixels:   make([]byte, mpeg2.MacroblockBytes),
+	}
+	writeCorpus(filepath.Join(sdir, "FuzzBlockBundle"), "seed-bundle", bb.Marshal())
+	writeCorpus(filepath.Join(sdir, "FuzzBlockBundle"), "seed-truncated", bb.Marshal()[:10])
+
+	fmt.Println("fuzz corpora regenerated")
+}

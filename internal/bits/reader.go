@@ -20,6 +20,13 @@ import (
 // the error once per syntactic element instead of on every field.
 var ErrUnderflow = errors.New("bits: read past end of stream")
 
+// ErrReadSize is returned (via Reader.Err) when a read is requested with a
+// width outside [0, 32]. Widths are normally compile-time constants, but
+// corrupt-input hardening must not rely on that: a reader fed a hostile size
+// degrades to zeros plus a sticky error instead of shifting by a negative
+// amount or walking the position backwards.
+var ErrReadSize = errors.New("bits: read size out of range")
+
 // Reader reads an in-memory buffer MSB first.
 //
 // The zero value is an empty reader; use NewReader. Reader is not safe for
@@ -70,7 +77,7 @@ func (r *Reader) ByteAligned() bool { return r.pos&7 == 0 }
 // the end of the buffer read as zero; Err is not set by Peek so that VLC
 // lookahead near the end of a buffer does not poison the reader.
 func (r *Reader) Peek(n int) uint32 {
-	if n == 0 {
+	if n <= 0 || n > 32 {
 		return 0
 	}
 	byteIdx := r.pos >> 3
@@ -97,6 +104,12 @@ func (r *Reader) Peek(n int) uint32 {
 // Read returns the next n bits (0 <= n <= 32) and advances. On underflow it
 // sets Err and returns zeros for the missing bits.
 func (r *Reader) Read(n int) uint32 {
+	if n < 0 || n > 32 {
+		if r.err == nil {
+			r.err = ErrReadSize
+		}
+		return 0
+	}
 	v := r.Peek(n)
 	r.pos += n
 	if r.pos > len(r.data)*8 {
@@ -111,8 +124,15 @@ func (r *Reader) Read(n int) uint32 {
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() uint32 { return r.Read(1) }
 
-// Skip advances the position by n bits.
+// Skip advances the position by n bits. Negative n is rejected with
+// ErrReadSize; the position never moves backwards except through SeekBit.
 func (r *Reader) Skip(n int) {
+	if n < 0 {
+		if r.err == nil {
+			r.err = ErrReadSize
+		}
+		return
+	}
 	r.pos += n
 	if r.pos > len(r.data)*8 {
 		r.pos = len(r.data) * 8

@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -98,7 +99,25 @@ type Config struct {
 	// full. Defaults to 64: deep enough that the paper's credit protocol,
 	// not the transport, is what limits the pipeline.
 	QueueDepth int
+
+	// Drop, when non-nil, is consulted on every Send; returning true
+	// silently discards the message before delivery or accounting. Fault
+	// injection for protocol tests (GM itself is reliable, so the protocols
+	// have no retransmit path — a dropped credit message stalls the
+	// pipeline, which the StallTimeout watchdog must then catch). Drop is
+	// called concurrently from every sending node and must be thread-safe.
+	Drop func(m *Message) bool
+	// StallTimeout, when positive, arms a watchdog that aborts the fabric
+	// with ErrStalled if no message is sent or received for the given
+	// duration. It turns a protocol deadlock into a clean, attributable
+	// error instead of a hung pipeline. Callers that set it should also
+	// call Fabric.Shutdown when the run completes.
+	StallTimeout time.Duration
 }
+
+// ErrStalled is the abort cause recorded by the StallTimeout watchdog when
+// fabric traffic dries up while nodes are still blocked.
+var ErrStalled = errors.New("cluster: fabric stalled (no traffic within StallTimeout)")
 
 // Fabric connects a fixed set of nodes.
 type Fabric struct {
@@ -110,6 +129,10 @@ type Fabric struct {
 	done     chan struct{}
 	abortErr error
 	abort1   sync.Once
+
+	activity int64 // bumped on every send/receive; watchdog food
+	stop     chan struct{}
+	stop1    sync.Once
 }
 
 // New creates a fabric with n nodes.
@@ -123,6 +146,7 @@ func New(n int, cfg Config) *Fabric {
 		stats: make([]LinkStats, n),
 		pair:  make([]int64, n*n),
 		done:  make(chan struct{}),
+		stop:  make(chan struct{}),
 	}
 	for i := range f.nodes {
 		node := &Node{id: i, fabric: f}
@@ -131,7 +155,47 @@ func New(n int, cfg Config) *Fabric {
 		}
 		f.nodes[i] = node
 	}
+	if cfg.StallTimeout > 0 {
+		go f.watchdog(cfg.StallTimeout)
+	}
 	return f
+}
+
+// watchdog aborts the fabric when a full timeout period passes with no
+// traffic. One quiet period can be an artefact of tick phase, so it requires
+// two consecutive quiet checks at half the timeout each.
+func (f *Fabric) watchdog(timeout time.Duration) {
+	tick := time.NewTicker(timeout / 2)
+	defer tick.Stop()
+	last := atomic.LoadInt64(&f.activity)
+	quiet := 0
+	for {
+		select {
+		case <-tick.C:
+			now := atomic.LoadInt64(&f.activity)
+			if now == last {
+				quiet++
+				if quiet >= 2 {
+					f.Abort(ErrStalled)
+					return
+				}
+			} else {
+				quiet = 0
+				last = now
+			}
+		case <-f.done:
+			return
+		case <-f.stop:
+			return
+		}
+	}
+}
+
+// Shutdown stops the watchdog goroutine, if one is armed. It is safe to call
+// multiple times and on fabrics without a watchdog; pipeline drivers call it
+// when their run completes so an idle-but-finished fabric is not aborted.
+func (f *Fabric) Shutdown() {
+	f.stop1.Do(func() { close(f.stop) })
 }
 
 // Node returns node id.
@@ -177,6 +241,10 @@ func (n *Node) Send(to int, msg *Message) {
 	f := n.fabric
 	msg.From = n.id
 	msg.To = to
+	if f.cfg.Drop != nil && f.cfg.Drop(msg) {
+		return // lost on the wire: no delivery, no accounting
+	}
+	atomic.AddInt64(&f.activity, 1)
 	bytes := msg.wireBytes()
 	if f.cfg.BandwidthBps > 0 {
 		d := time.Duration(float64(bytes)/f.cfg.BandwidthBps*1e9) + f.cfg.Latency
@@ -217,6 +285,7 @@ func (f *Fabric) AbortCause() error {
 func (n *Node) Recv(kind MsgKind) *Message {
 	select {
 	case m := <-n.queues[kind]:
+		atomic.AddInt64(&n.fabric.activity, 1)
 		return m
 	case <-n.fabric.done:
 		return nil

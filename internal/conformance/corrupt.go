@@ -1,0 +1,83 @@
+package conformance
+
+import "fmt"
+
+// CorruptionKind selects a structured mutation class. Each class models a
+// distinct transport failure: bit rot in slice data, a torn transfer, and a
+// framing-destroying overwrite of a start code.
+type CorruptionKind int
+
+const (
+	// CorruptBitFlips flips a handful of bits at seeded positions.
+	CorruptBitFlips CorruptionKind = iota
+	// CorruptTruncate cuts the stream at a seeded offset.
+	CorruptTruncate
+	// CorruptStartCode overwrites one start code (after the sequence
+	// header, so parsing gets far enough to hit the damage) with seeded
+	// garbage, merging or orphaning the units it delimited.
+	CorruptStartCode
+	numCorruptionKinds
+)
+
+func (k CorruptionKind) String() string {
+	switch k {
+	case CorruptBitFlips:
+		return "bitflips"
+	case CorruptTruncate:
+		return "truncate"
+	case CorruptStartCode:
+		return "startcode"
+	}
+	return fmt.Sprintf("CorruptionKind(%d)", int(k))
+}
+
+// CorruptionKinds lists every mutation class for sweep loops.
+func CorruptionKinds() []CorruptionKind {
+	out := make([]CorruptionKind, numCorruptionKinds)
+	for i := range out {
+		out[i] = CorruptionKind(i)
+	}
+	return out
+}
+
+// Corrupt applies one seeded mutation of the given kind to a copy of data.
+// The original is never modified; equal (data, kind, seed) triples yield
+// equal corrupt streams. The damage always lands past the first 16 bytes so
+// the sequence header survives and the decoder engages its picture path.
+func Corrupt(data []byte, kind CorruptionKind, seed int64) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) < 32 {
+		return out
+	}
+	rng := newXorshift(seed*1000003 + int64(kind))
+	const skip = 16 // keep the sequence header start intact
+	body := len(out) - skip
+	switch kind {
+	case CorruptBitFlips:
+		flips := 1 + rng.intn(8)
+		for i := 0; i < flips; i++ {
+			pos := skip + rng.intn(body)
+			out[pos] ^= 1 << uint(rng.intn(8))
+		}
+	case CorruptTruncate:
+		cut := skip + rng.intn(body)
+		out = out[:cut]
+	case CorruptStartCode:
+		// Collect start-code offsets past the header region and clobber one.
+		var codes []int
+		for i := skip; i+3 < len(out); i++ {
+			if out[i] == 0 && out[i+1] == 0 && out[i+2] == 1 {
+				codes = append(codes, i)
+			}
+		}
+		if len(codes) == 0 {
+			out[skip+rng.intn(body)] ^= 0xff
+			break
+		}
+		at := codes[rng.intn(len(codes))]
+		for j := 0; j < 4 && at+j < len(out); j++ {
+			out[at+j] = byte(rng.next())
+		}
+	}
+	return out
+}

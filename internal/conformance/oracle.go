@@ -1,0 +1,133 @@
+// Package conformance is the differential-decode oracle for the parallel
+// decoder: deterministic, seed-parameterised streams are decoded by the
+// serial reference decoder and by a matrix of 1-(m,n) / 1-k-(m,n) parallel
+// configurations, and the outputs must agree byte for byte. When they do
+// not, the harness minimises the divergence to the first differing picture,
+// macroblock and owning tile so the failure names the protocol component
+// (splitter SPH state, MEI exchange, tile assembly) most likely at fault.
+//
+// The package also houses the structured corruption injector used to check
+// that hostile inputs produce bounded errors — never panics — end to end.
+package conformance
+
+import (
+	"fmt"
+
+	"tiledwall/internal/encoder"
+	"tiledwall/internal/video"
+)
+
+// StreamParams describes one synthetic conformance stream. Every field is
+// derived deterministically from Seed by ParamsForSeed, so a failing stream
+// is reproducible from its seed alone.
+type StreamParams struct {
+	Seed   int64
+	Scene  video.SceneKind
+	Width  int
+	Height int
+	Frames int
+
+	GOPSize       int
+	BSpacing      int
+	ClosedGOP     bool
+	InitialQScale int
+
+	QScaleType     bool // nonlinear quantiser scale
+	IntraVLCFormat bool // intra table B-15
+	AlternateScan  bool
+	FCode          int // motion vector range / halo width driver
+}
+
+func (p StreamParams) String() string {
+	return fmt.Sprintf("seed=%d %s %dx%d f=%d gop=%d/%d closed=%v q=%d qst=%v b15=%v alt=%v fcode=%d",
+		p.Seed, p.Scene, p.Width, p.Height, p.Frames, p.GOPSize, p.BSpacing,
+		p.ClosedGOP, p.InitialQScale, p.QScaleType, p.IntraVLCFormat, p.AlternateScan, p.FCode)
+}
+
+// xorshift64 is the same tiny deterministic generator the video sources use;
+// it keeps the sweep independent of math/rand's version-dependent streams.
+type xorshift64 uint64
+
+func newXorshift(seed int64) *xorshift64 {
+	x := xorshift64(seed)
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// intn returns a value in [0, n).
+func (x *xorshift64) intn(n int) int { return int(x.next() % uint64(n)) }
+
+func (x *xorshift64) flag() bool { return x.next()&1 == 1 }
+
+// ParamsForSeed expands a seed into stream parameters sweeping the coding
+// dimensions the parallel protocol is sensitive to: GOP structure (SPH
+// anchor/predictor state), quantiser scale type and intra VLC table (VLD
+// state carried across partial-slice boundaries), alternate scan (coefficient
+// ordering) and f_code (motion locality, hence MEI halo pressure).
+func ParamsForSeed(seed int64) StreamParams {
+	rng := newXorshift(seed)
+	scenes := []video.SceneKind{video.SceneFilm, video.SceneAnimation, video.SceneFishTank, video.SceneBroadcast, video.SceneFlyby}
+	gops := []struct{ n, m int }{{6, 3}, {6, 2}, {9, 3}, {4, 1}, {12, 3}}
+	g := gops[rng.intn(len(gops))]
+	p := StreamParams{
+		Seed:   seed,
+		Scene:  scenes[rng.intn(len(scenes))],
+		Width:  (10 + rng.intn(4)) * 16, // 160..208
+		Height: (6 + rng.intn(3)) * 16,  // 96..128
+		Frames: 8 + rng.intn(6),         // 8..13: at least one full GOP + tail
+
+		GOPSize:       g.n,
+		BSpacing:      g.m,
+		ClosedGOP:     rng.flag(),
+		InitialQScale: 4 + rng.intn(8),
+
+		QScaleType:     rng.flag(),
+		IntraVLCFormat: rng.flag(),
+		AlternateScan:  rng.flag(),
+		FCode:          1 + rng.intn(3), // ±8 .. ±32 px
+	}
+	return p
+}
+
+// Generate encodes the stream described by p. The content source and the
+// encoder are both fully deterministic, so equal params yield equal bytes.
+func (p StreamParams) Generate() ([]byte, error) {
+	cfg := encoder.Config{
+		Width:            p.Width,
+		Height:           p.Height,
+		GOPSize:          p.GOPSize,
+		BSpacing:         p.BSpacing,
+		ClosedGOP:        p.ClosedGOP,
+		InitialQScale:    p.InitialQScale,
+		QScaleType:       p.QScaleType,
+		IntraVLCFormat:   p.IntraVLCFormat,
+		AlternateScan:    p.AlternateScan,
+		FCode:            p.FCode,
+		IntraDCPrecision: int(uint64(p.Seed) % 3), // 8..10 bit
+	}
+	src := video.NewSource(p.Scene, p.Width, p.Height, p.Seed)
+	e, err := encoder.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", p, err)
+	}
+	for i := 0; i < p.Frames; i++ {
+		if err := e.Push(src.Frame(i)); err != nil {
+			return nil, fmt.Errorf("conformance: %s frame %d: %w", p, i, err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return nil, fmt.Errorf("conformance: %s flush: %w", p, err)
+	}
+	return e.Bytes(), nil
+}

@@ -28,6 +28,10 @@ type Options struct {
 	Frames int
 	// Scale divides stream resolutions (1 = paper scale).
 	Scale int
+	// Seed parameterises the content generators so every experiment is
+	// reproducible from its reported options; 0 means the default seed 1
+	// (the catalogue default, keeping historical numbers comparable).
+	Seed int64
 	// Verbose prints progress notes.
 	Verbose bool
 	Log     io.Writer
@@ -39,6 +43,9 @@ func (o *Options) defaults() {
 	}
 	if o.Scale == 0 {
 		o.Scale = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
 	}
 	if o.Log == nil {
 		o.Log = io.Discard
@@ -54,7 +61,7 @@ type streamCache struct {
 var cache = &streamCache{m: map[string][]byte{}}
 
 func (c *streamCache) get(spec catalog.StreamSpec, opts catalog.GenOptions) ([]byte, error) {
-	key := fmt.Sprintf("%d/%d/%d/%v", spec.ID, opts.Frames, opts.Scale, opts.ClosedGOP)
+	key := fmt.Sprintf("%d/%d/%d/%v/%d", spec.ID, opts.Frames, opts.Scale, opts.ClosedGOP, opts.Seed)
 	c.mu.Lock()
 	if b, ok := c.m[key]; ok {
 		c.mu.Unlock()
@@ -78,7 +85,7 @@ func Stream(id int, o Options, closedGOP bool) ([]byte, catalog.StreamSpec, erro
 	if err != nil {
 		return nil, spec, err
 	}
-	b, err := cache.get(spec, catalog.GenOptions{Frames: o.Frames, Scale: o.Scale, ClosedGOP: closedGOP})
+	b, err := cache.get(spec, catalog.GenOptions{Frames: o.Frames, Scale: o.Scale, ClosedGOP: closedGOP, Seed: o.Seed})
 	return b, spec, err
 }
 
@@ -99,7 +106,7 @@ func Table4(o Options) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, spec := range catalog.Streams {
 		fmt.Fprintf(o.Log, "table4: generating stream %d (%s)\n", spec.ID, spec.Name)
-		data, err := cache.get(spec, catalog.GenOptions{Frames: o.Frames, Scale: o.Scale})
+		data, err := cache.get(spec, catalog.GenOptions{Frames: o.Frames, Scale: o.Scale, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +267,7 @@ func Table6(o Options) ([]Table6Row, error) {
 	o.defaults()
 	var rows []Table6Row
 	for _, spec := range catalog.Streams {
-		data, err := cache.get(spec, catalog.GenOptions{Frames: o.Frames, Scale: o.Scale})
+		data, err := cache.get(spec, catalog.GenOptions{Frames: o.Frames, Scale: o.Scale, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}

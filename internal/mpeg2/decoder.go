@@ -19,6 +19,12 @@ type Stream struct {
 	Data     []byte
 }
 
+// maxPictureMBs bounds the macroblock count ParseStream accepts: 1<<20
+// macroblocks is a 16384x16384 picture, comfortably above every catalogue
+// stream but small enough that a fuzzed header cannot demand pathological
+// allocations.
+const maxPictureMBs = 1 << 20
+
 // ParseStream indexes a stream. It parses the leading sequence header (and
 // extension) and records picture unit boundaries without parsing picture
 // contents.
@@ -46,6 +52,13 @@ func ParseStream(data []byte) (*Stream, error) {
 				return nil, err
 			}
 		}
+	}
+	// Bound the picture size before anyone allocates frame buffers from it: a
+	// corrupt 12+2-bit dimension field can describe a picture three orders of
+	// magnitude larger than the ultra-high-resolution streams this system
+	// targets (3840x2800 is ~42k macroblocks).
+	if mbs := seq.MBWidth() * seq.MBHeight(); mbs > maxPictureMBs {
+		return nil, syntaxErrf("picture size %dx%d (%d macroblocks) exceeds decoder bound", seq.Width, seq.Height, mbs)
 	}
 	s.Seq = seq
 
@@ -224,7 +237,7 @@ func PeekPictureType(unit []byte) (PictureType, error) {
 	if t < PictureI || t > PictureB {
 		return 0, syntaxErrf("picture coding type %d", int(t))
 	}
-	return t, r.Err()
+	return t, streamErr(r.Err())
 }
 
 // Next returns the next picture in display order, or io.EOF.

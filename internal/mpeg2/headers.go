@@ -109,13 +109,34 @@ type PictureHeader struct {
 // DCShift returns 3 - intra_dc_precision, the left shift applied to intra DC.
 func (p *PictureHeader) DCShift() uint { return uint(3 - p.IntraDCPrecision) }
 
+// ErrCorruptStream is wrapped by every syntax-level decode failure: malformed
+// VLC codes, out-of-range addresses, broken headers, motion vectors leaving
+// the reference window. Corrupt bitstreams must surface as this error (or a
+// concealed picture via ResilientDecoder), never as a panic; the fuzz targets
+// and the conformance corruption injector enforce that contract.
+var ErrCorruptStream = errors.New("mpeg2: corrupt stream")
+
+// ErrUnsupported is wrapped by failures on syntax that is valid MPEG-2 but
+// outside the decoder subset (field pictures, non-4:2:0 chroma, ...).
+var ErrUnsupported = errors.New("mpeg2: unsupported feature")
+
 var (
-	errSyntax      = errors.New("mpeg2: syntax error")
-	errUnsupported = errors.New("mpeg2: unsupported feature")
+	errSyntax      = ErrCorruptStream
+	errUnsupported = ErrUnsupported
 )
 
 func syntaxErrf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{errSyntax}, args...)...)
+}
+
+// streamErr lifts a bit-reader failure (underflow from truncation, hostile
+// read widths) into the package's typed corrupt-stream error so callers can
+// classify every malformed-input failure with errors.Is(err, ErrCorruptStream).
+func streamErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrCorruptStream, err)
 }
 
 // ParseSequenceHeader parses a sequence header; r must be positioned just
@@ -153,7 +174,7 @@ func ParseSequenceHeader(r *bits.Reader) (*SequenceHeader, error) {
 		return nil, syntaxErrf("zero picture dimensions")
 	}
 	if err := r.Err(); err != nil {
-		return nil, err
+		return nil, streamErr(err)
 	}
 	return s, nil
 }
@@ -181,7 +202,7 @@ func ParseSequenceExtension(r *bits.Reader, s *SequenceHeader) error {
 	if s.ChromaFormat != 1 {
 		return fmt.Errorf("%w: chroma format %d (only 4:2:0)", errUnsupported, s.ChromaFormat)
 	}
-	return r.Err()
+	return streamErr(r.Err())
 }
 
 // ParsePictureHeader parses a picture header; r must be positioned after the
@@ -211,7 +232,7 @@ func ParsePictureHeader(r *bits.Reader) (*PictureHeader, error) {
 	p.FCode = [2][2]int{{15, 15}, {15, 15}}
 	p.PictureStructure = 3
 	p.FramePredDCT = true
-	return p, r.Err()
+	return p, streamErr(r.Err())
 }
 
 // ParsePictureCodingExtension parses a picture coding extension into p; r
@@ -248,7 +269,7 @@ func ParsePictureCodingExtension(r *bits.Reader, p *PictureHeader) error {
 	if p.ConcealmentMV {
 		return fmt.Errorf("%w: concealment motion vectors", errUnsupported)
 	}
-	return r.Err()
+	return streamErr(r.Err())
 }
 
 // GOPHeader carries a group-of-pictures header.
@@ -265,7 +286,7 @@ func ParseGOPHeader(r *bits.Reader) (*GOPHeader, error) {
 	g.TimeCode = int(r.Read(25))
 	g.ClosedGOP = r.ReadBit() == 1
 	g.BrokenLink = r.ReadBit() == 1
-	return g, r.Err()
+	return g, streamErr(r.Err())
 }
 
 // --- Writing (used by the encoder and by header round-trip tests) ----------

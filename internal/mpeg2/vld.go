@@ -28,6 +28,15 @@ func NewPictureContext(seq *SequenceHeader, pic *PictureHeader) (*PictureContext
 	if pic.PictureStructure != 3 {
 		return nil, fmt.Errorf("%w: field pictures", errUnsupported)
 	}
+	// Headers reconstituted from wire messages (subpic.PicInfo) may carry
+	// arbitrary bytes; validate everything the decode path indexes or shifts
+	// with.
+	if pic.PicType < PictureI || pic.PicType > PictureB {
+		return nil, syntaxErrf("picture coding type %d", int(pic.PicType))
+	}
+	if pic.IntraDCPrecision < 0 || pic.IntraDCPrecision > 3 {
+		return nil, syntaxErrf("intra_dc_precision %d", pic.IntraDCPrecision)
+	}
 	ctx := &PictureContext{
 		Seq:  seq,
 		Pic:  pic,
@@ -103,7 +112,7 @@ func NewSliceDecoder(ctx *PictureContext, r *bits.Reader, verticalPos int) (*Sli
 	for r.ReadBit() == 1 {
 		r.Read(8)
 	}
-	return d, r.Err()
+	return d, streamErr(r.Err())
 }
 
 // NewPartialSliceDecoder starts a partial slice seeded with predictor state
@@ -196,7 +205,7 @@ func (d *SliceDecoder) Next(mb *Macroblock) (bool, error) {
 			mb.SkippedBefore = 0
 		}
 	}
-	if mb.Addr >= d.ctx.MBW*d.ctx.MBH {
+	if mb.Addr < 0 || mb.Addr >= d.ctx.MBW*d.ctx.MBH {
 		return false, syntaxErrf("macroblock address %d out of picture", mb.Addr)
 	}
 
@@ -309,7 +318,7 @@ func (d *SliceDecoder) Next(mb *Macroblock) (bool, error) {
 	if d.partial {
 		d.remaining--
 	}
-	return true, r.Err()
+	return true, streamErr(r.Err())
 }
 
 // motionVector decodes the motion vector for direction s (0 fwd, 1 bwd)
@@ -403,7 +412,7 @@ func (d *SliceDecoder) intraBlock(i int, blk *[64]int32) error {
 	if !d.parseOnly {
 		DequantIntra(blk, &d.ctx.Seq.IntraQ, QuantiserScale(d.state.QuantCode, pic.QScaleType), pic.DCShift())
 	}
-	return r.Err()
+	return streamErr(r.Err())
 }
 
 // nonIntraBlock parses and dequantises a non-intra block.
@@ -437,5 +446,5 @@ func (d *SliceDecoder) nonIntraBlock(blk *[64]int32) error {
 	if !d.parseOnly {
 		DequantNonIntra(blk, &d.ctx.Seq.NonIntraQ, QuantiserScale(d.state.QuantCode, d.ctx.Pic.QScaleType))
 	}
-	return r.Err()
+	return streamErr(r.Err())
 }

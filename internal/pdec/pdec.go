@@ -385,12 +385,28 @@ func (d *Decoder) decodePieces(ctx *mpeg2.PictureContext, sp *subpic.SubPicture)
 		fwd, bwd = d.bufs[d.refA], d.bufs[d.refB]
 	}
 
+	// Reconstruction writes into the window unchecked (the splitter only
+	// routes owned macroblocks here), so a malformed SPH must be rejected
+	// before its addresses index the tile buffer.
+	inWindow := func(addr int) bool {
+		if addr < 0 || addr >= ctx.MBW*ctx.MBH {
+			return false
+		}
+		return cur.Contains(addr%ctx.MBW*16, addr/ctx.MBW*16, 16, 16)
+	}
 	skipped := func(addr int, prev mpeg2.MotionInfo) error {
+		if !inWindow(addr) {
+			return fmt.Errorf("tile %d: skipped macroblock %d outside tile window (corrupt SPH)", d.cfg.Tile, addr)
+		}
 		return rc.Skipped(cur, fwd, bwd, addr%ctx.MBW, addr/ctx.MBW, prev)
 	}
 
 	for pi := range sp.Pieces {
 		p := &sp.Pieces[pi]
+		if p.FirstAddr < 0 || int(p.LeadingSkip) > int(p.FirstAddr) || p.CodedCount < 0 {
+			return fmt.Errorf("tile %d pic %d piece %d: malformed SPH (first %d, lead %d, coded %d)",
+				d.cfg.Tile, sp.Pic.Index, pi, p.FirstAddr, p.LeadingSkip, p.CodedCount)
+		}
 		// Leading skipped macroblocks inherit the SPH's previous-macroblock
 		// motion (the predecessor may live on another tile).
 		for k := int(p.LeadingSkip); k > 0; k-- {
@@ -418,6 +434,10 @@ func (d *Decoder) decodePieces(ctx *mpeg2.PictureContext, sp *subpic.SubPicture)
 				if err := skipped(k, mb.PrevMotion); err != nil {
 					return fmt.Errorf("tile %d pic %d: interior skip: %w", d.cfg.Tile, sp.Pic.Index, err)
 				}
+			}
+			if !inWindow(mb.Addr) {
+				return fmt.Errorf("tile %d pic %d: macroblock %d outside tile window (corrupt SPH)",
+					d.cfg.Tile, sp.Pic.Index, mb.Addr)
 			}
 			if err := rc.Macroblock(cur, fwd, bwd, &mb, ctx.MBW); err != nil {
 				return fmt.Errorf("tile %d pic %d addr %d: %w", d.cfg.Tile, sp.Pic.Index, mb.Addr, err)

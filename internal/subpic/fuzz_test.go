@@ -1,0 +1,116 @@
+package subpic_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/subpic"
+)
+
+// seedSubPicture builds a representative sub-picture covering every wire
+// feature: SPH state, leading/trailing skips, payload bit offsets, both MEI
+// directions and the final marker.
+func seedSubPicture() *subpic.SubPicture {
+	sp := &subpic.SubPicture{
+		Pic: subpic.PicInfo{
+			Index:       3,
+			TemporalRef: 5,
+			PicType:     uint8(mpeg2.PictureP),
+			FCode:       [2][2]uint8{{2, 2}, {15, 15}},
+			Flags:       0x3,
+			DCPrecision: 1,
+		},
+		Pieces: []subpic.Piece{
+			{
+				SPH: subpic.SPH{
+					SkipBits: 5, FirstAddr: 12, CodedCount: 4,
+					LeadingSkip: 2, TrailingSkip: 1, QuantCode: 9,
+					DCPred: [3]int32{1024, 512, 512},
+					PMV:    [2][2][2]int32{{{8, -8}, {0, 0}}, {{0, 0}, {0, 0}}},
+				},
+				Payload: []byte{0xde, 0xad, 0xbe, 0xef, 0x10},
+			},
+			{
+				SPH:     subpic.SPH{FirstAddr: 20, CodedCount: 1},
+				Payload: []byte{0x42},
+			},
+		},
+		MEI: []subpic.MEIInstr{
+			{Kind: subpic.MEISend, Ref: subpic.RefFwd, MBX: 3, MBY: 1, Peer: 2},
+			{Kind: subpic.MEIRecv, Ref: subpic.RefBwd, MBX: 0, MBY: 2, Peer: 1},
+		},
+	}
+	return sp
+}
+
+// FuzzSubPictureUnmarshal feeds arbitrary bytes to the sub-picture codec.
+// Any input that unmarshals must survive a marshal/unmarshal round trip
+// unchanged (wire-format stability), and no input may panic or demand an
+// allocation disproportionate to its length.
+func FuzzSubPictureUnmarshal(f *testing.F) {
+	f.Add(seedSubPicture().Marshal())
+	f.Add((&subpic.SubPicture{Final: true}).Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := subpic.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		wire := sp.Marshal()
+		sp2, err := subpic.Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshalled sub-picture failed: %v", err)
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Fatalf("sub-picture round trip changed value:\n first %+v\nsecond %+v", sp, sp2)
+		}
+		if !bytes.Equal(wire, sp2.Marshal()) {
+			t.Fatal("marshal is not a fixed point after one round trip")
+		}
+	})
+}
+
+// FuzzBlockBundle does the same for the MEI block-exchange payload codec.
+func FuzzBlockBundle(f *testing.F) {
+	bb := &subpic.BlockBundle{
+		PicIndex: 7,
+		Cells: []subpic.BlockCell{
+			{Ref: subpic.RefFwd, MBX: 1, MBY: 2},
+			{Ref: subpic.RefBwd, MBX: 3, MBY: 0},
+		},
+		Pixels: bytes.Repeat([]byte{0x80}, 2*mpeg2.MacroblockBytes),
+	}
+	f.Add(bb.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := subpic.UnmarshalBlocks(data)
+		if err != nil {
+			return
+		}
+		wire := b.Marshal()
+		b2, err := subpic.UnmarshalBlocks(wire)
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshalled bundle failed: %v", err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("bundle round trip changed value:\n first %+v\nsecond %+v", b, b2)
+		}
+	})
+}
+
+// TestSeedRoundTrip pins the committed seed sub-picture's round trip outside
+// the fuzzer so a codec regression fails fast in ordinary test runs.
+func TestSeedRoundTrip(t *testing.T) {
+	sp := seedSubPicture()
+	got, err := subpic.Unmarshal(sp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, got) {
+		t.Fatalf("round trip changed value:\nin  %+v\nout %+v", sp, got)
+	}
+}

@@ -336,8 +336,12 @@ func Unmarshal(b []byte) (*SubPicture, error) {
 		return nil, err
 	}
 	nPieces := int(g32())
-	if nPieces < 0 || nPieces > 1<<24 {
-		return nil, fmt.Errorf("subpic: implausible piece count %d", nPieces)
+	// Bound the count by the bytes actually present (each piece costs at
+	// least an SPH plus a payload length) before allocating: a hostile
+	// 4-byte count must not be able to demand a multi-gigabyte zeroed
+	// slice from a truncated message.
+	if nPieces < 0 || nPieces > len(b)/(sphWireSize+4) {
+		return nil, fmt.Errorf("subpic: implausible piece count %d for %d payload bytes", nPieces, len(b))
 	}
 	sp.Pieces = make([]Piece, nPieces)
 	for i := range sp.Pieces {

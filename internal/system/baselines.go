@@ -341,6 +341,7 @@ func (h *baselineHarness) decoderNode(t int) int { return 1 + t }
 func (h *baselineHarness) run(split func(node *cluster.Node) error,
 	decode func(t int, node *cluster.Node, ds *displayServer) error) (*BaselineResult, error) {
 
+	defer h.fab.Shutdown()
 	d := h.geo.NumTiles()
 	h.res.DecoderBusy = make([]time.Duration, d)
 	errs := make([]error, 1+2*d)

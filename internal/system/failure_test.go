@@ -1,10 +1,16 @@
 package system
 
 import (
+	"errors"
+	"fmt"
+	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"tiledwall/internal/bits"
+	"tiledwall/internal/cluster"
 	"tiledwall/internal/video"
 )
 
@@ -140,6 +146,125 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// --- Property tests ----------------------------------------------------------
+//
+// Randomised (but seeded and logged) sweeps over configuration and fault
+// space. They are part of the -race suite: the properties under test —
+// in-order bit-exact delivery, no deadlock under dropped credits or torn
+// streams — are exactly the ones data races break first.
+
+// propertySeed is fixed so CI is deterministic; when a property fails, the
+// log line carries everything needed to replay the trial.
+const propertySeed = 1977
+
+// TestPropertyRandomConfigs: for random k/m/n/overlap configurations the
+// assembled output must be the serial decode, frame for frame, in display
+// order. Ordering is asserted implicitly: any reordering, duplication or
+// loss under the ANID ack-redirect protocol produces a frame mismatch.
+func TestPropertyRandomConfigs(t *testing.T) {
+	stream := makeStream(t, video.SceneFishTank, 160, 96, 8)
+	ref := serialFrames(t, stream)
+	rng := rand.New(rand.NewSource(propertySeed))
+	for trial := 0; trial < 8; trial++ {
+		cfg := Config{
+			K:             rng.Intn(5),
+			M:             1 + rng.Intn(3),
+			N:             1 + rng.Intn(2),
+			Overlap:       []int{0, 0, 8, 16}[rng.Intn(4)],
+			CollectFrames: true,
+		}
+		if cfg.M*cfg.N == 1 {
+			cfg.Overlap = 0
+		}
+		name := fmt.Sprintf("trial %d: seed %d, 1-%d-(%d,%d)ov%d", trial, propertySeed, cfg.K, cfg.M, cfg.N, cfg.Overlap)
+		res, err := Run(stream, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Frames) != len(ref) {
+			t.Fatalf("%s: %d frames, want %d", name, len(res.Frames), len(ref))
+		}
+		for i := range ref {
+			if !video.Equal(ref[i].Buf, res.Frames[i]) {
+				t.Fatalf("%s: frame %d differs from serial decode", name, i)
+			}
+		}
+	}
+}
+
+// TestPropertyDroppedAcks: GM is reliable, so the credit protocol has no
+// retransmit path — losing an ack is outside its contract and by design
+// stalls the pipeline. The property: an ack dropped at a random point either
+// does not matter (the run still completes bit-exactly) or surfaces as the
+// watchdog's typed cluster.ErrStalled — never a hang, never corruption.
+func TestPropertyDroppedAcks(t *testing.T) {
+	stream := makeStream(t, video.SceneFilm, 128, 96, 6)
+	ref := serialFrames(t, stream)
+	rng := rand.New(rand.NewSource(propertySeed))
+	stalled := 0
+	for trial := 0; trial < 6; trial++ {
+		dropAt := int64(1 + rng.Intn(40)) // which ack (1-based) to start losing
+		var acks int64
+		cfg := Config{
+			K: 1 + rng.Intn(3), M: 2, N: 1 + rng.Intn(2),
+			CollectFrames: true,
+			Fabric: cluster.Config{
+				StallTimeout: 500 * time.Millisecond,
+				Drop: func(m *cluster.Message) bool {
+					return m.Kind == cluster.MsgAck && atomic.AddInt64(&acks, 1) >= dropAt
+				},
+			},
+		}
+		name := fmt.Sprintf("trial %d: seed %d, 1-%d-(%d,%d), drop acks from #%d", trial, propertySeed, cfg.K, cfg.M, cfg.N, dropAt)
+		res, err := Run(stream, cfg)
+		if err != nil {
+			if !errors.Is(err, cluster.ErrStalled) {
+				t.Fatalf("%s: stall expected, got: %v", name, err)
+			}
+			stalled++
+			continue
+		}
+		if len(res.Frames) != len(ref) {
+			t.Fatalf("%s: completed with %d frames, want %d", name, len(res.Frames), len(ref))
+		}
+		for i := range ref {
+			if !video.Equal(ref[i].Buf, res.Frames[i]) {
+				t.Fatalf("%s: frame %d differs from serial decode", name, i)
+			}
+		}
+	}
+	// Dropping acks early in a multi-picture run must stall at least once;
+	// if it never does, the Drop hook is not wired into the ack path.
+	if stalled == 0 {
+		t.Error("no trial stalled: ack drops are not reaching the credit protocol")
+	}
+}
+
+// TestPropertyTruncatedPictures: streams torn at random byte offsets must
+// terminate — cleanly rejected, partially decoded, or stalled-and-aborted —
+// under every pipeline shape. The stall watchdog bounds the failure mode.
+func TestPropertyTruncatedPictures(t *testing.T) {
+	stream := makeStream(t, video.SceneBroadcast, 160, 96, 8)
+	rng := rand.New(rand.NewSource(propertySeed))
+	for trial := 0; trial < 8; trial++ {
+		// Cut inside the picture data region (past the sequence header).
+		cut := 64 + rng.Intn(len(stream)-64)
+		cfg := Config{
+			K: rng.Intn(3), M: 1 + rng.Intn(2), N: 1 + rng.Intn(2),
+			CollectFrames: true,
+			Fabric:        cluster.Config{StallTimeout: time.Second},
+		}
+		name := fmt.Sprintf("trial %d: seed %d, 1-%d-(%d,%d), cut at %d/%d", trial, propertySeed, cfg.K, cfg.M, cfg.N, cut, len(stream))
+		res, err := Run(stream[:cut], cfg)
+		if err != nil {
+			continue // clean, typed failure
+		}
+		if len(res.Frames) > 8 {
+			t.Fatalf("%s: truncated stream produced %d frames", name, len(res.Frames))
+		}
+	}
 }
 
 // TestModeledThroughput sanity: modelled fps is finite, positive, and not

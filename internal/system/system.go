@@ -224,6 +224,7 @@ func runTwoLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 	nTiles := geo.NumTiles()
 	nNodes := 1 + cfg.K + nTiles
 	fab := cluster.New(nNodes, cfg.Fabric)
+	defer fab.Shutdown()
 
 	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
 	for i := 0; i < cfg.K; i++ {
@@ -331,6 +332,7 @@ func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 	nTiles := geo.NumTiles()
 	nNodes := 1 + nTiles
 	fab := cluster.New(nNodes, cfg.Fabric)
+	defer fab.Shutdown()
 
 	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
 	for t := 0; t < nTiles; t++ {
