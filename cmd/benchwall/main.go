@@ -6,6 +6,7 @@
 //
 //	benchwall -exp all [-frames 48] [-scale 2]
 //	benchwall -exp table1|table4|table5|fig6|fig7|table6|fig8|fig9
+//	benchwall -chaos [-chaos-drop 0.04] [-chaos-kill=true]
 //
 // Paper-scale runs use -frames 240 -scale 1 (slow: stream 16 is a
 // 3840x2800 sequence).
@@ -22,11 +23,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table4, table5, fig6, fig7, table6, fig8, fig9")
-		frames  = flag.Int("frames", 48, "frames per stream (paper: 240)")
-		scale   = flag.Int("scale", 2, "resolution divisor (paper: 1)")
-		seed    = flag.Int64("seed", 1, "content generator seed (results are reproducible per seed)")
-		verbose = flag.Bool("v", false, "progress logging")
+		exp       = flag.String("exp", "all", "experiment: all, table1, table4, table5, fig6, fig7, table6, fig8, fig9")
+		frames    = flag.Int("frames", 48, "frames per stream (paper: 240)")
+		scale     = flag.Int("scale", 2, "resolution divisor (paper: 1)")
+		seed      = flag.Int64("seed", 1, "content generator seed (results are reproducible per seed)")
+		verbose   = flag.Bool("v", false, "progress logging")
+		chaos     = flag.Bool("chaos", false, "run the fault-tolerance sweep: every configuration under message loss and a decoder kill, with the recovery breakdown per run")
+		chaosDrop = flag.Float64("chaos-drop", 0.04, "chaos mode: fraction of first-attempt data messages dropped")
+		chaosKill = flag.Bool("chaos-kill", true, "chaos mode: inject one decoder kill per run")
 	)
 	flag.Parse()
 
@@ -35,6 +39,16 @@ func main() {
 		o.Log = os.Stderr
 	}
 	out := os.Stdout
+
+	if *chaos {
+		rows, err := experiments.Chaos(8, *chaosDrop, *chaosKill, o)
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		label := fmt.Sprintf("stream 8, drop %.1f%%, kill=%v, seed %d", *chaosDrop*100, *chaosKill, *seed)
+		experiments.PrintChaos(out, label, rows)
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		switch *exp {

@@ -39,6 +39,10 @@ const (
 	// MsgPixels carries decoded pixels redistributed to display nodes in
 	// the coarse-granularity baseline pipelines (Table 1).
 	MsgPixels
+	// MsgXport carries transport-level control traffic (cumulative acks and
+	// NACKs) for the recovery layer's retransmission protocol. It is never
+	// seen by the pipeline protocols.
+	MsgXport
 	numKinds
 )
 
@@ -56,6 +60,8 @@ func (k MsgKind) String() string {
 		return "halo"
 	case MsgPixels:
 		return "pixels"
+	case MsgXport:
+		return "xport"
 	}
 	return fmt.Sprintf("MsgKind(%d)", int(k))
 }
@@ -63,6 +69,17 @@ func (k MsgKind) String() string {
 // messageHeaderBytes approximates the per-message wire overhead counted in
 // the bandwidth statistics (GM header + our tags).
 const messageHeaderBytes = 16
+
+// Message flag bits (recovery layer).
+const (
+	// FlagRetransmit marks a message re-sent by the retransmission layer;
+	// receivers deduplicate by XSeq, so the flag is informational.
+	FlagRetransmit uint8 = 1 << iota
+	// FlagReplay marks a sub-picture or picture replayed from a retained
+	// window after a node restart. Replays must not generate protocol acks
+	// (the original delivery already did, or the credit was written off).
+	FlagReplay
+)
 
 // Message is one fabric message.
 type Message struct {
@@ -74,8 +91,29 @@ type Message struct {
 	// Tag carries protocol-specific routing info (NSID for pictures, ANID
 	// for sub-pictures, reference selector for block messages).
 	Tag int
+	// XSeq is the per-link transport sequence number assigned by the
+	// recovery layer's reliable endpoint (0 when reliability is off).
+	XSeq int64
+	// Flags carries FlagRetransmit/FlagReplay.
+	Flags uint8
 	// Payload is handed over without copying.
 	Payload []byte
+}
+
+// Net is the messaging surface the pipeline nodes program against. It is
+// satisfied by *Node directly (raw GM-like fabric, PR 1 behaviour) and by
+// the recovery layer's reliable endpoint, which adds sequence tracking,
+// NACK/retransmission and dedup on top of the same methods.
+type Net interface {
+	ID() int
+	Send(to int, msg *Message)
+	Recv(kind MsgKind) *Message
+	// RecvTimeout waits up to d for a message. msg != nil means delivered;
+	// msg == nil with timedOut=true means the deadline passed; msg == nil
+	// with timedOut=false means the fabric aborted.
+	RecvTimeout(kind MsgKind, d time.Duration) (msg *Message, timedOut bool)
+	TryRecv(kind MsgKind) (*Message, bool)
+	Done() <-chan struct{}
 }
 
 func (m *Message) wireBytes() int64 { return int64(len(m.Payload) + messageHeaderBytes) }
@@ -261,6 +299,39 @@ func (n *Node) Send(to int, msg *Message) {
 	}
 }
 
+// TrySend is Send without backpressure: when the receiver's queue for this
+// kind is full (or the fabric is aborted) the message is discarded and false
+// is returned. Transport background traffic — retransmissions, control acks
+// — uses it so a dead or departed peer whose queue nobody drains can never
+// wedge the sender's transport loop; the caller's retry timer covers the
+// loss.
+func (n *Node) TrySend(to int, msg *Message) bool {
+	f := n.fabric
+	msg.From = n.id
+	msg.To = to
+	if f.cfg.Drop != nil && f.cfg.Drop(msg) {
+		return true // lost on the wire, same as Send
+	}
+	select {
+	case <-f.done:
+		return false
+	default:
+	}
+	select {
+	case f.nodes[to].queues[msg.Kind] <- msg:
+	default:
+		return false
+	}
+	atomic.AddInt64(&f.activity, 1)
+	bytes := msg.wireBytes()
+	atomic.AddInt64(&f.stats[n.id].BytesSent, bytes)
+	atomic.AddInt64(&f.stats[n.id].MsgsSent, 1)
+	atomic.AddInt64(&f.stats[to].BytesRecv, bytes)
+	atomic.AddInt64(&f.stats[to].MsgsRecv, 1)
+	atomic.AddInt64(&f.pair[n.id*len(f.nodes)+to], bytes)
+	return true
+}
+
 // Abort unblocks every pending Recv/Send with a nil result so node loops
 // can unwind after a peer failed. The first recorded cause wins.
 func (f *Fabric) Abort(cause error) {
@@ -306,6 +377,26 @@ func (n *Node) TryRecv(kind MsgKind) (*Message, bool) {
 	case m := <-n.queues[kind]:
 		return m, true
 	default:
+		return nil, false
+	}
+}
+
+// RecvTimeout waits up to d for a message of the given kind; see Net.
+func (n *Node) RecvTimeout(kind MsgKind, d time.Duration) (*Message, bool) {
+	// Fast path avoids a timer allocation when a message is already queued.
+	if m, ok := n.TryRecv(kind); ok {
+		atomic.AddInt64(&n.fabric.activity, 1)
+		return m, false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-n.queues[kind]:
+		atomic.AddInt64(&n.fabric.activity, 1)
+		return m, false
+	case <-t.C:
+		return nil, true
+	case <-n.fabric.done:
 		return nil, false
 	}
 }

@@ -85,6 +85,30 @@ func TestTryRecv(t *testing.T) {
 	}
 }
 
+func TestTrySend(t *testing.T) {
+	f := New(2, Config{QueueDepth: 1})
+	if !f.Node(0).TrySend(1, &Message{Kind: MsgAck, Seq: 1}) {
+		t.Fatal("TrySend to empty queue failed")
+	}
+	if f.Node(0).TrySend(1, &Message{Kind: MsgAck, Seq: 2}) {
+		t.Fatal("TrySend to full queue succeeded")
+	}
+	if m, ok := f.Node(1).TryRecv(MsgAck); !ok || m.Seq != 1 {
+		t.Fatalf("delivered message: %+v ok=%v", m, ok)
+	}
+	if !f.Node(0).TrySend(1, &Message{Kind: MsgAck, Seq: 3}) {
+		t.Fatal("TrySend after drain failed")
+	}
+	st := f.Stats()
+	if st[0].MsgsSent != 2 {
+		t.Fatalf("accounting counted %d sends, want 2 (rejected send must not count)", st[0].MsgsSent)
+	}
+	f.Abort(errors.New("stop"))
+	if f.Node(0).TrySend(1, &Message{Kind: MsgAck, Seq: 4}) {
+		t.Fatal("TrySend on aborted fabric succeeded")
+	}
+}
+
 func TestAbortUnblocksRecv(t *testing.T) {
 	f := New(2, Config{})
 	done := make(chan *Message)
@@ -126,6 +150,48 @@ func TestAbortUnblocksSend(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("Send did not unblock on abort")
 	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	// Repeated and concurrent Shutdown calls must all be safe: pipeline
+	// drivers defer Shutdown while error paths may already have called it.
+	f := New(2, Config{StallTimeout: 50 * time.Millisecond})
+	f.Shutdown()
+	f.Shutdown() // second sequential call: must not close a closed channel
+
+	f = New(2, Config{StallTimeout: 50 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Shutdown()
+		}()
+	}
+	wg.Wait()
+
+	// Shutdown stops the watchdog: an idle-but-finished fabric must not be
+	// aborted after the fact.
+	time.Sleep(150 * time.Millisecond)
+	if cause := f.AbortCause(); cause != nil {
+		t.Fatalf("watchdog aborted a shut-down fabric: %v", cause)
+	}
+
+	// Shutdown after Abort (and vice versa) is the normal error-path order;
+	// the abort cause must survive.
+	f = New(2, Config{StallTimeout: 50 * time.Millisecond})
+	cause := errors.New("boom")
+	f.Abort(cause)
+	f.Shutdown()
+	f.Shutdown()
+	if f.AbortCause() != cause {
+		t.Fatalf("abort cause lost across shutdown: %v", f.AbortCause())
+	}
+
+	// A fabric without a watchdog tolerates Shutdown too.
+	f = New(2, Config{})
+	f.Shutdown()
+	f.Shutdown()
 }
 
 func TestThrottleSlowsSends(t *testing.T) {

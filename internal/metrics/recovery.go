@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Recovery counts the fault-tolerance machinery's interventions during one
+// pipeline run. It is shared by every node of a run and bumped concurrently,
+// so all fields are atomics; read a consistent view with Snapshot after the
+// run. A run with an all-zero snapshot took no recovery action at all and is
+// therefore bit-exact with the fault-free pipeline.
+type Recovery struct {
+	// Transport layer (reliable endpoint).
+	Retransmits int64 // messages re-sent after loss (timeout or NACK)
+	Nacks       int64 // NACKs sent by receivers on sequence gaps
+	Duplicates  int64 // duplicate deliveries suppressed by XSeq dedup
+
+	// Supervision layer.
+	Restarts         int64 // node incarnations respawned after lease expiry
+	ReplayedPictures int64 // pictures/sub-pictures re-sent from retained windows
+
+	// Degradation layer.
+	ConcealedFrames int64 // tile frames emitted as freeze/grey instead of decoded
+	ConcealedMBs    int64 // halo macroblocks concealed by copy-from-reference
+	AckTimeouts     int64 // credit waits abandoned after the per-picture deadline
+}
+
+// AddRetransmit, AddNack, etc. are the concurrent increment points.
+func (r *Recovery) AddRetransmit() { atomic.AddInt64(&r.Retransmits, 1) }
+func (r *Recovery) AddNack()       { atomic.AddInt64(&r.Nacks, 1) }
+func (r *Recovery) AddDuplicate()  { atomic.AddInt64(&r.Duplicates, 1) }
+func (r *Recovery) AddRestart()    { atomic.AddInt64(&r.Restarts, 1) }
+func (r *Recovery) AddReplayed(n int) {
+	atomic.AddInt64(&r.ReplayedPictures, int64(n))
+}
+func (r *Recovery) AddConcealedFrame()   { atomic.AddInt64(&r.ConcealedFrames, 1) }
+func (r *Recovery) AddConcealedMBs(n int) { atomic.AddInt64(&r.ConcealedMBs, int64(n)) }
+func (r *Recovery) AddAckTimeout()       { atomic.AddInt64(&r.AckTimeouts, 1) }
+
+// RecoverySnapshot is a plain-value copy of the counters.
+type RecoverySnapshot struct {
+	Retransmits      int64
+	Nacks            int64
+	Duplicates       int64
+	Restarts         int64
+	ReplayedPictures int64
+	ConcealedFrames  int64
+	ConcealedMBs     int64
+	AckTimeouts      int64
+}
+
+// Snapshot returns a consistent copy (call after the run's goroutines join).
+func (r *Recovery) Snapshot() RecoverySnapshot {
+	if r == nil {
+		return RecoverySnapshot{}
+	}
+	return RecoverySnapshot{
+		Retransmits:      atomic.LoadInt64(&r.Retransmits),
+		Nacks:            atomic.LoadInt64(&r.Nacks),
+		Duplicates:       atomic.LoadInt64(&r.Duplicates),
+		Restarts:         atomic.LoadInt64(&r.Restarts),
+		ReplayedPictures: atomic.LoadInt64(&r.ReplayedPictures),
+		ConcealedFrames:  atomic.LoadInt64(&r.ConcealedFrames),
+		ConcealedMBs:     atomic.LoadInt64(&r.ConcealedMBs),
+		AckTimeouts:      atomic.LoadInt64(&r.AckTimeouts),
+	}
+}
+
+// Clean reports whether the run needed no degradation: restarts and
+// retransmits repair losslessly, but concealment trades pixels for liveness,
+// so output is guaranteed bit-exact only when Clean holds.
+func (s RecoverySnapshot) Clean() bool {
+	return s.ConcealedFrames == 0 && s.ConcealedMBs == 0 && s.Restarts == 0
+}
+
+// Zero reports whether no recovery machinery fired at all.
+func (s RecoverySnapshot) Zero() bool {
+	return s == RecoverySnapshot{}
+}
+
+func (s RecoverySnapshot) String() string {
+	return fmt.Sprintf("retransmits=%d nacks=%d dups=%d restarts=%d replayed=%d concealed_frames=%d concealed_mbs=%d ack_timeouts=%d",
+		s.Retransmits, s.Nacks, s.Duplicates, s.Restarts, s.ReplayedPictures,
+		s.ConcealedFrames, s.ConcealedMBs, s.AckTimeouts)
+}

@@ -202,7 +202,7 @@ func b14First() []dctSpec {
 // intra_vlc_format = 1 for intra blocks. The short codes that differ from
 // B-14 are transcribed below; every B-14 entry whose code collides with a
 // replacement is dropped, and the encoder escape-codes those pairs. This is
-// a documented best-effort transcription (DESIGN.md §6): encoder and decoder
+// a documented best-effort transcription (DESIGN.md §8): encoder and decoder
 // share the table, so streams produced here always round-trip.
 var dctTableB15 = buildDCT("B-15", b15Specs())
 

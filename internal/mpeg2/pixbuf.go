@@ -30,6 +30,19 @@ func NewPixelBuf(x0, y0, w, h int) *PixelBuf {
 	}
 }
 
+// Fill sets every sample to the given YCbCr value. Concealment uses it to
+// seed untrusted windows (mid-grey 128,128,128 matches the serial resilient
+// decoder's conceal pattern).
+func (b *PixelBuf) Fill(y, cb, cr uint8) {
+	for i := range b.Y {
+		b.Y[i] = y
+	}
+	for i := range b.Cb {
+		b.Cb[i] = cb
+		b.Cr[i] = cr
+	}
+}
+
 // Contains reports whether the luma rectangle (x, y, w, h) in global
 // coordinates lies fully inside the window.
 func (b *PixelBuf) Contains(x, y, w, h int) bool {

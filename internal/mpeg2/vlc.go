@@ -7,7 +7,7 @@
 //
 // Supported subset: Main Profile chroma 4:2:0, progressive frame pictures
 // with frame prediction and frame DCT, both intra VLC formats, both scan
-// orders, both quantiser-scale mappings. See DESIGN.md §6 for the list of
+// orders, both quantiser-scale mappings. See DESIGN.md §8 for the list of
 // deliberate omissions (field pictures, dual prime, scalability).
 package mpeg2
 

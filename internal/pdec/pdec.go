@@ -14,6 +14,7 @@ import (
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/recovery"
 	"tiledwall/internal/subpic"
 	"tiledwall/internal/wall"
 )
@@ -37,6 +38,14 @@ type Config struct {
 	// how much the paper's batched pre-calculated exchange saves in message
 	// count (per-message overhead dominated GM-era networks).
 	UnbatchedSends bool
+
+	// Recovery, when non-nil, switches the decoder from fail-stop to
+	// fault-masking behaviour: sub-pictures may arrive out of order (reorder
+	// stash), duplicated (dropped), or not at all (concealed after the
+	// per-picture deadline); a respawned incarnation resumes from the
+	// checkpoint in freeze-last-frame concealment until an I picture
+	// re-anchors its reference chain.
+	Recovery *recovery.DecoderHooks
 }
 
 // HaloForFCode returns a macroblock-aligned halo margin covering the reach
@@ -60,7 +69,7 @@ type Result struct {
 type Decoder struct {
 	cfg  Config
 	rect wall.Rect
-	node *cluster.Node
+	node cluster.Net
 
 	bufs             []*mpeg2.PixelBuf // ring of 3 halo-extended windows
 	cur, refA, refB  int               // indices into bufs (-1 = none)
@@ -72,12 +81,24 @@ type Decoder struct {
 	// Out-of-order stash for block bundles from peers that run ahead.
 	stash []*subpic.BlockBundle
 
+	// Recovery mode state: out-of-order sub-pictures keyed by picture
+	// index, the stream total once a Final marker has been seen (-1
+	// before), and how many of refA/refB hold trustworthy pixels — a
+	// respawned incarnation starts at 0 and conceals until I (1 anchor,
+	// P decodable) then P (2, B decodable) restore the chain.
+	spStash      map[int]*subpic.SubPicture
+	finalTotal   int
+	validAnchors int
+
 	res     Result
 	nextPic int
 }
 
-// NewDecoder allocates the decoder's buffers.
-func NewDecoder(node *cluster.Node, cfg Config) *Decoder {
+// NewDecoder allocates the decoder's buffers. In recovery-resume mode it
+// restores progress from the checkpoint: the next owed picture, the deferred
+// anchor emission the dead incarnation still owed, and the projector's last
+// frame for freeze concealment.
+func NewDecoder(node cluster.Net, cfg Config) *Decoder {
 	rect := cfg.Geo.Tile(cfg.Tile)
 	halo := cfg.HaloPx
 	x0 := rect.X0 - halo
@@ -96,12 +117,52 @@ func NewDecoder(node *cluster.Node, cfg Config) *Decoder {
 	if y1 > cfg.Geo.PicH {
 		y1 = cfg.Geo.PicH
 	}
-	d := &Decoder{cfg: cfg, rect: rect, node: node, cur: 0, refA: -1, refB: -1}
+	d := &Decoder{cfg: cfg, rect: rect, node: node, cur: 0, refA: -1, refB: -1, finalTotal: -1}
 	for i := 0; i < 3; i++ {
 		d.bufs = append(d.bufs, mpeg2.NewPixelBuf(x0, y0, x1-x0, y1-y0))
 	}
 	d.display = mpeg2.NewPixelBuf(rect.X0, rect.Y0, rect.W(), rect.H())
+	if rh := cfg.Recovery; rh != nil {
+		rh.Cfg = rh.Cfg.WithDefaults()
+		d.spStash = map[int]*subpic.SubPicture{}
+		// Recovery mode keeps all three windows live from the start so MEI
+		// SEND/RECV stays structurally valid even while the reference chain
+		// is untrusted; validAnchors gates what may actually be decoded.
+		d.cur, d.refA, d.refB = 0, 1, 2
+		if rh.Resume {
+			d.resume()
+		} else if rh.Checkpoint != nil {
+			rh.Checkpoint.SetDisplay(d.display)
+		}
+	}
 	return d
+}
+
+// resume restores a respawned incarnation from the checkpoint. The pixel
+// state of the dead incarnation is gone (a crashed process loses memory),
+// so the reference chain is invalid until the next I picture; the projector
+// frame buffer survives the crash, seeding freeze-last-frame concealment.
+func (d *Decoder) resume() {
+	rh := d.cfg.Recovery
+	nextPic, pendingAnchor, lastDisplay, finalTotal := rh.Checkpoint.State()
+	d.nextPic = nextPic
+	d.finalTotal = finalTotal
+	d.validAnchors = 0
+	for _, b := range d.bufs {
+		b.Fill(128, 128, 128) // conceal pattern, served to peers until re-anchored
+	}
+	if lastDisplay != nil && lastDisplay != d.display {
+		d.display.CopyRect(lastDisplay, d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	} else {
+		d.display.Fill(128, 128, 128)
+	}
+	rh.Checkpoint.SetDisplay(d.display)
+	// The dead incarnation held this decoded anchor back for display
+	// reordering; its pixels are lost, so emit it frozen now.
+	if pendingAnchor >= 0 {
+		d.concealEmit(pendingAnchor)
+		rh.Checkpoint.Update(d.nextPic, -1)
+	}
 }
 
 // Run processes sub-pictures until a Final message arrives.
@@ -120,11 +181,23 @@ func (d *Decoder) Run() (*Result, error) {
 		d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
 		d.pendingAnchor = false
 	}
+	if rh := d.cfg.Recovery; rh != nil && rh.Checkpoint != nil {
+		rh.Checkpoint.Update(d.nextPic, -1)
+	}
 	return &d.res, nil
 }
 
-// Step handles one sub-picture message; it reports done=true on Final.
+// Step handles one sub-picture message; it reports done=true on Final. With
+// recovery hooks wired it runs the fault-masking protocol instead of the
+// strict fail-stop one.
 func (d *Decoder) Step() (bool, error) {
+	if d.cfg.Recovery != nil {
+		return d.stepRecover()
+	}
+	return d.stepStrict()
+}
+
+func (d *Decoder) stepStrict() (bool, error) {
 	b := &d.res.Breakdown
 	var msg *cluster.Message
 	b.Timed(metrics.PhaseReceive, func() {

@@ -1,0 +1,310 @@
+package pdec
+
+import (
+	"fmt"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/recovery"
+	"tiledwall/internal/subpic"
+)
+
+// This file is the decoder's fault-masking path (DESIGN.md §6), active when
+// Config.Recovery is wired. Sub-pictures may arrive out of order (the
+// supervisor replays retained pictures to a respawned incarnation while the
+// splitters keep sending new ones), duplicated (replay overlaps the fabric
+// queue the dead incarnation left behind), or not at all (a splitter died
+// mid-distribution after its credit was settled). The strict path treats all
+// of these as protocol violations; this path reorders, deduplicates, and —
+// past the per-picture deadline — conceals.
+
+// doneByTotal reports whether every picture of the stream has been handled.
+func (d *Decoder) doneByTotal() bool {
+	return d.finalTotal >= 0 && d.nextPic >= d.finalTotal
+}
+
+func (d *Decoder) stepRecover() (bool, error) {
+	rh := d.cfg.Recovery
+	rh.Renew()
+	if sp := d.spStash[d.nextPic]; sp != nil {
+		delete(d.spStash, d.nextPic)
+		return d.handleSubPic(sp)
+	}
+	if d.doneByTotal() {
+		return true, nil
+	}
+	b := &d.res.Breakdown
+	var msg *cluster.Message
+	var timedOut bool
+	b.Timed(metrics.PhaseReceive, func() {
+		msg, timedOut = d.node.RecvTimeout(cluster.MsgSubPicture, rh.Cfg.PictureDeadline)
+	})
+	if timedOut {
+		// Conceal only when there is evidence the pipeline has moved past
+		// this picture (a later sub-picture is stashed, or the stream end is
+		// known): fabric loss is repaired by retransmission and node death by
+		// replay, so a bare timeout usually means "still in flight".
+		if len(d.spStash) > 0 || d.finalTotal >= 0 {
+			d.concealUnknown(d.nextPic)
+			d.checkpointProgress()
+			return d.doneByTotal(), nil
+		}
+		return false, nil
+	}
+	if msg == nil {
+		return false, fmt.Errorf("tile %d: fabric aborted", d.cfg.Tile)
+	}
+	sp, err := subpic.Unmarshal(msg.Payload)
+	if err != nil {
+		// Without a picture index there is nothing to ack or conceal against;
+		// the deadline path covers whichever picture this was.
+		return false, nil
+	}
+	// Injected crash: the sub-picture is consumed but not yet acked — the
+	// hardest loss case, exercising both the splitter's credit timeout and
+	// the checkpoint/replay path.
+	if !sp.Final && rh.Chaos.DecoderDies(d.cfg.Tile, int(sp.Pic.Index)) {
+		return false, recovery.ErrKilled
+	}
+	// Replays are not acked: the original ack (or the splitter's credit
+	// timeout) already settled the flow-control ledger.
+	if msg.Flags&cluster.FlagReplay == 0 {
+		b.Timed(metrics.PhaseAck, func() {
+			d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
+		})
+	}
+	if sp.Final {
+		d.finalTotal = int(sp.Pic.Index)
+		if rh.Checkpoint != nil {
+			rh.Checkpoint.SetFinalTotal(d.finalTotal)
+		}
+		return d.doneByTotal(), nil
+	}
+	idx := int(sp.Pic.Index)
+	switch {
+	case idx < d.nextPic:
+		return false, nil // duplicate of a handled picture (replay overlap)
+	case idx > d.nextPic:
+		d.spStash[idx] = sp // ran ahead; delivered in order later
+		return false, nil
+	}
+	return d.handleSubPic(sp)
+}
+
+// handleSubPic processes the in-order sub-picture for d.nextPic.
+func (d *Decoder) handleSubPic(sp *subpic.SubPicture) (bool, error) {
+	d.nextPic++
+	d.decodePictureRecover(sp)
+	d.res.Pictures++
+	d.res.Breakdown.Pictures++
+	d.checkpointProgress()
+	d.cfg.Recovery.Renew()
+	return d.doneByTotal(), nil
+}
+
+// decodePictureRecover is decodePicture with every abort turned into
+// concealment. The exchange halves always execute — peers block on this
+// tile's SENDs whether or not it can decode, and expected RECVs must be
+// drained to stay in step — so a concealing tile ships its stale reference
+// pixels and keeps the wall live.
+func (d *Decoder) decodePictureRecover(sp *subpic.SubPicture) {
+	b := &d.res.Breakdown
+	ph := sp.Pic.Header()
+	idx := int(sp.Pic.Index)
+
+	needed := 0
+	switch ph.PicType {
+	case mpeg2.PictureP:
+		needed = 1
+	case mpeg2.PictureB:
+		needed = 2
+	}
+	ctx, ctxErr := mpeg2.NewPictureContext(d.cfg.Seq, ph)
+	ok := d.validAnchors >= needed && ctxErr == nil
+
+	var sendErr error
+	b.Timed(metrics.PhaseServe, func() { sendErr = d.executeSends(sp, ph.PicType) })
+	if sendErr != nil {
+		ok = false
+	}
+	b.Timed(metrics.PhaseWaitMB, func() { d.drainRecvsRecover(sp, ph.PicType, ok) })
+
+	if ok {
+		var workErr error
+		b.Timed(metrics.PhaseWork, func() { workErr = d.decodePieces(ctx, sp) })
+		if workErr != nil {
+			ok = false
+		}
+	}
+	if !ok {
+		d.concealKnown(idx, ph.PicType)
+		return
+	}
+
+	b.Timed(metrics.PhaseWork, func() {
+		d.display.CopyRect(d.bufs[d.cur], d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	})
+
+	if ph.PicType == mpeg2.PictureB {
+		d.emitFrame(idx, d.bufs[d.cur])
+	} else {
+		d.flushPending()
+		d.pendingAnchor = true
+		d.pendingAnchorIdx = idx
+		d.rotate()
+		if d.validAnchors < 2 {
+			d.validAnchors++
+		}
+	}
+}
+
+// rotate advances the three-buffer ring after an anchor: the decoded picture
+// becomes the backward reference, the old forward reference is recycled.
+func (d *Decoder) rotate() {
+	old := d.refA
+	d.refA = d.refB
+	d.refB = d.cur
+	d.cur = old
+}
+
+// flushPending emits the held anchor, if any (its pixels are real).
+func (d *Decoder) flushPending() {
+	if d.pendingAnchor {
+		d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		d.pendingAnchor = false
+	}
+}
+
+// concealKnown freezes the last displayed frame in place of picture idx,
+// whose sub-picture arrived but could not be decoded (untrusted reference
+// chain after a respawn, or a decode failure).
+func (d *Decoder) concealKnown(idx int, picType mpeg2.PictureType) {
+	if picType == mpeg2.PictureB {
+		d.concealEmit(idx) // anchors untouched; trust is unchanged
+		return
+	}
+	// A concealed anchor breaks the reference chain: flush the held anchor,
+	// emit the frozen frame now (there is nothing worth holding back), and
+	// rotate so the buffer roles stay aligned with the peers'.
+	d.flushPending()
+	d.concealEmit(idx)
+	d.rotate()
+	d.validAnchors = 0
+}
+
+// concealUnknown handles a picture that never arrived: its type is unknown,
+// so the ring is not rotated (the contents are untrusted either way) and the
+// anchor trust conservatively drops to zero.
+func (d *Decoder) concealUnknown(idx int) {
+	d.flushPending()
+	d.concealEmit(idx)
+	d.validAnchors = 0
+	d.nextPic = idx + 1
+}
+
+// concealEmit emits the projector's current frame for picture idx — the
+// freeze-last-frame degradation — and counts the intervention.
+func (d *Decoder) concealEmit(idx int) {
+	if rec := d.cfg.Recovery.Rec; rec != nil {
+		rec.AddConcealedFrame()
+	}
+	d.emitFrame(idx, d.display)
+}
+
+// checkpointProgress records the emission frontier for a future respawn:
+// everything below nextPic has been emitted except the held anchor.
+func (d *Decoder) checkpointProgress() {
+	rh := d.cfg.Recovery
+	if rh.Checkpoint == nil {
+		return
+	}
+	pending := -1
+	if d.pendingAnchor {
+		pending = d.pendingAnchorIdx
+	}
+	rh.Checkpoint.Update(d.nextPic, pending)
+}
+
+// drainRecvsRecover is drainRecvs with the per-picture deadline: halo
+// macroblocks that do not arrive in time are concealed by copy-from-reference
+// (the window simply keeps the previous picture's pixels there) rather than
+// stalling the wall. Stale bundles from replayed pictures are dropped. When
+// the picture is headed for concealment anyway (willDecode=false — e.g. a
+// respawned incarnation catching up through replayed pictures whose peers
+// have long moved on), the drain is non-blocking so catch-up does not pay a
+// full deadline per picture.
+func (d *Decoder) drainRecvsRecover(sp *subpic.SubPicture, picType mpeg2.PictureType, willDecode bool) {
+	rh := d.cfg.Recovery
+	expected := 0
+	for _, in := range sp.MEI {
+		if in.Kind == subpic.MEIRecv {
+			expected++
+		}
+	}
+	if expected == 0 {
+		return
+	}
+	concealMBs := func(n int) {
+		if rh.Rec != nil {
+			rh.Rec.AddConcealedMBs(n)
+		}
+	}
+	apply := func(bb *subpic.BlockBundle) {
+		if len(bb.Pixels) != len(bb.Cells)*mpeg2.MacroblockBytes {
+			concealMBs(len(bb.Cells))
+			expected -= len(bb.Cells)
+			return
+		}
+		for i, c := range bb.Cells {
+			buf := d.bufs[d.refFor(c.Ref, picType)]
+			if !buf.Contains(int(c.MBX)*16, int(c.MBY)*16, 16, 16) {
+				concealMBs(1)
+				continue
+			}
+			buf.InjectMacroblock(int(c.MBX), int(c.MBY), bb.Pixels[i*mpeg2.MacroblockBytes:(i+1)*mpeg2.MacroblockBytes])
+		}
+		expected -= len(bb.Cells)
+	}
+	keep := d.stash[:0]
+	for _, bb := range d.stash {
+		switch {
+		case int(bb.PicIndex) == int(sp.Pic.Index):
+			apply(bb)
+		case int(bb.PicIndex) > int(sp.Pic.Index):
+			keep = append(keep, bb)
+		}
+	}
+	d.stash = keep
+	for expected > 0 {
+		var msg *cluster.Message
+		if willDecode {
+			var timedOut bool
+			msg, timedOut = d.node.RecvTimeout(cluster.MsgBlocks, rh.Cfg.PictureDeadline)
+			if timedOut {
+				concealMBs(expected)
+				return
+			}
+		} else {
+			var got bool
+			msg, got = d.node.TryRecv(cluster.MsgBlocks)
+			if !got {
+				concealMBs(expected)
+				return
+			}
+		}
+		if msg == nil {
+			return // fabric aborted; the next sub-picture Recv reports it
+		}
+		bb, err := subpic.UnmarshalBlocks(msg.Payload)
+		if err != nil {
+			continue
+		}
+		switch {
+		case int(bb.PicIndex) == int(sp.Pic.Index):
+			apply(bb)
+		case int(bb.PicIndex) > int(sp.Pic.Index):
+			d.stash = append(d.stash, bb)
+		}
+	}
+}

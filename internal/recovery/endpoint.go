@@ -1,0 +1,385 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+)
+
+// Endpoint wraps one fabric node with per-link reliability: every covered
+// message carries a per-(destination, kind) transport sequence number and is
+// buffered until the receiver's cumulative ack releases it. Receivers
+// deliver covered kinds in sequence order per sender, suppress duplicates,
+// NACK gaps as soon as a later message reveals them, and the sender's
+// background loop retransmits unacked messages on capped exponential
+// backoff (which also repairs tail loss, where no later message exists to
+// expose the gap).
+//
+// The retransmit buffer needs no explicit bound: the pipeline's two-buffer
+// credit protocol keeps at most a handful of data messages in flight per
+// link, so the buffer is bounded by the credit window it rides on.
+//
+// Endpoint implements cluster.Net; nodes program against the interface and
+// cannot tell (apart from latency) whether they run on the raw fabric or
+// the reliable one. Like cluster.Node, the receive methods must be called
+// from one goroutine at a time (the node's process); Send and the
+// background loop are safe concurrently.
+type Endpoint struct {
+	node *cluster.Node
+	cfg  Config
+	rec  *metrics.Recovery
+
+	mu      sync.Mutex
+	nextSeq map[linkKey]int64
+	unacked map[linkKey]map[int64]*pending
+	expect  map[linkKey]int64
+	stash   map[linkKey]map[int64]*cluster.Message
+	ready   map[cluster.MsgKind][]*cluster.Message
+
+	stop  chan struct{}
+	stop1 sync.Once
+	done  chan struct{} // loop exited
+}
+
+type linkKey struct {
+	peer int // destination (send side) or source (receive side)
+	kind cluster.MsgKind
+}
+
+type pending struct {
+	to      int
+	msg     *cluster.Message
+	sentAt  time.Time
+	attempt int
+}
+
+// covered reports whether a kind rides the reliability protocol. Data
+// messages and protocol acks do; transport control does not (it is
+// self-repairing: a lost ack is re-sent on the next delivery or duplicate,
+// a lost NACK is covered by the retransmit timer).
+func covered(k cluster.MsgKind) bool {
+	switch k {
+	case cluster.MsgPicture, cluster.MsgSubPicture, cluster.MsgBlocks, cluster.MsgAck:
+		return true
+	}
+	return false
+}
+
+// NewEndpoint wraps node. Close must be called when the run completes.
+func NewEndpoint(node *cluster.Node, cfg Config, rec *metrics.Recovery) *Endpoint {
+	if rec == nil {
+		rec = &metrics.Recovery{}
+	}
+	e := &Endpoint{
+		node:    node,
+		cfg:     cfg.WithDefaults(),
+		rec:     rec,
+		nextSeq: map[linkKey]int64{},
+		unacked: map[linkKey]map[int64]*pending{},
+		expect:  map[linkKey]int64{},
+		stash:   map[linkKey]map[int64]*cluster.Message{},
+		ready:   map[cluster.MsgKind][]*cluster.Message{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go e.loop()
+	return e
+}
+
+// Close stops the retransmission loop. Idempotent.
+func (e *Endpoint) Close() {
+	e.stop1.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+// ID returns the underlying node id.
+func (e *Endpoint) ID() int { return e.node.ID() }
+
+// Done is closed when the fabric aborts.
+func (e *Endpoint) Done() <-chan struct{} { return e.node.Done() }
+
+// Send delivers msg reliably (covered kinds) or directly (everything else).
+func (e *Endpoint) Send(to int, msg *cluster.Message) {
+	if !covered(msg.Kind) {
+		e.node.Send(to, msg)
+		return
+	}
+	e.mu.Lock()
+	k := linkKey{to, msg.Kind}
+	e.nextSeq[k]++
+	msg.XSeq = e.nextSeq[k]
+	if e.unacked[k] == nil {
+		e.unacked[k] = map[int64]*pending{}
+	}
+	// Retain a private, pre-addressed copy: Node.Send stamps From/To on the
+	// message it is handed, and the retransmit loop must be able to read the
+	// retained one concurrently.
+	cp := *msg
+	cp.From = e.node.ID()
+	cp.To = to
+	e.unacked[k][msg.XSeq] = &pending{to: to, msg: &cp, sentAt: time.Now()}
+	e.mu.Unlock()
+	// Non-blocking first attempt: the message is already retained above, so a
+	// full queue just defers delivery to the NACK/timer path. A blocking send
+	// here can wedge the calling process forever behind a peer that finished
+	// (or died) and stopped draining its queues — the credit window bounds how
+	// much a live link can have in flight, so only dead links ever fill up.
+	e.node.TrySend(to, msg)
+}
+
+// Recv blocks until an in-order message of the given kind is deliverable.
+func (e *Endpoint) Recv(kind cluster.MsgKind) *cluster.Message {
+	for {
+		if m := e.popReady(kind); m != nil {
+			return m
+		}
+		m := e.node.Recv(kind)
+		if m == nil {
+			return nil
+		}
+		if d := e.admit(m); d != nil {
+			return d
+		}
+	}
+}
+
+// RecvTimeout is Recv with a deadline; see cluster.Net.
+func (e *Endpoint) RecvTimeout(kind cluster.MsgKind, d time.Duration) (*cluster.Message, bool) {
+	deadline := time.Now().Add(d)
+	for {
+		if m := e.popReady(kind); m != nil {
+			return m, false
+		}
+		left := time.Until(deadline)
+		if left <= 0 {
+			return nil, true
+		}
+		m, timedOut := e.node.RecvTimeout(kind, left)
+		if timedOut {
+			return nil, true
+		}
+		if m == nil {
+			return nil, false
+		}
+		if dm := e.admit(m); dm != nil {
+			return dm, false
+		}
+	}
+}
+
+// TryRecv returns a deliverable message of the given kind, if any.
+func (e *Endpoint) TryRecv(kind cluster.MsgKind) (*cluster.Message, bool) {
+	for {
+		if m := e.popReady(kind); m != nil {
+			return m, true
+		}
+		m, ok := e.node.TryRecv(kind)
+		if !ok {
+			return nil, false
+		}
+		if d := e.admit(m); d != nil {
+			return d, true
+		}
+	}
+}
+
+func (e *Endpoint) popReady(kind cluster.MsgKind) *cluster.Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.ready[kind]
+	if len(q) == 0 {
+		return nil
+	}
+	m := q[0]
+	e.ready[kind] = q[1:]
+	return m
+}
+
+// admit runs the receive-side protocol on one raw delivery. It returns the
+// message if it is deliverable now, queueing any stashed successors it
+// unblocks; it returns nil when the message was a duplicate (dropped) or
+// out of order (stashed, gaps NACKed).
+func (e *Endpoint) admit(m *cluster.Message) *cluster.Message {
+	if !covered(m.Kind) || m.XSeq == 0 {
+		return m // unsequenced traffic passes through
+	}
+	k := linkKey{m.From, m.Kind}
+	var acks, nacks []int64
+	e.mu.Lock()
+	if e.expect[k] == 0 {
+		e.expect[k] = 1
+	}
+	var out *cluster.Message
+	switch {
+	case m.XSeq == e.expect[k]:
+		out = m
+		e.expect[k]++
+		// Pull any stashed successors into the ready queue.
+		for {
+			s := e.stash[k][e.expect[k]]
+			if s == nil {
+				break
+			}
+			delete(e.stash[k], e.expect[k])
+			e.ready[m.Kind] = append(e.ready[m.Kind], s)
+			e.expect[k]++
+		}
+		acks = append(acks, e.expect[k]-1)
+	case m.XSeq > e.expect[k]:
+		if e.stash[k] == nil {
+			e.stash[k] = map[int64]*cluster.Message{}
+		}
+		if _, dup := e.stash[k][m.XSeq]; dup {
+			e.rec.AddDuplicate()
+		} else {
+			e.stash[k][m.XSeq] = m
+			// NACK every hole below the newcomer so the sender retransmits
+			// without waiting out its timer.
+			for s := e.expect[k]; s < m.XSeq; s++ {
+				if _, have := e.stash[k][s]; !have {
+					nacks = append(nacks, s)
+				}
+			}
+		}
+	default: // duplicate of something already delivered
+		e.rec.AddDuplicate()
+		acks = append(acks, e.expect[k]-1) // re-ack so the sender stops
+	}
+	e.mu.Unlock()
+
+	for _, seq := range acks {
+		e.sendXport(m.From, xportAck, m.Kind, seq)
+	}
+	for _, seq := range nacks {
+		e.rec.AddNack()
+		e.sendXport(m.From, xportNack, m.Kind, seq)
+	}
+	return out
+}
+
+// --- transport control wire format -------------------------------------
+
+const (
+	xportAck  = 0 // Seq is a cumulative ack: everything <= Seq arrived
+	xportNack = 1 // Seq names one missing message to retransmit now
+)
+
+func (e *Endpoint) sendXport(to int, typ byte, kind cluster.MsgKind, seq int64) {
+	p := make([]byte, 10)
+	p[0] = typ
+	p[1] = byte(kind)
+	binary.LittleEndian.PutUint64(p[2:], uint64(seq))
+	// Non-blocking: control traffic is self-repairing (a lost ack is re-sent
+	// on the next duplicate, a lost NACK by the retransmit timer), and this
+	// runs in the receiving process — it must not stall behind a peer that no
+	// longer drains its control queue.
+	e.node.TrySend(to, &cluster.Message{Kind: cluster.MsgXport, Payload: p})
+}
+
+func parseXport(m *cluster.Message) (typ byte, kind cluster.MsgKind, seq int64, ok bool) {
+	if len(m.Payload) != 10 {
+		return 0, 0, 0, false
+	}
+	return m.Payload[0], cluster.MsgKind(m.Payload[1]), int64(binary.LittleEndian.Uint64(m.Payload[2:])), true
+}
+
+// --- sender background loop ---------------------------------------------
+
+func (e *Endpoint) loop() {
+	defer close(e.done)
+	tick := time.NewTicker(e.cfg.RetryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.node.Done():
+			return
+		case m := <-e.node.Queue(cluster.MsgXport):
+			e.handleXport(m)
+		case <-tick.C:
+			e.retransmitDue()
+		}
+	}
+}
+
+func (e *Endpoint) handleXport(m *cluster.Message) {
+	typ, kind, seq, ok := parseXport(m)
+	if !ok {
+		return
+	}
+	k := linkKey{m.From, kind}
+	var resend *cluster.Message
+	e.mu.Lock()
+	switch typ {
+	case xportAck:
+		for s := range e.unacked[k] {
+			if s <= seq {
+				delete(e.unacked[k], s)
+			}
+		}
+	case xportNack:
+		if p := e.unacked[k][seq]; p != nil {
+			p.attempt++
+			p.sentAt = time.Now()
+			resend = retransmitCopy(p.msg)
+		}
+	}
+	e.mu.Unlock()
+	if resend != nil && e.node.TrySend(m.From, resend) {
+		e.rec.AddRetransmit()
+	}
+}
+
+// retransmitDue re-sends every unacked message whose backoff has elapsed.
+func (e *Endpoint) retransmitDue() {
+	now := time.Now()
+	type due struct {
+		to  int
+		msg *cluster.Message
+	}
+	var out []due
+	e.mu.Lock()
+	for _, link := range e.unacked {
+		for _, p := range link {
+			if now.Sub(p.sentAt) < e.backoff(p.attempt) {
+				continue
+			}
+			p.attempt++
+			p.sentAt = now
+			out = append(out, due{p.to, retransmitCopy(p.msg)})
+		}
+	}
+	e.mu.Unlock()
+	for _, d := range out {
+		// Non-blocking: a peer that has finished (or died) stops draining its
+		// queues, and a blocking send there would wedge this loop — and with
+		// it Close. A full queue just leaves the message pending for the next
+		// tick.
+		if e.node.TrySend(d.to, d.msg) {
+			e.rec.AddRetransmit()
+		}
+	}
+}
+
+// backoff returns the retransmission delay after attempt prior tries:
+// RetryInterval doubling each attempt, capped at MaxBackoff.
+func (e *Endpoint) backoff(attempt int) time.Duration {
+	d := e.cfg.RetryInterval
+	for i := 0; i < attempt && d < e.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > e.cfg.MaxBackoff {
+		d = e.cfg.MaxBackoff
+	}
+	return d
+}
+
+func retransmitCopy(m *cluster.Message) *cluster.Message {
+	c := *m
+	c.Flags |= cluster.FlagRetransmit
+	return &c
+}

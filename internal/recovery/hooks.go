@@ -1,0 +1,51 @@
+package recovery
+
+import (
+	"tiledwall/internal/metrics"
+)
+
+// Hooks is the recovery wiring every supervised worker receives: its tuned
+// configuration, the lease it must renew, the run-wide counters, and the
+// chaos plan (inert for respawned incarnations — each injected kill fires
+// once).
+type Hooks struct {
+	Cfg   Config
+	Lease *Lease
+	Rec   *metrics.Recovery
+	Chaos ChaosPlan
+}
+
+// Renew renews the lease, if any (nil-safe for unsupervised use).
+func (h *Hooks) Renew() {
+	if h != nil && h.Lease != nil {
+		h.Lease.Renew()
+	}
+}
+
+// DecoderHooks wires one tile decoder incarnation.
+type DecoderHooks struct {
+	Hooks
+	// Checkpoint survives incarnations; Resume marks a respawn, which starts
+	// in concealment (freeze-last-frame) until an I picture re-anchors it.
+	Checkpoint *Checkpoint
+	Resume     bool
+}
+
+// SplitterHooks wires one second-level splitter incarnation.
+type SplitterHooks struct {
+	Hooks
+	// Retainer receives every sub-picture this splitter ships, for replay to
+	// respawned decoders.
+	Retainer *SubPicRetainer
+	// Resume marks a respawned incarnation, which must not claim the
+	// stream's first-picture credit exemption.
+	Resume bool
+}
+
+// RootHooks wires the root splitter.
+type RootHooks struct {
+	Cfg Config
+	Rec *metrics.Recovery
+	// Retainer holds sent pictures until the assignee's ack releases them.
+	Retainer *PictureRetainer
+}

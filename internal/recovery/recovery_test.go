@@ -1,0 +1,293 @@
+package recovery
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+)
+
+func testCfg() Config {
+	return Config{
+		Enabled:         true,
+		LeaseInterval:   2 * time.Millisecond,
+		LeaseExpiry:     8 * time.Millisecond,
+		RetryInterval:   3 * time.Millisecond,
+		MaxBackoff:      20 * time.Millisecond,
+		PictureDeadline: 100 * time.Millisecond,
+		MaxRestarts:     2,
+		RetainWindow:    4,
+	}
+}
+
+// pair builds two endpoints on a fresh fabric with an optional drop hook.
+func pair(t *testing.T, fcfg cluster.Config) (*Endpoint, *Endpoint, *metrics.Recovery, func()) {
+	t.Helper()
+	fab := cluster.New(2, fcfg)
+	rec := &metrics.Recovery{}
+	a := NewEndpoint(fab.Node(0), testCfg(), rec)
+	b := NewEndpoint(fab.Node(1), testCfg(), rec)
+	return a, b, rec, func() {
+		a.Close()
+		b.Close()
+		fab.Shutdown()
+	}
+}
+
+func TestEndpointInOrder(t *testing.T) {
+	a, b, _, done := pair(t, cluster.Config{})
+	defer done()
+	for i := 0; i < 5; i++ {
+		a.Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: i})
+	}
+	for i := 0; i < 5; i++ {
+		m, timedOut := b.RecvTimeout(cluster.MsgSubPicture, time.Second)
+		if timedOut || m == nil || m.Seq != i {
+			t.Fatalf("message %d: got %+v timedOut=%v", i, m, timedOut)
+		}
+		if m.XSeq != int64(i+1) {
+			t.Fatalf("message %d carries XSeq %d, want %d", i, m.XSeq, i+1)
+		}
+	}
+	// Uncovered kinds pass through unsequenced.
+	xm := &cluster.Message{Kind: cluster.MsgXport, Seq: 9, Payload: make([]byte, 1)}
+	a.Send(1, xm)
+	if xm.XSeq != 0 {
+		t.Fatalf("transport control was sequenced: XSeq=%d", xm.XSeq)
+	}
+}
+
+// TestEndpointRepairsLoss drops the first attempt of one mid-stream message:
+// the gap is NACKed as soon as a later message exposes it, the retransmission
+// passes, and delivery order is preserved with the duplicate counted.
+func TestEndpointRepairsLoss(t *testing.T) {
+	var dropped int32
+	fcfg := cluster.Config{
+		Drop: func(m *cluster.Message) bool {
+			if m.Kind == cluster.MsgSubPicture && m.XSeq == 2 &&
+				m.Flags&cluster.FlagRetransmit == 0 &&
+				atomic.CompareAndSwapInt32(&dropped, 0, 1) {
+				return true
+			}
+			return false
+		},
+	}
+	a, b, rec, done := pair(t, fcfg)
+	defer done()
+	for i := 0; i < 4; i++ {
+		a.Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: i})
+	}
+	for i := 0; i < 4; i++ {
+		m, timedOut := b.RecvTimeout(cluster.MsgSubPicture, 2*time.Second)
+		if timedOut || m == nil || m.Seq != i {
+			t.Fatalf("message %d: got %+v timedOut=%v", i, m, timedOut)
+		}
+	}
+	if s := rec.Snapshot(); s.Retransmits < 1 {
+		t.Fatalf("loss repaired without a recorded retransmit: %s", s)
+	}
+}
+
+// TestEndpointRepairsTailLoss drops the final message's first attempt: no
+// later traffic exposes the gap, so only the sender's backoff timer can
+// repair it.
+func TestEndpointRepairsTailLoss(t *testing.T) {
+	var dropped int32
+	fcfg := cluster.Config{
+		Drop: func(m *cluster.Message) bool {
+			return m.Kind == cluster.MsgSubPicture && m.XSeq == 3 &&
+				m.Flags&cluster.FlagRetransmit == 0 &&
+				atomic.CompareAndSwapInt32(&dropped, 0, 1)
+		},
+	}
+	a, b, _, done := pair(t, fcfg)
+	defer done()
+	for i := 0; i < 3; i++ {
+		a.Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: i})
+	}
+	for i := 0; i < 3; i++ {
+		m, timedOut := b.RecvTimeout(cluster.MsgSubPicture, 2*time.Second)
+		if timedOut || m == nil || m.Seq != i {
+			t.Fatalf("message %d: got %+v timedOut=%v", i, m, timedOut)
+		}
+	}
+}
+
+// TestEndpointCloseWithDeadPeer is the teardown-deadlock regression: a peer
+// that stopped draining its queues (finished or crashed) must not wedge the
+// sender's retransmit loop — and with it Close — once retransmissions have
+// filled the peer's bounded queue.
+func TestEndpointCloseWithDeadPeer(t *testing.T) {
+	fab := cluster.New(2, cluster.Config{QueueDepth: 2})
+	defer fab.Shutdown()
+	cfg := testCfg()
+	cfg.RetryInterval = time.Millisecond
+	a := NewEndpoint(fab.Node(0), cfg, nil)
+	// Two covered messages, never acked: node 1 has no process. Retransmits
+	// fill its 2-deep queue almost immediately.
+	a.Send(1, &cluster.Message{Kind: cluster.MsgAck, Seq: 1})
+	a.Send(1, &cluster.Message{Kind: cluster.MsgAck, Seq: 2})
+	time.Sleep(30 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		a.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind a dead peer's full queue")
+	}
+}
+
+// TestEndpointSendNeverBlocks: covered first attempts must be non-blocking
+// too — a worker acking to a peer that already finished (full queue, nobody
+// draining) has to keep making progress, with the retained copy left to the
+// NACK/timer path.
+func TestEndpointSendNeverBlocks(t *testing.T) {
+	fab := cluster.New(2, cluster.Config{QueueDepth: 1})
+	defer fab.Shutdown()
+	a := NewEndpoint(fab.Node(0), testCfg(), nil)
+	defer a.Close()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 8; i++ {
+			a.Send(1, &cluster.Message{Kind: cluster.MsgAck, Seq: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send blocked behind a dead peer's full queue")
+	}
+}
+
+func TestSupervisorRespawnAndBudget(t *testing.T) {
+	sup := NewSupervisor(testCfg(), nil)
+	defer sup.Close()
+	lease := NewLease()
+	sup.Watch(7, lease)
+
+	// An expired lease alone must NOT burn a restart: only a parked worker
+	// (crashed and waiting in AwaitRespawn) is granted an incarnation, so a
+	// slow-but-alive node can never be killed by the supervisor.
+	time.Sleep(30 * time.Millisecond)
+	if n := sup.Restarts(7); n != 0 {
+		t.Fatalf("unparked worker restarted %d times", n)
+	}
+
+	abort := make(chan struct{})
+	if n, ok := sup.AwaitRespawn(7, abort); !ok || n != 1 {
+		t.Fatalf("first respawn: n=%d ok=%v", n, ok)
+	}
+	if n, ok := sup.AwaitRespawn(7, abort); !ok || n != 2 {
+		t.Fatalf("second respawn: n=%d ok=%v", n, ok)
+	}
+	// MaxRestarts=2: the budget is now exhausted.
+	if _, ok := sup.AwaitRespawn(7, abort); ok {
+		t.Fatal("respawn granted beyond MaxRestarts")
+	}
+}
+
+func TestSupervisorAbortUnparks(t *testing.T) {
+	sup := NewSupervisor(testCfg(), nil)
+	defer sup.Close()
+	lease := NewLease()
+	sup.Watch(3, lease)
+	abort := make(chan struct{})
+	res := make(chan bool, 1)
+	go func() {
+		// The lease stays renewed, so no grant can fire; only abort frees it.
+		_, ok := sup.AwaitRespawn(3, abort)
+		res <- ok
+	}()
+	go func() {
+		for i := 0; i < 20; i++ {
+			lease.Renew()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(abort)
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("aborted AwaitRespawn reported a grant")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AwaitRespawn did not unpark on abort")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	l := NewLease()
+	if l.Expired(time.Second) {
+		t.Fatal("fresh lease reported expired")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !l.Expired(10 * time.Millisecond) {
+		t.Fatal("stale lease reported live")
+	}
+	l.Renew()
+	if l.Expired(10 * time.Millisecond) {
+		t.Fatal("renewed lease reported expired")
+	}
+}
+
+func TestSubPicRetainerWindow(t *testing.T) {
+	r := NewSubPicRetainer(4)
+	for pic := 0; pic <= 10; pic++ {
+		r.Retain(0, pic, 100+pic, []byte{byte(pic)})
+	}
+	got := r.Since(0, 0)
+	// Window 4 around maxPic 10: everything below 6 is pruned.
+	if len(got) == 0 || got[0].Pic < 6 {
+		t.Fatalf("window not pruned: %+v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Pic <= got[i-1].Pic {
+			t.Fatalf("Since not ascending: %+v", got)
+		}
+	}
+	if sub := r.Since(0, 9); len(sub) != 2 || sub[0].Pic != 9 || sub[1].Pic != 10 {
+		t.Fatalf("Since(9) = %+v", sub)
+	}
+	if other := r.Since(1, 0); len(other) != 0 {
+		t.Fatalf("unknown tile returned %+v", other)
+	}
+}
+
+func TestPictureRetainerAck(t *testing.T) {
+	r := NewPictureRetainer()
+	r.Retain(0, 2, 20, []byte{2})
+	r.Retain(0, 4, 40, []byte{4})
+	r.Retain(1, 3, 30, []byte{3})
+	r.Ack(0, 2)
+	p := r.Pending(0)
+	if len(p) != 1 || p[0].Seq != 4 || p[0].Tag != 40 {
+		t.Fatalf("pending after ack: %+v", p)
+	}
+	if p := r.Pending(1); len(p) != 1 || p[0].Seq != 3 {
+		t.Fatalf("splitter 1 pending: %+v", p)
+	}
+	r.Ack(0, 4)
+	if p := r.Pending(0); len(p) != 0 {
+		t.Fatalf("pending after full ack: %+v", p)
+	}
+	r.Ack(2, 9) // unknown splitter: must not panic
+}
+
+func TestCheckpointState(t *testing.T) {
+	c := NewCheckpoint()
+	if next, pending, buf, total := c.State(); next != 0 || pending != -1 || buf != nil || total != -1 {
+		t.Fatalf("initial state: %d %d %v %d", next, pending, buf, total)
+	}
+	c.Update(5, 4)
+	c.SetFinalTotal(12)
+	if next, pending, _, total := c.State(); next != 5 || pending != 4 || total != 12 {
+		t.Fatalf("updated state: %d %d %d", next, pending, total)
+	}
+}

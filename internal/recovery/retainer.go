@@ -1,0 +1,130 @@
+package recovery
+
+import (
+	"sort"
+	"sync"
+)
+
+// RetainedSubPic is one tile's marshalled sub-picture kept for replay.
+type RetainedSubPic struct {
+	Pic     int
+	Tag     int // original ANID tag (replays are not acked, but kept for audit)
+	Payload []byte
+}
+
+// SubPicRetainer is the replay window the second-level splitters feed: the
+// last RetainWindow sub-pictures per tile, shared across splitters (each
+// retains the pictures it split, so a tile's entries interleave). When a
+// decoder is respawned, the supervisor replays every retained sub-picture
+// the new incarnation still owes, in picture order; the decoder's reorder
+// stash restores ANID/NSID sequencing without a dedicated reorder queue.
+type SubPicRetainer struct {
+	mu     sync.Mutex
+	window int
+	byTile map[int]map[int]RetainedSubPic // tile -> pic -> entry
+	maxPic map[int]int
+}
+
+// NewSubPicRetainer keeps the last window pictures per tile.
+func NewSubPicRetainer(window int) *SubPicRetainer {
+	if window <= 0 {
+		window = 16
+	}
+	return &SubPicRetainer{
+		window: window,
+		byTile: map[int]map[int]RetainedSubPic{},
+		maxPic: map[int]int{},
+	}
+}
+
+// Retain stores tile's sub-picture for picture pic and prunes entries that
+// fell out of the window.
+func (r *SubPicRetainer) Retain(tile, pic, tag int, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.byTile[tile]
+	if m == nil {
+		m = map[int]RetainedSubPic{}
+		r.byTile[tile] = m
+	}
+	m[pic] = RetainedSubPic{Pic: pic, Tag: tag, Payload: payload}
+	if pic > r.maxPic[tile] {
+		r.maxPic[tile] = pic
+	}
+	floor := r.maxPic[tile] - r.window
+	for p := range m {
+		if p < floor {
+			delete(m, p)
+		}
+	}
+}
+
+// Since returns tile's retained sub-pictures with pic >= fromPic, ascending.
+func (r *SubPicRetainer) Since(tile, fromPic int) []RetainedSubPic {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []RetainedSubPic
+	for p, e := range r.byTile[tile] {
+		if p >= fromPic {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pic < out[j].Pic })
+	return out
+}
+
+// RetainedPicture is one picture unit the root keeps until its assignee's
+// credit ack confirms delivery.
+type RetainedPicture struct {
+	Seq     int
+	Tag     int // NSID riding on the original send
+	Payload []byte
+}
+
+// PictureRetainer is the root splitter's replay window: every picture sent
+// to a second-level splitter stays retained until that splitter's ack
+// returns the credit — so the buffer is bounded by the two-buffer credit
+// window (at most 2 outstanding pictures per splitter) plus a small slack
+// for acks in flight. When a splitter is respawned, the supervisor replays
+// its unacked pictures with their original NSID tags, preserving the
+// ANID/NSID ordering chain.
+type PictureRetainer struct {
+	mu         sync.Mutex
+	bySplitter map[int]map[int]RetainedPicture // splitter index -> seq -> entry
+}
+
+// NewPictureRetainer returns an empty retainer.
+func NewPictureRetainer() *PictureRetainer {
+	return &PictureRetainer{bySplitter: map[int]map[int]RetainedPicture{}}
+}
+
+// Retain stores the picture sent to splitter idx.
+func (r *PictureRetainer) Retain(idx, seq, tag int, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.bySplitter[idx]
+	if m == nil {
+		m = map[int]RetainedPicture{}
+		r.bySplitter[idx] = m
+	}
+	m[seq] = RetainedPicture{Seq: seq, Tag: tag, Payload: payload}
+}
+
+// Ack releases the retained picture seq of splitter idx.
+func (r *PictureRetainer) Ack(idx, seq int) {
+	r.mu.Lock()
+	delete(r.bySplitter[idx], seq)
+	r.mu.Unlock()
+}
+
+// Pending returns splitter idx's unacked pictures in ascending seq order.
+func (r *PictureRetainer) Pending(idx int) []RetainedPicture {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []RetainedPicture
+	for _, e := range r.bySplitter[idx] {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,126 @@
+package recovery
+
+import (
+	"sync"
+	"time"
+
+	"tiledwall/internal/metrics"
+)
+
+// Supervisor watches the leases of the pipeline's supervised workers
+// (second-level splitters and tile decoders) and authorises respawns. A
+// worker that crashes stops renewing its lease and parks in AwaitRespawn;
+// the monitor notices the expired lease after LeaseExpiry — the detection
+// latency a heartbeat protocol pays — and grants a new incarnation, up to
+// MaxRestarts per node. The respawn itself (rebuilding state on the same
+// fabric node and replaying retained pictures) is the caller's job; the
+// supervisor owns only detection and the restart budget.
+type Supervisor struct {
+	cfg Config
+	rec *metrics.Recovery
+
+	mu      sync.Mutex
+	workers map[int]*supWorker
+
+	stop  chan struct{}
+	stop1 sync.Once
+	done  chan struct{}
+}
+
+type supWorker struct {
+	lease    *Lease
+	restarts int
+	waiting  bool
+	grant    chan int
+}
+
+// NewSupervisor starts the monitor. Close must be called when the run ends.
+func NewSupervisor(cfg Config, rec *metrics.Recovery) *Supervisor {
+	if rec == nil {
+		rec = &metrics.Recovery{}
+	}
+	s := &Supervisor{
+		cfg:     cfg.WithDefaults(),
+		rec:     rec,
+		workers: map[int]*supWorker{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.monitor()
+	return s
+}
+
+// Close stops the monitor and fails any parked AwaitRespawn. Idempotent.
+func (s *Supervisor) Close() {
+	s.stop1.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Watch registers a worker's lease under its fabric node id.
+func (s *Supervisor) Watch(id int, lease *Lease) {
+	s.mu.Lock()
+	s.workers[id] = &supWorker{lease: lease}
+	s.mu.Unlock()
+}
+
+// Restarts returns how many times node id has been respawned.
+func (s *Supervisor) Restarts(id int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w := s.workers[id]; w != nil {
+		return w.restarts
+	}
+	return 0
+}
+
+// AwaitRespawn parks a crashed worker's slot until the monitor declares the
+// lease dead and authorises a new incarnation. It returns the incarnation
+// number (1 for the first respawn) and ok=false when the restart budget is
+// exhausted, the supervisor closed, or abort fired (pass the fabric's Done
+// channel so a failing run unwinds parked slots).
+func (s *Supervisor) AwaitRespawn(id int, abort <-chan struct{}) (int, bool) {
+	s.mu.Lock()
+	w := s.workers[id]
+	if w == nil || w.restarts >= s.cfg.MaxRestarts {
+		s.mu.Unlock()
+		return 0, false
+	}
+	w.grant = make(chan int, 1)
+	w.waiting = true
+	grant := w.grant
+	s.mu.Unlock()
+
+	select {
+	case n := <-grant:
+		return n, true
+	case <-s.stop:
+		return 0, false
+	case <-abort:
+		return 0, false
+	}
+}
+
+func (s *Supervisor) monitor() {
+	defer close(s.done)
+	tick := time.NewTicker(s.cfg.LeaseInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		for _, w := range s.workers {
+			if !w.waiting || !w.lease.Expired(s.cfg.LeaseExpiry) {
+				continue
+			}
+			w.waiting = false
+			w.restarts++
+			w.lease.Renew() // the new incarnation starts with a fresh lease
+			s.rec.AddRestart()
+			w.grant <- w.restarts
+		}
+		s.mu.Unlock()
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/recovery"
 	"tiledwall/internal/subpic"
 	"tiledwall/internal/wall"
 )
@@ -26,6 +27,13 @@ type RootConfig struct {
 	// ordering protocol is unaffected because the root always announces the
 	// actual next assignee.
 	Dynamic bool
+
+	// Recovery, when non-nil, makes the root fault-tolerant: sent pictures
+	// are retained until the assignee's ack releases them (the supervisor
+	// replays the rest to a respawned splitter), and credit waits give up
+	// after the per-picture deadline instead of deadlocking on a dead
+	// splitter's lost acks.
+	Recovery *recovery.RootHooks
 }
 
 // RootResult reports the root splitter's run.
@@ -44,13 +52,20 @@ type RootResult struct {
 // buffers at each splitter make the pipeline two pictures deep). The NSID —
 // the splitter responsible for the next picture — rides along so splitters
 // can fill in the ANID without knowing each other (§4.5, Table 3).
-func RunRoot(node *cluster.Node, cfg RootConfig) (*RootResult, error) {
+func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 	res := &RootResult{}
 	k := len(cfg.SplitterNodes)
 	if k == 0 {
 		return nil, fmt.Errorf("splitter: root needs at least one second-level splitter")
 	}
 	data := cfg.Stream
+	rh := cfg.Recovery
+	if rh != nil {
+		rh.Cfg = rh.Cfg.WithDefaults()
+		if rh.Rec == nil {
+			rh.Rec = &metrics.Recovery{}
+		}
+	}
 
 	// The root's per-picture work is exactly the paper's: find the picture
 	// boundaries by start-code scan and copy the bytes out. Flow control is
@@ -63,12 +78,45 @@ func RunRoot(node *cluster.Node, cfg RootConfig) (*RootResult, error) {
 		credits[i] = 2
 		nodeIdx[id] = i
 	}
-	takeAck := func() error {
+	// Credits never exceed the two posted buffers: under recovery, replay
+	// and synthetic credits can produce duplicate acks, which must not
+	// inflate the window.
+	credit := func(i int) {
+		if credits[i] < 2 {
+			credits[i]++
+		}
+	}
+	onAck := func(m *cluster.Message) {
+		i := nodeIdx[m.From]
+		credit(i)
+		if rh != nil && rh.Retainer != nil {
+			rh.Retainer.Ack(i, m.Seq)
+		}
+	}
+	// takeAck blocks for one splitter ack while waiting on assignee a's
+	// credit. Under recovery it gives up after the per-picture deadline (a
+	// dead splitter's ack is gone for good — its retained pictures are the
+	// supervisor's to replay) and grants a synthetic credit so the pipeline
+	// keeps moving.
+	takeAck := func(a int) error {
+		if rh != nil {
+			m, timedOut := node.RecvTimeout(cluster.MsgAck, rh.Cfg.PictureDeadline)
+			if timedOut {
+				rh.Rec.AddAckTimeout()
+				credit(a)
+				return nil
+			}
+			if m == nil {
+				return fmt.Errorf("splitter: root aborted while waiting for splitter ack")
+			}
+			onAck(m)
+			return nil
+		}
 		m := node.Recv(cluster.MsgAck)
 		if m == nil {
 			return fmt.Errorf("splitter: root aborted while waiting for splitter ack")
 		}
-		credits[nodeIdx[m.From]]++
+		onAck(m)
 		return nil
 	}
 	// choose picks the next assignee: strict round-robin, or (Dynamic) the
@@ -106,7 +154,7 @@ func RunRoot(node *cluster.Node, cfg RootConfig) (*RootResult, error) {
 
 		t0 = time.Now()
 		for credits[a] == 0 {
-			if err := takeAck(); err != nil {
+			if err := takeAck(a); err != nil {
 				return err
 			}
 		}
@@ -118,12 +166,15 @@ func RunRoot(node *cluster.Node, cfg RootConfig) (*RootResult, error) {
 			if !ok {
 				break
 			}
-			credits[nodeIdx[m.From]]++
+			onAck(m)
 		}
 		credits[a]--
 		next := choose()
 
 		t0 = time.Now()
+		if rh != nil && rh.Retainer != nil {
+			rh.Retainer.Retain(a, pics, cfg.SplitterNodes[next], buf)
+		}
 		node.Send(cfg.SplitterNodes[a], &cluster.Message{
 			Kind:    cluster.MsgPicture,
 			Seq:     pics,
@@ -182,6 +233,13 @@ type SecondConfig struct {
 	DecoderNodes []int
 	// RootNode is the root splitter's node id.
 	RootNode int
+
+	// Recovery, when non-nil, makes the splitter fault-tolerant: it renews
+	// its lease per picture, retains every sub-picture it ships for replay to
+	// respawned decoders, deduplicates pictures it receives twice (replay can
+	// overlap the queue a dead incarnation left behind), and abandons credit
+	// waits after the per-picture deadline.
+	Recovery *recovery.SplitterHooks
 }
 
 // SecondResult reports a second-level splitter's run.
@@ -195,14 +253,30 @@ type SecondResult struct {
 // RunSecond receives pictures from the root, splits them at macroblock
 // level, and ships one sub-picture (with MEIs) to every decoder, gated on
 // decoder acks addressed to this node by the ANID redirect.
-func RunSecond(node *cluster.Node, cfg SecondConfig) (*SecondResult, error) {
+func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
 	res := &SecondResult{}
 	b := &res.Breakdown
 	ms := NewMBSplitter(cfg.Seq, cfg.Geo)
 	nd := len(cfg.DecoderNodes)
-	first := true
+	rh := cfg.Recovery
+	if rh != nil {
+		rh.Cfg = rh.Cfg.WithDefaults()
+		if rh.Rec == nil {
+			rh.Rec = &metrics.Recovery{}
+		}
+	}
+	// A respawned incarnation must not skip the decoder-ack wait: the "very
+	// first picture" exemption belongs to the stream, not the incarnation.
+	first := rh == nil || !rh.Resume
+	// Pictures already split by this incarnation, for dedup when the
+	// supervisor's replay overlaps the originals still queued on the node.
+	// (Cross-incarnation duplicates are caught by the decoders' own dedup.)
+	processed := map[int]bool{}
 
 	for {
+		if rh != nil {
+			rh.Renew()
+		}
 		var msg *cluster.Message
 		b.Timed(metrics.PhaseReceive, func() { msg = node.Recv(cluster.MsgPicture) })
 		if msg == nil {
@@ -216,10 +290,24 @@ func RunSecond(node *cluster.Node, cfg SecondConfig) (*SecondResult, error) {
 			}
 			return res, nil
 		}
-		// Ack the root immediately: the posted buffer is recycled.
-		b.Timed(metrics.PhaseAck, func() {
-			node.Send(cfg.RootNode, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
-		})
+		// Injected crash: the picture is consumed but the root has not been
+		// acked — the root's retained copy is what the supervisor replays.
+		if rh != nil && rh.Chaos.SplitterDies(cfg.Index, msg.Seq) {
+			return res, recovery.ErrKilled
+		}
+		replay := msg.Flags&cluster.FlagReplay != 0
+		// Ack the root immediately: the posted buffer is recycled. Replays
+		// are not acked (the root's credit was settled by timeout), but
+		// duplicate originals are — the root expects its credit back.
+		if !replay {
+			b.Timed(metrics.PhaseAck, func() {
+				node.Send(cfg.RootNode, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
+			})
+		}
+		if processed[msg.Seq] {
+			continue
+		}
+		processed[msg.Seq] = true
 		res.InputBytes += int64(len(msg.Payload))
 
 		var sps []*subpic.SubPicture
@@ -230,11 +318,24 @@ func RunSecond(node *cluster.Node, cfg SecondConfig) (*SecondResult, error) {
 		}
 
 		// Wait for the go-ahead from every decoder (redirected acks), except
-		// for the very first picture in the stream.
+		// for the very first picture in the stream. Under recovery the wait
+		// is bounded: a dead decoder's ack may never come.
 		if !(first && msg.Seq == 0) {
 			aborted := false
 			b.Timed(metrics.PhaseWaitMB, func() {
 				for i := 0; i < nd; i++ {
+					if rh != nil {
+						m, timedOut := node.RecvTimeout(cluster.MsgAck, rh.Cfg.PictureDeadline)
+						if timedOut {
+							rh.Rec.AddAckTimeout()
+							return
+						}
+						if m == nil {
+							aborted = true
+							return
+						}
+						continue
+					}
 					if node.Recv(cluster.MsgAck) == nil {
 						aborted = true
 						return
@@ -252,6 +353,9 @@ func RunSecond(node *cluster.Node, cfg SecondConfig) (*SecondResult, error) {
 			for t := 0; t < nd; t++ {
 				payload := sps[t].Marshal()
 				res.SPBytes += int64(len(payload))
+				if rh != nil && rh.Retainer != nil {
+					rh.Retainer.Retain(t, msg.Seq, anid, payload)
+				}
 				node.Send(cfg.DecoderNodes[t], &cluster.Message{
 					Kind:    cluster.MsgSubPicture,
 					Seq:     msg.Seq,

@@ -1,0 +1,326 @@
+package system
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/pdec"
+	"tiledwall/internal/recovery"
+	"tiledwall/internal/splitter"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/wall"
+)
+
+// This file wires the supervised pipeline (DESIGN.md §6). Layout is the
+// strict pipeline's — root, k splitters, m*n decoders — plus one extra
+// fabric node for the supervisor, which replays retained pictures to
+// respawned workers. Every node is wrapped in a reliable endpoint; the
+// second-level splitters and the tile decoders are supervised (the root is
+// the console PC — a single point the paper's architecture accepts).
+
+// emissionLog records each tile's emitted decode-order indices, the evidence
+// for the exactly-once guarantee chaos tests assert.
+type emissionLog struct {
+	mu     sync.Mutex
+	byTile [][]int
+}
+
+func newEmissionLog(tiles int) *emissionLog {
+	return &emissionLog{byTile: make([][]int, tiles)}
+}
+
+func (l *emissionLog) record(idx, tile int) {
+	l.mu.Lock()
+	l.byTile[tile] = append(l.byTile[tile], idx)
+	l.mu.Unlock()
+}
+
+func runRecovery(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config) (*Result, error) {
+	nTiles := geo.NumTiles()
+	supID := 1 + cfg.K + nTiles
+	fab := cluster.New(supID+1, cfg.Fabric)
+	defer fab.Shutdown()
+
+	rcfg := cfg.Recovery.WithDefaults()
+	rec := &metrics.Recovery{}
+
+	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
+	for i := 0; i < cfg.K; i++ {
+		res.SplitterNodeIDs = append(res.SplitterNodeIDs, 1+i)
+	}
+	for t := 0; t < nTiles; t++ {
+		res.DecoderNodeIDs = append(res.DecoderNodeIDs, 1+cfg.K+t)
+	}
+	tileNode := func(t int) int { return res.DecoderNodeIDs[t] }
+
+	eps := make([]*recovery.Endpoint, supID+1)
+	for i := range eps {
+		eps[i] = recovery.NewEndpoint(fab.Node(i), rcfg, rec)
+	}
+	sup := recovery.NewSupervisor(rcfg, rec)
+	picRet := recovery.NewPictureRetainer()
+	subRet := recovery.NewSubPicRetainer(rcfg.RetainWindow)
+
+	var collector *frameCollector
+	if cfg.CollectFrames {
+		collector = newFrameCollector(geo)
+	}
+	emlog := newEmissionLog(nTiles)
+	onFrame := func(idx, tile int, buf *mpeg2.PixelBuf) {
+		emlog.record(idx, tile)
+		if collector != nil {
+			collector.onFrame(idx, tile, buf)
+		}
+	}
+
+	nSplit := cfg.K
+	if nSplit == 0 {
+		nSplit = 1 // combined splitter's result slot
+	}
+	res.Splitters = make([]*splitter.SecondResult, nSplit)
+	res.Decoders = make([]*pdec.Result, nTiles)
+	errs := make([]error, 1+cfg.K+nTiles)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Console node: root splitter (two-level) or combined splitter
+	// (one-level), fault-tolerant but unsupervised.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var err error
+		if cfg.K > 0 {
+			res.Root, err = splitter.RunRoot(eps[0], splitter.RootConfig{
+				Stream:        stream,
+				SplitterNodes: res.SplitterNodeIDs,
+				Dynamic:       cfg.DynamicBalance,
+				Recovery:      &recovery.RootHooks{Cfg: rcfg, Rec: rec, Retainer: picRet},
+			})
+		} else {
+			res.Splitters[0], err = runCombinedRecovery(eps[0], s, geo, res.DecoderNodeIDs, rcfg, rec, subRet)
+		}
+		if err != nil {
+			errs[0] = err
+			fab.Abort(err)
+		}
+	}()
+
+	// Second-level splitter slots: each goroutine owns one fabric node and
+	// runs incarnations of its splitter until the stream ends, a fatal error
+	// aborts the run, or the restart budget is exhausted.
+	for i := 0; i < cfg.K; i++ {
+		i := i
+		id := res.SplitterNodeIDs[i]
+		lease := recovery.NewLease()
+		sup.Watch(id, lease)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chaos := cfg.Chaos
+			resume := false
+			for {
+				r, err := splitter.RunSecond(eps[id], splitter.SecondConfig{
+					Seq:          s.Seq,
+					Geo:          geo,
+					Index:        i,
+					DecoderNodes: res.DecoderNodeIDs,
+					RootNode:     0,
+					Recovery: &recovery.SplitterHooks{
+						Hooks:    recovery.Hooks{Cfg: rcfg, Lease: lease, Rec: rec, Chaos: chaos},
+						Retainer: subRet,
+						Resume:   resume,
+					},
+				})
+				if err == nil {
+					res.Splitters[i] = r
+					return
+				}
+				if !errors.Is(err, recovery.ErrKilled) {
+					errs[1+i] = err
+					fab.Abort(err)
+					return
+				}
+				if _, ok := sup.AwaitRespawn(id, eps[id].Done()); !ok {
+					return // budget exhausted or run unwinding
+				}
+				// Replay the root's unacked pictures (original NSID tags) so
+				// the new incarnation sees everything its predecessor
+				// consumed without finishing.
+				for _, p := range picRet.Pending(i) {
+					rec.AddReplayed(1)
+					eps[supID].Send(id, &cluster.Message{
+						Kind:    cluster.MsgPicture,
+						Seq:     p.Seq,
+						Tag:     p.Tag,
+						Flags:   cluster.FlagReplay,
+						Payload: p.Payload,
+					})
+				}
+				chaos = recovery.ChaosPlan{} // each kill fires once
+				resume = true
+			}
+		}()
+	}
+
+	// Decoder slots, same incarnation loop. The checkpoint carries the
+	// emission frontier across incarnations.
+	for t := 0; t < nTiles; t++ {
+		t := t
+		id := res.DecoderNodeIDs[t]
+		lease := recovery.NewLease()
+		checkpoint := recovery.NewCheckpoint()
+		sup.Watch(id, lease)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chaos := cfg.Chaos
+			resume := false
+			for {
+				d := pdec.NewDecoder(eps[id], pdec.Config{
+					Seq:            s.Seq,
+					Geo:            geo,
+					Tile:           t,
+					HaloPx:         pdec.HaloForFCode(cfg.MaxFCode),
+					TileNode:       tileNode,
+					OnFrame:        onFrame,
+					UnbatchedSends: cfg.UnbatchedExchange,
+					Recovery: &recovery.DecoderHooks{
+						Hooks:      recovery.Hooks{Cfg: rcfg, Lease: lease, Rec: rec, Chaos: chaos},
+						Checkpoint: checkpoint,
+						Resume:     resume,
+					},
+				})
+				r, err := d.Run()
+				if err == nil {
+					res.Decoders[t] = r
+					return
+				}
+				if !errors.Is(err, recovery.ErrKilled) {
+					errs[1+cfg.K+t] = err
+					fab.Abort(err)
+					return
+				}
+				if _, ok := sup.AwaitRespawn(id, eps[id].Done()); !ok {
+					return
+				}
+				// Replay every retained sub-picture the new incarnation still
+				// owes, from the supervisor's node; the decoder's reorder
+				// stash restores picture order. Replays are never acked.
+				next, _, _, _ := checkpoint.State()
+				rp := subRet.Since(t, next)
+				rec.AddReplayed(len(rp))
+				for _, sp := range rp {
+					eps[supID].Send(id, &cluster.Message{
+						Kind:    cluster.MsgSubPicture,
+						Seq:     sp.Pic,
+						Tag:     sp.Tag,
+						Flags:   cluster.FlagReplay,
+						Payload: sp.Payload,
+					})
+				}
+				chaos = recovery.ChaosPlan{}
+				resume = true
+			}
+		}()
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, e := range eps {
+		e.Close()
+	}
+	sup.Close()
+	res.Recovery = rec.Snapshot()
+	res.TileEmissions = emlog.byTile
+
+	if cause := fab.AbortCause(); cause != nil {
+		return res, cause
+	}
+	for _, e := range errs {
+		if e != nil {
+			return res, e
+		}
+	}
+	res.Throughput = metrics.Throughput{
+		Pictures:         len(s.Pictures),
+		Elapsed:          elapsed,
+		PixelsPerPicture: int64(geo.PicW) * int64(geo.PicH),
+	}
+	res.NodeStats = fab.Stats()
+	if collector != nil {
+		frames, err := collector.assemble()
+		if err != nil {
+			return res, err
+		}
+		res.Frames = frames
+	}
+	return res, nil
+}
+
+// runCombinedRecovery is runCombinedSplitter with bounded credit waits and
+// sub-picture retention, for the one-level system under recovery. The
+// console is not supervised (its loss ends the show on a real wall too), but
+// it must survive its decoders dying: a dead decoder's acks never come.
+func runCombinedRecovery(node cluster.Net, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int,
+	rcfg recovery.Config, rec *metrics.Recovery, retainer *recovery.SubPicRetainer) (*splitter.SecondResult, error) {
+	res := &splitter.SecondResult{}
+	b := &res.Breakdown
+	ms := splitter.NewMBSplitter(s.Seq, geo)
+	nd := len(decoderNodes)
+
+	for seq, unit := range s.Pictures {
+		res.InputBytes += int64(len(unit))
+		var sps []*subpic.SubPicture
+		var err error
+		b.Timed(metrics.PhaseWork, func() { sps, err = ms.Split(unit, seq) })
+		if err != nil {
+			return res, err
+		}
+		if seq > 0 {
+			aborted := false
+			b.Timed(metrics.PhaseWaitMB, func() {
+				for i := 0; i < nd; i++ {
+					m, timedOut := node.RecvTimeout(cluster.MsgAck, rcfg.PictureDeadline)
+					if timedOut {
+						rec.AddAckTimeout()
+						return
+					}
+					if m == nil {
+						aborted = true
+						return
+					}
+				}
+			})
+			if aborted {
+				return res, fmt.Errorf("system: fabric aborted while waiting for decoder acks")
+			}
+		}
+		b.Timed(metrics.PhaseServe, func() {
+			for t := 0; t < nd; t++ {
+				payload := sps[t].Marshal()
+				res.SPBytes += int64(len(payload))
+				retainer.Retain(t, seq, node.ID(), payload)
+				node.Send(decoderNodes[t], &cluster.Message{
+					Kind:    cluster.MsgSubPicture,
+					Seq:     seq,
+					Tag:     node.ID(),
+					Payload: payload,
+				})
+			}
+		})
+		res.Pictures++
+		b.Pictures++
+	}
+	for t := 0; t < nd; t++ {
+		sp := &subpic.SubPicture{Final: true}
+		sp.Pic.Index = int32(len(s.Pictures))
+		node.Send(decoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: sp.Marshal()})
+	}
+	return res, nil
+}

@@ -13,6 +13,7 @@ import (
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/pdec"
+	"tiledwall/internal/recovery"
 	"tiledwall/internal/splitter"
 	"tiledwall/internal/subpic"
 	"tiledwall/internal/wall"
@@ -43,6 +44,17 @@ type Config struct {
 	// CollectFrames assembles full output frames for verification (adds
 	// memory traffic outside the measured path).
 	CollectFrames bool
+
+	// Recovery enables the fault-tolerance layer (DESIGN.md §6): reliable
+	// endpoints with retransmission on every node, a supervisor that respawns
+	// crashed splitters and decoders from retained picture windows, and
+	// concealment past the per-picture deadline. Disabled (the zero value),
+	// the pipeline keeps PR 1's fail-stop behaviour.
+	Recovery recovery.Config
+
+	// Chaos injects crashes into a recovery-enabled run (tests and the
+	// benchwall -chaos mode). Ignored when Recovery is disabled.
+	Chaos recovery.ChaosPlan
 }
 
 // Result reports one pipeline run.
@@ -68,6 +80,16 @@ type Result struct {
 
 	// StreamBytes is the input size, for equivalent-bit-rate reporting.
 	StreamBytes int64
+
+	// Recovery reports the fault-tolerance interventions of the run (always
+	// zero when Config.Recovery is disabled). Clean() distinguishes lossless
+	// repair from visible degradation.
+	Recovery metrics.RecoverySnapshot
+
+	// TileEmissions records, per tile, the decode-order picture indices in
+	// emission order (recovery runs only). Exactly-once delivery means each
+	// tile's sorted list is 0..Pictures-1 with no duplicates.
+	TileEmissions [][]int
 
 	fabric *cluster.Fabric
 }
@@ -212,6 +234,9 @@ func Run(stream []byte, cfg Config) (*Result, error) {
 	geo, err := wall.NewGeometry(picW, picH, cfg.M, cfg.N, cfg.Overlap)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Recovery.Enabled {
+		return runRecovery(stream, s, geo, cfg)
 	}
 	if cfg.K > 0 {
 		return runTwoLevel(stream, s, geo, cfg)

@@ -31,9 +31,37 @@ package tiledwall
 
 import (
 	"tiledwall/internal/catalog"
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/recovery"
 	"tiledwall/internal/system"
 )
+
+// Typed sentinels for the failure modes the pipeline promises to bound.
+// Callers match them with errors.Is, without importing internal packages.
+var (
+	// ErrStalled is returned when fabric traffic dries up while nodes are
+	// still blocked — a protocol deadlock, converted by the stall watchdog
+	// into a clean, attributable error instead of a hang.
+	ErrStalled = cluster.ErrStalled
+	// ErrCorruptStream wraps every syntax-level decode failure on malformed
+	// input.
+	ErrCorruptStream = mpeg2.ErrCorruptStream
+	// ErrUnsupported wraps failures on syntax that is valid MPEG-2 but
+	// outside the profile this reproduction implements.
+	ErrUnsupported = mpeg2.ErrUnsupported
+)
+
+// RecoveryConfig tunes the fault-tolerance layer (WallConfig.Recovery):
+// heartbeat leases, retransmission backoff, the per-picture concealment
+// deadline, and the restart budget. The zero value leaves recovery off;
+// setting Enabled with zero fields picks sensible defaults.
+type RecoveryConfig = recovery.Config
+
+// RecoverySnapshot reports the fault-tolerance interventions of a run
+// (WallResult.Recovery): retransmits, restarts, replays, concealments.
+type RecoverySnapshot = metrics.RecoverySnapshot
 
 // WallConfig selects a 1-k-(m,n) configuration (K = 0 for one-level).
 type WallConfig = system.Config

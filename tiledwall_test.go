@@ -1,11 +1,68 @@
 package tiledwall
 
 import (
+	"errors"
 	"testing"
+	"time"
 
+	"tiledwall/internal/cluster"
 	"tiledwall/internal/mpegps"
 	"tiledwall/internal/video"
 )
+
+// TestTypedErrors: the façade's sentinels must match what the pipeline and
+// decoder actually return, so callers can errors.Is without internal imports.
+func TestTypedErrors(t *testing.T) {
+	// Garbage input → ErrCorruptStream, through the public Decode.
+	if _, err := Decode([]byte("definitely not mpeg2")); !errors.Is(err, ErrCorruptStream) {
+		t.Fatalf("garbage decode error %v is not ErrCorruptStream", err)
+	}
+	// A deadlocked pipeline → ErrStalled, through the public Play: dropping
+	// every protocol ack starves the credit scheme until the watchdog fires.
+	stream, err := GenerateStream(3, GenOptions{Frames: 6, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WallConfig{K: 1, M: 2, N: 1}
+	cfg.Fabric = cluster.Config{
+		StallTimeout: 500 * time.Millisecond,
+		Drop:         func(m *cluster.Message) bool { return m.Kind == cluster.MsgAck },
+	}
+	if _, err := Play(stream, cfg); !errors.Is(err, ErrStalled) {
+		t.Fatalf("stalled pipeline error %v is not ErrStalled", err)
+	}
+	// Wrapped sentinels must still match.
+	for _, e := range []error{ErrStalled, ErrCorruptStream, ErrUnsupported} {
+		if !errors.Is(newWrapped(e), e) {
+			t.Fatalf("wrapped %v does not match with errors.Is", e)
+		}
+	}
+}
+
+func newWrapped(e error) error { return errors.Join(errors.New("context"), e) }
+
+// TestRecoveryFacade: the fault-tolerance layer is reachable from the public
+// API — a run with recovery enabled reports its snapshot on the result.
+func TestRecoveryFacade(t *testing.T) {
+	stream, err := GenerateStream(3, GenOptions{Frames: 6, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WallConfig{K: 1, M: 2, N: 1}
+	cfg.Recovery = RecoveryConfig{Enabled: true}
+	cfg.Fabric.StallTimeout = 20 * time.Second
+	res, err := Play(stream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap RecoverySnapshot = res.Recovery
+	if !snap.Clean() {
+		t.Fatalf("fault-free recovery run not clean: %s", snap)
+	}
+	if len(res.TileEmissions) != 2 {
+		t.Fatalf("emission log for %d tiles, want 2", len(res.TileEmissions))
+	}
+}
 
 // TestFacadeEndToEnd drives the public façade: generate a catalogue stream,
 // calibrate, play it on the recommended configuration, and verify against
