@@ -1,0 +1,92 @@
+// Allocation-regression tests: the hot-path overhaul (fast IDCT, row-wise
+// motion compensation, buffer/slab pooling) promises a steady-state decode
+// that stays off the heap. These tests pin that property with
+// testing.AllocsPerRun so a regression fails CI rather than showing up as a
+// slow drift in GC pressure.
+package tiledwall
+
+import (
+	"io"
+	"testing"
+
+	"tiledwall/internal/experiments"
+	"tiledwall/internal/mpeg2"
+)
+
+func allocStream(t testing.TB) *mpeg2.Stream {
+	t.Helper()
+	data, _, err := experiments.Stream(8, experiments.Options{Frames: 12, Scale: 4, Seed: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := mpeg2.ParseStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// decodeAllReleasing decodes the whole stream, releasing every emitted frame
+// back to the pixel-buffer pool — the steady-state wall usage pattern, where
+// a frame is scanned out and its buffer recycled.
+func decodeAllReleasing(t testing.TB, s *mpeg2.Stream) int {
+	d := mpeg2.NewStreamDecoder(s)
+	n := 0
+	for {
+		p, err := d.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		p.Buf.Release()
+	}
+}
+
+// TestDecodeSteadyStateAllocs bounds per-picture heap allocation of the
+// serial decoder when the caller recycles frames. The budget is the picture
+// header (which outlives the decode call in reference rotation) plus a small
+// constant of amortised bookkeeping — not the megabytes per picture the
+// unpooled decoder allocated.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	s := allocStream(t)
+	pics := decodeAllReleasing(t, s) // warm the pixel-buffer pool
+	if pics == 0 {
+		t.Fatal("stream decoded to zero pictures")
+	}
+
+	allocs := testing.AllocsPerRun(8, func() {
+		decodeAllReleasing(t, s)
+	})
+	perPicture := allocs / float64(pics)
+	t.Logf("%d pictures, %.1f allocs per full decode, %.2f per picture", pics, allocs, perPicture)
+	if perPicture > 4 {
+		t.Fatalf("steady-state decode allocates %.2f objects per picture, budget is 4", perPicture)
+	}
+}
+
+// BenchmarkDecodeGOP is the headline hot-path benchmark: repeated
+// steady-state GOP decoding with frames recycled through the pixel-buffer
+// pool, the usage pattern of a wall node. allocs/op here is the whole-stream
+// figure the continuous-benchmark guard watches.
+func BenchmarkDecodeGOP(b *testing.B) {
+	data, _, err := experiments.Stream(8, experiments.Options{Frames: 24, Scale: 2, Seed: 1}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := mpeg2.ParseStream(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pics := decodeAllReleasing(b, s) // warm the pool before measuring
+	pixels := int64(s.Seq.Width) * int64(s.Seq.Height) * int64(pics)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeAllReleasing(b, s)
+	}
+	b.SetBytes(pixels)
+	b.ReportMetric(float64(pics)*float64(b.N)/b.Elapsed().Seconds(), "fps")
+}

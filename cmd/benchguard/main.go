@@ -1,0 +1,58 @@
+// Command benchguard compares two continuous-benchmark reports produced by
+// benchwall -json and exits non-zero when the current report regresses from
+// the baseline: a frame-rate drop or an allocation increase beyond the
+// tolerance. CI runs it against the committed BENCH_baseline.json on every
+// push, so a hot-path regression fails the build instead of landing silently.
+//
+// Usage:
+//
+//	benchguard -base BENCH_baseline.json -cur BENCH_2026-08-05.json [-tol 0.10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tiledwall/internal/experiments"
+)
+
+func main() {
+	var (
+		base = flag.String("base", "BENCH_baseline.json", "baseline report")
+		cur  = flag.String("cur", "", "current report to check (required)")
+		tol  = flag.Float64("tol", 0.10, "fractional regression tolerance")
+	)
+	flag.Parse()
+	if *cur == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	read := func(path string) *experiments.BenchReport {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		rep, err := experiments.ReadBenchJSON(f)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return rep
+	}
+	b, c := read(*base), read(*cur)
+
+	fmt.Printf("baseline %s: serial %.1f fps, %.2f allocs/picture\n", b.Date, b.Serial.FPS, b.Serial.AllocsPerPic)
+	fmt.Printf("current  %s: serial %.1f fps, %.2f allocs/picture\n", c.Date, c.Serial.FPS, c.Serial.AllocsPerPic)
+	violations := experiments.CompareBenchReports(b, c, *tol)
+	if len(violations) == 0 {
+		fmt.Println("benchguard: OK")
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchguard: %s\n", v)
+	}
+	os.Exit(1)
+}

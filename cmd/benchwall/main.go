@@ -7,6 +7,12 @@
 //	benchwall -exp all [-frames 48] [-scale 2]
 //	benchwall -exp table1|table4|table5|fig6|fig7|table6|fig8|fig9
 //	benchwall -chaos [-chaos-drop 0.04] [-chaos-kill=true]
+//	benchwall -json [-json-out BENCH_2026-08-05.json]
+//
+// -json runs the continuous-benchmark suite (serial steady-state fps and
+// allocs/picture, IDCT kernel classes, parallel configurations with phase
+// breakdowns) and writes BENCH_<date>.json; cmd/benchguard compares two such
+// files and fails on regression.
 //
 // Paper-scale runs use -frames 240 -scale 1 (slow: stream 16 is a
 // 3840x2800 sequence).
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"tiledwall/internal/experiments"
 )
@@ -31,6 +38,8 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "run the fault-tolerance sweep: every configuration under message loss and a decoder kill, with the recovery breakdown per run")
 		chaosDrop = flag.Float64("chaos-drop", 0.04, "chaos mode: fraction of first-attempt data messages dropped")
 		chaosKill = flag.Bool("chaos-kill", true, "chaos mode: inject one decoder kill per run")
+		jsonMode  = flag.Bool("json", false, "run the continuous-benchmark suite and write BENCH_<date>.json")
+		jsonOut   = flag.String("json-out", "", "output path for -json (default BENCH_<date>.json)")
 	)
 	flag.Parse()
 
@@ -39,6 +48,30 @@ func main() {
 		o.Log = os.Stderr
 	}
 	out := os.Stdout
+
+	if *jsonMode {
+		now := time.Now()
+		rep, err := experiments.BenchJSON(o, now)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		path := *jsonOut
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteBenchJSON(f, rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (serial %.1f fps, %.2f allocs/picture)\n", path, rep.Serial.FPS, rep.Serial.AllocsPerPic)
+		return
+	}
 
 	if *chaos {
 		rows, err := experiments.Chaos(8, *chaosDrop, *chaosKill, o)

@@ -33,6 +33,7 @@ func main() {
 		n       = flag.Int("n", 2, "tiles down")
 		overlap = flag.Int("overlap", 0, "projector overlap in pixels")
 		verify  = flag.Bool("verify", false, "compare output against the serial decoder")
+		pooled  = flag.Bool("pooled", false, "recycle message slabs and decode state (zero steady-state allocation)")
 		snap    = flag.String("snapshot", "", "write the first displayed frame as a PPM image")
 		bwBps   = flag.Float64("bandwidth", 0, "fabric throttle in bytes/s (0 = unthrottled)")
 	)
@@ -60,7 +61,7 @@ func main() {
 			cal.TS, cal.TD, *k, cal.PredictedFPS(*k))
 	}
 
-	cfg := system.Config{K: *k, M: *m, N: *n, Overlap: *overlap, CollectFrames: *verify || *snap != ""}
+	cfg := system.Config{K: *k, M: *m, N: *n, Overlap: *overlap, Pooled: *pooled, CollectFrames: *verify || *snap != ""}
 	cfg.Fabric.BandwidthBps = *bwBps
 	res, err := system.Run(data, cfg)
 	if err != nil {

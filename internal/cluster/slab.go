@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Message slab pool. Every sub-picture and block bundle that crosses the
+// fabric is serialised into a fresh []byte; at wall frame rates that is
+// hundreds of multi-kilobyte allocations per second per node. The pool
+// recycles payload slabs in power-of-two size classes.
+//
+// Ownership follows the fabric's zero-copy contract: a sender that Sends a
+// pooled slab gives it up; only the final consumer of the message may
+// PutSlab it, and only once nothing aliases the payload (recovery retainers
+// keep payloads alive indefinitely, which is why pooling is forced off when
+// recovery is enabled).
+//
+// The implementation is mutex-guarded per-class free stacks rather than
+// sync.Pool: Put-ting a []byte into a sync.Pool boxes the slice header on
+// every call, which would itself defeat the zero-allocation goal.
+
+const (
+	slabMinBits = 6  // 64 B — below this, pooling costs more than it saves
+	slabMaxBits = 24 // 16 MiB — beyond this, hold no cache
+	// slabMaxFree bounds each class's free stack so a burst cannot pin
+	// unbounded memory.
+	slabMaxFree = 64
+)
+
+var slabClasses [slabMaxBits + 1]struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+// slabClass returns the size-class exponent for a payload of n bytes, or -1
+// when n is outside the pooled range.
+func slabClass(n int) int {
+	if n <= 0 || n > 1<<slabMaxBits {
+		return -1
+	}
+	c := bits.Len(uint(n - 1)) // smallest power of two >= n
+	if c < slabMinBits {
+		c = slabMinBits
+	}
+	return c
+}
+
+// GetSlab returns a zero-length slice with capacity >= n, drawn from the
+// pool when a slab of the right class is free. Appending up to n bytes will
+// not reallocate.
+func GetSlab(n int) []byte {
+	c := slabClass(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	cl := &slabClasses[c]
+	cl.mu.Lock()
+	if len(cl.free) > 0 {
+		s := cl.free[len(cl.free)-1]
+		cl.free[len(cl.free)-1] = nil
+		cl.free = cl.free[:len(cl.free)-1]
+		cl.mu.Unlock()
+		return s[:0]
+	}
+	cl.mu.Unlock()
+	return make([]byte, 0, 1<<c)
+}
+
+// PutSlab returns a slab to the pool. Only slabs whose capacity is an exact
+// class size are accepted (i.e. slabs that came from GetSlab); anything else
+// — including slices of foreign provenance — is left to the garbage
+// collector. The caller must not touch b afterwards.
+func PutSlab(b []byte) {
+	c := slabClass(cap(b))
+	if c < 0 || cap(b) != 1<<c {
+		return
+	}
+	cl := &slabClasses[c]
+	cl.mu.Lock()
+	if len(cl.free) < slabMaxFree {
+		cl.free = append(cl.free, b[:0])
+	}
+	cl.mu.Unlock()
+}

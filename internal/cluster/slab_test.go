@@ -1,0 +1,71 @@
+package cluster
+
+import "testing"
+
+func TestSlabRoundtrip(t *testing.T) {
+	s := GetSlab(1000)
+	if cap(s) < 1000 || len(s) != 0 {
+		t.Fatalf("GetSlab(1000): len=%d cap=%d", len(s), cap(s))
+	}
+	if cap(s) != 1024 {
+		t.Fatalf("GetSlab(1000) capacity %d, want exact class 1024", cap(s))
+	}
+	s = append(s, make([]byte, 1000)...)
+	PutSlab(s)
+	r := GetSlab(600)
+	if cap(r) != 1024 || len(r) != 0 {
+		t.Fatalf("pooled reuse: len=%d cap=%d", len(r), cap(r))
+	}
+	PutSlab(r)
+}
+
+func TestSlabRejectsForeign(t *testing.T) {
+	// A slice whose capacity is not an exact class must not enter the pool.
+	foreign := make([]byte, 0, 1000)
+	PutSlab(foreign)
+	got := GetSlab(1000)
+	if cap(got) == 1000 {
+		t.Fatal("foreign slab entered the pool")
+	}
+	PutSlab(got)
+
+	// Out-of-range sizes never panic.
+	PutSlab(nil)
+	PutSlab(make([]byte, 0))
+	huge := GetSlab(1 << 25)
+	if cap(huge) < 1<<25 {
+		t.Fatal("oversize GetSlab under-allocated")
+	}
+	PutSlab(huge) // silently dropped
+}
+
+func TestSlabClassBounds(t *testing.T) {
+	if c := slabClass(1); c != slabMinBits {
+		t.Fatalf("slabClass(1)=%d", c)
+	}
+	if c := slabClass(64); c != 6 {
+		t.Fatalf("slabClass(64)=%d", c)
+	}
+	if c := slabClass(65); c != 7 {
+		t.Fatalf("slabClass(65)=%d", c)
+	}
+	if c := slabClass(0); c != -1 {
+		t.Fatalf("slabClass(0)=%d", c)
+	}
+	if c := slabClass(1<<24 + 1); c != -1 {
+		t.Fatalf("slabClass(1<<24+1)=%d", c)
+	}
+}
+
+// TestSlabGetPutNoAlloc proves the steady-state slab cycle allocates
+// nothing — the property the cluster send path relies on.
+func TestSlabGetPutNoAlloc(t *testing.T) {
+	PutSlab(GetSlab(4096)) // warm the class
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := GetSlab(4096)
+		PutSlab(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("slab get/put cycle allocates %v per run", allocs)
+	}
+}

@@ -78,12 +78,18 @@ type MatrixResult struct {
 
 // Name renders the configuration in the paper's 1-k-(m,n) notation.
 func (r MatrixResult) Name() string {
-	return fmt.Sprintf("1-%d-(%d,%d)ov%d", r.Config.K, r.Config.M, r.Config.N, r.Config.Overlap)
+	name := fmt.Sprintf("1-%d-(%d,%d)ov%d", r.Config.K, r.Config.M, r.Config.N, r.Config.Overlap)
+	if r.Config.Pooled {
+		name += "+pooled"
+	}
+	return name
 }
 
 // DefaultMatrix is the conformance configuration sweep: one-level and
 // two-level systems, asymmetric grids, varying splitter fan-out, and a
-// projector-overlap geometry.
+// projector-overlap geometry. Each representative shape also runs with
+// buffer/slab pooling enabled, so the zero-allocation hot path is held to
+// the same bit-exactness oracle as the allocating one.
 func DefaultMatrix() []system.Config {
 	return []system.Config{
 		{K: 0, M: 1, N: 1},
@@ -94,6 +100,12 @@ func DefaultMatrix() []system.Config {
 		{K: 2, M: 3, N: 2},
 		{K: 3, M: 2, N: 2, Overlap: 16},
 		{K: 4, M: 2, N: 2},
+		// Pooled axis: same decode must fall out of recycled slabs and
+		// scratch state, byte for byte.
+		{K: 0, M: 1, N: 1, Pooled: true},
+		{K: 0, M: 2, N: 2, Pooled: true},
+		{K: 2, M: 2, N: 2, Pooled: true},
+		{K: 3, M: 2, N: 2, Overlap: 16, Pooled: true},
 	}
 }
 

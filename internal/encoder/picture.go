@@ -458,6 +458,13 @@ func (pe *picEncoder) reconstruct(mb *mpeg2.MBCode, actualQ int) error {
 		MVBwd:  mb.MVBwd,
 		Blocks: &blocks,
 	}
+	// These blocks did not come from the VLD, so compute the AC occupancy
+	// masks the fast-IDCT dispatch relies on by inspection.
+	for i := 0; i < 6; i++ {
+		if mb.CBP&(1<<uint(5-i)) != 0 {
+			dm.ACMask[i] = mpeg2.ACMaskOf(&blocks[i])
+		}
+	}
 	if pe.ph.PicType == mpeg2.PictureP && mb.Flags&mpeg2.MBIntra == 0 && mb.Flags&mpeg2.MBMotionFwd == 0 {
 		// "No MC": reconstruct with a zero forward vector, as the decoder
 		// does.

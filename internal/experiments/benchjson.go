@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/system"
+)
+
+// The continuous-benchmark report: benchwall -json runs a fixed set of
+// hot-path measurements — serial decode throughput and allocation rate,
+// kernel timings, parallel configurations with their phase breakdowns — and
+// emits them as one JSON document (BENCH_<date>.json). cmd/benchguard diffs
+// two such documents and fails on regression, which is what the CI bench job
+// runs on every push.
+
+// BenchReport is the JSON document.
+type BenchReport struct {
+	Date    string          `json:"date"`
+	Seed    int64           `json:"seed"`
+	Frames  int             `json:"frames"`
+	Scale   int             `json:"scale"`
+	GoArch  string          `json:"goarch,omitempty"`
+	Serial  SerialBench     `json:"serial"`
+	Kernels []KernelBench   `json:"kernels"`
+	Systems []ParallelBench `json:"systems"`
+}
+
+// SerialBench measures the single-PC decoder in steady state (frames
+// recycled through the pixel-buffer pool).
+type SerialBench struct {
+	Stream        int     `json:"stream"`
+	Pictures      int     `json:"pictures"`
+	FPS           float64 `json:"fps"`
+	MsPerPicture  float64 `json:"ms_per_picture"`
+	AllocsPerPic  float64 `json:"allocs_per_picture"`
+	MPixelsPerSec float64 `json:"mpixels_per_sec"`
+}
+
+// KernelBench is one kernel's per-call cost.
+type KernelBench struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"ns_op"`
+}
+
+// ParallelBench is one parallel configuration's modeled throughput and
+// decoder phase breakdown.
+type ParallelBench struct {
+	Config    string             `json:"config"`
+	Pooled    bool               `json:"pooled"`
+	Nodes     int                `json:"nodes"`
+	FPS       float64            `json:"fps"`
+	PhaseMsPP map[string]float64 `json:"phase_ms_per_picture"`
+}
+
+// BenchJSON runs the continuous-benchmark suite and returns the report.
+// now stamps the document (injected so callers control the clock).
+func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
+	o.defaults()
+	rep := &BenchReport{
+		Date: now.Format("2006-01-02"), Seed: o.Seed, Frames: o.Frames, Scale: o.Scale,
+	}
+
+	data, _, err := Stream(8, o, false)
+	if err != nil {
+		return nil, err
+	}
+	s, err := mpeg2.ParseStream(data)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Serial, err = serialBench(s); err != nil {
+		return nil, err
+	}
+	rep.Kernels = kernelBench()
+
+	for _, cfg := range []system.Config{
+		{K: 0, M: 2, N: 2},
+		{K: 2, M: 2, N: 2},
+		{K: 2, M: 2, N: 2, Pooled: true},
+	} {
+		fmt.Fprintf(o.Log, "benchjson: 1-%d-(%d,%d) pooled=%v\n", cfg.K, cfg.M, cfg.N, cfg.Pooled)
+		res, err := system.Run(data, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pb := ParallelBench{
+			Config:    fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N),
+			Pooled:    cfg.Pooled,
+			Nodes:     res.Config.NumNodes(),
+			FPS:       res.Modeled().FPS(),
+			PhaseMsPP: map[string]float64{},
+		}
+		for _, p := range metrics.Phases() {
+			var sum float64
+			for _, d := range res.Decoders {
+				sum += d.Breakdown.PerPicture(p)
+			}
+			if len(res.Decoders) > 0 {
+				pb.PhaseMsPP[p.String()] = sum / float64(len(res.Decoders))
+			}
+		}
+		rep.Systems = append(rep.Systems, pb)
+	}
+	return rep, nil
+}
+
+// serialBench decodes the stream repeatedly in the pooled steady state.
+func serialBench(s *mpeg2.Stream) (SerialBench, error) {
+	decode := func() (int, error) {
+		d := mpeg2.NewStreamDecoder(s)
+		pics, err := d.DecodeAll()
+		for i := range pics {
+			pics[i].Buf.Release()
+		}
+		return len(pics), err
+	}
+	n, err := decode() // warm the pools
+	if err != nil || n == 0 {
+		return SerialBench{}, fmt.Errorf("benchjson: serial warmup decoded %d pictures: %w", n, err)
+	}
+	const rounds = 5
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := decode(); err != nil {
+			return SerialBench{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	allocs := testing.AllocsPerRun(rounds, func() { decode() })
+
+	perPic := elapsed.Seconds() / float64(rounds*n)
+	return SerialBench{
+		Stream:        8,
+		Pictures:      n,
+		FPS:           1 / perPic,
+		MsPerPicture:  perPic * 1e3,
+		AllocsPerPic:  allocs / float64(n),
+		MPixelsPerSec: float64(s.Seq.Width) * float64(s.Seq.Height) / perPic / 1e6,
+	}, nil
+}
+
+// kernelBench times the IDCT coefficient classes through the public fast
+// dispatch (the motion-compensation kernels are covered indirectly by the
+// serial figure and directly by the go test -bench suite).
+func kernelBench() []KernelBench {
+	var dc, sparse, full [64]int32
+	dc[0] = 123
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() int32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int32(rng%512) - 256
+	}
+	for i := 0; i < 24; i++ {
+		sparse[i] = next()
+	}
+	for i := range full {
+		full[i] = next()
+	}
+	time1 := func(name string, blk *[64]int32, mask uint8) KernelBench {
+		const iters = 200000
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			tmp := *blk
+			mpeg2.IDCTFast(&tmp, mask)
+		}
+		return KernelBench{Name: name, NsOp: float64(time.Since(start).Nanoseconds()) / iters}
+	}
+	return []KernelBench{
+		time1("idct_dc_only", &dc, 0),
+		time1("idct_sparse", &sparse, mpeg2.ACMaskOf(&sparse)),
+		time1("idct_full", &full, mpeg2.ACMaskOf(&full)),
+	}
+}
+
+// WriteBenchJSON encodes the report.
+func WriteBenchJSON(w io.Writer, rep *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadBenchJSON decodes a report written by WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// CompareBenchReports checks cur against base: any serial or parallel fps
+// drop beyond tol (a fraction, e.g. 0.10), or any increase in serial
+// allocations per picture beyond tol, is a regression. Kernel timings are
+// informational (too noisy on shared CI hardware to gate on). Returns the
+// list of violations, empty when cur is acceptable.
+func CompareBenchReports(base, cur *BenchReport, tol float64) []string {
+	var bad []string
+	check := func(name string, baseV, curV float64, lowerIsBetter bool) {
+		if baseV <= 0 {
+			return
+		}
+		var worse float64 // fractional regression
+		if lowerIsBetter {
+			worse = (curV - baseV) / baseV
+		} else {
+			worse = (baseV - curV) / baseV
+		}
+		if worse > tol {
+			bad = append(bad, fmt.Sprintf("%s regressed %.1f%% (base %.2f, current %.2f, tolerance %.0f%%)",
+				name, worse*100, baseV, curV, tol*100))
+		}
+	}
+	check("serial fps", base.Serial.FPS, cur.Serial.FPS, false)
+	// Allocations are near zero by design, so allow an absolute slack of one
+	// object per picture before the relative test applies: 0.1 -> 0.2 is not
+	// a meaningful regression, 2 -> 30 is.
+	if cur.Serial.AllocsPerPic > base.Serial.AllocsPerPic+1 {
+		check("serial allocs/picture", base.Serial.AllocsPerPic, cur.Serial.AllocsPerPic, true)
+	}
+	baseSys := map[string]ParallelBench{}
+	for _, b := range base.Systems {
+		baseSys[fmt.Sprintf("%s/%v", b.Config, b.Pooled)] = b
+	}
+	for _, c := range cur.Systems {
+		if b, ok := baseSys[fmt.Sprintf("%s/%v", c.Config, c.Pooled)]; ok {
+			check(fmt.Sprintf("%s pooled=%v fps", c.Config, c.Pooled), b.FPS, c.FPS, false)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestBenchJSONRoundtripAndGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full decodes")
+	}
+	rep, err := BenchJSON(Options{Frames: 8, Scale: 4, Seed: 1}, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serial.FPS <= 0 || rep.Serial.Pictures == 0 {
+		t.Fatalf("empty serial bench: %+v", rep.Serial)
+	}
+	if rep.Serial.AllocsPerPic > 4 {
+		t.Fatalf("serial allocs/picture %.2f exceeds steady-state budget", rep.Serial.AllocsPerPic)
+	}
+	if len(rep.Kernels) != 3 || len(rep.Systems) != 3 {
+		t.Fatalf("report shape: %d kernels %d systems", len(rep.Kernels), len(rep.Systems))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Serial != rep.Serial || back.Date != rep.Date {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", back.Serial, rep.Serial)
+	}
+
+	// Identical reports pass the guard.
+	if v := CompareBenchReports(rep, back, 0.10); len(v) != 0 {
+		t.Fatalf("self-comparison flagged: %v", v)
+	}
+	// A halved frame rate fails it.
+	worse := *back
+	worse.Serial.FPS /= 2
+	if v := CompareBenchReports(rep, &worse, 0.10); len(v) == 0 {
+		t.Fatal("50% fps regression not flagged")
+	}
+	// Returning heap allocation fails it.
+	leaky := *back
+	leaky.Serial.AllocsPerPic = rep.Serial.AllocsPerPic + 30
+	if v := CompareBenchReports(rep, &leaky, 0.10); len(v) == 0 {
+		t.Fatal("allocation regression not flagged")
+	}
+	// Within-tolerance jitter passes.
+	jitter := *back
+	jitter.Serial.FPS *= 0.95
+	if v := CompareBenchReports(rep, &jitter, 0.10); len(v) != 0 {
+		t.Fatalf("5%% jitter flagged: %v", v)
+	}
+}

@@ -90,7 +90,10 @@ func ParseStream(data []byte) (*Stream, error) {
 // start of a picture unit and returns the header plus the bit offset of the
 // first slice start code within unit.
 func ParsePictureUnit(unit []byte) (*PictureHeader, int, error) {
-	r := bits.NewReader(unit)
+	return parsePictureUnitReader(bits.NewReader(unit), unit)
+}
+
+func parsePictureUnitReader(r *bits.Reader, unit []byte) (*PictureHeader, int, error) {
 	if code := r.Read(32); code != 0x00000100 {
 		return nil, 0, syntaxErrf("picture unit does not start with picture start code (%08x)", code)
 	}
@@ -124,35 +127,56 @@ func ParsePictureUnit(unit []byte) (*PictureHeader, int, error) {
 // reference windows (fwd for P, fwd+bwd for B; both ignored for I). dst must
 // cover the full coded picture.
 func DecodePictureUnit(seq *SequenceHeader, unit []byte, fwd, bwd, dst *PixelBuf) (*PictureHeader, error) {
-	ph, sliceOff, err := ParsePictureUnit(unit)
+	return new(DecodeScratch).DecodePictureUnit(seq, unit, fwd, bwd, dst)
+}
+
+// DecodeScratch holds the reusable per-goroutine state of picture decoding:
+// the picture context, the reconstructor with its prediction buffers, the
+// slice decoder with its coefficient scratch, and the bit reader. One
+// DecodeScratch per decoding goroutine turns everything but the returned
+// PictureHeader (which outlives the call in reference rotation and display
+// reordering) into zero-allocation steady state.
+type DecodeScratch struct {
+	ctx PictureContext
+	rc  Reconstructor
+	sd  SliceDecoder
+	r   bits.Reader
+	mb  Macroblock
+}
+
+// DecodePictureUnit is the pooled form of the package-level function,
+// drawing all per-picture state from the scratch.
+func (sc *DecodeScratch) DecodePictureUnit(seq *SequenceHeader, unit []byte, fwd, bwd, dst *PixelBuf) (*PictureHeader, error) {
+	sc.r.Reset(unit)
+	ph, sliceOff, err := parsePictureUnitReader(&sc.r, unit)
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := NewPictureContext(seq, ph)
-	if err != nil {
+	if err := sc.ctx.Init(seq, ph); err != nil {
 		return nil, err
 	}
-	rc := NewReconstructor(ph)
-	r := bits.NewReader(unit)
-	r.SeekBit(sliceOff)
-	for bits.NextStartCodeReader(r) {
-		pos := r.BitPos() / 8
+	sc.rc.Reset(ph)
+	sc.r.SeekBit(sliceOff)
+	for bits.NextStartCodeReader(&sc.r) {
+		pos := sc.r.BitPos() / 8
 		code := unit[pos+3]
 		if !bits.IsSliceStartCode(code) {
 			break
 		}
-		r.Skip(32)
+		sc.r.Skip(32)
 		vpos := int(code)
 		if seq.Height > 2800 {
-			vpos = int(r.Read(3))<<7 + vpos
+			vpos = int(sc.r.Read(3))<<7 + vpos
 		}
-		if err := decodeSlice(ctx, rc, r, vpos, fwd, bwd, dst); err != nil {
+		if err := sc.decodeSlice(vpos, fwd, bwd, dst); err != nil {
 			return nil, fmt.Errorf("picture tref %d (%s) slice row %d: %w", ph.TemporalRef, ph.PicType, vpos, err)
 		}
 	}
 	return ph, nil
 }
 
+// decodeSlice is the unpooled slice loop used by the band and concealment
+// decoders, which manage their own contexts and readers.
 func decodeSlice(ctx *PictureContext, rc *Reconstructor, r *bits.Reader, vpos int, fwd, bwd, dst *PixelBuf) error {
 	sd, err := NewSliceDecoder(ctx, r, vpos)
 	if err != nil {
@@ -178,6 +202,30 @@ func decodeSlice(ctx *PictureContext, rc *Reconstructor, r *bits.Reader, vpos in
 	}
 }
 
+func (sc *DecodeScratch) decodeSlice(vpos int, fwd, bwd, dst *PixelBuf) error {
+	if err := sc.sd.ResetFull(&sc.ctx, &sc.r, vpos); err != nil {
+		return err
+	}
+	mb := &sc.mb
+	for {
+		ok, err := sc.sd.Next(mb)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for k := mb.Addr - mb.SkippedBefore; k < mb.Addr; k++ {
+			if err := sc.rc.Skipped(dst, fwd, bwd, k%sc.ctx.MBW, k/sc.ctx.MBW, mb.PrevMotion); err != nil {
+				return err
+			}
+		}
+		if err := sc.rc.Macroblock(dst, fwd, bwd, mb, sc.ctx.MBW); err != nil {
+			return err
+		}
+	}
+}
+
 // DecodedPicture is one output picture in display order.
 type DecodedPicture struct {
 	Buf *PixelBuf
@@ -189,6 +237,11 @@ type DecodedPicture struct {
 // Decoder is the reference serial decoder. It decodes picture units in
 // stream order and emits pictures in display order, managing the two
 // reference frames and the I/P reordering delay.
+//
+// Output buffers come from the pixel-buffer pool: a caller that is done with
+// an emitted DecodedPicture may call Buf.Release() to let the decoder (or
+// anything else of the same geometry) reuse it. Callers that keep frames
+// simply never release them — the pool then behaves like plain allocation.
 type Decoder struct {
 	stream *Stream
 	next   int // next picture unit index
@@ -199,7 +252,10 @@ type Decoder struct {
 	havePendingAnchor bool
 
 	pending []DecodedPicture
+	head    int // index of the next pending picture to emit
 	done    bool
+
+	scratch DecodeScratch
 }
 
 // NewDecoder parses data and returns a Decoder.
@@ -242,7 +298,9 @@ func PeekPictureType(unit []byte) (PictureType, error) {
 
 // Next returns the next picture in display order, or io.EOF.
 func (d *Decoder) Next() (DecodedPicture, error) {
-	for len(d.pending) == 0 {
+	for d.head >= len(d.pending) {
+		d.pending = d.pending[:0]
+		d.head = 0
 		if d.next >= len(d.stream.Pictures) {
 			if !d.done {
 				d.done = true
@@ -265,7 +323,7 @@ func (d *Decoder) Next() (DecodedPicture, error) {
 			return DecodedPicture{}, err
 		}
 		w, h := codedSize(d.stream.Seq)
-		dst := NewPixelBuf(0, 0, w, h)
+		dst := AcquirePixelBuf(0, 0, w, h)
 
 		var fwd, bwd *PixelBuf
 		switch picType {
@@ -281,7 +339,7 @@ func (d *Decoder) Next() (DecodedPicture, error) {
 			}
 			fwd, bwd = d.refA, d.refB
 		}
-		ph, err := DecodePictureUnit(d.stream.Seq, unit, fwd, bwd, dst)
+		ph, err := d.scratch.DecodePictureUnit(d.stream.Seq, unit, fwd, bwd, dst)
 		if err != nil {
 			return DecodedPicture{}, err
 		}
@@ -303,8 +361,9 @@ func (d *Decoder) Next() (DecodedPicture, error) {
 		d.refBIdx = idx
 		d.havePendingAnchor = true
 	}
-	p := d.pending[0]
-	d.pending = d.pending[1:]
+	p := d.pending[d.head]
+	d.pending[d.head] = DecodedPicture{}
+	d.head++
 	return p, nil
 }
 

@@ -1,0 +1,128 @@
+package mpeg2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The golden-kernel IDCT suite: IDCTFast must be bit-exact — not close —
+// against the generic IDCT for every coefficient class it can be dispatched
+// on, under both the exact mask (ACMaskOf) and conservatively overset masks.
+
+func requireSameBlock(t *testing.T, name string, in *[64]int32, mask uint8) {
+	t.Helper()
+	ref := *in
+	fast := *in
+	IDCT(&ref)
+	IDCTFast(&fast, mask)
+	if fast != ref {
+		for i := range ref {
+			if ref[i] != fast[i] {
+				t.Fatalf("%s (mask %08b): first divergence at position %d: ref %d fast %d\ninput %v",
+					name, mask, i, ref[i], fast[i], *in)
+			}
+		}
+	}
+}
+
+func TestGoldenIDCTAllZero(t *testing.T) {
+	var blk [64]int32
+	requireSameBlock(t, "all-zero", &blk, 0)
+}
+
+func TestGoldenIDCTDCOnlySweep(t *testing.T) {
+	// Every representable DC value after dequantisation sign/saturation.
+	for dc := int32(-2048); dc <= 2047; dc++ {
+		var blk [64]int32
+		blk[0] = dc
+		requireSameBlock(t, "dc-only", &blk, 0)
+	}
+}
+
+func TestGoldenIDCTSingleAC(t *testing.T) {
+	levels := []int32{-2048, -256, -7, -1, 1, 3, 255, 2047}
+	for pos := 1; pos < 64; pos++ {
+		for _, lv := range levels {
+			var blk [64]int32
+			blk[pos] = lv
+			requireSameBlock(t, "single-ac", &blk, ACMaskOf(&blk))
+			// An overset mask must not change the result.
+			requireSameBlock(t, "single-ac-overset", &blk, ACMaskOf(&blk)|0x0f)
+			requireSameBlock(t, "single-ac-dense-mask", &blk, 0xff)
+		}
+	}
+}
+
+func TestGoldenIDCTSingleACWithDC(t *testing.T) {
+	for pos := 1; pos < 64; pos++ {
+		for _, dc := range []int32{-2048, -1, 1, 64, 2047} {
+			var blk [64]int32
+			blk[0] = dc
+			blk[pos] = 17
+			requireSameBlock(t, "dc+single-ac", &blk, ACMaskOf(&blk))
+		}
+	}
+}
+
+func TestGoldenIDCTTopRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4801))
+	for trial := 0; trial < 5000; trial++ {
+		var blk [64]int32
+		// Random occupancy confined to rows 0..3.
+		n := 1 + rng.Intn(32)
+		for k := 0; k < n; k++ {
+			blk[rng.Intn(32)] = int32(rng.Intn(4096) - 2048)
+		}
+		requireSameBlock(t, "top-rows", &blk, ACMaskOf(&blk))
+		requireSameBlock(t, "top-rows-overset", &blk, 0x0f)
+	}
+}
+
+func TestGoldenIDCTDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4802))
+	for trial := 0; trial < 5000; trial++ {
+		var blk [64]int32
+		for i := range blk {
+			blk[i] = int32(rng.Intn(4096) - 2048)
+		}
+		requireSameBlock(t, "dense", &blk, ACMaskOf(&blk))
+	}
+}
+
+func TestGoldenIDCTSaturationExtremes(t *testing.T) {
+	patterns := []int32{-2048, 2047}
+	for _, a := range patterns {
+		for _, b := range patterns {
+			var blk [64]int32
+			for i := range blk {
+				if i%2 == 0 {
+					blk[i] = a
+				} else {
+					blk[i] = b
+				}
+			}
+			requireSameBlock(t, "saturation", &blk, ACMaskOf(&blk))
+
+			var top [64]int32
+			copy(top[:32], blk[:32])
+			requireSameBlock(t, "saturation-top", &top, ACMaskOf(&top))
+		}
+	}
+}
+
+// TestGoldenIDCTMaskContract verifies the VLD-facing contract: for random
+// sparse blocks, any mask that covers ACMaskOf (bitwise superset) yields the
+// reference transform.
+func TestGoldenIDCTMaskContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(4803))
+	for trial := 0; trial < 2000; trial++ {
+		var blk [64]int32
+		n := rng.Intn(8)
+		for k := 0; k < n; k++ {
+			blk[rng.Intn(64)] = int32(rng.Intn(512) - 256)
+		}
+		exact := ACMaskOf(&blk)
+		over := exact | uint8(rng.Intn(256))
+		requireSameBlock(t, "mask-contract", &blk, over)
+	}
+}

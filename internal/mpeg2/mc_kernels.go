@@ -1,0 +1,158 @@
+package mpeg2
+
+import "encoding/binary"
+
+// Motion-compensation kernels. samplePlane is the hot path of every inter
+// macroblock: it fills a 16×16 luma (or 8×8 chroma) prediction from a
+// reference window with one of four half-sample phases (§7.6.4). The
+// specialised kernels below replace the per-pixel scalar loops with row-wise
+// copies and SWAR byte averages; samplePlaneRef keeps the original scalar
+// form as the golden reference (golden_mc_test.go proves the kernels
+// bit-exact against it).
+
+// samplePlane copies a w×h block from src (starting at index si, given
+// stride) into dst with optional half-sample interpolation. dst is packed
+// with stride w. Callers guarantee (via PixelBuf.Contains) that src holds
+// (h+hy) rows of (w+hx) samples from si.
+func samplePlane(dst []uint8, w, h int, src []uint8, stride, si, hx, hy int) {
+	switch {
+	case hx == 0 && hy == 0:
+		copyRows(dst, w, h, src, stride, si)
+	case hx == 1 && hy == 0:
+		hHalfRows(dst, w, h, src, stride, si)
+	case hx == 0 && hy == 1:
+		vHalfRows(dst, w, h, src, stride, si)
+	default:
+		hvHalfRows(dst, w, h, src, stride, si)
+	}
+}
+
+// samplePlaneRef is the reference scalar implementation of samplePlane. The
+// golden-kernel suite compares every specialised kernel against it; it is
+// never used on the decode path.
+func samplePlaneRef(dst []uint8, w, h int, src []uint8, stride, si, hx, hy int) {
+	switch {
+	case hx == 0 && hy == 0:
+		for r := 0; r < h; r++ {
+			copy(dst[r*w:r*w+w], src[si+r*stride:si+r*stride+w])
+		}
+	case hx == 1 && hy == 0:
+		for r := 0; r < h; r++ {
+			row := src[si+r*stride:]
+			d := dst[r*w:]
+			for c := 0; c < w; c++ {
+				d[c] = uint8((int32(row[c]) + int32(row[c+1]) + 1) >> 1)
+			}
+		}
+	case hx == 0 && hy == 1:
+		for r := 0; r < h; r++ {
+			row := src[si+r*stride:]
+			nxt := src[si+(r+1)*stride:]
+			d := dst[r*w:]
+			for c := 0; c < w; c++ {
+				d[c] = uint8((int32(row[c]) + int32(nxt[c]) + 1) >> 1)
+			}
+		}
+	default:
+		for r := 0; r < h; r++ {
+			row := src[si+r*stride:]
+			nxt := src[si+(r+1)*stride:]
+			d := dst[r*w:]
+			for c := 0; c < w; c++ {
+				d[c] = uint8((int32(row[c]) + int32(row[c+1]) + int32(nxt[c]) + int32(nxt[c+1]) + 2) >> 2)
+			}
+		}
+	}
+}
+
+// copyRows is the full-pel case: one copy per row.
+func copyRows(dst []uint8, w, h int, src []uint8, stride, si int) {
+	for r := 0; r < h; r++ {
+		copy(dst[r*w:r*w+w], src[si+r*stride:si+r*stride+w])
+	}
+}
+
+const swarLow7 = 0x7f7f7f7f7f7f7f7f
+
+// avg8 computes the byte-pairwise rounding average (a+b+1)>>1 of eight
+// lanes at once: a|b counts each bit pair's max and (a^b)>>1 (masked to keep
+// the shift from leaking across lanes) removes half of the disagreement, so
+// each byte ends up exactly (a+b+1)>>1 with no carry between lanes.
+func avg8(a, b uint64) uint64 {
+	return (a | b) - (((a ^ b) >> 1) & swarLow7)
+}
+
+// hHalfRows averages each sample with its right neighbour. Block widths are
+// 16 or 8, so each row is exactly two or one 8-lane SWAR averages.
+func hHalfRows(dst []uint8, w, h int, src []uint8, stride, si int) {
+	for r := 0; r < h; r++ {
+		row := src[si+r*stride : si+r*stride+w+1]
+		d := dst[r*w : r*w+w]
+		for c := 0; c < w; c += 8 {
+			a := binary.LittleEndian.Uint64(row[c:])
+			b := binary.LittleEndian.Uint64(row[c+1:])
+			binary.LittleEndian.PutUint64(d[c:], avg8(a, b))
+		}
+	}
+}
+
+// vHalfRows averages each sample with the one below it.
+func vHalfRows(dst []uint8, w, h int, src []uint8, stride, si int) {
+	for r := 0; r < h; r++ {
+		row := src[si+r*stride : si+r*stride+w]
+		nxt := src[si+(r+1)*stride : si+(r+1)*stride+w]
+		d := dst[r*w : r*w+w]
+		for c := 0; c < w; c += 8 {
+			a := binary.LittleEndian.Uint64(row[c:])
+			b := binary.LittleEndian.Uint64(nxt[c:])
+			binary.LittleEndian.PutUint64(d[c:], avg8(a, b))
+		}
+	}
+}
+
+const (
+	swarLow6 = 0x3f3f3f3f3f3f3f3f
+	swarLow2 = 0x0303030303030303
+	swarTwo  = 0x0202020202020202
+)
+
+// avg8x4 computes the byte-wise four-sample rounding average
+// (a+b+c+d+2)>>2 of eight lanes at once. Unlike the pairwise case it cannot
+// be built from nested avg8 calls (the inner roundings leak into the
+// result), so it carries exact 10-bit per-lane sums split into high-6 and
+// low-2 bit halves: a+b+c+d+2 = 4*hi + lo with hi <= 252 and lo <= 14, both
+// carry-free within a byte, and the result hi + lo>>2 <= 255.
+func avg8x4(a, b, c, d uint64) uint64 {
+	hi := (a>>2)&swarLow6 + (b>>2)&swarLow6 + (c>>2)&swarLow6 + (d>>2)&swarLow6
+	lo := a&swarLow2 + b&swarLow2 + c&swarLow2 + d&swarLow2 + swarTwo
+	return hi + (lo>>2)&swarLow2
+}
+
+// hvHalfRows is the four-sample case: each output averages a 2×2 source
+// quad, eight lanes per SWAR step.
+func hvHalfRows(dst []uint8, w, h int, src []uint8, stride, si int) {
+	for r := 0; r < h; r++ {
+		row := src[si+r*stride : si+r*stride+w+1]
+		nxt := src[si+(r+1)*stride : si+(r+1)*stride+w+1]
+		d := dst[r*w : r*w+w]
+		for c := 0; c < w; c += 8 {
+			a := binary.LittleEndian.Uint64(row[c:])
+			b := binary.LittleEndian.Uint64(row[c+1:])
+			e := binary.LittleEndian.Uint64(nxt[c:])
+			f := binary.LittleEndian.Uint64(nxt[c+1:])
+			binary.LittleEndian.PutUint64(d[c:], avg8x4(a, b, e, f))
+		}
+	}
+}
+
+// avgBytes replaces dst[i] with (dst[i]+other[i]+1)>>1 for all i. Both
+// slices must have equal length, a multiple of 8 — true for the 256-byte
+// luma and 64-byte chroma prediction buffers it serves (the bidirectional
+// average of B-macroblock prediction, §7.6.7.1).
+func avgBytes(dst, other []uint8) {
+	for i := 0; i < len(dst); i += 8 {
+		a := binary.LittleEndian.Uint64(dst[i:])
+		b := binary.LittleEndian.Uint64(other[i:])
+		binary.LittleEndian.PutUint64(dst[i:], avg8(a, b))
+	}
+}

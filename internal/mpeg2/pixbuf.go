@@ -68,6 +68,8 @@ func (b *PixelBuf) CopyMacroblock(src *PixelBuf, mbx, mby int) {
 	if !src.Contains(x, y, 16, 16) || !b.Contains(x, y, 16, 16) {
 		panic(fmt.Sprintf("mpeg2: CopyMacroblock (%d,%d) outside window", mbx, mby))
 	}
+	src.checkBacking("CopyMacroblock src")
+	b.checkBacking("CopyMacroblock dst")
 	for r := 0; r < 16; r++ {
 		si := src.lumaIndex(x, y+r)
 		di := b.lumaIndex(x, y+r)

@@ -2,6 +2,19 @@ package mpeg2
 
 import "fmt"
 
+// checkBacking verifies that the plane slices actually hold a W×H 4:2:0
+// window — i.e. that the implicit strides (W for luma, W/2 for chroma) match
+// the backing lengths. The copy helpers index through those strides without
+// per-row bounds proof, so a buffer whose planes were resliced or built with
+// a foreign stride would otherwise read or write the wrong rows silently (or
+// panic mid-copy with half the destination written).
+func (b *PixelBuf) checkBacking(op string) {
+	if len(b.Y) != b.W*b.H || len(b.Cb) != b.W*b.H/4 || len(b.Cr) != b.W*b.H/4 {
+		panic(fmt.Sprintf("mpeg2: %s on PixelBuf with mismatched backing: window %dx%d needs Y=%d Cb=Cr=%d, have Y=%d Cb=%d Cr=%d",
+			op, b.W, b.H, b.W*b.H, b.W*b.H/4, len(b.Y), len(b.Cb), len(b.Cr)))
+	}
+}
+
 // CopyRect copies the luma rectangle (x, y, w, h) — and the corresponding
 // chroma — from src into b, both addressed globally. All four values must be
 // even. It is the primitive behind the display blit and frame assembly.
@@ -12,6 +25,8 @@ func (b *PixelBuf) CopyRect(src *PixelBuf, x, y, w, h int) {
 	if !src.Contains(x, y, w, h) || !b.Contains(x, y, w, h) {
 		panic(fmt.Sprintf("mpeg2: CopyRect %d,%d %dx%d outside window", x, y, w, h))
 	}
+	src.checkBacking("CopyRect src")
+	b.checkBacking("CopyRect dst")
 	for r := 0; r < h; r++ {
 		si := src.lumaIndex(x, y+r)
 		di := b.lumaIndex(x, y+r)

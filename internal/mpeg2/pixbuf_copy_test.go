@@ -1,0 +1,76 @@
+package mpeg2
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	f()
+}
+
+// TestCopyRectMismatchedStride is the regression test for the silent-stride
+// assumption: a PixelBuf whose planes were resliced (so the backing no
+// longer matches the W×H window) must be rejected loudly instead of copying
+// through the wrong row offsets.
+func TestCopyRectMismatchedStride(t *testing.T) {
+	src := NewPixelBuf(0, 0, 32, 32)
+	dst := NewPixelBuf(0, 0, 32, 32)
+	dst.CopyRect(src, 0, 0, 32, 32) // healthy buffers: fine
+
+	// Luma plane shortened: stride math would read past row H/2.
+	short := NewPixelBuf(0, 0, 32, 32)
+	short.Y = short.Y[:32*16]
+	mustPanic(t, "short luma src", func() { dst.CopyRect(short, 0, 0, 32, 32) })
+	mustPanic(t, "short luma dst", func() { short.CopyRect(src, 0, 0, 32, 32) })
+
+	// Plane borrowed from a buffer of different geometry: the length check
+	// rejects it whenever the areas differ (equal-area different-stride
+	// aliasing, e.g. 64×16 luma in a 32×32 window, is inherently invisible
+	// to a length check — geometry equality at Release covers pooling, the
+	// only path that rebinds planes).
+	other := NewPixelBuf(0, 0, 48, 32)
+	stale := NewPixelBuf(0, 0, 32, 32)
+	stale.Cb = other.Cb
+	mustPanic(t, "foreign chroma", func() { dst.CopyRect(stale, 0, 0, 32, 32) })
+
+	// Chroma plane truncated.
+	chop := NewPixelBuf(0, 0, 32, 32)
+	chop.Cr = chop.Cr[:100]
+	mustPanic(t, "short chroma", func() { dst.CopyRect(chop, 0, 0, 32, 32) })
+
+	// CopyMacroblock guards the same way.
+	mustPanic(t, "macroblock short luma", func() { dst.CopyMacroblock(short, 0, 0) })
+}
+
+func TestPixelBufPoolReuse(t *testing.T) {
+	a := AcquirePixelBuf(0, 0, 32, 32)
+	for i := range a.Y {
+		a.Y[i] = 7
+	}
+	a.Release()
+	b := AcquirePixelBuf(16, 16, 32, 32)
+	if b.W != 32 || b.H != 32 || b.X0 != 16 || b.Y0 != 16 {
+		t.Fatalf("acquired geometry %d,%d %dx%d", b.X0, b.Y0, b.W, b.H)
+	}
+	if len(b.Y) != 32*32 || len(b.Cb) != 32*32/4 || len(b.Cr) != 32*32/4 {
+		t.Fatalf("acquired backing lengths %d/%d/%d", len(b.Y), len(b.Cb), len(b.Cr))
+	}
+	b.Release()
+
+	// Distinct geometry must never alias a pooled buffer of another size.
+	c := AcquirePixelBuf(0, 0, 64, 64)
+	if len(c.Y) != 64*64 {
+		t.Fatalf("cross-geometry pollution: len(Y)=%d", len(c.Y))
+	}
+	c.Release()
+}
+
+func TestPixelBufReleaseRejectsCorrupt(t *testing.T) {
+	b := NewPixelBuf(0, 0, 32, 32)
+	b.Y = b.Y[:8]
+	mustPanic(t, "release corrupt", func() { b.Release() })
+}

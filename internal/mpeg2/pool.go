@@ -1,0 +1,51 @@
+package mpeg2
+
+import "sync"
+
+// Pixel-buffer pooling. Decoding a GOP churns through picture-sized buffers
+// (display frames, reference rotation, halo exchange scratch); allocating
+// them fresh costs both the allocation and the page-in of multi-megabyte
+// zeroed planes. The pool recycles buffers by geometry so steady-state
+// decoding allocates nothing per picture.
+
+// pixBufKey identifies a pool of interchangeable buffers: position is
+// rebindable, plane sizes are not.
+type pixBufKey struct{ w, h int }
+
+// pixBufPools maps pixBufKey to *sync.Pool of *PixelBuf.
+var pixBufPools sync.Map
+
+// AcquirePixelBuf returns a w×h window at (x0, y0), reusing a previously
+// Released buffer of the same geometry when one is available. Unlike
+// NewPixelBuf the planes are NOT zeroed on reuse: callers own every sample
+// they read (decode paths write each macroblock exactly once; concealment
+// seeds windows with Fill).
+func AcquirePixelBuf(x0, y0, w, h int) *PixelBuf {
+	key := pixBufKey{w, h}
+	if p, ok := pixBufPools.Load(key); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			b := v.(*PixelBuf)
+			b.X0, b.Y0 = x0, y0
+			return b
+		}
+	}
+	return NewPixelBuf(x0, y0, w, h)
+}
+
+// Release returns the buffer to the pool for its geometry. The caller must
+// not touch the buffer afterwards. Release validates the plane backing
+// against the window geometry first, so a corrupted buffer (resliced planes,
+// mismatched strides) is rejected here rather than resurfacing later as
+// silently wrong pixels in an unrelated decode.
+func (b *PixelBuf) Release() {
+	if b == nil {
+		return
+	}
+	b.checkBacking("Release")
+	key := pixBufKey{b.W, b.H}
+	p, ok := pixBufPools.Load(key)
+	if !ok {
+		p, _ = pixBufPools.LoadOrStore(key, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(b)
+}

@@ -20,6 +20,13 @@ func NewReconstructor(pic *PictureHeader) *Reconstructor {
 	return &Reconstructor{pic: pic}
 }
 
+// Reset repoints the Reconstructor at a new picture, keeping its scratch
+// buffers. Lets pooled decode paths reuse one Reconstructor per goroutine
+// across pictures without reallocating.
+func (rc *Reconstructor) Reset(pic *PictureHeader) {
+	rc.pic = pic
+}
+
 func clip255(v int32) uint8 {
 	if v < 0 {
 		return 0
@@ -40,10 +47,10 @@ func (rc *Reconstructor) Macroblock(dst, fwd, bwd *PixelBuf, mb *Macroblock, mbW
 	mbx := mb.Addr % mbWidth
 	mby := mb.Addr / mbWidth
 	if mb.Intra() {
-		rc.intra(dst, mbx, mby, mb.Blocks)
+		rc.intra(dst, mbx, mby, mb.Blocks, &mb.ACMask)
 		return nil
 	}
-	return rc.inter(dst, fwd, bwd, mbx, mby, mb.Motion(), mb.CBP, mb.Blocks)
+	return rc.inter(dst, fwd, bwd, mbx, mby, mb.Motion(), mb.CBP, mb.Blocks, &mb.ACMask)
 }
 
 // Skipped reconstructs one skipped macroblock at (mbx, mby). In P pictures a
@@ -57,42 +64,44 @@ func (rc *Reconstructor) Skipped(dst, fwd, bwd *PixelBuf, mbx, mby int, prev Mot
 			return syntaxErrf("skipped B macroblock after intra at (%d,%d)", mbx, mby)
 		}
 	}
-	return rc.inter(dst, fwd, bwd, mbx, mby, m, 0, nil)
+	return rc.inter(dst, fwd, bwd, mbx, mby, m, 0, nil, nil)
 }
 
-func (rc *Reconstructor) intra(dst *PixelBuf, mbx, mby int, blocks *[6][64]int32) {
+func (rc *Reconstructor) intra(dst *PixelBuf, mbx, mby int, blocks *[6][64]int32, masks *[6]uint8) {
 	x, y := mbx*16, mby*16
 	for i := 0; i < 4; i++ {
 		blk := &blocks[i]
-		IDCT(blk)
+		IDCTFast(blk, masks[i])
 		bx, by := x+blockOffsets[i][0], y+blockOffsets[i][1]
 		for r := 0; r < 8; r++ {
 			di := dst.lumaIndex(bx, by+r)
-			src := blk[r*8 : r*8+8]
+			dy := dst.Y[di : di+8 : di+8]
+			src := blk[r*8 : r*8+8 : r*8+8]
 			for c := 0; c < 8; c++ {
-				dst.Y[di+c] = clip255(src[c])
+				dy[c] = clip255(src[c])
 			}
 		}
 	}
 	cx, cy := x/2, y/2
 	for i := 4; i < 6; i++ {
 		blk := &blocks[i]
-		IDCT(blk)
+		IDCTFast(blk, masks[i])
 		plane := dst.Cb
 		if i == 5 {
 			plane = dst.Cr
 		}
 		for r := 0; r < 8; r++ {
 			di := dst.chromaIndex(cx, cy+r)
-			src := blk[r*8 : r*8+8]
+			dp := plane[di : di+8 : di+8]
+			src := blk[r*8 : r*8+8 : r*8+8]
 			for c := 0; c < 8; c++ {
-				plane[di+c] = clip255(src[c])
+				dp[c] = clip255(src[c])
 			}
 		}
 	}
 }
 
-func (rc *Reconstructor) inter(dst, fwd, bwd *PixelBuf, mbx, mby int, m MotionInfo, cbp int, blocks *[6][64]int32) error {
+func (rc *Reconstructor) inter(dst, fwd, bwd *PixelBuf, mbx, mby int, m MotionInfo, cbp int, blocks *[6][64]int32, masks *[6]uint8) error {
 	x, y := mbx*16, mby*16
 	switch {
 	case m.Fwd && m.Bwd:
@@ -102,13 +111,9 @@ func (rc *Reconstructor) inter(dst, fwd, bwd *PixelBuf, mbx, mby int, m MotionIn
 		if err := rc.predict(bwd, x, y, m.MVBwd, &rc.aY, &rc.aCb, &rc.aCr); err != nil {
 			return err
 		}
-		for i := range rc.predY {
-			rc.predY[i] = uint8((int32(rc.predY[i]) + int32(rc.aY[i]) + 1) >> 1)
-		}
-		for i := range rc.predCb {
-			rc.predCb[i] = uint8((int32(rc.predCb[i]) + int32(rc.aCb[i]) + 1) >> 1)
-			rc.predCr[i] = uint8((int32(rc.predCr[i]) + int32(rc.aCr[i]) + 1) >> 1)
-		}
+		avgBytes(rc.predY[:], rc.aY[:])
+		avgBytes(rc.predCb[:], rc.aCb[:])
+		avgBytes(rc.predCr[:], rc.aCr[:])
 	case m.Fwd:
 		if err := rc.predict(fwd, x, y, m.MVFwd, &rc.predY, &rc.predCb, &rc.predCr); err != nil {
 			return err
@@ -128,15 +133,17 @@ func (rc *Reconstructor) inter(dst, fwd, bwd *PixelBuf, mbx, mby int, m MotionIn
 		var blk *[64]int32
 		if coded {
 			blk = &blocks[i]
-			IDCT(blk)
+			IDCTFast(blk, masks[i])
 		}
 		for r := 0; r < 8; r++ {
 			di := dst.lumaIndex(bx, by+r)
 			pi := (blockOffsets[i][1]+r)*16 + blockOffsets[i][0]
 			if coded {
-				res := blk[r*8 : r*8+8]
+				res := blk[r*8 : r*8+8 : r*8+8]
+				pr := rc.predY[pi : pi+8 : pi+8]
+				dy := dst.Y[di : di+8 : di+8]
 				for c := 0; c < 8; c++ {
-					dst.Y[di+c] = clip255(int32(rc.predY[pi+c]) + res[c])
+					dy[c] = clip255(int32(pr[c]) + res[c])
 				}
 			} else {
 				copy(dst.Y[di:di+8], rc.predY[pi:pi+8])
@@ -153,14 +160,16 @@ func (rc *Reconstructor) inter(dst, fwd, bwd *PixelBuf, mbx, mby int, m MotionIn
 		var blk *[64]int32
 		if coded {
 			blk = &blocks[i]
-			IDCT(blk)
+			IDCTFast(blk, masks[i])
 		}
 		for r := 0; r < 8; r++ {
 			di := dst.chromaIndex(cx, cy+r)
 			if coded {
-				res := blk[r*8 : r*8+8]
+				res := blk[r*8 : r*8+8 : r*8+8]
+				pr := pred[r*8 : r*8+8 : r*8+8]
+				dp := plane[di : di+8 : di+8]
 				for c := 0; c < 8; c++ {
-					plane[di+c] = clip255(int32(pred[r*8+c]) + res[c])
+					dp[c] = clip255(int32(pr[c]) + res[c])
 				}
 			} else {
 				copy(plane[di:di+8], pred[r*8:r*8+8])
@@ -200,43 +209,6 @@ func (rc *Reconstructor) predict(ref *PixelBuf, x, y int, mv [2]int32, py *[256]
 	samplePlane(pcb[:], 8, 8, ref.Cb, cw, ci, chx, chy)
 	samplePlane(pcr[:], 8, 8, ref.Cr, cw, ci, chx, chy)
 	return nil
-}
-
-// samplePlane copies a w×h block from src (starting at index si, given
-// stride) into dst with optional half-sample interpolation.
-func samplePlane(dst []uint8, w, h int, src []uint8, stride, si, hx, hy int) {
-	switch {
-	case hx == 0 && hy == 0:
-		for r := 0; r < h; r++ {
-			copy(dst[r*w:r*w+w], src[si+r*stride:si+r*stride+w])
-		}
-	case hx == 1 && hy == 0:
-		for r := 0; r < h; r++ {
-			row := src[si+r*stride:]
-			d := dst[r*w:]
-			for c := 0; c < w; c++ {
-				d[c] = uint8((int32(row[c]) + int32(row[c+1]) + 1) >> 1)
-			}
-		}
-	case hx == 0 && hy == 1:
-		for r := 0; r < h; r++ {
-			row := src[si+r*stride:]
-			nxt := src[si+(r+1)*stride:]
-			d := dst[r*w:]
-			for c := 0; c < w; c++ {
-				d[c] = uint8((int32(row[c]) + int32(nxt[c]) + 1) >> 1)
-			}
-		}
-	default:
-		for r := 0; r < h; r++ {
-			row := src[si+r*stride:]
-			nxt := src[si+(r+1)*stride:]
-			d := dst[r*w:]
-			for c := 0; c < w; c++ {
-				d[c] = uint8((int32(row[c]) + int32(row[c+1]) + int32(nxt[c]) + int32(nxt[c+1]) + 2) >> 2)
-			}
-		}
-	}
 }
 
 // mv/2 truncation toward zero for negative values is what Go's integer

@@ -67,6 +67,11 @@ type Macroblock struct {
 	// Blocks holds dequantised coefficients in raster order; nil when the
 	// parser runs in parse-only (splitter) mode.
 	Blocks *[6][64]int32
+	// ACMask holds, per block, the conservative nonzero-row mask driving the
+	// fast IDCT dispatch (see IDCTFast): bit r set when a coefficient at
+	// raster positions 8r..8r+7 — excluding the DC term at position 0 — may
+	// be nonzero. Meaningless in parse-only mode.
+	ACMask [6]uint8
 }
 
 // Intra reports whether the macroblock is intra coded.

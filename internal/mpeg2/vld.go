@@ -22,22 +22,32 @@ type PictureContext struct {
 // NewPictureContext validates pic against the supported subset and returns a
 // context.
 func NewPictureContext(seq *SequenceHeader, pic *PictureHeader) (*PictureContext, error) {
+	ctx := new(PictureContext)
+	if err := ctx.Init(seq, pic); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// Init (re)initialises the context in place for a new picture, so pooled
+// decode paths can keep one PictureContext per goroutine across pictures.
+func (c *PictureContext) Init(seq *SequenceHeader, pic *PictureHeader) error {
 	if seq == nil || pic == nil {
-		return nil, syntaxErrf("nil sequence or picture header")
+		return syntaxErrf("nil sequence or picture header")
 	}
 	if pic.PictureStructure != 3 {
-		return nil, fmt.Errorf("%w: field pictures", errUnsupported)
+		return fmt.Errorf("%w: field pictures", errUnsupported)
 	}
 	// Headers reconstituted from wire messages (subpic.PicInfo) may carry
 	// arbitrary bytes; validate everything the decode path indexes or shifts
 	// with.
 	if pic.PicType < PictureI || pic.PicType > PictureB {
-		return nil, syntaxErrf("picture coding type %d", int(pic.PicType))
+		return syntaxErrf("picture coding type %d", int(pic.PicType))
 	}
 	if pic.IntraDCPrecision < 0 || pic.IntraDCPrecision > 3 {
-		return nil, syntaxErrf("intra_dc_precision %d", pic.IntraDCPrecision)
+		return syntaxErrf("intra_dc_precision %d", pic.IntraDCPrecision)
 	}
-	ctx := &PictureContext{
+	*c = PictureContext{
 		Seq:  seq,
 		Pic:  pic,
 		MBW:  seq.MBWidth(),
@@ -45,11 +55,11 @@ func NewPictureContext(seq *SequenceHeader, pic *PictureHeader) (*PictureContext
 		scan: ScanOrder(pic.AlternateScan),
 	}
 	if pic.IntraVLCFormat {
-		ctx.intraDCT = dctTableB15
+		c.intraDCT = dctTableB15
 	} else {
-		ctx.intraDCT = dctTableB14
+		c.intraDCT = dctTableB14
 	}
-	return ctx, nil
+	return nil
 }
 
 func (c *PictureContext) mbTypeTable() *vlcTable {
@@ -93,26 +103,47 @@ type SliceDecoder struct {
 // picture is taller than 2800 lines, which the caller handles by passing the
 // combined value).
 func NewSliceDecoder(ctx *PictureContext, r *bits.Reader, verticalPos int) (*SliceDecoder, error) {
+	d := new(SliceDecoder)
+	if err := d.ResetFull(ctx, r, verticalPos); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ResetFull re-arms the decoder for a full slice, reusing its scratch block
+// storage. Semantics match NewSliceDecoder.
+func (d *SliceDecoder) ResetFull(ctx *PictureContext, r *bits.Reader, verticalPos int) error {
 	if verticalPos < 1 || verticalPos > ctx.MBH {
-		return nil, syntaxErrf("slice vertical position %d of %d", verticalPos, ctx.MBH)
+		return syntaxErrf("slice vertical position %d of %d", verticalPos, ctx.MBH)
 	}
-	d := &SliceDecoder{
-		ctx:    ctx,
-		r:      r,
-		first:  true,
-		mbAddr: (verticalPos-1)*ctx.MBW - 1,
-	}
+	d.reset(ctx, r)
+	d.mbAddr = (verticalPos-1)*ctx.MBW - 1
 	d.state.ResetDC(ctx.Pic.IntraDCPrecision)
 	d.state.ResetMV()
 	d.state.QuantCode = int(r.Read(5))
 	if d.state.QuantCode == 0 {
-		return nil, syntaxErrf("quantiser_scale_code 0 in slice header")
+		return syntaxErrf("quantiser_scale_code 0 in slice header")
 	}
 	// extra_bit_slice / extra_information_slice
 	for r.ReadBit() == 1 {
 		r.Read(8)
 	}
-	return d, streamErr(r.Err())
+	return streamErr(r.Err())
+}
+
+// reset clears everything but the scratch block storage (whose contents are
+// never read before being written).
+func (d *SliceDecoder) reset(ctx *PictureContext, r *bits.Reader) {
+	d.ctx = ctx
+	d.r = r
+	d.state = PredState{}
+	d.prevMotion = MotionInfo{}
+	d.mbAddr = 0
+	d.first = true
+	d.partial = false
+	d.remaining = 0
+	d.firstAddr = 0
+	d.parseOnly = false
 }
 
 // NewPartialSliceDecoder starts a partial slice seeded with predictor state
@@ -121,16 +152,20 @@ func NewSliceDecoder(ctx *PictureContext, r *bits.Reader, verticalPos int) (*Sli
 // is forced to firstAddr regardless of its parsed increment. When parseOnly
 // is set, coefficient blocks are parsed but not retained or dequantised.
 func NewPartialSliceDecoder(ctx *PictureContext, r *bits.Reader, st PredState, prev MotionInfo, firstAddr, codedCount int) *SliceDecoder {
-	return &SliceDecoder{
-		ctx:        ctx,
-		r:          r,
-		state:      st,
-		prevMotion: prev,
-		first:      true,
-		partial:    true,
-		remaining:  codedCount,
-		firstAddr:  firstAddr,
-	}
+	d := new(SliceDecoder)
+	d.ResetPartial(ctx, r, st, prev, firstAddr, codedCount)
+	return d
+}
+
+// ResetPartial re-arms the decoder for a partial slice, reusing its scratch
+// block storage. Semantics match NewPartialSliceDecoder.
+func (d *SliceDecoder) ResetPartial(ctx *PictureContext, r *bits.Reader, st PredState, prev MotionInfo, firstAddr, codedCount int) {
+	d.reset(ctx, r)
+	d.state = st
+	d.prevMotion = prev
+	d.partial = true
+	d.remaining = codedCount
+	d.firstAddr = firstAddr
 }
 
 // SetParseOnly disables coefficient retention and dequantisation; used by
@@ -293,6 +328,7 @@ func (d *SliceDecoder) Next(mb *Macroblock) (bool, error) {
 		mb.Blocks = blocks
 	}
 	for i := 0; i < 6; i++ {
+		mb.ACMask[i] = 0
 		if mb.CBP&(1<<uint(5-i)) == 0 {
 			continue
 		}
@@ -300,15 +336,17 @@ func (d *SliceDecoder) Next(mb *Macroblock) (bool, error) {
 		if !d.parseOnly {
 			*blk = [64]int32{}
 		}
+		var mask uint8
 		var err error
 		if flags&MBIntra != 0 {
-			err = d.intraBlock(i, blk)
+			mask, err = d.intraBlock(i, blk)
 		} else {
-			err = d.nonIntraBlock(blk)
+			mask, err = d.nonIntraBlock(blk)
 		}
 		if err != nil {
 			return false, err
 		}
+		mb.ACMask[i] = mask
 	}
 
 	mb.BitEnd = r.BitPos()
@@ -367,7 +405,8 @@ func (d *SliceDecoder) motionVector(s int, out *[2]int32) error {
 }
 
 // intraBlock parses and dequantises intra block i (0..3 luma, 4 Cb, 5 Cr).
-func (d *SliceDecoder) intraBlock(i int, blk *[64]int32) error {
+// The returned mask is the block's conservative AC occupancy (see ACMask).
+func (d *SliceDecoder) intraBlock(i int, blk *[64]int32) (uint8, error) {
 	r := d.r
 	pic := d.ctx.Pic
 	comp := 0
@@ -378,7 +417,7 @@ func (d *SliceDecoder) intraBlock(i int, blk *[64]int32) error {
 	}
 	size, ok := table.decode(r)
 	if !ok {
-		return syntaxErrf("bad dct_dc_size at bit %d", r.BitPos())
+		return 0, syntaxErrf("bad dct_dc_size at bit %d", r.BitPos())
 	}
 	var diff int32
 	if size > 0 {
@@ -392,33 +431,42 @@ func (d *SliceDecoder) intraBlock(i int, blk *[64]int32) error {
 	d.state.DCPred[comp] += diff
 	blk[0] = d.state.DCPred[comp]
 
+	var mask uint8
 	scan := d.ctx.scan
 	n := 1
 	for {
 		run, level, eob, ok := d.ctx.intraDCT.decode(r)
 		if !ok {
-			return syntaxErrf("bad intra DCT code at bit %d", r.BitPos())
+			return 0, syntaxErrf("bad intra DCT code at bit %d", r.BitPos())
 		}
 		if eob {
 			break
 		}
 		n += run
 		if n > 63 {
-			return syntaxErrf("intra DCT run past block end")
+			return 0, syntaxErrf("intra DCT run past block end")
 		}
-		blk[scan[n]] = int32(level)
+		p := scan[n]
+		blk[p] = int32(level)
+		mask |= 1 << uint(p>>3) // n >= 1, so p != 0 (scan is a permutation)
 		n++
 	}
 	if !d.parseOnly {
 		DequantIntra(blk, &d.ctx.Seq.IntraQ, QuantiserScale(d.state.QuantCode, pic.QScaleType), pic.DCShift())
+		// Mismatch control may have toggled qf[63] from zero to one.
+		if blk[63] != 0 {
+			mask |= 0x80
+		}
 	}
-	return streamErr(r.Err())
+	return mask, streamErr(r.Err())
 }
 
-// nonIntraBlock parses and dequantises a non-intra block.
-func (d *SliceDecoder) nonIntraBlock(blk *[64]int32) error {
+// nonIntraBlock parses and dequantises a non-intra block. The returned mask
+// is the block's conservative AC occupancy (see ACMask).
+func (d *SliceDecoder) nonIntraBlock(blk *[64]int32) (uint8, error) {
 	r := d.r
 	scan := d.ctx.scan
+	var mask uint8
 	n := 0
 	first := true
 	for {
@@ -431,20 +479,30 @@ func (d *SliceDecoder) nonIntraBlock(blk *[64]int32) error {
 			run, level, eob, ok = dctTableB14.decode(r)
 		}
 		if !ok {
-			return syntaxErrf("bad DCT code at bit %d", r.BitPos())
+			return 0, syntaxErrf("bad DCT code at bit %d", r.BitPos())
 		}
 		if eob {
 			break
 		}
 		n += run
 		if n > 63 {
-			return syntaxErrf("DCT run past block end")
+			return 0, syntaxErrf("DCT run past block end")
 		}
-		blk[scan[n]] = int32(level)
+		// Position 0 is the DC term, carried by blk[0] itself rather than the
+		// AC mask (non-intra coefficient 0 lands there via scan[0]).
+		p := scan[n]
+		blk[p] = int32(level)
+		if p != 0 {
+			mask |= 1 << uint(p>>3)
+		}
 		n++
 	}
 	if !d.parseOnly {
 		DequantNonIntra(blk, &d.ctx.Seq.NonIntraQ, QuantiserScale(d.state.QuantCode, d.ctx.Pic.QScaleType))
+		// Mismatch control may have toggled qf[63] from zero to one.
+		if blk[63] != 0 {
+			mask |= 0x80
+		}
 	}
-	return streamErr(r.Err())
+	return mask, streamErr(r.Err())
 }

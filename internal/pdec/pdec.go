@@ -39,6 +39,15 @@ type Config struct {
 	// count (per-message overhead dominated GM-era networks).
 	UnbatchedSends bool
 
+	// Pooled recycles decode state across pictures: message slabs return to
+	// the cluster slab pool once fully consumed, outgoing bundles are
+	// serialised into pooled slabs, and the picture context, reconstructor,
+	// slice decoder and bit reader are reused in place, making steady-state
+	// decoding allocation-free per macroblock. Incompatible with Recovery
+	// (retainers alias message payloads indefinitely); NewDecoder forces it
+	// off when recovery hooks are wired.
+	Pooled bool
+
 	// Recovery, when non-nil, switches the decoder from fail-stop to
 	// fault-masking behaviour: sub-pictures may arrive out of order (reorder
 	// stash), duplicated (dropped), or not at all (concealed after the
@@ -92,6 +101,27 @@ type Decoder struct {
 
 	res     Result
 	nextPic int
+
+	// Reusable per-picture state for cfg.Pooled mode. The zero values work
+	// unpooled too; pooling only changes who allocates.
+	spScratch  subpic.SubPicture
+	phScratch  mpeg2.PictureHeader
+	ctxScratch mpeg2.PictureContext
+	rcScratch  *mpeg2.Reconstructor
+	sdScratch  mpeg2.SliceDecoder
+	brScratch  bits.Reader
+	bbScratch  subpic.BlockBundle
+	xferPix    [mpeg2.MacroblockBytes]byte
+
+	sendOrder   []int
+	sendBundles map[int]*sendBundle
+}
+
+// sendBundle accumulates one outgoing per-peer exchange bundle; pooled mode
+// keeps them across pictures so the cells and pixels grow once and stick.
+type sendBundle struct {
+	cells  []subpic.BlockCell
+	pixels []byte
 }
 
 // NewDecoder allocates the decoder's buffers. In recovery-resume mode it
@@ -117,7 +147,13 @@ func NewDecoder(node cluster.Net, cfg Config) *Decoder {
 	if y1 > cfg.Geo.PicH {
 		y1 = cfg.Geo.PicH
 	}
+	if cfg.Recovery != nil {
+		// Recovery retainers keep message payloads alive for replay; a slab
+		// returned to the pool would be overwritten under them.
+		cfg.Pooled = false
+	}
 	d := &Decoder{cfg: cfg, rect: rect, node: node, cur: 0, refA: -1, refB: -1, finalTotal: -1}
+	d.rcScratch = mpeg2.NewReconstructor(nil)
 	for i := 0; i < 3; i++ {
 		d.bufs = append(d.bufs, mpeg2.NewPixelBuf(x0, y0, x1-x0, y1-y0))
 	}
@@ -211,11 +247,23 @@ func (d *Decoder) stepStrict() (bool, error) {
 	b.Timed(metrics.PhaseAck, func() {
 		d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
 	})
-	sp, err := subpic.Unmarshal(msg.Payload)
-	if err != nil {
-		return false, fmt.Errorf("tile %d: %w", d.cfg.Tile, err)
+	var sp *subpic.SubPicture
+	if d.cfg.Pooled {
+		sp = &d.spScratch
+		if err := subpic.UnmarshalInto(sp, msg.Payload); err != nil {
+			return false, fmt.Errorf("tile %d: %w", d.cfg.Tile, err)
+		}
+	} else {
+		var err error
+		sp, err = subpic.Unmarshal(msg.Payload)
+		if err != nil {
+			return false, fmt.Errorf("tile %d: %w", d.cfg.Tile, err)
+		}
 	}
 	if sp.Final {
+		if d.cfg.Pooled {
+			cluster.PutSlab(msg.Payload)
+		}
 		// A splitter that ran out of pictures early may deliver its end
 		// marker before the last pictures from the other splitters; only
 		// exit once every picture has been decoded.
@@ -232,6 +280,12 @@ func (d *Decoder) stepStrict() (bool, error) {
 	if err := d.decodePicture(sp); err != nil {
 		return false, err
 	}
+	if d.cfg.Pooled {
+		// Every piece payload (which aliases the message) has been decoded
+		// into pixels, so nothing references the slab anymore; a sender can
+		// only obtain it again through the pool, i.e. after this call.
+		cluster.PutSlab(msg.Payload)
+	}
 	d.res.Pictures++
 	b.Pictures++
 	return false, nil
@@ -247,9 +301,10 @@ func (d *Decoder) refFor(sel subpic.RefSel, picType mpeg2.PictureType) int {
 
 func (d *Decoder) decodePicture(sp *subpic.SubPicture) error {
 	b := &d.res.Breakdown
-	ph := sp.Pic.Header()
-	ctx, err := mpeg2.NewPictureContext(d.cfg.Seq, ph)
-	if err != nil {
+	ph := &d.phScratch
+	sp.Pic.HeaderInto(ph)
+	ctx := &d.ctxScratch
+	if err := ctx.Init(d.cfg.Seq, ph); err != nil {
 		return err
 	}
 
@@ -306,25 +361,39 @@ func (d *Decoder) decodePicture(sp *subpic.SubPicture) error {
 	return nil
 }
 
-// emitFrame hands a copy of the tile pixels to the collector.
+// emitFrame hands a copy of the tile pixels to the collector. In pooled mode
+// the copy comes from the pixel-buffer pool; a collector done with a frame
+// may Release it for reuse.
 func (d *Decoder) emitFrame(picIndex int, buf *mpeg2.PixelBuf) {
 	d.displayCount++
 	if d.cfg.OnFrame == nil {
 		return
 	}
-	out := mpeg2.NewPixelBuf(d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	var out *mpeg2.PixelBuf
+	if d.cfg.Pooled {
+		out = mpeg2.AcquirePixelBuf(d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	} else {
+		out = mpeg2.NewPixelBuf(d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+	}
 	out.CopyRect(buf, d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
 	d.cfg.OnFrame(picIndex, d.cfg.Tile, out)
 }
 
+// marshalBundle serialises bb into a fresh buffer, or a pooled slab when
+// cfg.Pooled (the receiving tile releases it after injecting the pixels).
+func (d *Decoder) marshalBundle(bb *subpic.BlockBundle) []byte {
+	if d.cfg.Pooled {
+		return bb.AppendTo(cluster.GetSlab(bb.WireSize()))
+	}
+	return bb.Marshal()
+}
+
 // executeSends ships owed reference macroblocks, one bundle per peer.
 func (d *Decoder) executeSends(sp *subpic.SubPicture, picType mpeg2.PictureType) error {
-	type bundle struct {
-		cells  []subpic.BlockCell
-		pixels []byte
+	if d.sendBundles == nil {
+		d.sendBundles = map[int]*sendBundle{}
 	}
-	perPeer := map[int]*bundle{}
-	var order []int
+	d.sendOrder = d.sendOrder[:0]
 	for _, in := range sp.MEI {
 		if in.Kind != subpic.MEISend {
 			continue
@@ -334,40 +403,49 @@ func (d *Decoder) executeSends(sp *subpic.SubPicture, picType mpeg2.PictureType)
 			return fmt.Errorf("tile %d: SEND against missing reference (pic %d)", d.cfg.Tile, sp.Pic.Index)
 		}
 		if d.cfg.UnbatchedSends {
-			pixels := make([]byte, mpeg2.MacroblockBytes)
-			d.bufs[ref].ExtractMacroblock(int(in.MBX), int(in.MBY), pixels)
+			d.bufs[ref].ExtractMacroblock(int(in.MBX), int(in.MBY), d.xferPix[:])
 			bb := subpic.BlockBundle{
 				PicIndex: sp.Pic.Index,
 				Cells:    []subpic.BlockCell{{Ref: in.Ref, MBX: in.MBX, MBY: in.MBY}},
-				Pixels:   pixels,
+				Pixels:   d.xferPix[:],
 			}
 			d.node.Send(d.cfg.TileNode(int(in.Peer)), &cluster.Message{
 				Kind:    cluster.MsgBlocks,
 				Seq:     int(sp.Pic.Index),
-				Payload: bb.Marshal(),
+				Payload: d.marshalBundle(&bb),
 			})
 			continue
 		}
 		peer := int(in.Peer)
-		bu := perPeer[peer]
+		bu := d.sendBundles[peer]
 		if bu == nil {
-			bu = &bundle{}
-			perPeer[peer] = bu
-			order = append(order, peer)
+			bu = &sendBundle{}
+			d.sendBundles[peer] = bu
+		}
+		if len(bu.cells) == 0 {
+			d.sendOrder = append(d.sendOrder, peer)
 		}
 		bu.cells = append(bu.cells, subpic.BlockCell{Ref: in.Ref, MBX: in.MBX, MBY: in.MBY})
 		off := len(bu.pixels)
-		bu.pixels = append(bu.pixels, make([]byte, mpeg2.MacroblockBytes)...)
+		if n := off + mpeg2.MacroblockBytes; n <= cap(bu.pixels) {
+			bu.pixels = bu.pixels[:n]
+		} else {
+			bu.pixels = append(bu.pixels, make([]byte, mpeg2.MacroblockBytes)...)
+		}
 		d.bufs[ref].ExtractMacroblock(int(in.MBX), int(in.MBY), bu.pixels[off:])
 	}
-	for _, peer := range order {
-		bu := perPeer[peer]
+	for _, peer := range d.sendOrder {
+		bu := d.sendBundles[peer]
 		bb := subpic.BlockBundle{PicIndex: sp.Pic.Index, Cells: bu.cells, Pixels: bu.pixels}
 		d.node.Send(d.cfg.TileNode(peer), &cluster.Message{
 			Kind:    cluster.MsgBlocks,
 			Seq:     int(sp.Pic.Index),
-			Payload: bb.Marshal(),
+			Payload: d.marshalBundle(&bb),
 		})
+		// The payload copy is on the wire; reset the accumulator for the
+		// next picture, keeping its storage.
+		bu.cells = bu.cells[:0]
+		bu.pixels = bu.pixels[:0]
 	}
 	return nil
 }
@@ -420,17 +498,42 @@ func (d *Decoder) drainRecvs(sp *subpic.SubPicture, picType mpeg2.PictureType) e
 		if msg == nil {
 			return fmt.Errorf("tile %d: fabric aborted while waiting for reference macroblocks", d.cfg.Tile)
 		}
-		bb, err := subpic.UnmarshalBlocks(msg.Payload)
-		if err != nil {
-			return err
+		var bb *subpic.BlockBundle
+		if d.cfg.Pooled {
+			bb = &d.bbScratch
+			if err := subpic.UnmarshalBlocksInto(bb, msg.Payload); err != nil {
+				return err
+			}
+		} else {
+			var err error
+			bb, err = subpic.UnmarshalBlocks(msg.Payload)
+			if err != nil {
+				return err
+			}
 		}
 		switch {
 		case int(bb.PicIndex) == int(sp.Pic.Index):
 			if err := apply(bb); err != nil {
 				return err
 			}
+			if d.cfg.Pooled {
+				// Pixels were injected into the halo above; the payload they
+				// alias can go back to the pool.
+				cluster.PutSlab(msg.Payload)
+			}
 		case int(bb.PicIndex) == int(sp.Pic.Index)+1:
-			d.stash = append(d.stash, bb)
+			if d.cfg.Pooled {
+				// The stash outlives this call, so detach it from the scratch
+				// bundle; its pixels keep aliasing the (unreleased) payload.
+				clone := &subpic.BlockBundle{
+					PicIndex: bb.PicIndex,
+					Cells:    append([]subpic.BlockCell(nil), bb.Cells...),
+					Pixels:   bb.Pixels,
+				}
+				d.stash = append(d.stash, clone)
+			} else {
+				d.stash = append(d.stash, bb)
+			}
 		default:
 			return fmt.Errorf("tile %d: block bundle for picture %d while decoding %d (sync broken)",
 				d.cfg.Tile, bb.PicIndex, sp.Pic.Index)
@@ -442,7 +545,8 @@ func (d *Decoder) drainRecvs(sp *subpic.SubPicture, picType mpeg2.PictureType) e
 // decodePieces decodes every partial slice of the sub-picture.
 func (d *Decoder) decodePieces(ctx *mpeg2.PictureContext, sp *subpic.SubPicture) error {
 	picType := ctx.Pic.PicType
-	rc := mpeg2.NewReconstructor(ctx.Pic)
+	rc := d.rcScratch
+	rc.Reset(ctx.Pic)
 	cur := d.bufs[d.cur]
 	var fwd, bwd *mpeg2.PixelBuf
 	switch picType {
@@ -490,9 +594,11 @@ func (d *Decoder) decodePieces(ctx *mpeg2.PictureContext, sp *subpic.SubPicture)
 		if p.CodedCount == 0 {
 			continue
 		}
-		r := bits.NewReader(p.Payload)
+		r := &d.brScratch
+		r.Reset(p.Payload)
 		r.Skip(int(p.SkipBits))
-		sd := mpeg2.NewPartialSliceDecoder(ctx, r, p.State(), p.Prev, int(p.FirstAddr), int(p.CodedCount))
+		sd := &d.sdScratch
+		sd.ResetPartial(ctx, r, p.State(), p.Prev, int(p.FirstAddr), int(p.CodedCount))
 		var mb mpeg2.Macroblock
 		lastAddr := int(p.FirstAddr)
 		for {

@@ -240,6 +240,13 @@ type SecondConfig struct {
 	// overlap the queue a dead incarnation left behind), and abandons credit
 	// waits after the per-picture deadline.
 	Recovery *recovery.SplitterHooks
+
+	// Pooled serialises sub-pictures into recycled cluster slabs (the
+	// receiving decoder releases them once decoded). Must be off under
+	// Recovery: the retainer keeps payloads alive for replay, which a
+	// recycled slab would corrupt. RunSecond forces it off when recovery
+	// hooks are wired.
+	Pooled bool
 }
 
 // SecondResult reports a second-level splitter's run.
@@ -264,6 +271,13 @@ func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
 		if rh.Rec == nil {
 			rh.Rec = &metrics.Recovery{}
 		}
+		cfg.Pooled = false // retained payloads must never be recycled
+	}
+	marshal := func(sp *subpic.SubPicture) []byte {
+		if cfg.Pooled {
+			return sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+		}
+		return sp.Marshal()
 	}
 	// A respawned incarnation must not skip the decoder-ack wait: the "very
 	// first picture" exemption belongs to the stream, not the incarnation.
@@ -286,7 +300,7 @@ func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
 			for t := 0; t < nd; t++ {
 				sp := &subpic.SubPicture{Final: true}
 				sp.Pic.Index = int32(msg.Tag) // total picture count
-				node.Send(cfg.DecoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: sp.Marshal()})
+				node.Send(cfg.DecoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: marshal(sp)})
 			}
 			return res, nil
 		}
@@ -351,7 +365,7 @@ func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
 		anid := msg.Tag // root told us who handles the next picture
 		b.Timed(metrics.PhaseServe, func() {
 			for t := 0; t < nd; t++ {
-				payload := sps[t].Marshal()
+				payload := marshal(sps[t])
 				res.SPBytes += int64(len(payload))
 				if rh != nil && rh.Retainer != nil {
 					rh.Retainer.Retain(t, msg.Seq, anid, payload)

@@ -1,0 +1,117 @@
+package subpic
+
+import (
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+)
+
+// sampleSubPicture builds a representative sub-picture: a few pieces with
+// non-trivial SPH state and an MEI list, the shape a 2x2 wall produces every
+// picture.
+func sampleSubPicture() *SubPicture {
+	sp := &SubPicture{}
+	sp.Pic = PicInfo{Index: 7, TemporalRef: 3, PicType: 2, Flags: flagQScaleType | flagAltScan, DCPrecision: 1}
+	sp.Pic.FCode = [2][2]uint8{{2, 2}, {3, 3}}
+	for i := 0; i < 4; i++ {
+		p := Piece{Payload: make([]byte, 96+i*17)}
+		p.SPH = SPH{
+			SkipBits:   uint8(i % 8),
+			FirstAddr:  int32(11 * i),
+			CodedCount: int32(5 + i),
+			QuantCode:  uint8(8 + i),
+			DCPred:     [3]int32{128, 64, 64},
+		}
+		p.SPH.PMV[0][0] = [2]int32{int32(-4 * i), int32(2 * i)}
+		p.SPH.Prev = mpeg2.MotionInfo{Fwd: true, MVFwd: [2]int32{3, -5}}
+		for j := range p.Payload {
+			p.Payload[j] = byte(i*31 + j)
+		}
+		sp.Pieces = append(sp.Pieces, p)
+	}
+	for i := 0; i < 6; i++ {
+		sp.MEI = append(sp.MEI, MEIInstr{
+			Kind: MEIKind(i % 2), Ref: RefSel(i % 2),
+			MBX: uint16(i), MBY: uint16(i * 2), Peer: uint16(i % 4),
+		})
+	}
+	return sp
+}
+
+// TestSubPictureRoundtripNoAlloc pins the zero-allocation contract of the
+// pooled marshal path: AppendTo into a right-sized slab plus UnmarshalInto a
+// reused value must not touch the heap once warm.
+func TestSubPictureRoundtripNoAlloc(t *testing.T) {
+	sp := sampleSubPicture()
+	slab := make([]byte, 0, sp.WireSize())
+
+	var dst SubPicture
+	wire := sp.AppendTo(slab)
+	if len(wire) != sp.WireSize() {
+		t.Fatalf("AppendTo produced %d bytes, WireSize says %d", len(wire), sp.WireSize())
+	}
+	if err := UnmarshalInto(&dst, wire); err != nil { // warm dst's slices
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		wire := sp.AppendTo(slab[:0])
+		if err := UnmarshalInto(&dst, wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm sub-picture roundtrip allocates %v per run, want 0", allocs)
+	}
+	if len(dst.Pieces) != len(sp.Pieces) || len(dst.MEI) != len(sp.MEI) {
+		t.Fatalf("roundtrip lost structure: %d pieces %d MEI", len(dst.Pieces), len(dst.MEI))
+	}
+}
+
+// TestBlockBundleRoundtripNoAlloc is the same contract for the
+// decoder-to-decoder macroblock exchange payload.
+func TestBlockBundleRoundtripNoAlloc(t *testing.T) {
+	bb := &BlockBundle{PicIndex: 5}
+	for i := 0; i < 9; i++ {
+		bb.Cells = append(bb.Cells, BlockCell{Ref: RefSel(i % 2), MBX: uint16(i), MBY: uint16(i / 3)})
+	}
+	bb.Pixels = make([]byte, len(bb.Cells)*mpeg2.MacroblockBytes)
+	for i := range bb.Pixels {
+		bb.Pixels[i] = byte(i)
+	}
+	slab := make([]byte, 0, bb.WireSize())
+
+	var dst BlockBundle
+	if err := UnmarshalBlocksInto(&dst, bb.AppendTo(slab)); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		wire := bb.AppendTo(slab[:0])
+		if err := UnmarshalBlocksInto(&dst, wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm block-bundle roundtrip allocates %v per run, want 0", allocs)
+	}
+	if len(dst.Cells) != len(bb.Cells) || len(dst.Pixels) != len(bb.Pixels) {
+		t.Fatalf("roundtrip lost structure: %d cells %d pixel bytes", len(dst.Cells), len(dst.Pixels))
+	}
+}
+
+// BenchmarkSubpicRoundtrip times the pooled serialise/parse cycle every
+// sub-picture crosses the fabric with.
+func BenchmarkSubpicRoundtrip(b *testing.B) {
+	sp := sampleSubPicture()
+	slab := make([]byte, 0, sp.WireSize())
+	var dst SubPicture
+	b.SetBytes(int64(sp.WireSize()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire := sp.AppendTo(slab[:0])
+		if err := UnmarshalInto(&dst, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

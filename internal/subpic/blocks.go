@@ -25,9 +25,19 @@ type BlockCell struct {
 	MBX, MBY uint16
 }
 
+// WireSize returns the exact number of bytes Marshal/AppendTo produce.
+func (b *BlockBundle) WireSize() int {
+	return 8 + len(b.Cells)*6 + len(b.Pixels)
+}
+
 // Marshal serialises the bundle.
 func (b *BlockBundle) Marshal() []byte {
-	out := make([]byte, 0, 8+len(b.Cells)*6+len(b.Pixels))
+	return b.AppendTo(make([]byte, 0, b.WireSize()))
+}
+
+// AppendTo serialises the bundle onto out and returns the extended slice.
+// With cap(out)-len(out) >= WireSize() it performs no allocation.
+func (b *BlockBundle) AppendTo(out []byte) []byte {
 	out = binary.LittleEndian.AppendUint32(out, uint32(b.PicIndex))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Cells)))
 	for _, c := range b.Cells {
@@ -41,16 +51,30 @@ func (b *BlockBundle) Marshal() []byte {
 
 // UnmarshalBlocks parses a bundle.
 func UnmarshalBlocks(data []byte) (*BlockBundle, error) {
-	if len(data) < 8 {
-		return nil, fmt.Errorf("subpic: truncated block bundle")
+	b := &BlockBundle{}
+	if err := UnmarshalBlocksInto(b, data); err != nil {
+		return nil, err
 	}
-	b := &BlockBundle{PicIndex: int32(binary.LittleEndian.Uint32(data))}
+	return b, nil
+}
+
+// UnmarshalBlocksInto parses a bundle into b, reusing its Cells storage.
+// Pixels aliases data — the bundle is valid only as long as data is.
+func UnmarshalBlocksInto(b *BlockBundle, data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("subpic: truncated block bundle")
+	}
+	b.PicIndex = int32(binary.LittleEndian.Uint32(data))
 	n := int(binary.LittleEndian.Uint32(data[4:]))
 	data = data[8:]
 	if n < 0 || len(data) < n*6 {
-		return nil, fmt.Errorf("subpic: block bundle cell list truncated")
+		return fmt.Errorf("subpic: block bundle cell list truncated")
 	}
-	b.Cells = make([]BlockCell, n)
+	if cap(b.Cells) >= n {
+		b.Cells = b.Cells[:n]
+	} else {
+		b.Cells = make([]BlockCell, n)
+	}
 	for i := range b.Cells {
 		b.Cells[i] = BlockCell{
 			Ref: RefSel(data[0]),
@@ -60,8 +84,8 @@ func UnmarshalBlocks(data []byte) (*BlockBundle, error) {
 		data = data[6:]
 	}
 	if len(data) != n*mpeg2.MacroblockBytes {
-		return nil, fmt.Errorf("subpic: block bundle pixel payload %d bytes, want %d", len(data), n*mpeg2.MacroblockBytes)
+		return fmt.Errorf("subpic: block bundle pixel payload %d bytes, want %d", len(data), n*mpeg2.MacroblockBytes)
 	}
 	b.Pixels = data
-	return b, nil
+	return nil
 }

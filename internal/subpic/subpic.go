@@ -128,7 +128,15 @@ func (p *PicInfo) FromHeader(index int, ph *mpeg2.PictureHeader) {
 
 // Header reconstitutes a picture header (frame picture, frame prediction).
 func (p *PicInfo) Header() *mpeg2.PictureHeader {
-	ph := &mpeg2.PictureHeader{
+	ph := new(mpeg2.PictureHeader)
+	p.HeaderInto(ph)
+	return ph
+}
+
+// HeaderInto reconstitutes the picture header into ph, overwriting every
+// field; pooled decode paths reuse one header value across pictures.
+func (p *PicInfo) HeaderInto(ph *mpeg2.PictureHeader) {
+	*ph = mpeg2.PictureHeader{
 		TemporalRef:      int(p.TemporalRef),
 		PicType:          mpeg2.PictureType(p.PicType),
 		VBVDelay:         0xFFFF,
@@ -145,7 +153,6 @@ func (p *PicInfo) Header() *mpeg2.PictureHeader {
 			ph.FCode[s][t] = int(p.FCode[s][t])
 		}
 	}
-	return ph
 }
 
 // SubPicture is everything one decoder receives for one picture.
@@ -247,15 +254,25 @@ func (h *SPH) parse(b []byte) ([]byte, error) {
 	return b, nil
 }
 
-// Marshal serialises the sub-picture.
-func (sp *SubPicture) Marshal() []byte {
+// WireSize returns the exact number of bytes Marshal/AppendTo produce, so a
+// sender can draw a right-sized slab from a pool before encoding.
+func (sp *SubPicture) WireSize() int {
 	size := 1 + 4 + 4 + 1 + 4 + 1 + 1 + 4 + 4
 	for i := range sp.Pieces {
 		size += sphWireSize + 4 + len(sp.Pieces[i].Payload)
 	}
 	size += len(sp.MEI) * 8
-	b := make([]byte, 0, size)
+	return size
+}
 
+// Marshal serialises the sub-picture.
+func (sp *SubPicture) Marshal() []byte {
+	return sp.AppendTo(make([]byte, 0, sp.WireSize()))
+}
+
+// AppendTo serialises the sub-picture onto b and returns the extended slice.
+// With cap(b)-len(b) >= WireSize() it performs no allocation.
+func (sp *SubPicture) AppendTo(b []byte) []byte {
 	if sp.Final {
 		b = append(b, 1)
 	} else {
@@ -288,6 +305,16 @@ func (sp *SubPicture) Marshal() []byte {
 // Unmarshal parses a serialised sub-picture.
 func Unmarshal(b []byte) (*SubPicture, error) {
 	sp := &SubPicture{}
+	if err := UnmarshalInto(sp, b); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// UnmarshalInto parses a serialised sub-picture into sp, reusing the MEI and
+// Pieces storage already hanging off it. Piece payloads alias b — sp is
+// valid only as long as b is. On error sp is left in an unspecified state.
+func UnmarshalInto(sp *SubPicture, b []byte) error {
 	need := func(n int) error {
 		if len(b) < n {
 			return fmt.Errorf("subpic: truncated message")
@@ -295,7 +322,7 @@ func Unmarshal(b []byte) (*SubPicture, error) {
 		return nil
 	}
 	if err := need(1 + 4 + 4 + 1 + 4 + 2 + 4); err != nil {
-		return nil, err
+		return err
 	}
 	sp.Final = b[0] == 1
 	b = b[1:]
@@ -315,12 +342,16 @@ func Unmarshal(b []byte) (*SubPicture, error) {
 
 	nMEI := int(g32())
 	if nMEI < 0 || nMEI > 1<<24 {
-		return nil, fmt.Errorf("subpic: implausible MEI count %d", nMEI)
+		return fmt.Errorf("subpic: implausible MEI count %d", nMEI)
 	}
 	if err := need(nMEI * 8); err != nil {
-		return nil, err
+		return err
 	}
-	sp.MEI = make([]MEIInstr, nMEI)
+	if cap(sp.MEI) >= nMEI {
+		sp.MEI = sp.MEI[:nMEI]
+	} else {
+		sp.MEI = make([]MEIInstr, nMEI)
+	}
 	for i := range sp.MEI {
 		sp.MEI[i] = MEIInstr{
 			Kind: MEIKind(b[0]),
@@ -333,7 +364,7 @@ func Unmarshal(b []byte) (*SubPicture, error) {
 	}
 
 	if err := need(4); err != nil {
-		return nil, err
+		return err
 	}
 	nPieces := int(g32())
 	// Bound the count by the bytes actually present (each piece costs at
@@ -341,25 +372,29 @@ func Unmarshal(b []byte) (*SubPicture, error) {
 	// 4-byte count must not be able to demand a multi-gigabyte zeroed
 	// slice from a truncated message.
 	if nPieces < 0 || nPieces > len(b)/(sphWireSize+4) {
-		return nil, fmt.Errorf("subpic: implausible piece count %d for %d payload bytes", nPieces, len(b))
+		return fmt.Errorf("subpic: implausible piece count %d for %d payload bytes", nPieces, len(b))
 	}
-	sp.Pieces = make([]Piece, nPieces)
+	if cap(sp.Pieces) >= nPieces {
+		sp.Pieces = sp.Pieces[:nPieces]
+	} else {
+		sp.Pieces = make([]Piece, nPieces)
+	}
 	for i := range sp.Pieces {
 		p := &sp.Pieces[i]
 		rest, err := p.SPH.parse(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b = rest
 		if err := need(4); err != nil {
-			return nil, err
+			return err
 		}
 		n := int(g32())
 		if n < 0 || n > len(b) {
-			return nil, fmt.Errorf("subpic: piece payload length %d exceeds message", n)
+			return fmt.Errorf("subpic: piece payload length %d exceeds message", n)
 		}
 		p.Payload = b[:n:n]
 		b = b[n:]
 	}
-	return sp, nil
+	return nil
 }

@@ -45,6 +45,14 @@ type Config struct {
 	// memory traffic outside the measured path).
 	CollectFrames bool
 
+	// Pooled recycles message slabs, pixel buffers and per-picture decode
+	// state across the pipeline, eliminating steady-state heap allocation on
+	// the decode hot path. Pixels must be bit-identical either way — the
+	// conformance matrix runs a pooled axis to prove it. Forced off when
+	// Recovery is enabled: retained replay payloads must not be recycled
+	// under the retainers.
+	Pooled bool
+
 	// Recovery enables the fault-tolerance layer (DESIGN.md §6): reliable
 	// endpoints with retransmission on every node, a supervisor that respawns
 	// crashed splitters and decoders from retained picture windows, and
@@ -297,6 +305,7 @@ func runTwoLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 				Index:        i,
 				DecoderNodes: res.DecoderNodeIDs,
 				RootNode:     0,
+				Pooled:       cfg.Pooled,
 			})
 			if errs[1+i] != nil {
 				fab.Abort(errs[1+i])
@@ -316,6 +325,7 @@ func runTwoLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 				TileNode:       tileNode,
 				OnFrame:        onFrame,
 				UnbatchedSends: cfg.UnbatchedExchange,
+				Pooled:         cfg.Pooled,
 			})
 			res.Decoders[t], errs[1+cfg.K+t] = d.Run()
 			if errs[1+cfg.K+t] != nil {
@@ -381,7 +391,7 @@ func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res.Splitters[0], errs[0] = runCombinedSplitter(fab.Node(0), s, geo, res.DecoderNodeIDs)
+		res.Splitters[0], errs[0] = runCombinedSplitter(fab.Node(0), s, geo, res.DecoderNodeIDs, cfg.Pooled)
 		if errs[0] != nil {
 			fab.Abort(errs[0])
 		}
@@ -399,6 +409,7 @@ func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 				TileNode:       tileNode,
 				OnFrame:        onFrame,
 				UnbatchedSends: cfg.UnbatchedExchange,
+				Pooled:         cfg.Pooled,
 			})
 			res.Decoders[t], errs[1+t] = d.Run()
 			if errs[1+t] != nil {
@@ -433,11 +444,17 @@ func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 }
 
 // runCombinedSplitter scans and splits on one node (the 1-(m,n) console).
-func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int) (*splitter.SecondResult, error) {
+func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int, pooled bool) (*splitter.SecondResult, error) {
 	res := &splitter.SecondResult{}
 	b := &res.Breakdown
 	ms := splitter.NewMBSplitter(s.Seq, geo)
 	nd := len(decoderNodes)
+	marshal := func(sp *subpic.SubPicture) []byte {
+		if pooled {
+			return sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+		}
+		return sp.Marshal()
+	}
 
 	for seq, unit := range s.Pictures {
 		res.InputBytes += int64(len(unit))
@@ -463,7 +480,7 @@ func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry
 		}
 		b.Timed(metrics.PhaseServe, func() {
 			for t := 0; t < nd; t++ {
-				payload := sps[t].Marshal()
+				payload := marshal(sps[t])
 				res.SPBytes += int64(len(payload))
 				node.Send(decoderNodes[t], &cluster.Message{
 					Kind:    cluster.MsgSubPicture,
@@ -479,7 +496,7 @@ func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry
 	for t := 0; t < nd; t++ {
 		sp := &subpic.SubPicture{Final: true}
 		sp.Pic.Index = int32(len(s.Pictures))
-		node.Send(decoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: sp.Marshal()})
+		node.Send(decoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: marshal(sp)})
 	}
 	return res, nil
 }
