@@ -34,6 +34,7 @@ func main() {
 		overlap = flag.Int("overlap", 0, "projector overlap in pixels")
 		verify  = flag.Bool("verify", false, "compare output against the serial decoder")
 		pooled  = flag.Bool("pooled", false, "recycle message slabs and decode state (zero steady-state allocation)")
+		splitW  = flag.Int("split-workers", 0, "slice-parse workers per splitter (0 = GOMAXPROCS, 1 = serial)")
 		snap    = flag.String("snapshot", "", "write the first displayed frame as a PPM image")
 		bwBps   = flag.Float64("bandwidth", 0, "fabric throttle in bytes/s (0 = unthrottled)")
 	)
@@ -61,7 +62,7 @@ func main() {
 			cal.TS, cal.TD, *k, cal.PredictedFPS(*k))
 	}
 
-	cfg := system.Config{K: *k, M: *m, N: *n, Overlap: *overlap, Pooled: *pooled, CollectFrames: *verify || *snap != ""}
+	cfg := system.Config{K: *k, M: *m, N: *n, Overlap: *overlap, Pooled: *pooled, SplitWorkers: *splitW, CollectFrames: *verify || *snap != ""}
 	cfg.Fabric.BandwidthBps = *bwBps
 	res, err := system.Run(data, cfg)
 	if err != nil {

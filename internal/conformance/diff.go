@@ -82,6 +82,9 @@ func (r MatrixResult) Name() string {
 	if r.Config.Pooled {
 		name += "+pooled"
 	}
+	if r.Config.SplitWorkers > 0 {
+		name += fmt.Sprintf("+sw%d", r.Config.SplitWorkers)
+	}
 	return name
 }
 
@@ -106,6 +109,13 @@ func DefaultMatrix() []system.Config {
 		{K: 0, M: 2, N: 2, Pooled: true},
 		{K: 2, M: 2, N: 2, Pooled: true},
 		{K: 3, M: 2, N: 2, Overlap: 16, Pooled: true},
+		// Split-workers axis: the slice-parallel splitter against the same
+		// oracle, serial path and fan-outs beyond the slice count included,
+		// with and without accumulator reuse, on the overlap geometry too.
+		{K: 2, M: 2, N: 2, SplitWorkers: 1},
+		{K: 2, M: 2, N: 2, SplitWorkers: 4},
+		{K: 1, M: 2, N: 2, Pooled: true, SplitWorkers: 2},
+		{K: 3, M: 2, N: 2, Overlap: 16, SplitWorkers: 4},
 	}
 }
 

@@ -1,0 +1,87 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/splitter"
+	"tiledwall/internal/wall"
+)
+
+// TestSplitWorkersSubPictures holds the slice-parallel splitter to the serial
+// oracle at the wire level: for every seeded stream, geometry and worker
+// count, each picture's marshaled sub-pictures — SPH bit-skip offsets,
+// macroblock addresses, piece payloads, MEI SEND/RECV lists — must be
+// byte-identical to a serial split. This is a stronger check than the pixel
+// matrix (which would also pass if decoders happened to tolerate a protocol
+// difference), and under -race it exercises the worker pool across the full
+// conformance stream sweep.
+func TestSplitWorkersSubPictures(t *testing.T) {
+	// The unique tile geometries of DefaultMatrix.
+	geometries := []struct{ m, n, ov int }{{1, 1, 0}, {2, 1, 0}, {2, 2, 0}, {3, 2, 0}, {2, 2, 16}}
+	for _, seed := range []int64{1, 8, 17} {
+		p := ParamsForSeed(seed)
+		seed := seed
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			stream, err := p.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := mpeg2.ParseStream(stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			picW, picH := s.Seq.MBWidth()*16, s.Seq.MBHeight()*16
+			for _, g := range geometries {
+				geo, err := wall.NewGeometry(picW, picH, g.m, g.n, g.ov)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial := splitter.NewMBSplitter(s.Seq, geo)
+				for _, workers := range []int{2, 4} {
+					par := splitter.NewMBSplitterOpts(s.Seq, geo, splitter.SplitOptions{Workers: workers})
+					for pi, unit := range s.Pictures {
+						want, err := serial.Split(unit, pi)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := par.Split(unit, pi)
+						if err != nil {
+							t.Fatalf("seed %d (%d,%d)ov%d sw%d pic %d: %v", seed, g.m, g.n, g.ov, workers, pi, err)
+						}
+						for tile := range want {
+							wb, gb := want[tile].Marshal(), got[tile].Marshal()
+							if !bytes.Equal(wb, gb) {
+								t.Fatalf("seed %d (%d,%d)ov%d sw%d pic %d tile %d: sub-picture bytes diverge (serial %dB, parallel %dB)",
+									seed, g.m, g.n, g.ov, workers, pi, tile, len(wb), len(gb))
+							}
+						}
+					}
+					par.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestMatrixNamesSplitWorkers pins the split-workers axis into the committed
+// matrix and its reporting: at least two configurations with SplitWorkers >=
+// 2 must be present and visible in the configuration names.
+func TestMatrixNamesSplitWorkers(t *testing.T) {
+	parallel := 0
+	for _, cfg := range DefaultMatrix() {
+		if cfg.SplitWorkers >= 2 {
+			parallel++
+			name := MatrixResult{Config: cfg}.Name()
+			if want := fmt.Sprintf("+sw%d", cfg.SplitWorkers); !bytes.Contains([]byte(name), []byte(want)) {
+				t.Errorf("matrix name %q does not carry the split-workers axis (%s)", name, want)
+			}
+		}
+	}
+	if parallel < 2 {
+		t.Fatalf("conformance matrix has %d split-parallel configurations, want >= 2", parallel)
+	}
+}

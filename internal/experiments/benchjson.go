@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -19,16 +20,20 @@ import (
 // two such documents and fails on regression, which is what the CI bench job
 // runs on every push.
 
-// BenchReport is the JSON document.
+// BenchReport is the JSON document. GoArch and GoMaxProcs identify the
+// machine class that produced it: absolute figures — and especially the
+// split-worker scaling, which needs a core per worker to show up in wall
+// time — are only comparable between reports with matching values.
 type BenchReport struct {
-	Date    string          `json:"date"`
-	Seed    int64           `json:"seed"`
-	Frames  int             `json:"frames"`
-	Scale   int             `json:"scale"`
-	GoArch  string          `json:"goarch,omitempty"`
-	Serial  SerialBench     `json:"serial"`
-	Kernels []KernelBench   `json:"kernels"`
-	Systems []ParallelBench `json:"systems"`
+	Date       string          `json:"date"`
+	Seed       int64           `json:"seed"`
+	Frames     int             `json:"frames"`
+	Scale      int             `json:"scale"`
+	GoArch     string          `json:"goarch,omitempty"`
+	GoMaxProcs int             `json:"gomaxprocs,omitempty"`
+	Serial     SerialBench     `json:"serial"`
+	Kernels    []KernelBench   `json:"kernels"`
+	Systems    []ParallelBench `json:"systems"`
 }
 
 // SerialBench measures the single-PC decoder in steady state (frames
@@ -49,13 +54,18 @@ type KernelBench struct {
 }
 
 // ParallelBench is one parallel configuration's modeled throughput and
-// decoder phase breakdown.
+// decoder phase breakdown. SplitPhaseMsPP resolves the splitters' work into
+// the scan/parse/sort/serialize stages (the paper's ts term); "Parse" is the
+// critical path across the split workers and "ParseWall" the raw wall time
+// of the same region on the reporting host.
 type ParallelBench struct {
-	Config    string             `json:"config"`
-	Pooled    bool               `json:"pooled"`
-	Nodes     int                `json:"nodes"`
-	FPS       float64            `json:"fps"`
-	PhaseMsPP map[string]float64 `json:"phase_ms_per_picture"`
+	Config         string             `json:"config"`
+	Pooled         bool               `json:"pooled"`
+	SplitWorkers   int                `json:"split_workers,omitempty"`
+	Nodes          int                `json:"nodes"`
+	FPS            float64            `json:"fps"`
+	PhaseMsPP      map[string]float64 `json:"phase_ms_per_picture"`
+	SplitPhaseMsPP map[string]float64 `json:"split_phase_ms_per_picture,omitempty"`
 }
 
 // BenchJSON runs the continuous-benchmark suite and returns the report.
@@ -64,6 +74,7 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 	o.defaults()
 	rep := &BenchReport{
 		Date: now.Format("2006-01-02"), Seed: o.Seed, Frames: o.Frames, Scale: o.Scale,
+		GoArch: runtime.GOARCH, GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
 	data, _, err := Stream(8, o, false)
@@ -79,22 +90,30 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 	}
 	rep.Kernels = kernelBench()
 
+	// SplitWorkers is pinned (never the GOMAXPROCS default) so every report
+	// runs the same configurations regardless of host width. The 1-1-(4,4)
+	// pair is the splitter-bound measurement: a single second-level splitter
+	// feeding sixteen decoders is the regime where ts limits F = min(k/ts,
+	// 1/td), so the 4-worker entry shows what slice parallelism buys.
 	for _, cfg := range []system.Config{
-		{K: 0, M: 2, N: 2},
-		{K: 2, M: 2, N: 2},
-		{K: 2, M: 2, N: 2, Pooled: true},
+		{K: 0, M: 2, N: 2, SplitWorkers: 1},
+		{K: 2, M: 2, N: 2, SplitWorkers: 1},
+		{K: 2, M: 2, N: 2, Pooled: true, SplitWorkers: 1},
+		{K: 1, M: 4, N: 4, Pooled: true, SplitWorkers: 1},
+		{K: 1, M: 4, N: 4, Pooled: true, SplitWorkers: 4},
 	} {
-		fmt.Fprintf(o.Log, "benchjson: 1-%d-(%d,%d) pooled=%v\n", cfg.K, cfg.M, cfg.N, cfg.Pooled)
+		fmt.Fprintf(o.Log, "benchjson: 1-%d-(%d,%d) pooled=%v sw=%d\n", cfg.K, cfg.M, cfg.N, cfg.Pooled, cfg.SplitWorkers)
 		res, err := system.Run(data, cfg)
 		if err != nil {
 			return nil, err
 		}
 		pb := ParallelBench{
-			Config:    fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N),
-			Pooled:    cfg.Pooled,
-			Nodes:     res.Config.NumNodes(),
-			FPS:       res.Modeled().FPS(),
-			PhaseMsPP: map[string]float64{},
+			Config:       fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N),
+			Pooled:       cfg.Pooled,
+			SplitWorkers: cfg.SplitWorkers,
+			Nodes:        res.Config.NumNodes(),
+			FPS:          res.Modeled().FPS(),
+			PhaseMsPP:    map[string]float64{},
 		}
 		for _, p := range metrics.Phases() {
 			var sum float64
@@ -104,6 +123,19 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 			if len(res.Decoders) > 0 {
 				pb.PhaseMsPP[p.String()] = sum / float64(len(res.Decoders))
 			}
+		}
+		var sb metrics.SplitBreakdown
+		for _, sp := range res.Splitters {
+			if sp != nil {
+				sb.Merge(sp.Split)
+			}
+		}
+		if sb.Pictures > 0 {
+			pb.SplitPhaseMsPP = map[string]float64{}
+			for _, p := range metrics.SplitPhases() {
+				pb.SplitPhaseMsPP[p.String()] = sb.PerPicture(p)
+			}
+			pb.SplitPhaseMsPP["ParseWall"] = sb.ParseWall.Seconds() * 1000 / float64(sb.Pictures)
 		}
 		rep.Systems = append(rep.Systems, pb)
 	}
@@ -200,8 +232,11 @@ func ReadBenchJSON(r io.Reader) (*BenchReport, error) {
 // drop beyond tol (a fraction, e.g. 0.10), or any increase in serial
 // allocations per picture beyond tol, is a regression. Kernel timings are
 // informational (too noisy on shared CI hardware to gate on). Returns the
-// list of violations, empty when cur is acceptable.
-func CompareBenchReports(base, cur *BenchReport, tol float64) []string {
+// list of violations, empty when cur is acceptable, plus warnings for
+// metrics present on one side only — a grown suite must not fail against an
+// older baseline (the mismatch is reported, not gated), and a shrunk one
+// must not silently lose coverage.
+func CompareBenchReports(base, cur *BenchReport, tol float64) (violations, warnings []string) {
 	var bad []string
 	check := func(name string, baseV, curV float64, lowerIsBetter bool) {
 		if baseV <= 0 {
@@ -225,14 +260,30 @@ func CompareBenchReports(base, cur *BenchReport, tol float64) []string {
 	if cur.Serial.AllocsPerPic > base.Serial.AllocsPerPic+1 {
 		check("serial allocs/picture", base.Serial.AllocsPerPic, cur.Serial.AllocsPerPic, true)
 	}
+	sysKey := func(p ParallelBench) string {
+		return fmt.Sprintf("%s pooled=%v sw=%d", p.Config, p.Pooled, p.SplitWorkers)
+	}
 	baseSys := map[string]ParallelBench{}
 	for _, b := range base.Systems {
-		baseSys[fmt.Sprintf("%s/%v", b.Config, b.Pooled)] = b
+		baseSys[sysKey(b)] = b
 	}
+	curSys := map[string]bool{}
 	for _, c := range cur.Systems {
-		if b, ok := baseSys[fmt.Sprintf("%s/%v", c.Config, c.Pooled)]; ok {
-			check(fmt.Sprintf("%s pooled=%v fps", c.Config, c.Pooled), b.FPS, c.FPS, false)
+		curSys[sysKey(c)] = true
+		if b, ok := baseSys[sysKey(c)]; ok {
+			check(fmt.Sprintf("%s fps", sysKey(c)), b.FPS, c.FPS, false)
+		} else {
+			warnings = append(warnings, fmt.Sprintf("%s: not in baseline, skipped (regenerate the baseline to gate it)", sysKey(c)))
 		}
 	}
-	return bad
+	for _, b := range base.Systems {
+		if !curSys[sysKey(b)] {
+			warnings = append(warnings, fmt.Sprintf("%s: in baseline but missing from current report", sysKey(b)))
+		}
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs && base.GoMaxProcs > 0 && cur.GoMaxProcs > 0 {
+		warnings = append(warnings, fmt.Sprintf("gomaxprocs differs (baseline %d, current %d): absolute figures are not comparable",
+			base.GoMaxProcs, cur.GoMaxProcs))
+	}
+	return bad, warnings
 }

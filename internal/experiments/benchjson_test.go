@@ -20,8 +20,16 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 	if rep.Serial.AllocsPerPic > 4 {
 		t.Fatalf("serial allocs/picture %.2f exceeds steady-state budget", rep.Serial.AllocsPerPic)
 	}
-	if len(rep.Kernels) != 3 || len(rep.Systems) != 3 {
+	if len(rep.Kernels) != 3 || len(rep.Systems) != 5 {
 		t.Fatalf("report shape: %d kernels %d systems", len(rep.Kernels), len(rep.Systems))
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Fatalf("gomaxprocs not recorded: %d", rep.GoMaxProcs)
+	}
+	for _, sys := range rep.Systems {
+		if len(sys.SplitPhaseMsPP) == 0 {
+			t.Fatalf("%s: no splitter phase breakdown", sys.Config)
+		}
 	}
 
 	var buf bytes.Buffer
@@ -36,26 +44,42 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 		t.Fatalf("roundtrip mismatch: %+v vs %+v", back.Serial, rep.Serial)
 	}
 
-	// Identical reports pass the guard.
-	if v := CompareBenchReports(rep, back, 0.10); len(v) != 0 {
-		t.Fatalf("self-comparison flagged: %v", v)
+	// Identical reports pass the guard without warnings.
+	if v, w := CompareBenchReports(rep, back, 0.10); len(v) != 0 || len(w) != 0 {
+		t.Fatalf("self-comparison flagged: %v / %v", v, w)
 	}
 	// A halved frame rate fails it.
 	worse := *back
 	worse.Serial.FPS /= 2
-	if v := CompareBenchReports(rep, &worse, 0.10); len(v) == 0 {
+	if v, _ := CompareBenchReports(rep, &worse, 0.10); len(v) == 0 {
 		t.Fatal("50% fps regression not flagged")
 	}
 	// Returning heap allocation fails it.
 	leaky := *back
 	leaky.Serial.AllocsPerPic = rep.Serial.AllocsPerPic + 30
-	if v := CompareBenchReports(rep, &leaky, 0.10); len(v) == 0 {
+	if v, _ := CompareBenchReports(rep, &leaky, 0.10); len(v) == 0 {
 		t.Fatal("allocation regression not flagged")
 	}
 	// Within-tolerance jitter passes.
 	jitter := *back
 	jitter.Serial.FPS *= 0.95
-	if v := CompareBenchReports(rep, &jitter, 0.10); len(v) != 0 {
+	if v, _ := CompareBenchReports(rep, &jitter, 0.10); len(v) != 0 {
 		t.Fatalf("5%% jitter flagged: %v", v)
+	}
+	// A system the baseline does not know warns but never fails: growing the
+	// suite must not require a new baseline in the same change.
+	oldBase := *rep
+	oldBase.Systems = rep.Systems[:len(rep.Systems)-1]
+	v, w := CompareBenchReports(&oldBase, back, 0.10)
+	if len(v) != 0 {
+		t.Fatalf("new system gated against old baseline: %v", v)
+	}
+	if len(w) != 1 {
+		t.Fatalf("want 1 missing-from-baseline warning, got %v", w)
+	}
+	// And the reverse: a system dropped from the current report warns too.
+	v, w = CompareBenchReports(rep, &oldBase, 0.10)
+	if len(v) != 0 || len(w) != 1 {
+		t.Fatalf("dropped system: violations %v warnings %v", v, w)
 	}
 }

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// SplitPhase identifies one stage of the second-level splitter's per-picture
+// work. PhaseWork on a splitter Breakdown is the wall time of the whole
+// splitting stage; SplitBreakdown resolves it into the stages that matter for
+// the paper's ts term, so the continuous-bench reports show where slice
+// parallelism buys its reduction.
+type SplitPhase int
+
+const (
+	// SplitScan is header parsing plus the byte-aligned slice start-code
+	// index (serial, cheap).
+	SplitScan SplitPhase = iota
+	// SplitParse is the full VLD of the slices — the parallel region, and
+	// the dominant share of ts.
+	SplitParse
+	// SplitSort is the deterministic merge: stitching per-slice piece lists
+	// in slice order and deduplicating MEIs globally.
+	SplitSort
+	// SplitSerialize is sub-picture wire encoding (counted by the node
+	// runner, not by MBSplitter).
+	SplitSerialize
+	numSplitPhases
+)
+
+func (p SplitPhase) String() string {
+	switch p {
+	case SplitScan:
+		return "Scan"
+	case SplitParse:
+		return "Parse"
+	case SplitSort:
+		return "Sort"
+	case SplitSerialize:
+		return "Serialize"
+	}
+	return fmt.Sprintf("SplitPhase(%d)", int(p))
+}
+
+// SplitPhases lists all splitter phases in display order.
+func SplitPhases() []SplitPhase {
+	return []SplitPhase{SplitScan, SplitParse, SplitSort, SplitSerialize}
+}
+
+// SplitBreakdown accumulates splitter-stage time. Like Breakdown, it is
+// written by the owning goroutine and read after the pipeline finishes.
+//
+// SplitParse is the stage's critical path: the longest single worker's parse
+// time per picture, which is what a splitter PC with one core per worker
+// spends on the stage. ParseWall is the same region in simulation-host wall
+// time; the two coincide when the host has a core per worker and diverge
+// when workers timeshare — the exact situation Breakdown.Busy's modeled
+// methodology exists for (see EXPERIMENTS.md).
+type SplitBreakdown struct {
+	Durations [numSplitPhases]time.Duration
+	ParseWall time.Duration
+	Pictures  int
+}
+
+// Add accrues d into phase p.
+func (b *SplitBreakdown) Add(p SplitPhase, d time.Duration) { b.Durations[p] += d }
+
+// Merge accrues another breakdown (phase durations and picture count).
+func (b *SplitBreakdown) Merge(o SplitBreakdown) {
+	for i := range b.Durations {
+		b.Durations[i] += o.Durations[i]
+	}
+	b.ParseWall += o.ParseWall
+	b.Pictures += o.Pictures
+}
+
+// Total returns the sum over phases.
+func (b *SplitBreakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.Durations {
+		t += d
+	}
+	return t
+}
+
+// PerPicture returns the mean time per picture in phase p, in milliseconds.
+func (b *SplitBreakdown) PerPicture(p SplitPhase) float64 {
+	if b.Pictures == 0 {
+		return 0
+	}
+	return b.Durations[p].Seconds() * 1000 / float64(b.Pictures)
+}
+
+func (b *SplitBreakdown) String() string {
+	s := ""
+	for _, p := range SplitPhases() {
+		s += fmt.Sprintf("%s=%.2fms ", p, b.PerPicture(p))
+	}
+	return s
+}

@@ -94,33 +94,45 @@ func ParsePictureUnit(unit []byte) (*PictureHeader, int, error) {
 }
 
 func parsePictureUnitReader(r *bits.Reader, unit []byte) (*PictureHeader, int, error) {
-	if code := r.Read(32); code != 0x00000100 {
-		return nil, 0, syntaxErrf("picture unit does not start with picture start code (%08x)", code)
-	}
-	ph, err := ParsePictureHeader(r)
+	ph := &PictureHeader{}
+	sliceOff, err := ParsePictureUnitInto(r, unit, ph)
 	if err != nil {
 		return nil, 0, err
+	}
+	return ph, sliceOff, nil
+}
+
+// ParsePictureUnitInto is ParsePictureUnit into caller-owned storage: ph is
+// overwritten in full and r (positioned at the start of unit) supplies the
+// scratch reader. It returns the bit offset of the first slice start code.
+// The pooled splitter path keeps one header and reader across pictures.
+func ParsePictureUnitInto(r *bits.Reader, unit []byte, ph *PictureHeader) (int, error) {
+	if code := r.Read(32); code != 0x00000100 {
+		return 0, syntaxErrf("picture unit does not start with picture start code (%08x)", code)
+	}
+	if err := ParsePictureHeaderInto(r, ph); err != nil {
+		return 0, err
 	}
 	// Extensions and user data until the first slice.
 	for bits.NextStartCodeReader(r) {
 		pos := r.BitPos() / 8
 		code := unit[pos+3]
 		if bits.IsSliceStartCode(code) {
-			return ph, r.BitPos(), nil
+			return r.BitPos(), nil
 		}
 		r.Skip(32)
 		switch code {
 		case bits.ExtensionStartCod:
 			if id := int(r.Peek(4)); id == extPictureCoding {
 				if err := ParsePictureCodingExtension(r, ph); err != nil {
-					return nil, 0, err
+					return 0, err
 				}
 			}
 		case bits.UserDataStartCode:
 			// Skipped; the scan loop advances to the next start code.
 		}
 	}
-	return nil, 0, syntaxErrf("picture unit has no slices")
+	return 0, syntaxErrf("picture unit has no slices")
 }
 
 // DecodePictureUnit decodes one picture unit into dst using the given

@@ -209,10 +209,21 @@ func ParseSequenceExtension(r *bits.Reader, s *SequenceHeader) error {
 // start code.
 func ParsePictureHeader(r *bits.Reader) (*PictureHeader, error) {
 	p := &PictureHeader{}
+	if err := ParsePictureHeaderInto(r, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParsePictureHeaderInto is ParsePictureHeader into caller-owned storage,
+// overwriting every field: the pooled decode and split paths keep one
+// PictureHeader per goroutine across pictures.
+func ParsePictureHeaderInto(r *bits.Reader, p *PictureHeader) error {
+	*p = PictureHeader{}
 	p.TemporalRef = int(r.Read(10))
 	p.PicType = PictureType(r.Read(3))
 	if p.PicType < PictureI || p.PicType > PictureB {
-		return nil, syntaxErrf("picture coding type %d", int(p.PicType))
+		return syntaxErrf("picture coding type %d", int(p.PicType))
 	}
 	p.VBVDelay = int(r.Read(16))
 	if p.PicType == PictureP || p.PicType == PictureB {
@@ -232,7 +243,7 @@ func ParsePictureHeader(r *bits.Reader) (*PictureHeader, error) {
 	p.FCode = [2][2]int{{15, 15}, {15, 15}}
 	p.PictureStructure = 3
 	p.FramePredDCT = true
-	return p, streamErr(r.Err())
+	return streamErr(r.Err())
 }
 
 // ParsePictureCodingExtension parses a picture coding extension into p; r

@@ -1,0 +1,57 @@
+package mpeg2
+
+import "tiledwall/internal/bits"
+
+// SliceRef locates one slice inside a picture unit. MPEG-2 slices begin with
+// byte-aligned start codes and each slice header resets the DC predictors,
+// the motion vector predictors and the quantiser scale (ISO 13818-2 §6.3.16),
+// so a slice located by SliceRef can be parsed with no state from its
+// predecessors — the property the slice-parallel splitter is built on.
+type SliceRef struct {
+	// HeaderBit is the absolute bit offset of the slice header within the
+	// unit: just past the 32-bit start code and, for pictures taller than
+	// 2800 lines, past the 3-bit slice_vertical_position_extension.
+	HeaderBit int
+	// VPos is the 1-based macroblock row, extension included.
+	VPos int
+}
+
+// IndexSlices appends a SliceRef for every slice of the picture unit to dst
+// and returns it. The scan starts at the byte containing bit offset
+// sliceOffBit (as returned by ParsePictureUnit) and stops at the first
+// non-slice start code, exactly where the serial slice loop breaks. It never
+// parses slice contents, so indexing a picture is a plain memchr-style sweep.
+func IndexSlices(seq *SequenceHeader, unit []byte, sliceOffBit int, dst []SliceRef) []SliceRef {
+	tall := seq.Height > 2800
+	for off := sliceOffBit / 8; ; off += 4 {
+		off = bits.NextStartCode(unit, off)
+		if off < 0 {
+			break
+		}
+		code := unit[off+3]
+		if !bits.IsSliceStartCode(code) {
+			break
+		}
+		ref := SliceRef{HeaderBit: (off + 4) * 8, VPos: int(code)}
+		if tall {
+			// slice_vertical_position_extension: top 3 bits of the byte after
+			// the start code. A truncated unit parses as extension 0 and fails
+			// in the slice header, matching the reader-based path.
+			if off+4 < len(unit) {
+				ref.VPos += int(unit[off+4]>>5) << 7
+			}
+			ref.HeaderBit += 3
+		}
+		dst = append(dst, ref)
+	}
+	return dst
+}
+
+// ResetFullAt re-arms the decoder for the full slice located by ref, seeking
+// r (which may be any reader, one per worker) to the slice header first.
+// Semantics otherwise match ResetFull.
+func (d *SliceDecoder) ResetFullAt(ctx *PictureContext, r *bits.Reader, unit []byte, ref SliceRef) error {
+	r.Reset(unit)
+	r.SeekBit(ref.HeaderBit)
+	return d.ResetFull(ctx, r, ref.VPos)
+}

@@ -1,0 +1,53 @@
+package splitter
+
+import "tiledwall/internal/subpic"
+
+// meiSeen is an epoch-stamped dense deduplication table for MEI instructions,
+// keyed by (destination tile, macroblock address, reference selector). It
+// replaces the map the splitter used to clear on every picture: opening a new
+// scope is one counter increment instead of a map sweep, and a probe is one
+// array load instead of a hash — which matters because the splitter probes it
+// for every reference cell of every inter macroblock.
+//
+// The wrap-around sweep below runs once every 2^32-1 scopes; everything else
+// is O(1) and allocation-free after init.
+type meiSeen struct {
+	marks []uint32
+	epoch uint32
+	mbs   int // macroblocks per picture (row-major address space)
+}
+
+// init sizes the table for tiles × mbs macroblock addresses × 2 reference
+// selectors. Safe to call repeatedly with the same geometry.
+func (m *meiSeen) init(tiles, mbs int) {
+	need := tiles * mbs * 2
+	if cap(m.marks) < need {
+		m.marks = make([]uint32, need)
+		m.epoch = 0
+	}
+	m.marks = m.marks[:need]
+	m.mbs = mbs
+}
+
+// begin opens a new dedup scope: per picture for the merge-level table, per
+// slice for the worker-local ones.
+func (m *meiSeen) begin() {
+	m.epoch++
+	if m.epoch == 0 { // uint32 wrap: old stamps would alias, clear them
+		for i := range m.marks {
+			m.marks[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
+// seen reports whether (tile, addr, ref) was already recorded in the current
+// scope, recording it if not.
+func (m *meiSeen) seen(tile, addr int, ref subpic.RefSel) bool {
+	i := (tile*m.mbs+addr)*2 + int(ref)
+	if m.marks[i] == m.epoch {
+		return true
+	}
+	m.marks[i] = m.epoch
+	return false
+}

@@ -242,19 +242,43 @@ type SecondConfig struct {
 	Recovery *recovery.SplitterHooks
 
 	// Pooled serialises sub-pictures into recycled cluster slabs (the
-	// receiving decoder releases them once decoded). Must be off under
+	// receiving decoder releases them once decoded) and lets the splitter
+	// reuse its sub-picture accumulators across pictures. Must be off under
 	// Recovery: the retainer keeps payloads alive for replay, which a
 	// recycled slab would corrupt. RunSecond forces it off when recovery
 	// hooks are wired.
 	Pooled bool
+
+	// SplitWorkers is the slice-parallel fan-out inside the splitter
+	// (SplitOptions.Workers): 0 selects GOMAXPROCS, 1 the serial path.
+	SplitWorkers int
 }
 
 // SecondResult reports a second-level splitter's run.
 type SecondResult struct {
 	Pictures   int
-	Breakdown  metrics.Breakdown // PhaseWork = splitting, PhaseReceive = waiting for root, PhaseWaitMB = waiting for decoder acks
-	SPBytes    int64             // serialised sub-picture bytes produced
-	InputBytes int64             // picture bytes received
+	Breakdown  metrics.Breakdown      // PhaseWork = splitting, PhaseReceive = waiting for root, PhaseWaitMB = waiting for decoder acks
+	Split      metrics.SplitBreakdown // PhaseWork resolved into scan/parse/sort, plus serialization from PhaseServe
+	SPBytes    int64                  // serialised sub-picture bytes produced
+	InputBytes int64                  // picture bytes received
+}
+
+// FoldSplit merges the splitter's phase breakdown into the result and models
+// the node's PhaseWork as the splitting stage's critical path: the parse
+// region's timeshared wall time is replaced by the slowest worker lane. This
+// is the per-node busy methodology of Result.Modeled (EXPERIMENTS.md) applied
+// one level down — each worker stands for a core of the splitter PC. On hosts
+// with a core per worker wall and critical path coincide and the adjustment
+// vanishes; ParseWall keeps the raw figure either way.
+func (r *SecondResult) FoldSplit(ms *MBSplitter) {
+	bd := ms.Breakdown()
+	r.Split.Merge(bd)
+	if over := bd.ParseWall - bd.Durations[metrics.SplitParse]; over > 0 {
+		w := &r.Breakdown.Durations[metrics.PhaseWork]
+		if *w -= over; *w < 0 {
+			*w = 0
+		}
+	}
 }
 
 // RunSecond receives pictures from the root, splits them at macroblock
@@ -263,8 +287,6 @@ type SecondResult struct {
 func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
 	res := &SecondResult{}
 	b := &res.Breakdown
-	ms := NewMBSplitter(cfg.Seq, cfg.Geo)
-	nd := len(cfg.DecoderNodes)
 	rh := cfg.Recovery
 	if rh != nil {
 		rh.Cfg = rh.Cfg.WithDefaults()
@@ -273,11 +295,22 @@ func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
 		}
 		cfg.Pooled = false // retained payloads must never be recycled
 	}
+	// Pooled pipelines marshal every sub-picture before the next Split, so
+	// they can also run the splitter in Reuse mode (splitter-owned output).
+	ms := NewMBSplitterOpts(cfg.Seq, cfg.Geo, SplitOptions{Workers: cfg.SplitWorkers, Reuse: cfg.Pooled})
+	defer ms.Close()
+	defer func() { res.FoldSplit(ms) }()
+	nd := len(cfg.DecoderNodes)
 	marshal := func(sp *subpic.SubPicture) []byte {
+		t0 := time.Now()
+		var payload []byte
 		if cfg.Pooled {
-			return sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+			payload = sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+		} else {
+			payload = sp.Marshal()
 		}
-		return sp.Marshal()
+		res.Split.Add(metrics.SplitSerialize, time.Since(t0))
+		return payload
 	}
 	// A respawned incarnation must not skip the decoder-ack wait: the "very
 	// first picture" exemption belongs to the stream, not the incarnation.

@@ -1,0 +1,159 @@
+package splitter
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tiledwall/internal/subpic"
+)
+
+// marshalAll renders every sub-picture of one Split call to wire bytes: the
+// strongest equality there is — SPHs, piece payloads, MEI lists and picture
+// info all byte for byte.
+func marshalAll(t testing.TB, sps []*subpic.SubPicture) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(sps))
+	for i, sp := range sps {
+		out[i] = sp.Marshal()
+	}
+	return out
+}
+
+// TestSplitParallelBitExact holds the slice-parallel splitter to the serial
+// oracle: for every picture, geometry, worker count and output mode, the
+// marshaled sub-pictures must be byte-identical. Run under -race this also
+// exercises the pool's publication discipline.
+func TestSplitParallelBitExact(t *testing.T) {
+	s, _ := makeStream(t, 256, 192, 10)
+	for _, tc := range []struct{ m, n, ov int }{{2, 2, 0}, {3, 2, 0}, {2, 2, 16}, {4, 1, 0}} {
+		geo := geometry(t, s, tc.m, tc.n, tc.ov)
+		serial := NewMBSplitter(s.Seq, geo)
+		for _, workers := range []int{2, 3, 4, 8} {
+			for _, reuse := range []bool{false, true} {
+				par := NewMBSplitterOpts(s.Seq, geo, SplitOptions{Workers: workers, Reuse: reuse})
+				for pi, unit := range s.Pictures {
+					want, err := serial.Split(unit, pi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := par.Split(unit, pi)
+					if err != nil {
+						t.Fatalf("m=%d n=%d ov=%d workers=%d reuse=%v pic %d: %v",
+							tc.m, tc.n, tc.ov, workers, reuse, pi, err)
+					}
+					wb, gb := marshalAll(t, want), marshalAll(t, got)
+					for tile := range wb {
+						if !bytes.Equal(wb[tile], gb[tile]) {
+							t.Fatalf("m=%d n=%d ov=%d workers=%d reuse=%v pic %d tile %d: sub-picture bytes diverge (serial %dB, parallel %dB)",
+								tc.m, tc.n, tc.ov, workers, reuse, pi, tile, len(wb[tile]), len(gb[tile]))
+						}
+					}
+				}
+				par.Close()
+			}
+		}
+	}
+}
+
+// TestSplitWorkersDefault: Workers 0 resolves to GOMAXPROCS and still splits
+// correctly (smoke for the config default used across the pipelines).
+func TestSplitWorkersDefault(t *testing.T) {
+	s, _ := makeStream(t, 192, 128, 5)
+	geo := geometry(t, s, 2, 2, 0)
+	ms := NewMBSplitterOpts(s.Seq, geo, SplitOptions{})
+	defer ms.Close()
+	if ms.Workers() < 1 {
+		t.Fatalf("resolved workers %d", ms.Workers())
+	}
+	serial := NewMBSplitter(s.Seq, geo)
+	for pi, unit := range s.Pictures {
+		want, err := serial.Split(unit, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ms.Split(unit, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, gb := marshalAll(t, want), marshalAll(t, got)
+		for tile := range wb {
+			if !bytes.Equal(wb[tile], gb[tile]) {
+				t.Fatalf("pic %d tile %d: default-workers split diverges from serial", pi, tile)
+			}
+		}
+	}
+}
+
+// TestSplitBreakdownAccrues: the splitter resolves its work into the scan,
+// parse and sort phases and counts pictures.
+func TestSplitBreakdownAccrues(t *testing.T) {
+	s, _ := makeStream(t, 192, 128, 5)
+	geo := geometry(t, s, 2, 2, 0)
+	ms := NewMBSplitterOpts(s.Seq, geo, SplitOptions{Workers: 2})
+	defer ms.Close()
+	for pi, unit := range s.Pictures {
+		if _, err := ms.Split(unit, pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bd := ms.Breakdown()
+	if bd.Pictures != len(s.Pictures) {
+		t.Fatalf("breakdown counted %d pictures, want %d", bd.Pictures, len(s.Pictures))
+	}
+	if bd.Total() <= 0 {
+		t.Fatal("breakdown accrued no time")
+	}
+}
+
+// TestSplitPooledAllocs is the alloc gate of the pooled parallel splitter:
+// after warm-up, splitting a whole stream in Reuse mode must not allocate at
+// all, with or without the worker pool.
+func TestSplitPooledAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs steady state")
+	}
+	s, _ := makeStream(t, 192, 128, 9)
+	geo := geometry(t, s, 2, 2, 0)
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ms := NewMBSplitterOpts(s.Seq, geo, SplitOptions{Workers: workers, Reuse: true})
+			defer ms.Close()
+			split := func() {
+				for pi, unit := range s.Pictures {
+					if _, err := ms.Split(unit, pi); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			split() // warm accumulator capacities and start the pool
+			split()
+			if allocs := testing.AllocsPerRun(5, split); allocs != 0 {
+				t.Fatalf("pooled parallel splitter allocated %.1f objects per stream in steady state, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkSplitPicture measures Split on a stream picture in pooled steady
+// state. The worker count follows GOMAXPROCS, so `go test -bench
+// SplitPicture -cpu 1,2,4` produces the serial/parallel ts comparison
+// directly; allocs/op must stay 0.
+func BenchmarkSplitPicture(b *testing.B) {
+	s, _ := makeStream(b, 384, 256, 12)
+	geo := geometry(b, s, 2, 2, 0)
+	ms := NewMBSplitterOpts(s.Seq, geo, SplitOptions{Reuse: true})
+	defer ms.Close()
+	var bytes int64
+	for _, unit := range s.Pictures {
+		bytes += int64(len(unit))
+	}
+	b.SetBytes(bytes / int64(len(s.Pictures)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ms.Split(s.Pictures[i%len(s.Pictures)], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

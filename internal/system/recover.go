@@ -103,7 +103,7 @@ func runRecovery(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 				Recovery:      &recovery.RootHooks{Cfg: rcfg, Rec: rec, Retainer: picRet},
 			})
 		} else {
-			res.Splitters[0], err = runCombinedRecovery(eps[0], s, geo, res.DecoderNodeIDs, rcfg, rec, subRet)
+			res.Splitters[0], err = runCombinedRecovery(eps[0], s, geo, res.DecoderNodeIDs, cfg, rcfg, rec, subRet)
 		}
 		if err != nil {
 			errs[0] = err
@@ -131,6 +131,7 @@ func runRecovery(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 					Index:        i,
 					DecoderNodes: res.DecoderNodeIDs,
 					RootNode:     0,
+					SplitWorkers: cfg.SplitWorkers,
 					Recovery: &recovery.SplitterHooks{
 						Hooks:    recovery.Hooks{Cfg: rcfg, Lease: lease, Rec: rec, Chaos: chaos},
 						Retainer: subRet,
@@ -268,10 +269,14 @@ func runRecovery(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 // console is not supervised (its loss ends the show on a real wall too), but
 // it must survive its decoders dying: a dead decoder's acks never come.
 func runCombinedRecovery(node cluster.Net, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int,
-	rcfg recovery.Config, rec *metrics.Recovery, retainer *recovery.SubPicRetainer) (*splitter.SecondResult, error) {
+	cfg Config, rcfg recovery.Config, rec *metrics.Recovery, retainer *recovery.SubPicRetainer) (*splitter.SecondResult, error) {
 	res := &splitter.SecondResult{}
 	b := &res.Breakdown
-	ms := splitter.NewMBSplitter(s.Seq, geo)
+	// Reuse stays off: Marshal copies below feed the retainer, but the
+	// recovery path keeps the allocating splitter for simplicity.
+	ms := splitter.NewMBSplitterOpts(s.Seq, geo, splitter.SplitOptions{Workers: cfg.SplitWorkers})
+	defer ms.Close()
+	defer func() { res.FoldSplit(ms) }()
 	nd := len(decoderNodes)
 
 	for seq, unit := range s.Pictures {

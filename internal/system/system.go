@@ -34,6 +34,15 @@ type Config struct {
 	// splitter instead of round-robin (the paper's §6 future work).
 	DynamicBalance bool
 
+	// SplitWorkers is the slice-parallel fan-out inside every macroblock
+	// splitter (second-level and one-level combined): each picture's slices
+	// are parsed concurrently by this many goroutines, shrinking the paper's
+	// ts term on multicore hosts — parallelism the paper's single-CPU nodes
+	// could only buy by adding splitter PCs. 0 selects GOMAXPROCS, 1 the
+	// serial path; sub-pictures are byte-identical for every value (the
+	// conformance matrix runs a split-workers axis to prove it).
+	SplitWorkers int
+
 	// UnbatchedExchange disables per-peer batching of MEI block messages
 	// (ablation; see pdec.Config.UnbatchedSends).
 	UnbatchedExchange bool
@@ -306,6 +315,7 @@ func runTwoLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 				DecoderNodes: res.DecoderNodeIDs,
 				RootNode:     0,
 				Pooled:       cfg.Pooled,
+				SplitWorkers: cfg.SplitWorkers,
 			})
 			if errs[1+i] != nil {
 				fab.Abort(errs[1+i])
@@ -391,7 +401,7 @@ func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res.Splitters[0], errs[0] = runCombinedSplitter(fab.Node(0), s, geo, res.DecoderNodeIDs, cfg.Pooled)
+		res.Splitters[0], errs[0] = runCombinedSplitter(fab.Node(0), s, geo, res.DecoderNodeIDs, cfg)
 		if errs[0] != nil {
 			fab.Abort(errs[0])
 		}
@@ -444,16 +454,23 @@ func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 }
 
 // runCombinedSplitter scans and splits on one node (the 1-(m,n) console).
-func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int, pooled bool) (*splitter.SecondResult, error) {
+func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int, cfg Config) (*splitter.SecondResult, error) {
 	res := &splitter.SecondResult{}
 	b := &res.Breakdown
-	ms := splitter.NewMBSplitter(s.Seq, geo)
+	ms := splitter.NewMBSplitterOpts(s.Seq, geo, splitter.SplitOptions{Workers: cfg.SplitWorkers, Reuse: cfg.Pooled})
+	defer ms.Close()
+	defer func() { res.FoldSplit(ms) }()
 	nd := len(decoderNodes)
 	marshal := func(sp *subpic.SubPicture) []byte {
-		if pooled {
-			return sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+		t0 := time.Now()
+		var payload []byte
+		if cfg.Pooled {
+			payload = sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+		} else {
+			payload = sp.Marshal()
 		}
-		return sp.Marshal()
+		res.Split.Add(metrics.SplitSerialize, time.Since(t0))
+		return payload
 	}
 
 	for seq, unit := range s.Pictures {
