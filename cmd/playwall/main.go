@@ -5,9 +5,12 @@
 // Usage:
 //
 //	playwall -in stream.m2v -m 4 -n 4 [-k 4 | -auto] [-overlap 40] [-verify]
+//	playwall -in stream.m2v -m 4 -n 4 -k 2 -sessions 4
 //
 // With -auto, k is chosen by the §4.6 calibration (ts/td); -k 0 runs the
-// one-level 1-(m,n) system.
+// one-level 1-(m,n) system. With -sessions N, one resident wall decodes N
+// concurrent copies of the stream and per-session plus aggregate frame rates
+// are reported.
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync"
+	"time"
 
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
@@ -37,6 +42,7 @@ func main() {
 		splitW  = flag.Int("split-workers", 0, "slice-parse workers per splitter (0 = GOMAXPROCS, 1 = serial)")
 		snap    = flag.String("snapshot", "", "write the first displayed frame as a PPM image")
 		bwBps   = flag.Float64("bandwidth", 0, "fabric throttle in bytes/s (0 = unthrottled)")
+		nSess   = flag.Int("sessions", 1, "concurrent copies of the stream through one resident wall")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -64,9 +70,16 @@ func main() {
 
 	cfg := system.Config{K: *k, M: *m, N: *n, Overlap: *overlap, Pooled: *pooled, SplitWorkers: *splitW, CollectFrames: *verify || *snap != ""}
 	cfg.Fabric.BandwidthBps = *bwBps
+	if *nSess > 1 {
+		playSessions(data, cfg, *nSess)
+		return
+	}
 	res, err := system.Run(data, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Printf("warning: %s\n", w)
 	}
 
 	name := fmt.Sprintf("1-%d-(%d,%d)", *k, *m, *n)
@@ -137,4 +150,51 @@ func main() {
 		}
 		fmt.Printf("  verify: %d frames bit-exact with the serial decoder\n", len(ref))
 	}
+}
+
+// playSessions drives N concurrent copies of the stream through one resident
+// wall and reports per-session and aggregate wall-clock frame rates.
+func playSessions(data []byte, cfg system.Config, n int) {
+	if cfg.MaxSessions < n {
+		cfg.MaxSessions = n
+	}
+	w, err := system.NewResidentWall(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N)
+	if cfg.K == 0 {
+		name = fmt.Sprintf("1-(%d,%d)", cfg.M, cfg.N)
+	}
+	fmt.Printf("%s resident wall, %d concurrent sessions\n", name, n)
+
+	results := make([]*system.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = w.Play(data)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	pics := 0
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("session %d: %v", i, err)
+		}
+		r := results[i]
+		fmt.Printf("  session %-3d %5d pictures in %8v (%6.1f fps)\n",
+			i, r.Throughput.Pictures, r.Throughput.Elapsed.Round(time.Millisecond), r.Throughput.FPS())
+		pics += r.Throughput.Pictures
+	}
+	fmt.Printf("  aggregate   %5d pictures in %8v (%6.1f fps wall clock, %d cores)\n",
+		pics, elapsed.Round(time.Millisecond), float64(pics)/elapsed.Seconds(), runtime.NumCPU())
 }

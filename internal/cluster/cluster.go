@@ -70,7 +70,7 @@ func (k MsgKind) String() string {
 // the bandwidth statistics (GM header + our tags).
 const messageHeaderBytes = 16
 
-// Message flag bits (recovery layer).
+// Message flag bits (recovery layer and resident-service control plane).
 const (
 	// FlagRetransmit marks a message re-sent by the retransmission layer;
 	// receivers deduplicate by XSeq, so the flag is informational.
@@ -79,7 +79,31 @@ const (
 	// window after a node restart. Replays must not generate protocol acks
 	// (the original delivery already did, or the credit was written off).
 	FlagReplay
+	// FlagSessionOpen announces a new stream to a resident node; the payload
+	// is the stream's header prefix (sequence header + extension). Control
+	// messages are never acked and consume no flow-control credit.
+	FlagSessionOpen
+	// FlagSessionFinal is the end-of-stream control message of a session
+	// (the resident equivalent of the batch end marker). Like every control
+	// message it must not be acked: in a long-lived wall the splitters keep
+	// running, and a stray ack would inflate the next picture's go-ahead
+	// count.
+	FlagSessionFinal
+	// FlagShutdown tells a resident node loop to exit cleanly (graceful wall
+	// teardown, after every session has drained).
+	FlagShutdown
+	// FlagFirstPicture marks the globally first data picture a resident wall
+	// ships. The Table 3 exemption — the very first picture needs no decoder
+	// go-ahead — belongs to the wall's lifetime, not to any one session, so
+	// the root pins it to a flag instead of `Seq == 0`.
+	FlagFirstPicture
 )
+
+// DrainAckSeq is the Seq sentinel of the drain acknowledgement a resident
+// decoder sends the root when a session completes on its tile. It keeps
+// drain acks distinguishable from go-ahead/credit acks (picture index >= 0)
+// in the root's single ack stream.
+const DrainAckSeq = -2
 
 // Message is one fabric message.
 type Message struct {
@@ -91,6 +115,11 @@ type Message struct {
 	// Tag carries protocol-specific routing info (NSID for pictures, ANID
 	// for sub-pictures, reference selector for block messages).
 	Tag int
+	// Session identifies the resident-service stream this message belongs to
+	// (0 = the single implicit stream of a batch run). Long-lived nodes key
+	// their per-stream state off it, and the fabric accounts bytes per
+	// session under it.
+	Session int
 	// XSeq is the per-link transport sequence number assigned by the
 	// recovery layer's reliable endpoint (0 when reliability is off).
 	XSeq int64
@@ -163,6 +192,9 @@ type Fabric struct {
 	nodes []*Node
 	stats []LinkStats // indexed by node id; atomic access
 	pair  []int64     // bytes sent per (from*n + to), atomic
+
+	sessMu    sync.Mutex
+	sessBytes map[int]int64 // bytes sent per session id (session != 0 only)
 
 	done     chan struct{}
 	abortErr error
@@ -261,6 +293,26 @@ func (f *Fabric) PairBytes(a, b int) int64 {
 	return atomic.LoadInt64(&f.pair[a*len(f.nodes)+b])
 }
 
+// addSessionBytes accounts wire bytes to a resident-service session. Batch
+// traffic (session 0) skips the lock entirely, so the hot path of one-shot
+// runs is unchanged.
+func (f *Fabric) addSessionBytes(session int, n int64) {
+	f.sessMu.Lock()
+	if f.sessBytes == nil {
+		f.sessBytes = map[int]int64{}
+	}
+	f.sessBytes[session] += n
+	f.sessMu.Unlock()
+}
+
+// SessionBytes returns the wire bytes sent so far on behalf of one session
+// (0 for unknown sessions and for batch traffic, which is not keyed).
+func (f *Fabric) SessionBytes(session int) int64 {
+	f.sessMu.Lock()
+	defer f.sessMu.Unlock()
+	return f.sessBytes[session]
+}
+
 // Node is one cluster endpoint. A node's receive methods must be called from
 // a single goroutine (the node's process), matching one PC per role.
 type Node struct {
@@ -293,6 +345,9 @@ func (n *Node) Send(to int, msg *Message) {
 	atomic.AddInt64(&f.stats[to].BytesRecv, bytes)
 	atomic.AddInt64(&f.stats[to].MsgsRecv, 1)
 	atomic.AddInt64(&f.pair[n.id*len(f.nodes)+to], bytes)
+	if msg.Session != 0 {
+		f.addSessionBytes(msg.Session, bytes)
+	}
 	select {
 	case f.nodes[to].queues[msg.Kind] <- msg:
 	case <-f.done:
@@ -329,6 +384,9 @@ func (n *Node) TrySend(to int, msg *Message) bool {
 	atomic.AddInt64(&f.stats[to].BytesRecv, bytes)
 	atomic.AddInt64(&f.stats[to].MsgsRecv, 1)
 	atomic.AddInt64(&f.pair[n.id*len(f.nodes)+to], bytes)
+	if msg.Session != 0 {
+		f.addSessionBytes(msg.Session, bytes)
+	}
 	return true
 }
 

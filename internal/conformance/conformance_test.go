@@ -89,6 +89,41 @@ func TestOracleMatrix(t *testing.T) {
 	}
 }
 
+// TestSessionMatrix holds the resident session path to the oracle: every
+// matrix configuration decodes 4 concurrent chunk-fed sessions on one wall,
+// and each session must be byte-identical to the serial reference. Two seeds
+// with different coding parameters bound the runtime; TestOracleMatrix
+// already covers the full seed sweep through the (same) session machinery
+// via system.Run.
+func TestSessionMatrix(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		p := ParamsForSeed(seed)
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			stream, err := p.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := RunSessionMatrix(stream, DefaultMatrix(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != len(DefaultMatrix()) {
+				t.Fatalf("session matrix ran %d configurations, want %d", len(results), len(DefaultMatrix()))
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					t.Errorf("%s: resident pipeline failed: %v", r.Name(), r.Err)
+					continue
+				}
+				if r.Divergence != nil {
+					t.Errorf("%s: %s", r.Name(), r.Divergence)
+				}
+			}
+		})
+	}
+}
+
 // TestDiffMinimisation plants a single-macroblock difference and checks the
 // minimiser attributes it to the right picture, macroblock and tile.
 func TestDiffMinimisation(t *testing.T) {

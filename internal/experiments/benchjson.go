@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,6 +35,21 @@ type BenchReport struct {
 	Serial     SerialBench     `json:"serial"`
 	Kernels    []KernelBench   `json:"kernels"`
 	Systems    []ParallelBench `json:"systems"`
+	Service    *ServiceBench   `json:"service,omitempty"`
+}
+
+// ServiceBench measures the resident wall service: cold pipeline
+// construction versus warm session admission on the splitter-bound 1-1-(4,4)
+// shape, and the aggregate wall-clock throughput of concurrent sessions
+// sharing that one wall. The warm/cold ratio is gated structurally (a resident
+// service whose session start costs a pipeline build has lost its point);
+// aggregate fps is gated against the baseline like any system figure.
+type ServiceBench struct {
+	Config       string  `json:"config"`
+	ColdSetupMs  float64 `json:"cold_setup_ms"`
+	WarmOpenMs   float64 `json:"warm_open_ms"`
+	Sessions     int     `json:"sessions"`
+	AggregateFPS float64 `json:"aggregate_fps"`
 }
 
 // SerialBench measures the single-PC decoder in steady state (frames
@@ -139,7 +155,77 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 		}
 		rep.Systems = append(rep.Systems, pb)
 	}
+
+	fmt.Fprintf(o.Log, "benchjson: resident service 1-1-(4,4)\n")
+	if rep.Service, err = serviceBench(data); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// serviceBench measures the resident wall on the splitter-bound 1-1-(4,4)
+// shape: cold construction, warm session admission, and 4-session aggregate
+// throughput.
+func serviceBench(data []byte) (*ServiceBench, error) {
+	const sessions = 4
+	cfg := system.Config{K: 1, M: 4, N: 4, Pooled: true, SplitWorkers: 1, MaxSessions: sessions}
+
+	t0 := time.Now()
+	w, err := system.NewResidentWall(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cold := time.Since(t0)
+
+	// Prime the wall so the warm figures measure a resident pipeline.
+	if _, err := w.Play(data); err != nil {
+		return nil, err
+	}
+
+	t0 = time.Now()
+	sess, err := w.Open("warm")
+	if err != nil {
+		return nil, err
+	}
+	warm := time.Since(t0)
+	if err := sess.Feed(data); err != nil {
+		return nil, err
+	}
+	if _, err := sess.Close(); err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*system.Result, sessions)
+	errs := make([]error, sessions)
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = w.Play(data)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	pics := 0
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("benchjson: service session %d: %w", i, e)
+		}
+		pics += results[i].Throughput.Pictures
+	}
+	return &ServiceBench{
+		Config:       "1-1-(4,4)",
+		ColdSetupMs:  cold.Seconds() * 1e3,
+		WarmOpenMs:   warm.Seconds() * 1e3,
+		Sessions:     sessions,
+		AggregateFPS: float64(pics) / elapsed.Seconds(),
+	}, nil
 }
 
 // serialBench decodes the stream repeatedly in the pooled steady state.
@@ -280,6 +366,24 @@ func CompareBenchReports(base, cur *BenchReport, tol float64) (violations, warni
 		if !curSys[sysKey(b)] {
 			warnings = append(warnings, fmt.Sprintf("%s: in baseline but missing from current report", sysKey(b)))
 		}
+	}
+	if cur.Service != nil {
+		// Structural gate, independent of any baseline: a warm session open on
+		// a resident wall must cost a small fraction of building the pipeline,
+		// or the service has lost its point. 10% leaves room for scheduler
+		// noise while still catching any accidental per-session construction.
+		if cur.Service.WarmOpenMs > 0.10*cur.Service.ColdSetupMs {
+			bad = append(bad, fmt.Sprintf("service warm open %.3fms is not < 10%% of cold setup %.3fms (%s)",
+				cur.Service.WarmOpenMs, cur.Service.ColdSetupMs, cur.Service.Config))
+		}
+		if base.Service != nil {
+			check(fmt.Sprintf("service %s %d-session aggregate fps", cur.Service.Config, cur.Service.Sessions),
+				base.Service.AggregateFPS, cur.Service.AggregateFPS, false)
+		} else {
+			warnings = append(warnings, "service: not in baseline, skipped (regenerate the baseline to gate it)")
+		}
+	} else if base.Service != nil {
+		warnings = append(warnings, "service: in baseline but missing from current report")
 	}
 	if base.GoMaxProcs != cur.GoMaxProcs && base.GoMaxProcs > 0 && cur.GoMaxProcs > 0 {
 		warnings = append(warnings, fmt.Sprintf("gomaxprocs differs (baseline %d, current %d): absolute figures are not comparable",

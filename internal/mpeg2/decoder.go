@@ -25,11 +25,12 @@ type Stream struct {
 // allocations.
 const maxPictureMBs = 1 << 20
 
-// ParseStream indexes a stream. It parses the leading sequence header (and
-// extension) and records picture unit boundaries without parsing picture
-// contents.
-func ParseStream(data []byte) (*Stream, error) {
-	s := &Stream{Data: data}
+// ParseSequenceHeaderBytes parses the sequence header (and optional sequence
+// extension) at the head of data, enforcing the decoder's picture-size bound.
+// data may be a full stream or just its header prefix — everything before the
+// first picture start code — which is what a resident wall's session-open
+// message carries to the long-lived splitter and decoder nodes.
+func ParseSequenceHeaderBytes(data []byte) (*SequenceHeader, error) {
 	off := bits.NextStartCode(data, 0)
 	if off < 0 {
 		return nil, syntaxErrf("no start code in stream")
@@ -60,6 +61,19 @@ func ParseStream(data []byte) (*Stream, error) {
 	if mbs := seq.MBWidth() * seq.MBHeight(); mbs > maxPictureMBs {
 		return nil, syntaxErrf("picture size %dx%d (%d macroblocks) exceeds decoder bound", seq.Width, seq.Height, mbs)
 	}
+	return seq, nil
+}
+
+// ParseStream indexes a stream. It parses the leading sequence header (and
+// extension) and records picture unit boundaries without parsing picture
+// contents.
+func ParseStream(data []byte) (*Stream, error) {
+	s := &Stream{Data: data}
+	seq, err := ParseSequenceHeaderBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	off := bits.NextStartCode(data, 0)
 	s.Seq = seq
 
 	picStart := -1

@@ -212,16 +212,28 @@ func (d *Decoder) Run() (*Result, error) {
 			break
 		}
 	}
-	// Flush the held anchor (display order tail).
-	if d.pendingAnchor {
-		d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
-		d.pendingAnchor = false
-	}
+	d.Finish()
 	if rh := d.cfg.Recovery; rh != nil && rh.Checkpoint != nil {
 		rh.Checkpoint.Update(d.nextPic, -1)
 	}
 	return &d.res, nil
 }
+
+// Finish flushes the display-reorder tail (the held anchor frame) and
+// returns the accumulated result. Run calls it after the Final marker; a
+// resident server calls it when the decoder's session completes.
+func (d *Decoder) Finish() *Result {
+	if d.pendingAnchor {
+		d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		d.pendingAnchor = false
+	}
+	return &d.res
+}
+
+// Breakdown exposes the decoder's phase accounting so a resident server,
+// which performs the fabric receive on the decoder's behalf, can attribute
+// the receive wait to the session that the arriving message belongs to.
+func (d *Decoder) Breakdown() *metrics.Breakdown { return &d.res.Breakdown }
 
 // Step handles one sub-picture message; it reports done=true on Final. With
 // recovery hooks wired it runs the fault-masking protocol instead of the
@@ -242,11 +254,26 @@ func (d *Decoder) stepStrict() (bool, error) {
 	if msg == nil {
 		return false, fmt.Errorf("tile %d: fabric aborted", d.cfg.Tile)
 	}
+	return d.HandleSubPicture(msg)
+}
+
+// HandleSubPicture runs the strict fail-stop protocol on one already-received
+// sub-picture message: ack to the ANID node, unmarshal, enforce ordering,
+// decode, display. done=true reports stream (or session) completion — a
+// Final marker with no pictures still owed.
+func (d *Decoder) HandleSubPicture(msg *cluster.Message) (bool, error) {
+	b := &d.res.Breakdown
 	// Ack to the ANID node: grants the splitter holding the next picture
-	// its go-ahead (credit) — the ordering protocol of §4.5.
-	b.Timed(metrics.PhaseAck, func() {
-		d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
-	})
+	// its go-ahead (credit) — the ordering protocol of §4.5. Session-final
+	// control messages are never acked: in a resident wall the splitters
+	// keep running, and a stray ack would inflate the go-ahead count of the
+	// next session's pictures. (Batch Final markers carry no flag and keep
+	// their harmless ack — the splitters have already exited.)
+	if msg.Flags&cluster.FlagSessionFinal == 0 {
+		b.Timed(metrics.PhaseAck, func() {
+			d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq, Session: msg.Session})
+		})
+	}
 	var sp *subpic.SubPicture
 	if d.cfg.Pooled {
 		sp = &d.spScratch

@@ -1,0 +1,199 @@
+package pdec
+
+import (
+	"fmt"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/wall"
+)
+
+// ServeConfig wires one resident tile-decoder node: a long-lived server that
+// multiplexes any number of sessions, each an independent stream with its own
+// sequence header, geometry and reference chain.
+type ServeConfig struct {
+	Tile          int
+	M, N, Overlap int
+	// MaxFCode sizes the halo windows of every session (HaloForFCode).
+	MaxFCode int
+	// TileNode maps a tile index to its fabric node id, RootNode is where
+	// drain acks go when a session completes on this tile.
+	TileNode func(tile int) int
+	RootNode int
+
+	UnbatchedSends bool
+	Pooled         bool
+
+	// OnFrame receives decoded tile frames in display order, per session
+	// (nil when frames are not collected).
+	OnFrame func(session, displayIdx, tile int, buf *mpeg2.PixelBuf)
+	// OnResult receives the session's decode result when it completes on
+	// this tile, before the drain ack is sent to the root.
+	OnResult func(session, tile int, res *Result)
+}
+
+// server holds the node-level state shared by every session on one tile.
+type server struct {
+	cfg  ServeConfig
+	port cluster.Port
+	// sessions maps a live session id to its decoder instance.
+	sessions map[int]*Decoder
+	// pending buckets MsgBlocks bundles that arrived for a session other
+	// than the one currently draining its RECVs (a peer one global picture
+	// ahead may already be in the next session).
+	pending map[int][]*cluster.Message
+}
+
+// sessionNet is the cluster.Net a per-session Decoder runs on: it stamps the
+// session id on every send and filters MsgBlocks receives down to this
+// session, parking other sessions' bundles in the server's pending buckets.
+type sessionNet struct {
+	srv     *server
+	session int
+}
+
+func (s *sessionNet) ID() int { return s.srv.port.ID() }
+
+func (s *sessionNet) Send(to int, msg *cluster.Message) {
+	msg.Session = s.session
+	s.srv.port.Send(to, msg)
+}
+
+func (s *sessionNet) Recv(kind cluster.MsgKind) *cluster.Message {
+	if kind != cluster.MsgBlocks {
+		// Sub-pictures are dispatched by the server loop, never received
+		// through the shim; recovery kinds are unsupported in resident mode.
+		return s.srv.port.Recv(kind)
+	}
+	if q := s.srv.pending[s.session]; len(q) > 0 {
+		m := q[0]
+		s.srv.pending[s.session] = q[1:]
+		return m
+	}
+	for {
+		m := s.srv.port.Recv(kind)
+		if m == nil {
+			return nil
+		}
+		if m.Session == s.session {
+			return m
+		}
+		s.srv.pending[m.Session] = append(s.srv.pending[m.Session], m)
+	}
+}
+
+func (s *sessionNet) TryRecv(kind cluster.MsgKind) (*cluster.Message, bool) {
+	return s.srv.port.TryRecv(kind)
+}
+
+func (s *sessionNet) RecvTimeout(kind cluster.MsgKind, d time.Duration) (*cluster.Message, bool) {
+	return s.srv.port.RecvTimeout(kind, d)
+}
+
+func (s *sessionNet) Done() <-chan struct{} { return s.srv.port.Done() }
+
+// Serve runs the resident tile-decoder loop until a FlagShutdown message
+// arrives (clean exit) or the transport aborts. Per-session protocol state is
+// exactly the batch decoder's — a fresh Decoder per session — so a single
+// session through Serve is byte-identical to a batch Run.
+func Serve(port cluster.Port, cfg ServeConfig) error {
+	srv := &server{
+		cfg:      cfg,
+		port:     port,
+		sessions: map[int]*Decoder{},
+		pending:  map[int][]*cluster.Message{},
+	}
+	for {
+		t0 := time.Now()
+		msg := port.Recv(cluster.MsgSubPicture)
+		wait := time.Since(t0)
+		if msg == nil {
+			return fmt.Errorf("tile %d: fabric aborted", cfg.Tile)
+		}
+		switch {
+		case msg.Flags&cluster.FlagShutdown != 0:
+			return nil
+		case msg.Flags&cluster.FlagSessionOpen != 0:
+			if err := srv.open(msg); err != nil {
+				return err
+			}
+		default:
+			d := srv.sessions[msg.Session]
+			if d == nil {
+				// A session completes on the first Final that finds no
+				// pictures owed; the other splitters' Finals trail in after
+				// the state is gone. (A Final cannot precede its session's
+				// open: every splitter forwards the open before anything
+				// else, and sender order is preserved.)
+				if msg.Flags&cluster.FlagSessionFinal != 0 {
+					continue
+				}
+				return fmt.Errorf("tile %d: picture for unknown session %d", cfg.Tile, msg.Session)
+			}
+			// The receive wait belongs to the session whose message ended it
+			// (batch attribution, per stream).
+			d.Breakdown().Add(metrics.PhaseReceive, wait)
+			done, err := d.HandleSubPicture(msg)
+			if err != nil {
+				return err
+			}
+			if done {
+				srv.finish(msg.Session, d)
+			}
+		}
+	}
+}
+
+// open creates the per-session decoder from the header prefix carried by the
+// session-open message. Each splitter forwards the open once, so duplicates
+// past the first are skipped.
+func (srv *server) open(msg *cluster.Message) error {
+	if srv.sessions[msg.Session] != nil {
+		return nil
+	}
+	seq, err := mpeg2.ParseSequenceHeaderBytes(msg.Payload)
+	if err != nil {
+		return fmt.Errorf("tile %d: session %d open: %w", srv.cfg.Tile, msg.Session, err)
+	}
+	geo, err := wall.NewGeometry(seq.MBWidth()*16, seq.MBHeight()*16, srv.cfg.M, srv.cfg.N, srv.cfg.Overlap)
+	if err != nil {
+		return fmt.Errorf("tile %d: session %d open: %w", srv.cfg.Tile, msg.Session, err)
+	}
+	var onFrame func(int, int, *mpeg2.PixelBuf)
+	if srv.cfg.OnFrame != nil {
+		sess := msg.Session
+		onFrame = func(displayIdx, tile int, buf *mpeg2.PixelBuf) {
+			srv.cfg.OnFrame(sess, displayIdx, tile, buf)
+		}
+	}
+	srv.sessions[msg.Session] = NewDecoder(&sessionNet{srv: srv, session: msg.Session}, Config{
+		Seq:            seq,
+		Geo:            geo,
+		Tile:           srv.cfg.Tile,
+		HaloPx:         HaloForFCode(srv.cfg.MaxFCode),
+		TileNode:       srv.cfg.TileNode,
+		OnFrame:        onFrame,
+		UnbatchedSends: srv.cfg.UnbatchedSends,
+		Pooled:         srv.cfg.Pooled,
+	})
+	return nil
+}
+
+// finish completes a session on this tile: flush the reorder tail, hand the
+// result out, drop the state, and send the drain ack that lets the root
+// close the session.
+func (srv *server) finish(session int, d *Decoder) {
+	res := d.Finish()
+	delete(srv.sessions, session)
+	delete(srv.pending, session)
+	if srv.cfg.OnResult != nil {
+		srv.cfg.OnResult(session, srv.cfg.Tile, res)
+	}
+	srv.port.Send(srv.cfg.RootNode, &cluster.Message{
+		Kind:    cluster.MsgAck,
+		Seq:     cluster.DrainAckSeq,
+		Session: session,
+	})
+}

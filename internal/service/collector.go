@@ -1,0 +1,53 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/wall"
+)
+
+// collector gathers one session's per-tile outputs (display order per tile)
+// and assembles them into full wall frames.
+type collector struct {
+	mu    sync.Mutex
+	geo   *wall.Geometry
+	tiles [][]*mpeg2.PixelBuf // [tile][emission index]
+}
+
+func newCollector(geo *wall.Geometry) *collector {
+	return &collector{geo: geo, tiles: make([][]*mpeg2.PixelBuf, geo.NumTiles())}
+}
+
+func (c *collector) add(tile int, buf *mpeg2.PixelBuf) {
+	c.mu.Lock()
+	c.tiles[tile] = append(c.tiles[tile], buf)
+	c.mu.Unlock()
+}
+
+func (c *collector) assemble() ([]*mpeg2.PixelBuf, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := -1
+	for t, list := range c.tiles {
+		if n == -1 {
+			n = len(list)
+		} else if len(list) != n {
+			return nil, fmt.Errorf("service: tile %d emitted %d frames, others %d", t, len(list), n)
+		}
+	}
+	var frames []*mpeg2.PixelBuf
+	row := make([]*mpeg2.PixelBuf, len(c.tiles))
+	for i := 0; i < n; i++ {
+		for t := range c.tiles {
+			row[t] = c.tiles[t][i]
+		}
+		f, err := c.geo.Assemble(row)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}

@@ -1,0 +1,334 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/splitter"
+	"tiledwall/internal/subpic"
+)
+
+// runRoot is the resident root: it serialises every session's pictures into
+// one global order on the batch credit protocol, so the ANID/NSID chain —
+// and its deadlock-freedom — is exactly the single-stream pipeline's. The
+// session id is routing state only.
+func (w *Wall) runRoot() error {
+	if w.cfg.K == 0 {
+		return w.runRootCombined()
+	}
+	port := w.tr.Port(0)
+	k := w.cfg.K
+	// drainTarget: one drain ack per splitter and per decoder closes a
+	// session. By sender FIFO every data ack precedes its sender's drain ack,
+	// so when the count is met no stale ack for the session remains.
+	drainTarget := k + len(w.decoderIDs)
+	byID := map[int]*Session{}
+
+	credits := make([]int, k)
+	nodeIdx := make(map[int]int, k)
+	for i, id := range w.splitterIDs {
+		credits[i] = 2
+		nodeIdx[id] = i
+	}
+	credit := func(i int) {
+		if credits[i] < 2 {
+			credits[i]++
+		}
+	}
+	onAck := func(m *cluster.Message) {
+		if m.Seq == cluster.DrainAckSeq {
+			w.drainAck(byID, m, drainTarget)
+			return
+		}
+		credit(nodeIdx[m.From])
+		// A splitter's receipt ack frees one of the session's in-flight slots.
+		if s := byID[m.Session]; s != nil {
+			s.releaseToken()
+		}
+	}
+	takeAck := func() error {
+		m := port.Recv(cluster.MsgAck)
+		if m == nil {
+			return fmt.Errorf("service: root aborted while waiting for splitter ack")
+		}
+		onAck(m)
+		return nil
+	}
+	rr := 0
+	choose := func() int {
+		if !w.cfg.DynamicBalance {
+			c := rr
+			rr = (rr + 1) % k
+			return c
+		}
+		best := rr
+		for off := 0; off < k; off++ {
+			i := (rr + off) % k
+			if credits[i] > credits[best] {
+				best = i
+			}
+		}
+		rr = (best + 1) % k
+		return best
+	}
+
+	// The assignee of the next picture is fixed before the current one ships
+	// (NSID), and survives session boundaries: the global picture order does
+	// not restart per stream.
+	a := choose()
+	shipped := false
+	emit := func(it workItem) error {
+		s := it.sess
+		t0 := time.Now()
+		for credits[a] == 0 {
+			if err := takeAck(); err != nil {
+				return err
+			}
+		}
+		s.rootRes.WaitTime += time.Since(t0)
+		// Drain any further acks without blocking so Dynamic sees fresh
+		// credit counts.
+		for {
+			m, ok := port.TryRecv(cluster.MsgAck)
+			if !ok {
+				break
+			}
+			onAck(m)
+		}
+		credits[a]--
+		next := choose()
+
+		t0 = time.Now()
+		var flags uint8
+		if !shipped {
+			// Only the wall's globally first picture exempts its splitter
+			// from the decoder-ack gate (the batch "very first picture").
+			flags = cluster.FlagFirstPicture
+			shipped = true
+		}
+		port.Send(w.splitterIDs[a], &cluster.Message{
+			Kind:    cluster.MsgPicture,
+			Seq:     it.index, // per-session picture index
+			Tag:     w.splitterIDs[next],
+			Flags:   flags,
+			Session: s.id,
+			Payload: it.payload,
+		})
+		s.rootRes.SendTime += time.Since(t0)
+		a = next
+		return nil
+	}
+
+	for {
+		select {
+		case m := <-port.Queue(cluster.MsgAck):
+			onAck(m)
+		case it := <-w.work:
+			switch it.kind {
+			case workShutdown:
+				w.broadcastShutdown(port)
+				return nil
+			case workOpen:
+				byID[it.sess.id] = it.sess
+				for _, id := range w.splitterIDs {
+					port.Send(id, &cluster.Message{
+						Kind:    cluster.MsgPicture,
+						Flags:   cluster.FlagSessionOpen,
+						Session: it.sess.id,
+						Payload: it.payload,
+					})
+				}
+			case workPicture:
+				if err := emit(it); err != nil {
+					return err
+				}
+			case workFinal:
+				for _, id := range w.splitterIDs {
+					port.Send(id, &cluster.Message{
+						Kind:    cluster.MsgPicture,
+						Seq:     -1,
+						Tag:     it.index, // session picture total
+						Flags:   cluster.FlagSessionFinal,
+						Session: it.sess.id,
+					})
+				}
+			}
+		case <-w.tr.Done():
+			return w.tr.AbortCause()
+		}
+	}
+}
+
+// drainAck counts one node's session-drained notification; the last one
+// releases the session's waiter.
+func (w *Wall) drainAck(byID map[int]*Session, m *cluster.Message, target int) {
+	s := byID[m.Session]
+	if s == nil {
+		return
+	}
+	s.drainAcks++
+	if s.drainAcks == target {
+		delete(byID, m.Session)
+		close(s.drained)
+	}
+}
+
+// broadcastShutdown tells every node server to exit cleanly. Sessions are all
+// drained by the time Close submits the shutdown item, so every server is
+// idle in its receive loop.
+func (w *Wall) broadcastShutdown(port cluster.Port) {
+	for _, id := range w.splitterIDs {
+		port.Send(id, &cluster.Message{Kind: cluster.MsgPicture, Flags: cluster.FlagShutdown})
+	}
+	for _, id := range w.decoderIDs {
+		port.Send(id, &cluster.Message{Kind: cluster.MsgSubPicture, Flags: cluster.FlagShutdown})
+	}
+}
+
+// combinedSession is a session's splitter-side state on a one-level wall,
+// where the root is also the (single) macroblock splitter.
+type combinedSession struct {
+	ms  *splitter.MBSplitter
+	res *splitter.SecondResult
+}
+
+func (cs *combinedSession) marshal(sp *subpic.SubPicture, pooled bool) []byte {
+	t0 := time.Now()
+	var payload []byte
+	if pooled {
+		payload = sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+	} else {
+		payload = sp.Marshal()
+	}
+	cs.res.Split.Add(metrics.SplitSerialize, time.Since(t0))
+	return payload
+}
+
+// runRootCombined is the K=0 root: the combined splitter of the batch
+// one-level pipeline, made session-aware. Decoder go-ahead acks arriving
+// between pictures are banked for the next gate.
+func (w *Wall) runRootCombined() error {
+	port := w.tr.Port(0)
+	nd := len(w.decoderIDs)
+	byID := map[int]*Session{}
+	sessions := map[int]*combinedSession{}
+	banked := 0
+	shipped := false
+
+	onAck := func(m *cluster.Message) {
+		if m.Seq == cluster.DrainAckSeq {
+			w.drainAck(byID, m, nd)
+			return
+		}
+		banked++
+	}
+	gate := func(b *metrics.Breakdown) error {
+		aborted := false
+		b.Timed(metrics.PhaseWaitMB, func() {
+			for banked < nd {
+				m := port.Recv(cluster.MsgAck)
+				if m == nil {
+					aborted = true
+					return
+				}
+				onAck(m)
+			}
+		})
+		if aborted {
+			return fmt.Errorf("service: fabric aborted while waiting for decoder acks")
+		}
+		banked -= nd
+		return nil
+	}
+
+	for {
+		select {
+		case m := <-port.Queue(cluster.MsgAck):
+			onAck(m)
+		case it := <-w.work:
+			switch it.kind {
+			case workShutdown:
+				for _, cs := range sessions {
+					cs.ms.Close()
+				}
+				w.broadcastShutdown(port)
+				return nil
+			case workOpen:
+				s := it.sess
+				byID[s.id] = s
+				sessions[s.id] = &combinedSession{
+					ms: splitter.NewMBSplitterOpts(s.seq, s.geo, splitter.SplitOptions{
+						Workers: w.cfg.SplitWorkers,
+						Reuse:   w.cfg.Pooled,
+					}),
+					res: &splitter.SecondResult{},
+				}
+				for _, id := range w.decoderIDs {
+					port.Send(id, &cluster.Message{
+						Kind:    cluster.MsgSubPicture,
+						Flags:   cluster.FlagSessionOpen,
+						Session: s.id,
+						Payload: it.payload,
+					})
+				}
+			case workPicture:
+				cs := sessions[it.sess.id]
+				b := &cs.res.Breakdown
+				cs.res.InputBytes += int64(len(it.payload))
+				var sps []*subpic.SubPicture
+				var err error
+				b.Timed(metrics.PhaseWork, func() { sps, err = cs.ms.Split(it.payload, it.index) })
+				if err != nil {
+					return err
+				}
+				if shipped {
+					if err := gate(b); err != nil {
+						return err
+					}
+				}
+				shipped = true
+				b.Timed(metrics.PhaseServe, func() {
+					for t := 0; t < nd; t++ {
+						payload := cs.marshal(sps[t], w.cfg.Pooled)
+						cs.res.SPBytes += int64(len(payload))
+						port.Send(w.decoderIDs[t], &cluster.Message{
+							Kind:    cluster.MsgSubPicture,
+							Seq:     it.index,
+							Tag:     port.ID(),
+							Session: it.sess.id,
+							Payload: payload,
+						})
+					}
+				})
+				cs.res.Pictures++
+				b.Pictures++
+				it.sess.releaseToken()
+			case workFinal:
+				s := it.sess
+				cs := sessions[s.id]
+				for _, id := range w.decoderIDs {
+					sp := &subpic.SubPicture{Final: true}
+					sp.Pic.Index = int32(it.index)
+					port.Send(id, &cluster.Message{
+						Kind:    cluster.MsgSubPicture,
+						Seq:     -1,
+						Tag:     port.ID(),
+						Flags:   cluster.FlagSessionFinal,
+						Session: s.id,
+						Payload: cs.marshal(sp, w.cfg.Pooled),
+					})
+				}
+				cs.res.FoldSplit(cs.ms)
+				cs.ms.Close()
+				delete(sessions, s.id)
+				// Published before the last drain ack can close s.drained: this
+				// goroutine processes that ack only after finishing here.
+				s.splitters[0] = cs.res
+			}
+		case <-w.tr.Done():
+			return w.tr.AbortCause()
+		}
+	}
+}

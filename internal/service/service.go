@@ -1,0 +1,318 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/pdec"
+	"tiledwall/internal/splitter"
+)
+
+// Config describes a resident wall. The grid fields mirror the batch
+// system.Config; the service-only fields bound admission.
+type Config struct {
+	// K is the number of second-level splitters (0 = combined root+splitter).
+	K int
+	// M, N is the decoder grid; Overlap the projector blend band in pixels.
+	M, N, Overlap int
+	// MaxFCode sizes decoder halos for the whole wall lifetime (default 3);
+	// every session's motion vectors must fit it.
+	MaxFCode int
+
+	DynamicBalance    bool
+	SplitWorkers      int
+	UnbatchedExchange bool
+	Pooled            bool
+	CollectFrames     bool
+
+	// Fabric configures the in-process transport built by New when Transport
+	// is nil.
+	Fabric cluster.Config
+	// Transport, when set, supplies the wiring instead (the seam for a future
+	// TCP backend). It must have exactly NumNodes() nodes and is not shut
+	// down by Wall.Close.
+	Transport cluster.Transport
+
+	// MaxSessions bounds concurrently open sessions (default 8); Open fails
+	// with ErrTooManySessions beyond it.
+	MaxSessions int
+	// MaxInFlightPictures bounds pictures per session between Feed and the
+	// splitter's receipt ack; Feed blocks when the bound is reached
+	// (default 8).
+	MaxInFlightPictures int
+}
+
+func (c *Config) defaults() {
+	if c.MaxFCode == 0 {
+		c.MaxFCode = 3
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.MaxInFlightPictures <= 0 {
+		c.MaxInFlightPictures = 8
+	}
+}
+
+// NumNodes returns the node count the wall's transport must provide:
+// root, k splitters, m×n decoders.
+func (c Config) NumNodes() int { return 1 + c.K + c.M*c.N }
+
+var (
+	// ErrTooManySessions is returned by Open when MaxSessions sessions are
+	// already active.
+	ErrTooManySessions = errors.New("service: too many open sessions")
+	// ErrWallClosed is returned by Open after Close has begun.
+	ErrWallClosed = errors.New("service: wall closed")
+	// ErrSessionClosed is returned by Feed/Close on an already-closed session.
+	ErrSessionClosed = errors.New("service: session closed")
+)
+
+// workKind tags items on the feed→root work queue.
+type workKind uint8
+
+const (
+	workOpen workKind = iota
+	workPicture
+	workFinal
+	workShutdown
+)
+
+type workItem struct {
+	sess    *Session
+	kind    workKind
+	payload []byte // header prefix (open) or picture unit (picture)
+	index   int    // per-session picture index, or the total for a final
+}
+
+// Wall is a resident decoding pipeline: transport, root, splitters and tile
+// decoders built once by New and alive until Close.
+type Wall struct {
+	cfg   Config
+	tr    cluster.Transport
+	ownTr bool
+
+	splitterIDs []int
+	decoderIDs  []int
+
+	work chan workItem
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	idle      *sync.Cond
+	sessions  map[int]*Session
+	nextID    int
+	active    int
+	closed    bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds the wall and starts every node server. The caller must Close it.
+func New(cfg Config) (*Wall, error) {
+	cfg.defaults()
+	if cfg.M < 1 || cfg.N < 1 || cfg.K < 0 {
+		return nil, fmt.Errorf("service: invalid grid 1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N)
+	}
+	tr := cfg.Transport
+	own := false
+	if tr == nil {
+		tr = cluster.New(cfg.NumNodes(), cfg.Fabric)
+		own = true
+	} else if tr.NumNodes() != cfg.NumNodes() {
+		return nil, fmt.Errorf("service: transport has %d nodes, grid 1-%d-(%d,%d) needs %d",
+			tr.NumNodes(), cfg.K, cfg.M, cfg.N, cfg.NumNodes())
+	}
+	nTiles := cfg.M * cfg.N
+	w := &Wall{
+		cfg:      cfg,
+		tr:       tr,
+		ownTr:    own,
+		work:     make(chan workItem, cfg.MaxSessions*cfg.MaxInFlightPictures),
+		quit:     make(chan struct{}),
+		sessions: map[int]*Session{},
+	}
+	w.idle = sync.NewCond(&w.mu)
+	for i := 0; i < cfg.K; i++ {
+		w.splitterIDs = append(w.splitterIDs, 1+i)
+	}
+	for t := 0; t < nTiles; t++ {
+		w.decoderIDs = append(w.decoderIDs, 1+cfg.K+t)
+	}
+
+	// Wake a Close blocked on active sessions if the transport aborts.
+	go func() {
+		select {
+		case <-tr.Done():
+			w.mu.Lock()
+			w.idle.Broadcast()
+			w.mu.Unlock()
+		case <-w.quit:
+		}
+	}()
+
+	for i := 0; i < cfg.K; i++ {
+		i := i
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			err := splitter.ServeSecond(tr.Port(w.splitterIDs[i]), splitter.ServeConfig{
+				Index:        i,
+				M:            cfg.M,
+				N:            cfg.N,
+				Overlap:      cfg.Overlap,
+				DecoderNodes: w.decoderIDs,
+				RootNode:     0,
+				Pooled:       cfg.Pooled,
+				SplitWorkers: cfg.SplitWorkers,
+				OnResult:     w.onSecondResult,
+			})
+			if err != nil {
+				tr.Abort(err)
+			}
+		}()
+	}
+	for t := 0; t < nTiles; t++ {
+		t := t
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			scfg := pdec.ServeConfig{
+				Tile:           t,
+				M:              cfg.M,
+				N:              cfg.N,
+				Overlap:        cfg.Overlap,
+				MaxFCode:       cfg.MaxFCode,
+				TileNode:       func(tile int) int { return w.decoderIDs[tile] },
+				RootNode:       0,
+				UnbatchedSends: cfg.UnbatchedExchange,
+				Pooled:         cfg.Pooled,
+				OnResult:       w.onDecoderResult,
+			}
+			if cfg.CollectFrames {
+				scfg.OnFrame = w.onFrame
+			}
+			if err := pdec.Serve(tr.Port(w.decoderIDs[t]), scfg); err != nil {
+				tr.Abort(err)
+			}
+		}()
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		if err := w.runRoot(); err != nil {
+			tr.Abort(err)
+		}
+	}()
+	return w, nil
+}
+
+// Transport exposes the wall's transport (stats, per-pair and per-session
+// byte counters).
+func (w *Wall) Transport() cluster.Transport { return w.tr }
+
+// Open admits a new session. The name is informational (results, errors).
+func (w *Wall) Open(name string) (*Session, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.tr.AbortCause(); err != nil {
+		return nil, err
+	}
+	if w.closed {
+		return nil, ErrWallClosed
+	}
+	if w.active >= w.cfg.MaxSessions {
+		return nil, fmt.Errorf("%w (%d active, max %d)", ErrTooManySessions, w.active, w.cfg.MaxSessions)
+	}
+	w.nextID++
+	s := &Session{
+		w:         w,
+		id:        w.nextID,
+		name:      name,
+		openedAt:  time.Now(),
+		scanner:   newUnitScanner(),
+		tokens:    make(chan struct{}, w.cfg.MaxInFlightPictures),
+		drained:   make(chan struct{}),
+		splitters: make([]*splitter.SecondResult, maxInt(1, w.cfg.K)),
+		decoders:  make([]*pdec.Result, w.cfg.M*w.cfg.N),
+	}
+	for i := 0; i < cap(s.tokens); i++ {
+		s.tokens <- struct{}{}
+	}
+	w.active++
+	w.sessions[s.id] = s
+	return s, nil
+}
+
+// Close drains the wall: it waits for every open session to close, shuts the
+// node servers down, and (when the transport is owned) releases it. Returns
+// the abort cause if the pipeline failed.
+func (w *Wall) Close() error {
+	w.closeOnce.Do(func() {
+		w.mu.Lock()
+		w.closed = true
+		for w.active > 0 && w.tr.AbortCause() == nil {
+			w.idle.Wait()
+		}
+		w.mu.Unlock()
+		if w.tr.AbortCause() == nil {
+			select {
+			case w.work <- workItem{kind: workShutdown}:
+			case <-w.tr.Done():
+			}
+		}
+		w.wg.Wait()
+		close(w.quit)
+		if w.ownTr {
+			w.tr.Shutdown()
+		}
+		w.closeErr = w.tr.AbortCause()
+	})
+	return w.closeErr
+}
+
+// sessionDone releases a session's admission slot.
+func (w *Wall) sessionDone(s *Session) {
+	w.mu.Lock()
+	delete(w.sessions, s.id)
+	w.active--
+	w.idle.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *Wall) onSecondResult(session, idx int, res *splitter.SecondResult) {
+	w.mu.Lock()
+	if s := w.sessions[session]; s != nil {
+		s.splitters[idx] = res
+	}
+	w.mu.Unlock()
+}
+
+func (w *Wall) onFrame(session, _, tile int, buf *mpeg2.PixelBuf) {
+	w.mu.Lock()
+	s := w.sessions[session]
+	w.mu.Unlock()
+	if s != nil && s.collector != nil {
+		s.collector.add(tile, buf)
+	}
+}
+
+func (w *Wall) onDecoderResult(session, tile int, res *pdec.Result) {
+	w.mu.Lock()
+	if s := w.sessions[session]; s != nil {
+		s.decoders[tile] = res
+	}
+	w.mu.Unlock()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/pdec"
+	"tiledwall/internal/splitter"
+	"tiledwall/internal/wall"
+)
+
+// Session is one stream flowing through a resident wall. Feed and Close must
+// be called from a single goroutine; distinct sessions are independent and
+// may run concurrently.
+type Session struct {
+	w        *Wall
+	id       int
+	name     string
+	openedAt time.Time
+
+	scanner unitScanner
+	cbTime  time.Duration // time inside scan callbacks, excluded from ScanTime
+
+	// tokens is the in-flight bound: one taken per picture at Feed, returned
+	// by the root when a splitter acks receipt (K>0) or the picture ships
+	// (K=0).
+	tokens chan struct{}
+	// drained is closed by the root once every tile has sent its drain ack.
+	drained chan struct{}
+
+	opened bool
+	closed bool
+	failed error
+	pics   int
+
+	seq       *mpeg2.SequenceHeader
+	geo       *wall.Geometry
+	collector *collector
+
+	rootRes   splitter.RootResult
+	splitters []*splitter.SecondResult
+	decoders  []*pdec.Result
+
+	drainAcks int // root-goroutine only
+}
+
+// ID returns the session's wall-unique id (the wire session key).
+func (s *Session) ID() int { return s.id }
+
+// Name returns the label given to Open.
+func (s *Session) Name() string { return s.name }
+
+// SessionResult is what a closed session decoded and how fast.
+type SessionResult struct {
+	Name     string
+	Pictures int
+	// Throughput measures wall-clock Open→drain, so it includes any time the
+	// feeder idled between chunks.
+	Throughput metrics.Throughput
+	Root       *splitter.RootResult // nil on one-level walls (K=0)
+	Splitters  []*splitter.SecondResult
+	Decoders   []*pdec.Result
+	// Frames holds assembled wall frames in display order when the wall
+	// collects frames.
+	Frames []*mpeg2.PixelBuf
+	// WireBytes is the fabric traffic attributed to this session.
+	WireBytes int64
+}
+
+// Modeled returns the pipeline-limit throughput: pictures over the busiest
+// node's busy time, the batch Result.Modeled for one session.
+func (r *SessionResult) Modeled() metrics.Throughput {
+	var busiest time.Duration
+	if r.Root != nil {
+		busiest = r.Root.ScanTime + r.Root.CopyTime + r.Root.SendTime
+	}
+	for _, sr := range r.Splitters {
+		if sr != nil && sr.Breakdown.Busy() > busiest {
+			busiest = sr.Breakdown.Busy()
+		}
+	}
+	for _, dr := range r.Decoders {
+		if dr != nil && dr.Breakdown.Busy() > busiest {
+			busiest = dr.Breakdown.Busy()
+		}
+	}
+	return metrics.Throughput{
+		Pictures:         r.Pictures,
+		Elapsed:          busiest,
+		PixelsPerPicture: r.Throughput.PixelsPerPicture,
+	}
+}
+
+// Feed hands the session the next chunk of the elementary stream. Chunks may
+// split anywhere — picture units are reassembled internally. Blocks when the
+// session's in-flight picture bound is reached (backpressure).
+func (s *Session) Feed(chunk []byte) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := s.w.tr.AbortCause(); err != nil {
+		s.failed = err
+		return err
+	}
+	scanStart := time.Now()
+	s.cbTime = 0
+	err := s.scanner.feed(chunk, s.onHeader, s.onUnit)
+	s.rootRes.ScanTime += time.Since(scanStart) - s.cbTime
+	if err != nil {
+		s.failed = err
+	}
+	return err
+}
+
+// Close flushes the trailing picture, sends the session final through the
+// pipeline, and blocks until every tile has drained the session.
+func (s *Session) Close() (*SessionResult, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.closed = true
+	if s.failed == nil {
+		scanStart := time.Now()
+		s.cbTime = 0
+		err := s.scanner.flush(s.onUnit)
+		s.rootRes.ScanTime += time.Since(scanStart) - s.cbTime
+		if err != nil {
+			s.failed = err
+		}
+	}
+	if s.failed == nil && !s.opened {
+		s.failed = fmt.Errorf("service: session %q: no sequence header in stream", s.name)
+	}
+	if s.failed != nil {
+		s.w.sessionDone(s)
+		return nil, s.failed
+	}
+	if err := s.submit(workItem{sess: s, kind: workFinal, index: s.pics}); err != nil {
+		s.w.sessionDone(s)
+		return nil, err
+	}
+	select {
+	case <-s.drained:
+	case <-s.w.tr.Done():
+		s.w.sessionDone(s)
+		return nil, s.w.tr.AbortCause()
+	}
+	s.rootRes.Pictures = s.pics
+	res := &SessionResult{
+		Name:     s.name,
+		Pictures: s.pics,
+		Throughput: metrics.Throughput{
+			Pictures:         s.pics,
+			Elapsed:          time.Since(s.openedAt),
+			PixelsPerPicture: int64(s.geo.PicW) * int64(s.geo.PicH),
+		},
+		Splitters: s.splitters,
+		Decoders:  s.decoders,
+		WireBytes: s.w.tr.SessionBytes(s.id),
+	}
+	if s.w.cfg.K > 0 {
+		res.Root = &s.rootRes
+	}
+	var err error
+	if s.collector != nil {
+		res.Frames, err = s.collector.assemble()
+	}
+	s.w.sessionDone(s)
+	return res, err
+}
+
+// onHeader parses the stream prefix, derives this session's geometry, and
+// announces the session to the pipeline.
+func (s *Session) onHeader(prefix []byte) error {
+	t0 := time.Now()
+	defer func() { s.cbTime += time.Since(t0) }()
+	seq, err := mpeg2.ParseSequenceHeaderBytes(prefix)
+	if err != nil {
+		return fmt.Errorf("service: session %q: %w", s.name, err)
+	}
+	geo, err := wall.NewGeometry(seq.MBWidth()*16, seq.MBHeight()*16, s.w.cfg.M, s.w.cfg.N, s.w.cfg.Overlap)
+	if err != nil {
+		return fmt.Errorf("service: session %q: %w", s.name, err)
+	}
+	s.seq, s.geo = seq, geo
+	if s.w.cfg.CollectFrames {
+		s.collector = newCollector(geo)
+	}
+	s.opened = true
+	hdr := make([]byte, len(prefix))
+	copy(hdr, prefix)
+	return s.submit(workItem{sess: s, kind: workOpen, payload: hdr})
+}
+
+// onUnit copies one complete picture unit out of the scanner, takes an
+// in-flight token (backpressure), and queues the picture for the root.
+func (s *Session) onUnit(u []byte) error {
+	t0 := time.Now()
+	defer func() { s.cbTime += time.Since(t0) }()
+	buf := make([]byte, len(u))
+	copy(buf, u)
+	s.rootRes.CopyTime += time.Since(t0)
+	select {
+	case <-s.tokens:
+	case <-s.w.tr.Done():
+		return s.w.tr.AbortCause()
+	}
+	idx := s.pics
+	s.pics++
+	return s.submit(workItem{sess: s, kind: workPicture, payload: buf, index: idx})
+}
+
+func (s *Session) submit(it workItem) error {
+	select {
+	case s.w.work <- it:
+		return nil
+	case <-s.w.tr.Done():
+		return s.w.tr.AbortCause()
+	}
+}
+
+// releaseToken is called by the root goroutine when a picture's feed slot is
+// free again.
+func (s *Session) releaseToken() {
+	select {
+	case s.tokens <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,205 @@
+package splitter
+
+import (
+	"fmt"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/subpic"
+	"tiledwall/internal/wall"
+)
+
+// ServeConfig wires one resident second-level splitter node: a long-lived
+// server multiplexing sessions, each with its own sequence header, geometry
+// and macroblock splitter.
+type ServeConfig struct {
+	// Index is this splitter's position among the k resident splitters.
+	Index int
+	// M, N, Overlap describe the wall grid; per-session geometry is derived
+	// from them and the session's own picture dimensions.
+	M, N, Overlap int
+	// DecoderNodes maps tile index to decoder node id; RootNode is the
+	// resident root.
+	DecoderNodes []int
+	RootNode     int
+
+	Pooled       bool
+	SplitWorkers int
+
+	// OnResult receives the splitter-side result when a session's final
+	// marker has been forwarded.
+	OnResult func(session, index int, res *SecondResult)
+}
+
+// splitSession is one session's splitter-side state.
+type splitSession struct {
+	ms  *MBSplitter
+	res *SecondResult
+}
+
+func (ss *splitSession) marshal(sp *subpic.SubPicture, pooled bool) []byte {
+	t0 := time.Now()
+	var payload []byte
+	if pooled {
+		payload = sp.AppendTo(cluster.GetSlab(sp.WireSize()))
+	} else {
+		payload = sp.Marshal()
+	}
+	ss.res.Split.Add(metrics.SplitSerialize, time.Since(t0))
+	return payload
+}
+
+// ServeSecond runs the resident splitter loop until a FlagShutdown message
+// arrives or the transport aborts. The data path per session is RunSecond's:
+// ack the root on receipt (credit), split, gate on nd decoder acks (skipped
+// only for the wall's globally first picture), ship with the ANID the root
+// announced. The control path adds session opens (forwarded to every decoder
+// before any of this splitter's sub-pictures, by sender FIFO) and session
+// finals (the batch end marker, per session).
+func ServeSecond(port cluster.Port, cfg ServeConfig) error {
+	sessions := map[int]*splitSession{}
+	nd := len(cfg.DecoderNodes)
+	for {
+		t0 := time.Now()
+		msg := port.Recv(cluster.MsgPicture)
+		wait := time.Since(t0)
+		if msg == nil {
+			return fmt.Errorf("splitter %d: fabric aborted", cfg.Index)
+		}
+		switch {
+		case msg.Flags&cluster.FlagShutdown != 0:
+			for _, ss := range sessions {
+				ss.ms.Close()
+			}
+			return nil
+		case msg.Flags&cluster.FlagSessionOpen != 0:
+			if sessions[msg.Session] != nil {
+				continue
+			}
+			seq, err := mpeg2.ParseSequenceHeaderBytes(msg.Payload)
+			if err != nil {
+				return fmt.Errorf("splitter %d: session %d open: %w", cfg.Index, msg.Session, err)
+			}
+			geo, err := wall.NewGeometry(seq.MBWidth()*16, seq.MBHeight()*16, cfg.M, cfg.N, cfg.Overlap)
+			if err != nil {
+				return fmt.Errorf("splitter %d: session %d open: %w", cfg.Index, msg.Session, err)
+			}
+			sessions[msg.Session] = &splitSession{
+				ms:  NewMBSplitterOpts(seq, geo, SplitOptions{Workers: cfg.SplitWorkers, Reuse: cfg.Pooled}),
+				res: &SecondResult{},
+			}
+			// Forward the open to every decoder. The payload is shared and
+			// read-only on the receiving side, so one copy serves all.
+			for t := 0; t < nd; t++ {
+				port.Send(cfg.DecoderNodes[t], &cluster.Message{
+					Kind:    cluster.MsgSubPicture,
+					Flags:   cluster.FlagSessionOpen,
+					Session: msg.Session,
+					Payload: msg.Payload,
+				})
+			}
+		case msg.Flags&cluster.FlagSessionFinal != 0:
+			ss := sessions[msg.Session]
+			if ss == nil {
+				continue
+			}
+			ss.res.Breakdown.Add(metrics.PhaseReceive, wait)
+			// Forward the end marker to every decoder; Tag carries the
+			// session's total picture count so a decoder that sees an early
+			// final keeps decoding until it has them all.
+			for t := 0; t < nd; t++ {
+				sp := &subpic.SubPicture{Final: true}
+				sp.Pic.Index = int32(msg.Tag)
+				port.Send(cfg.DecoderNodes[t], &cluster.Message{
+					Kind:    cluster.MsgSubPicture,
+					Seq:     -1,
+					Tag:     port.ID(),
+					Flags:   cluster.FlagSessionFinal,
+					Session: msg.Session,
+					Payload: ss.marshal(sp, cfg.Pooled),
+				})
+			}
+			ss.res.FoldSplit(ss.ms)
+			ss.ms.Close()
+			delete(sessions, msg.Session)
+			if cfg.OnResult != nil {
+				cfg.OnResult(msg.Session, cfg.Index, ss.res)
+			}
+			// The root closes the session only after a drain ack from every
+			// splitter and every decoder, so results are published before a
+			// waiting Session.Close can read them.
+			port.Send(cfg.RootNode, &cluster.Message{
+				Kind:    cluster.MsgAck,
+				Seq:     cluster.DrainAckSeq,
+				Session: msg.Session,
+			})
+		default:
+			ss := sessions[msg.Session]
+			if ss == nil {
+				return fmt.Errorf("splitter %d: picture for unknown session %d", cfg.Index, msg.Session)
+			}
+			if err := splitOne(port, cfg, ss, msg, wait, nd); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// splitOne handles one data picture: the body of RunSecond's loop, keyed to
+// the message's session.
+func splitOne(port cluster.Port, cfg ServeConfig, ss *splitSession, msg *cluster.Message, wait time.Duration, nd int) error {
+	b := &ss.res.Breakdown
+	b.Add(metrics.PhaseReceive, wait)
+	// Ack the root immediately: the posted buffer is recycled (flow-control
+	// credit) and the service releases one of the session's in-flight tokens.
+	b.Timed(metrics.PhaseAck, func() {
+		port.Send(cfg.RootNode, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq, Session: msg.Session})
+	})
+	ss.res.InputBytes += int64(len(msg.Payload))
+
+	var sps []*subpic.SubPicture
+	var err error
+	b.Timed(metrics.PhaseWork, func() { sps, err = ss.ms.Split(msg.Payload, msg.Seq) })
+	if err != nil {
+		return fmt.Errorf("splitter %d: %w", cfg.Index, err)
+	}
+
+	// Wait for the go-ahead from every decoder (redirected acks), except for
+	// the wall's globally first picture. Every ack arriving at a splitter
+	// node is a go-ahead — drain acks go to the root only — so counting
+	// without inspecting the session is exactly the batch protocol.
+	if msg.Flags&cluster.FlagFirstPicture == 0 {
+		aborted := false
+		b.Timed(metrics.PhaseWaitMB, func() {
+			for i := 0; i < nd; i++ {
+				if port.Recv(cluster.MsgAck) == nil {
+					aborted = true
+					return
+				}
+			}
+		})
+		if aborted {
+			return fmt.Errorf("splitter %d: fabric aborted while waiting for decoder acks", cfg.Index)
+		}
+	}
+
+	anid := msg.Tag // root told us who handles the next picture
+	b.Timed(metrics.PhaseServe, func() {
+		for t := 0; t < nd; t++ {
+			payload := ss.marshal(sps[t], cfg.Pooled)
+			ss.res.SPBytes += int64(len(payload))
+			port.Send(cfg.DecoderNodes[t], &cluster.Message{
+				Kind:    cluster.MsgSubPicture,
+				Seq:     msg.Seq,
+				Tag:     anid,
+				Session: msg.Session,
+				Payload: payload,
+			})
+		}
+	})
+	ss.res.Pictures++
+	b.Pictures++
+	return nil
+}

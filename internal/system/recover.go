@@ -49,7 +49,7 @@ func runRecovery(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 	rcfg := cfg.Recovery.WithDefaults()
 	rec := &metrics.Recovery{}
 
-	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
+	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, transport: fab}
 	for i := 0; i < cfg.K; i++ {
 		res.SplitterNodeIDs = append(res.SplitterNodeIDs, 1+i)
 	}

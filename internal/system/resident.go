@@ -1,0 +1,112 @@
+package system
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tiledwall/internal/service"
+)
+
+// ResidentWall is a long-lived pipeline: the fabric, root, splitters and
+// decoders are built once by NewResidentWall and serve any number of
+// streams — sequentially or concurrently — until Close. Each Play is one
+// session; Open gives direct access to the session API for incremental
+// feeding.
+type ResidentWall struct {
+	cfg Config
+	svc *service.Wall
+	n   int64 // session name counter
+}
+
+// NewResidentWall builds the wall. Recovery-enabled configurations are
+// rejected: the fault-tolerance layer keeps its dedicated one-shot pipeline
+// (Run).
+func NewResidentWall(cfg Config) (*ResidentWall, error) {
+	cfg.defaults()
+	if cfg.Recovery.Enabled {
+		return nil, fmt.Errorf("system: resident walls do not support recovery; use Run")
+	}
+	svc, err := service.New(service.Config{
+		K:                   cfg.K,
+		M:                   cfg.M,
+		N:                   cfg.N,
+		Overlap:             cfg.Overlap,
+		MaxFCode:            cfg.MaxFCode,
+		DynamicBalance:      cfg.DynamicBalance,
+		SplitWorkers:        cfg.SplitWorkers,
+		UnbatchedExchange:   cfg.UnbatchedExchange,
+		Pooled:              cfg.Pooled,
+		CollectFrames:       cfg.CollectFrames,
+		Fabric:              cfg.Fabric,
+		MaxSessions:         cfg.MaxSessions,
+		MaxInFlightPictures: cfg.MaxInFlightPictures,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ResidentWall{cfg: cfg, svc: svc}, nil
+}
+
+// Service exposes the underlying session API (Open/Feed/Close per stream).
+func (w *ResidentWall) Service() *service.Wall { return w.svc }
+
+// Open starts a new session on the wall (admission-controlled).
+func (w *ResidentWall) Open(name string) (*service.Session, error) {
+	return w.svc.Open(name)
+}
+
+// Play decodes one complete stream as one session and reports it in the
+// batch Result shape. Safe to call from concurrent goroutines, up to the
+// wall's MaxSessions.
+func (w *ResidentWall) Play(stream []byte) (*Result, error) {
+	start := time.Now()
+	sess, err := w.svc.Open(fmt.Sprintf("play-%d", atomic.AddInt64(&w.n, 1)))
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Feed(stream); err != nil {
+		sess.Close()
+		return nil, err
+	}
+	sres, err := sess.Close()
+	if err != nil {
+		return nil, err
+	}
+	res := w.result(sres, int64(len(stream)))
+	// Elapsed covers open → drained, the batch run window.
+	res.Throughput.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Close drains and tears the wall down, returning the pipeline abort cause
+// if any node failed.
+func (w *ResidentWall) Close() error { return w.svc.Close() }
+
+// result maps a session result onto the batch Result shape. NodeStats and
+// PairBytes report the transport's cumulative counters — equal to the
+// session's own traffic on a single-Play wall; multi-session walls read
+// per-session bytes from SessionResult.WireBytes.
+func (w *ResidentWall) result(sres *service.SessionResult, streamBytes int64) *Result {
+	res := &Result{
+		Config:          w.cfg,
+		Throughput:      sres.Throughput,
+		Root:            sres.Root,
+		Splitters:       sres.Splitters,
+		Decoders:        sres.Decoders,
+		Frames:          sres.Frames,
+		StreamBytes:     streamBytes,
+		RootNodeID:      0,
+		NodeStats:       w.svc.Transport().Stats(),
+		Warnings:        w.cfg.validate(),
+		EffectivePooled: w.cfg.effectivePooled(),
+		transport:       w.svc.Transport(),
+	}
+	for i := 0; i < w.cfg.K; i++ {
+		res.SplitterNodeIDs = append(res.SplitterNodeIDs, 1+i)
+	}
+	for t := 0; t < w.cfg.M*w.cfg.N; t++ {
+		res.DecoderNodeIDs = append(res.DecoderNodeIDs, 1+w.cfg.K+t)
+	}
+	return res
+}

@@ -15,7 +15,6 @@ import (
 	"tiledwall/internal/pdec"
 	"tiledwall/internal/recovery"
 	"tiledwall/internal/splitter"
-	"tiledwall/internal/subpic"
 	"tiledwall/internal/wall"
 )
 
@@ -72,7 +71,28 @@ type Config struct {
 	// Chaos injects crashes into a recovery-enabled run (tests and the
 	// benchwall -chaos mode). Ignored when Recovery is disabled.
 	Chaos recovery.ChaosPlan
+
+	// MaxSessions and MaxInFlightPictures bound admission on resident walls
+	// (NewResidentWall); both default to 8. A one-shot Run uses a single
+	// session and is unaffected.
+	MaxSessions         int
+	MaxInFlightPictures int
 }
+
+// validate reports configuration interactions that are accepted but change
+// behaviour, so they are explicit instead of silent. The warnings are
+// recorded on Result.Warnings.
+func (c Config) validate() []string {
+	var warns []string
+	if c.Pooled && c.Recovery.Enabled {
+		warns = append(warns,
+			"Pooled is forced off under Recovery: retained replay payloads must not be recycled; see Result.EffectivePooled")
+	}
+	return warns
+}
+
+// effectivePooled is the pooling state the pipeline actually runs with.
+func (c Config) effectivePooled() bool { return c.Pooled && !c.Recovery.Enabled }
 
 // Result reports one pipeline run.
 type Result struct {
@@ -108,15 +128,21 @@ type Result struct {
 	// tile's sorted list is 0..Pictures-1 with no duplicates.
 	TileEmissions [][]int
 
-	fabric *cluster.Fabric
+	// Warnings lists accepted-but-surprising configuration interactions
+	// (Config.validate); EffectivePooled is the pooling state the run
+	// actually used (false under Recovery even when Config.Pooled is set).
+	Warnings        []string
+	EffectivePooled bool
+
+	transport cluster.Transport
 }
 
 // PairBytes returns bytes sent from fabric node a to node b during the run.
 func (r *Result) PairBytes(a, b int) int64 {
-	if r.fabric == nil {
+	if r.transport == nil {
 		return 0
 	}
-	return r.fabric.PairBytes(a, b)
+	return r.transport.PairBytes(a, b)
 }
 
 // Modeled returns the pipeline-model throughput: pictures divided by the
@@ -240,7 +266,11 @@ func (fc *frameCollector) assemble() ([]*mpeg2.PixelBuf, error) {
 	return frames, nil
 }
 
-// Run executes the pipeline over a complete elementary stream.
+// Run executes the pipeline over a complete elementary stream: it opens a
+// resident wall, plays the stream as its only session, and closes the wall
+// (recovery-enabled runs keep their dedicated supervisor pipeline). The
+// session path is byte-identical to the historical batch pipeline — the
+// conformance matrix proves it — so Run remains the reference entry point.
 func Run(stream []byte, cfg Config) (*Result, error) {
 	cfg.defaults()
 	s, err := mpeg2.ParseStream(stream)
@@ -253,267 +283,21 @@ func Run(stream []byte, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if cfg.Recovery.Enabled {
-		return runRecovery(stream, s, geo, cfg)
-	}
-	if cfg.K > 0 {
-		return runTwoLevel(stream, s, geo, cfg)
-	}
-	return runOneLevel(stream, s, geo, cfg)
-}
-
-// runTwoLevel wires root -> k splitters -> m*n decoders.
-func runTwoLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config) (*Result, error) {
-	nTiles := geo.NumTiles()
-	nNodes := 1 + cfg.K + nTiles
-	fab := cluster.New(nNodes, cfg.Fabric)
-	defer fab.Shutdown()
-
-	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
-	for i := 0; i < cfg.K; i++ {
-		res.SplitterNodeIDs = append(res.SplitterNodeIDs, 1+i)
-	}
-	for t := 0; t < nTiles; t++ {
-		res.DecoderNodeIDs = append(res.DecoderNodeIDs, 1+cfg.K+t)
-	}
-	tileNode := func(t int) int { return res.DecoderNodeIDs[t] }
-
-	var collector *frameCollector
-	var onFrame func(int, int, *mpeg2.PixelBuf)
-	if cfg.CollectFrames {
-		collector = newFrameCollector(geo)
-		onFrame = collector.onFrame
-	}
-
-	res.Splitters = make([]*splitter.SecondResult, cfg.K)
-	res.Decoders = make([]*pdec.Result, nTiles)
-	errs := make([]error, 1+cfg.K+nTiles)
-
-	start := time.Now()
-	var wg sync.WaitGroup
-
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		res.Root, errs[0] = splitter.RunRoot(fab.Node(0), splitter.RootConfig{
-			Stream:        stream,
-			SplitterNodes: res.SplitterNodeIDs,
-			Dynamic:       cfg.DynamicBalance,
-		})
-		if errs[0] != nil {
-			fab.Abort(errs[0])
+		res, rerr := runRecovery(stream, s, geo, cfg)
+		if res != nil {
+			res.Warnings = cfg.validate()
+			res.EffectivePooled = cfg.effectivePooled()
 		}
-	}()
-	for i := 0; i < cfg.K; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			res.Splitters[i], errs[1+i] = splitter.RunSecond(fab.Node(1+i), splitter.SecondConfig{
-				Seq:          s.Seq,
-				Geo:          geo,
-				Index:        i,
-				DecoderNodes: res.DecoderNodeIDs,
-				RootNode:     0,
-				Pooled:       cfg.Pooled,
-				SplitWorkers: cfg.SplitWorkers,
-			})
-			if errs[1+i] != nil {
-				fab.Abort(errs[1+i])
-			}
-		}()
+		return res, rerr
 	}
-	for t := 0; t < nTiles; t++ {
-		t := t
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			d := pdec.NewDecoder(fab.Node(res.DecoderNodeIDs[t]), pdec.Config{
-				Seq:            s.Seq,
-				Geo:            geo,
-				Tile:           t,
-				HaloPx:         pdec.HaloForFCode(cfg.MaxFCode),
-				TileNode:       tileNode,
-				OnFrame:        onFrame,
-				UnbatchedSends: cfg.UnbatchedExchange,
-				Pooled:         cfg.Pooled,
-			})
-			res.Decoders[t], errs[1+cfg.K+t] = d.Run()
-			if errs[1+cfg.K+t] != nil {
-				fab.Abort(errs[1+cfg.K+t])
-			}
-		}()
+	w, err := NewResidentWall(cfg)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	if cause := fab.AbortCause(); cause != nil {
-		return res, cause
+	res, perr := w.Play(stream)
+	cerr := w.Close()
+	if perr == nil {
+		perr = cerr
 	}
-	for _, e := range errs {
-		if e != nil {
-			return res, e
-		}
-	}
-	res.Throughput = metrics.Throughput{
-		Pictures:         len(s.Pictures),
-		Elapsed:          elapsed,
-		PixelsPerPicture: int64(geo.PicW) * int64(geo.PicH),
-	}
-	res.NodeStats = fab.Stats()
-	if collector != nil {
-		frames, err := collector.assemble()
-		if err != nil {
-			return res, err
-		}
-		res.Frames = frames
-	}
-	return res, nil
-}
-
-// runOneLevel wires a single combined picture+macroblock splitter (the
-// console PC) directly to the decoders: the paper's 1-(m,n) system whose
-// splitter saturates beyond a handful of decoders (§5.3).
-func runOneLevel(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config) (*Result, error) {
-	nTiles := geo.NumTiles()
-	nNodes := 1 + nTiles
-	fab := cluster.New(nNodes, cfg.Fabric)
-	defer fab.Shutdown()
-
-	res := &Result{Config: cfg, StreamBytes: int64(len(stream)), RootNodeID: 0, fabric: fab}
-	for t := 0; t < nTiles; t++ {
-		res.DecoderNodeIDs = append(res.DecoderNodeIDs, 1+t)
-	}
-	tileNode := func(t int) int { return res.DecoderNodeIDs[t] }
-
-	var collector *frameCollector
-	var onFrame func(int, int, *mpeg2.PixelBuf)
-	if cfg.CollectFrames {
-		collector = newFrameCollector(geo)
-		onFrame = collector.onFrame
-	}
-
-	res.Splitters = make([]*splitter.SecondResult, 1)
-	res.Decoders = make([]*pdec.Result, nTiles)
-	errs := make([]error, 1+nTiles)
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		res.Splitters[0], errs[0] = runCombinedSplitter(fab.Node(0), s, geo, res.DecoderNodeIDs, cfg)
-		if errs[0] != nil {
-			fab.Abort(errs[0])
-		}
-	}()
-	for t := 0; t < nTiles; t++ {
-		t := t
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			d := pdec.NewDecoder(fab.Node(res.DecoderNodeIDs[t]), pdec.Config{
-				Seq:            s.Seq,
-				Geo:            geo,
-				Tile:           t,
-				HaloPx:         pdec.HaloForFCode(cfg.MaxFCode),
-				TileNode:       tileNode,
-				OnFrame:        onFrame,
-				UnbatchedSends: cfg.UnbatchedExchange,
-				Pooled:         cfg.Pooled,
-			})
-			res.Decoders[t], errs[1+t] = d.Run()
-			if errs[1+t] != nil {
-				fab.Abort(errs[1+t])
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if cause := fab.AbortCause(); cause != nil {
-		return res, cause
-	}
-	for _, e := range errs {
-		if e != nil {
-			return res, e
-		}
-	}
-	res.Throughput = metrics.Throughput{
-		Pictures:         len(s.Pictures),
-		Elapsed:          elapsed,
-		PixelsPerPicture: int64(geo.PicW) * int64(geo.PicH),
-	}
-	res.NodeStats = fab.Stats()
-	if collector != nil {
-		frames, err := collector.assemble()
-		if err != nil {
-			return res, err
-		}
-		res.Frames = frames
-	}
-	return res, nil
-}
-
-// runCombinedSplitter scans and splits on one node (the 1-(m,n) console).
-func runCombinedSplitter(node *cluster.Node, s *mpeg2.Stream, geo *wall.Geometry, decoderNodes []int, cfg Config) (*splitter.SecondResult, error) {
-	res := &splitter.SecondResult{}
-	b := &res.Breakdown
-	ms := splitter.NewMBSplitterOpts(s.Seq, geo, splitter.SplitOptions{Workers: cfg.SplitWorkers, Reuse: cfg.Pooled})
-	defer ms.Close()
-	defer func() { res.FoldSplit(ms) }()
-	nd := len(decoderNodes)
-	marshal := func(sp *subpic.SubPicture) []byte {
-		t0 := time.Now()
-		var payload []byte
-		if cfg.Pooled {
-			payload = sp.AppendTo(cluster.GetSlab(sp.WireSize()))
-		} else {
-			payload = sp.Marshal()
-		}
-		res.Split.Add(metrics.SplitSerialize, time.Since(t0))
-		return payload
-	}
-
-	for seq, unit := range s.Pictures {
-		res.InputBytes += int64(len(unit))
-		var sps []*subpic.SubPicture
-		var err error
-		b.Timed(metrics.PhaseWork, func() { sps, err = ms.Split(unit, seq) })
-		if err != nil {
-			return res, err
-		}
-		if seq > 0 {
-			aborted := false
-			b.Timed(metrics.PhaseWaitMB, func() {
-				for i := 0; i < nd; i++ {
-					if node.Recv(cluster.MsgAck) == nil {
-						aborted = true
-						return
-					}
-				}
-			})
-			if aborted {
-				return res, fmt.Errorf("system: fabric aborted while waiting for decoder acks")
-			}
-		}
-		b.Timed(metrics.PhaseServe, func() {
-			for t := 0; t < nd; t++ {
-				payload := marshal(sps[t])
-				res.SPBytes += int64(len(payload))
-				node.Send(decoderNodes[t], &cluster.Message{
-					Kind:    cluster.MsgSubPicture,
-					Seq:     seq,
-					Tag:     node.ID(), // single splitter: acks come back here
-					Payload: payload,
-				})
-			}
-		})
-		res.Pictures++
-		b.Pictures++
-	}
-	for t := 0; t < nd; t++ {
-		sp := &subpic.SubPicture{Final: true}
-		sp.Pic.Index = int32(len(s.Pictures))
-		node.Send(decoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: marshal(sp)})
-	}
-	return res, nil
+	return res, perr
 }

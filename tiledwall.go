@@ -20,6 +20,7 @@
 //	internal/splitter    root + second-level splitters, bit-exact SP cutting
 //	internal/pdec        tile decoders (MEI execution, halo windows)
 //	internal/system      pipeline assembly, baselines, §4.6 calibration
+//	internal/service     resident wall service, session multiplexing
 //	internal/experiments the Table/Figure regeneration harness
 //
 // Quick start (see examples/quickstart for the runnable version):
@@ -35,6 +36,7 @@ import (
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/recovery"
+	"tiledwall/internal/service"
 	"tiledwall/internal/system"
 )
 
@@ -91,6 +93,43 @@ func GenerateStream(id int, opts GenOptions) ([]byte, error) {
 func Play(stream []byte, cfg WallConfig) (*WallResult, error) {
 	return system.Run(stream, cfg)
 }
+
+// ErrTooManySessions is returned by Wall.Open/Wall.Play when the wall's
+// MaxSessions admission bound is reached.
+var ErrTooManySessions = service.ErrTooManySessions
+
+// Wall is a resident decoding service: the pipeline is built once by NewWall
+// and serves any number of streams — sequentially or concurrently — until
+// Close. Play on a warm wall skips the per-run pipeline construction that
+// dominates short batch runs.
+type Wall struct {
+	w *system.ResidentWall
+}
+
+// Session is an incrementally-fed stream on a resident wall (Wall.Open).
+type Session = service.Session
+
+// NewWall builds a resident wall for the configuration. Recovery-enabled
+// configurations are rejected — use Play.
+func NewWall(cfg WallConfig) (*Wall, error) {
+	w, err := system.NewResidentWall(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Wall{w: w}, nil
+}
+
+// Play decodes one complete stream as one session on the resident wall.
+// Safe to call from concurrent goroutines, up to the wall's MaxSessions.
+func (w *Wall) Play(stream []byte) (*WallResult, error) { return w.w.Play(stream) }
+
+// Open starts a session for incremental feeding: Session.Feed accepts chunks
+// split at arbitrary byte boundaries, Session.Close drains and reports.
+func (w *Wall) Open(name string) (*Session, error) { return w.w.Open(name) }
+
+// Close drains open sessions, shuts the pipeline down, and reports the abort
+// cause if any node failed.
+func (w *Wall) Close() error { return w.w.Close() }
 
 // Decode runs the serial reference decoder, returning pictures in display
 // order.
