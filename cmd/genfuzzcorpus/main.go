@@ -19,6 +19,7 @@ import (
 	"strconv"
 
 	"tiledwall/internal/bits"
+	"tiledwall/internal/cluster"
 	"tiledwall/internal/conformance"
 	"tiledwall/internal/encoder"
 	"tiledwall/internal/mpeg2"
@@ -136,6 +137,42 @@ func main() {
 	}
 	writeCorpus(filepath.Join(sdir, "FuzzBlockBundle"), "seed-bundle", bb.Marshal())
 	writeCorpus(filepath.Join(sdir, "FuzzBlockBundle"), "seed-truncated", bb.Marshal()[:10])
+
+	// internal/cluster: TCP wire frames — valid messages (including a real
+	// marshalled sub-picture payload), handshake frames, aborts, and hostile
+	// variants (bad version, truncation, flipped bits, oversize length).
+	cdir := "internal/cluster/testdata/fuzz"
+	frame := func(m *cluster.Message) []byte {
+		b, err := cluster.AppendMessageFrame(nil, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+	spMsg := frame(&cluster.Message{Kind: cluster.MsgSubPicture, From: 1, To: 3, Seq: 2, Tag: 4, Session: 1, Payload: sp.Marshal()})
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-subpicture", spMsg)
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-ack",
+		frame(&cluster.Message{Kind: cluster.MsgAck, From: 3, To: 0, Seq: -2, Session: 7}))
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-picture",
+		frame(&cluster.Message{Kind: cluster.MsgPicture, From: 0, To: 1, Seq: 0, Tag: 1, Session: 1,
+			Flags: 1 << 5, Payload: st.Pictures[0][:64]}))
+	hello := cluster.AppendHelloFrame(nil, cluster.Hello{
+		Version: cluster.WireVersion, Node: 3, NumNodes: 10,
+		Grid: cluster.Grid{K: 2, M: 2, N: 2, Overlap: 32},
+	})
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-hello", hello)
+	badVersion := append([]byte(nil), hello...)
+	badVersion[9] ^= 0x7f // version byte: frameLen(4) + type(1) + magic(4)
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-hello-badversion", badVersion)
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-accept",
+		cluster.AppendAcceptFrame(nil, cluster.Accept{Version: cluster.WireVersion, NumNodes: 10}))
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-abort",
+		cluster.AppendAbortFrame(nil, cluster.ErrLinkLost))
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-truncated", spMsg[:len(spMsg)/2])
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-corrupt",
+		conformance.Corrupt(spMsg, conformance.CorruptBitFlips, 11))
+	writeCorpus(filepath.Join(cdir, "FuzzFrameDecode"), "seed-hostile-length",
+		[]byte{0xff, 0xff, 0xff, 0xff, 0x03, 0x00})
 
 	fmt.Println("fuzz corpora regenerated")
 }

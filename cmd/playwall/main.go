@@ -43,19 +43,42 @@ func main() {
 		snap    = flag.String("snapshot", "", "write the first displayed frame as a PPM image")
 		bwBps   = flag.Float64("bandwidth", 0, "fabric throttle in bytes/s (0 = unthrottled)")
 		nSess   = flag.Int("sessions", 1, "concurrent copies of the stream through one resident wall")
+
+		// Multi-process node mode (see node.go): every role of the wall runs
+		// in its own OS process, wired over TCP through the root's hub.
+		role    = flag.String("role", "", "node mode: root, splitter, decoder or all (empty = single-process wall)")
+		listen  = flag.String("listen", "127.0.0.1:0", "hub listen address (roles root and all)")
+		connect = flag.String("connect", "", "hub address to dial (roles splitter and decoder)")
+		stall   = flag.Duration("stall", 30*time.Second, "node-mode stall watchdog (0 = disabled)")
+		digest  = flag.Bool("digest", false, "node mode: print per-tile FNV digests of the displayed frames")
 	)
 	flag.Parse()
-	if *in == "" {
+
+	// Worker roles host no root: they never read the stream.
+	needsStream := *role == "" || *role == "root" || *role == "all"
+	if needsStream && *in == "" {
 		log.Fatal("playwall: -in is required")
 	}
-	data, err := os.ReadFile(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if mpegps.IsProgramStream(data) {
-		if data, err = mpegps.Demux(data); err != nil {
+	var data []byte
+	var err error
+	if needsStream {
+		if data, err = os.ReadFile(*in); err != nil {
 			log.Fatal(err)
 		}
+		if mpegps.IsProgramStream(data) {
+			if data, err = mpegps.Demux(data); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if *role != "" {
+		if (*role == "splitter" || *role == "decoder") && *connect == "" {
+			log.Fatalf("playwall: -role %s requires -connect <hub address>", *role)
+		}
+		nodeCfg := system.Config{K: *k, M: *m, N: *n, Overlap: *overlap, Pooled: *pooled, SplitWorkers: *splitW}
+		runNode(*role, *listen, *connect, nodeCfg, *stall, *digest, data, *nSess)
+		return
 	}
 
 	if *auto {

@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Fault injection for the socket path: every failure mode must surface as a
+// typed, errors.Is-matchable abort through the single abort domain — never a
+// hang.
+
+func newLoopbackTransport(t *testing.T, n int, stall time.Duration) *TCPTransport {
+	t.Helper()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	tr, err := ListenTCP("127.0.0.1:0", TCPConfig{NumNodes: n, LocalNodes: ids, StallTimeout: stall})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	t.Cleanup(tr.Shutdown)
+	return tr
+}
+
+func waitAbort(t *testing.T, tr *TCPTransport, within time.Duration) error {
+	t.Helper()
+	select {
+	case <-tr.Done():
+		return tr.AbortCause()
+	case <-time.After(within):
+		t.Fatal("transport did not abort within deadline")
+		return nil
+	}
+}
+
+// TestTCPMultiProcess wires three transports — a hub plus two dialers — the
+// way three OS processes would, and runs traffic across real process-style
+// boundaries (every hop crosses the hub).
+func TestTCPMultiProcess(t *testing.T) {
+	hub, err := ListenTCP("127.0.0.1:0", TCPConfig{NumNodes: 3, LocalNodes: []int{0}})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer hub.Shutdown()
+	mk := func(id int) *TCPTransport {
+		tr, err := DialTCP(hub.Addr(), TCPConfig{NumNodes: 3, LocalNodes: []int{id}})
+		if err != nil {
+			t.Fatalf("DialTCP node %d: %v", id, err)
+		}
+		return tr
+	}
+	w1, w2 := mk(1), mk(2)
+	defer w1.Shutdown()
+	defer w2.Shutdown()
+
+	const rounds = 50
+	go func() {
+		for i := 0; i < rounds; i++ {
+			w1.Port(1).Send(2, &Message{Kind: MsgBlocks, Seq: i, Session: 5, Payload: []byte{byte(i), 1, 2}})
+			w1.Port(1).Send(0, &Message{Kind: MsgAck, Seq: i})
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		m := w2.Port(2).Recv(MsgBlocks)
+		if m == nil {
+			t.Fatalf("w2 aborted: %v", w2.AbortCause())
+		}
+		if m.Seq != i || m.From != 1 || m.Payload[0] != byte(i) {
+			t.Fatalf("round %d: got seq %d from %d payload %v", i, m.Seq, m.From, m.Payload)
+		}
+		if m2 := hub.Port(0).Recv(MsgAck); m2 == nil || m2.Seq != i {
+			t.Fatalf("round %d: hub ack %+v (cause %v)", i, m2, hub.AbortCause())
+		}
+	}
+	// Remote-origin traffic is accounted at the receiving process.
+	if got := w2.PairBytes(1, 2); got != rounds*(3+messageHeaderBytes) {
+		t.Fatalf("w2 PairBytes(1,2) = %d, want %d", got, rounds*(3+messageHeaderBytes))
+	}
+	if got := w2.SessionBytes(5); got != rounds*(3+messageHeaderBytes) {
+		t.Fatalf("w2 SessionBytes(5) = %d, want %d", got, rounds*(3+messageHeaderBytes))
+	}
+}
+
+// TestTCPMidStreamDrop: hard-killing a link (RST) aborts the transport with
+// ErrLinkLost, unblocking a pending receive.
+func TestTCPMidStreamDrop(t *testing.T) {
+	tr := newLoopbackTransport(t, 3, 0)
+	got := make(chan *Message, 1)
+	go func() { got <- tr.Port(2).Recv(MsgPicture) }()
+	tr.Port(0).Send(2, &Message{Kind: MsgPicture, Payload: make([]byte, 1024)})
+	if m := <-got; m == nil {
+		t.Fatalf("pre-fault delivery failed: %v", tr.AbortCause())
+	}
+	tr.InjectLinkFailure(1)
+	cause := waitAbort(t, tr, 10*time.Second)
+	if !errors.Is(cause, ErrLinkLost) && !errors.Is(cause, ErrStalled) {
+		t.Fatalf("abort cause %v, want ErrLinkLost (or ErrStalled)", cause)
+	}
+	if m := tr.Port(2).Recv(MsgPicture); m != nil {
+		t.Fatalf("Recv after link loss returned %+v", m)
+	}
+}
+
+// TestTCPHalfOpenPeer: a peer that handshakes and then goes silent while the
+// wall expects traffic is caught by the stall watchdog, not a hang.
+func TestTCPHalfOpenPeer(t *testing.T) {
+	tr, err := ListenTCP("127.0.0.1:0", TCPConfig{NumNodes: 2, LocalNodes: []int{0}, StallTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer tr.Shutdown()
+	// Handshake as node 1 by hand, then never send another byte.
+	c, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write(AppendHelloFrame(nil, Hello{Version: WireVersion, Node: 1, NumNodes: 2})); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	blocked := make(chan *Message, 1)
+	go func() { blocked <- tr.Port(0).Recv(MsgAck) }()
+	cause := waitAbort(t, tr, 10*time.Second)
+	if !errors.Is(cause, ErrStalled) {
+		t.Fatalf("abort cause %v, want ErrStalled", cause)
+	}
+	if m := <-blocked; m != nil {
+		t.Fatalf("Recv returned %+v after stall abort", m)
+	}
+}
+
+// TestTCPHandshakeVersionMismatch: the hub answers a wrong-version hello
+// with an ErrHandshake-classed abort frame and keeps the wall alive.
+func TestTCPHandshakeVersionMismatch(t *testing.T) {
+	tr := newLoopbackTransport(t, 2, 0)
+	c, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write(AppendHelloFrame(nil, Hello{Version: WireVersion + 9, Node: 1, NumNodes: 2})); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr, err := readFrame(c)
+	if err != nil {
+		t.Fatalf("expected abort frame, read error %v", err)
+	}
+	if fr.Abort == nil || !errors.Is(fr.Abort, ErrHandshake) {
+		t.Fatalf("expected ErrHandshake abort frame, got %+v", fr)
+	}
+	if tr.AbortCause() != nil {
+		t.Fatalf("stray dialer aborted the wall: %v", tr.AbortCause())
+	}
+	// The wall still works afterwards.
+	tr.Port(0).Send(1, &Message{Kind: MsgAck, Seq: 1})
+	if m := tr.Port(1).Recv(MsgAck); m == nil || m.Seq != 1 {
+		t.Fatalf("wall broken after rejected dialer: %+v (cause %v)", m, tr.AbortCause())
+	}
+}
+
+// TestTCPHandshakeGeometryMismatch: a dialing process configured for a
+// different wall shape is rejected with ErrHandshake at DialTCP.
+func TestTCPHandshakeGeometryMismatch(t *testing.T) {
+	hub, err := ListenTCP("127.0.0.1:0", TCPConfig{NumNodes: 4, LocalNodes: []int{0}, Grid: Grid{K: 1, M: 1, N: 2}})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer hub.Shutdown()
+	_, err = DialTCP(hub.Addr(), TCPConfig{NumNodes: 4, LocalNodes: []int{1}, Grid: Grid{K: 1, M: 2, N: 1}})
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("geometry mismatch: err %v, want ErrHandshake", err)
+	}
+	_, err = DialTCP(hub.Addr(), TCPConfig{NumNodes: 5, LocalNodes: []int{1}, Grid: Grid{K: 1, M: 1, N: 2}})
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("node-count mismatch: err %v, want ErrHandshake", err)
+	}
+}
+
+// TestTCPDuplicateNode: a second claim on an already-connected node id is
+// rejected without disturbing the first.
+func TestTCPDuplicateNode(t *testing.T) {
+	tr := newLoopbackTransport(t, 2, 0)
+	_, err := DialTCP(tr.Addr(), TCPConfig{NumNodes: 2, LocalNodes: []int{1}})
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("duplicate node: err %v, want ErrHandshake", err)
+	}
+	if tr.AbortCause() != nil {
+		t.Fatalf("duplicate claim aborted the wall: %v", tr.AbortCause())
+	}
+}
+
+// TestTCPHandshakeTimeout: a connection that never completes the handshake
+// is cut by the hub's deadline instead of holding a slot forever.
+func TestTCPHandshakeTimeout(t *testing.T) {
+	tr, err := ListenTCP("127.0.0.1:0", TCPConfig{NumNodes: 2, LocalNodes: []int{0}, HandshakeTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer tr.Shutdown()
+	c, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		// An abort frame is also acceptable; what matters is the connection
+		// dies promptly rather than lingering half-open.
+		io.Copy(io.Discard, c)
+	}
+	if tr.AbortCause() != nil {
+		t.Fatalf("silent dialer aborted the wall: %v", tr.AbortCause())
+	}
+}
+
+// TestTCPAbortPropagation: an abort in one process propagates its cause
+// class across the wire so every process reports the same errors.Is result.
+func TestTCPAbortPropagation(t *testing.T) {
+	hub, err := ListenTCP("127.0.0.1:0", TCPConfig{NumNodes: 2, LocalNodes: []int{0}})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer hub.Shutdown()
+	worker, err := DialTCP(hub.Addr(), TCPConfig{NumNodes: 2, LocalNodes: []int{1}})
+	if err != nil {
+		t.Fatalf("DialTCP: %v", err)
+	}
+	defer worker.Shutdown()
+	worker.Abort(ErrStalled)
+	cause := waitAbort(t, hub, 10*time.Second)
+	if !errors.Is(cause, ErrStalled) {
+		t.Fatalf("hub abort cause %v, want ErrStalled across the wire", cause)
+	}
+	if cause.Error() != ErrStalled.Error() {
+		t.Fatalf("abort message %q lost fidelity, want %q", cause.Error(), ErrStalled.Error())
+	}
+}
+
+// TestTCPCleanShutdownDeliversTail: everything sent before Shutdown reaches
+// a remote process that is still draining — the flush-then-FIN ordering.
+func TestTCPCleanShutdownDeliversTail(t *testing.T) {
+	hub, err := ListenTCP("127.0.0.1:0", TCPConfig{NumNodes: 2, LocalNodes: []int{0}})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	worker, err := DialTCP(hub.Addr(), TCPConfig{NumNodes: 2, LocalNodes: []int{1}})
+	if err != nil {
+		t.Fatalf("DialTCP: %v", err)
+	}
+	defer worker.Shutdown()
+	const tail = 200
+	for i := 0; i < tail; i++ {
+		hub.Port(0).Send(1, &Message{Kind: MsgPixels, Seq: i, Payload: make([]byte, 512)})
+	}
+	hub.Shutdown()
+	for i := 0; i < tail; i++ {
+		m := worker.Port(1).Recv(MsgPixels)
+		if m == nil {
+			t.Fatalf("tail message %d lost: %v", i, worker.AbortCause())
+		}
+		if m.Seq != i {
+			t.Fatalf("tail reordered: got %d want %d", m.Seq, i)
+		}
+	}
+	if worker.AbortCause() != nil {
+		t.Fatalf("clean shutdown aborted the worker: %v", worker.AbortCause())
+	}
+}

@@ -124,6 +124,39 @@ func TestSessionMatrix(t *testing.T) {
 	}
 }
 
+// TestTransportMatrix holds the TCP socket transport to the oracle: every
+// matrix configuration (pooled, split-workers and overlap axes included)
+// decodes the stream over the in-process fabric AND over TCP loopback, plus 2
+// concurrent chunk-fed sessions on a resident TCP wall — all byte-identical
+// to the serial reference. Two seeds with different coding parameters bound
+// the runtime (disjoint from TestSessionMatrix's pair, widening the combined
+// seed coverage of the resident path); the fabric side of every pair is
+// already swept across all seeds by TestOracleMatrix.
+func TestTransportMatrix(t *testing.T) {
+	for _, seed := range []int64{2, 17} {
+		p := ParamsForSeed(seed)
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			stream, err := p.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := RunTransportMatrix(stream, DefaultMatrix(), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != len(DefaultMatrix()) {
+				t.Fatalf("transport matrix ran %d configurations, want %d", len(results), len(DefaultMatrix()))
+			}
+			for _, r := range results {
+				if err := r.Failure(); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
 // TestDiffMinimisation plants a single-macroblock difference and checks the
 // minimiser attributes it to the right picture, macroblock and tile.
 func TestDiffMinimisation(t *testing.T) {

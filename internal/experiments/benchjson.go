@@ -78,6 +78,7 @@ type ParallelBench struct {
 	Config         string             `json:"config"`
 	Pooled         bool               `json:"pooled"`
 	SplitWorkers   int                `json:"split_workers,omitempty"`
+	Transport      string             `json:"transport,omitempty"` // "" = in-process fabric, "tcp" = socket transport on loopback
 	Nodes          int                `json:"nodes"`
 	FPS            float64            `json:"fps"`
 	PhaseMsPP      map[string]float64 `json:"phase_ms_per_picture"`
@@ -111,14 +112,21 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 	// pair is the splitter-bound measurement: a single second-level splitter
 	// feeding sixteen decoders is the regime where ts limits F = min(k/ts,
 	// 1/td), so the 4-worker entry shows what slice parallelism buys.
+	// The transport axis pairs two representative shapes with their TCP
+	// twins: same grid, same pooling, every hop crossing loopback sockets
+	// through the hub. Diffing a pair inside one report prices the socket
+	// transport; diffing reports across pushes gates it like any system.
 	for _, cfg := range []system.Config{
 		{K: 0, M: 2, N: 2, SplitWorkers: 1},
 		{K: 2, M: 2, N: 2, SplitWorkers: 1},
 		{K: 2, M: 2, N: 2, Pooled: true, SplitWorkers: 1},
 		{K: 1, M: 4, N: 4, Pooled: true, SplitWorkers: 1},
 		{K: 1, M: 4, N: 4, Pooled: true, SplitWorkers: 4},
+		{K: 2, M: 2, N: 2, Pooled: true, SplitWorkers: 1, Transport: "tcp"},
+		{K: 1, M: 4, N: 4, Pooled: true, SplitWorkers: 1, Transport: "tcp"},
 	} {
-		fmt.Fprintf(o.Log, "benchjson: 1-%d-(%d,%d) pooled=%v sw=%d\n", cfg.K, cfg.M, cfg.N, cfg.Pooled, cfg.SplitWorkers)
+		fmt.Fprintf(o.Log, "benchjson: 1-%d-(%d,%d) pooled=%v sw=%d transport=%s\n",
+			cfg.K, cfg.M, cfg.N, cfg.Pooled, cfg.SplitWorkers, transportName(cfg.Transport))
 		res, err := system.Run(data, cfg)
 		if err != nil {
 			return nil, err
@@ -127,6 +135,7 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 			Config:       fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N),
 			Pooled:       cfg.Pooled,
 			SplitWorkers: cfg.SplitWorkers,
+			Transport:    cfg.Transport,
 			Nodes:        res.Config.NumNodes(),
 			FPS:          res.Modeled().FPS(),
 			PhaseMsPP:    map[string]float64{},
@@ -163,6 +172,14 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 	return rep, nil
 }
 
+// transportName renders the transport axis for log lines.
+func transportName(t string) string {
+	if t == "" {
+		return "fabric"
+	}
+	return t
+}
+
 // serviceBench measures the resident wall on the splitter-bound 1-1-(4,4)
 // shape: cold construction, warm session admission, and 4-session aggregate
 // throughput.
@@ -193,6 +210,22 @@ func serviceBench(data []byte) (*ServiceBench, error) {
 	}
 	if _, err := sess.Close(); err != nil {
 		return nil, err
+	}
+	// Warm admission is a microsecond-scale figure gated against cold setup,
+	// so take the minimum over a few more admissions: a GC pause landing on
+	// one Open (the suite allocates heavily right before this) must not
+	// masquerade as session-start cost. The empty sessions close with the
+	// missing-sequence-header error and release their slots.
+	for i := 0; i < 4; i++ {
+		t0 = time.Now()
+		s, err := w.Open(fmt.Sprintf("warm-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if d := time.Since(t0); d < warm {
+			warm = d
+		}
+		s.Close()
 	}
 
 	var wg sync.WaitGroup
@@ -346,8 +379,14 @@ func CompareBenchReports(base, cur *BenchReport, tol float64) (violations, warni
 	if cur.Serial.AllocsPerPic > base.Serial.AllocsPerPic+1 {
 		check("serial allocs/picture", base.Serial.AllocsPerPic, cur.Serial.AllocsPerPic, true)
 	}
+	// Transport extends the key only when it is not the fabric default, so
+	// reports predating the axis keep their keys and stay diffable.
 	sysKey := func(p ParallelBench) string {
-		return fmt.Sprintf("%s pooled=%v sw=%d", p.Config, p.Pooled, p.SplitWorkers)
+		key := fmt.Sprintf("%s pooled=%v sw=%d", p.Config, p.Pooled, p.SplitWorkers)
+		if p.Transport != "" && p.Transport != "fabric" {
+			key += " transport=" + p.Transport
+		}
+		return key
 	}
 	baseSys := map[string]ParallelBench{}
 	for _, b := range base.Systems {

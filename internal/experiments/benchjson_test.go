@@ -20,16 +20,26 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 	if rep.Serial.AllocsPerPic > 4 {
 		t.Fatalf("serial allocs/picture %.2f exceeds steady-state budget", rep.Serial.AllocsPerPic)
 	}
-	if len(rep.Kernels) != 3 || len(rep.Systems) != 5 {
+	if len(rep.Kernels) != 3 || len(rep.Systems) != 7 {
 		t.Fatalf("report shape: %d kernels %d systems", len(rep.Kernels), len(rep.Systems))
 	}
 	if rep.GoMaxProcs < 1 {
 		t.Fatalf("gomaxprocs not recorded: %d", rep.GoMaxProcs)
 	}
+	tcp := 0
 	for _, sys := range rep.Systems {
 		if len(sys.SplitPhaseMsPP) == 0 {
 			t.Fatalf("%s: no splitter phase breakdown", sys.Config)
 		}
+		if sys.Transport == "tcp" {
+			tcp++
+			if sys.FPS <= 0 {
+				t.Fatalf("%s over tcp: no throughput measured", sys.Config)
+			}
+		}
+	}
+	if tcp != 2 {
+		t.Fatalf("transport axis ran %d tcp systems, want 2", tcp)
 	}
 
 	var buf bytes.Buffer

@@ -32,10 +32,20 @@ type Config struct {
 	// Fabric configures the in-process transport built by New when Transport
 	// is nil.
 	Fabric cluster.Config
-	// Transport, when set, supplies the wiring instead (the seam for a future
-	// TCP backend). It must have exactly NumNodes() nodes and is not shut
-	// down by Wall.Close.
+	// Transport, when set, supplies the wiring instead (e.g. a
+	// cluster.TCPTransport spanning processes). It must have exactly
+	// NumNodes() nodes and is not shut down by Wall.Close.
 	Transport cluster.Transport
+	// LocalNodes restricts which node loops this process runs (nil = all).
+	// A multi-process wall gives each process the same grid and transport
+	// topology but a disjoint LocalNodes subset; only the process hosting
+	// node 0 (the root) can open sessions, the others Wait.
+	LocalNodes []int
+
+	// OnTileFrame, when set, receives every decoded tile frame hosted by
+	// this process (display order per tile per session) — the display-server
+	// hook of a multi-process wall, independent of CollectFrames.
+	OnTileFrame func(session, displayIdx, tile int, buf *mpeg2.PixelBuf)
 
 	// MaxSessions bounds concurrently open sessions (default 8); Open fails
 	// with ErrTooManySessions beyond it.
@@ -70,6 +80,9 @@ var (
 	ErrWallClosed = errors.New("service: wall closed")
 	// ErrSessionClosed is returned by Feed/Close on an already-closed session.
 	ErrSessionClosed = errors.New("service: session closed")
+	// ErrNoLocalRoot is returned by Open on a wall whose LocalNodes subset
+	// does not include the root; sessions are fed from the root process.
+	ErrNoLocalRoot = errors.New("service: root node is not local to this process")
 )
 
 // workKind tags items on the feed→root work queue.
@@ -98,6 +111,7 @@ type Wall struct {
 
 	splitterIDs []int
 	decoderIDs  []int
+	hasRoot     bool
 
 	work chan workItem
 	quit chan struct{}
@@ -128,11 +142,23 @@ func New(cfg Config) (*Wall, error) {
 		return nil, fmt.Errorf("service: transport has %d nodes, grid 1-%d-(%d,%d) needs %d",
 			tr.NumNodes(), cfg.K, cfg.M, cfg.N, cfg.NumNodes())
 	}
+	local := func(int) bool { return true }
+	if cfg.LocalNodes != nil {
+		set := map[int]bool{}
+		for _, id := range cfg.LocalNodes {
+			if id < 0 || id >= cfg.NumNodes() {
+				return nil, fmt.Errorf("service: local node %d out of range [0,%d)", id, cfg.NumNodes())
+			}
+			set[id] = true
+		}
+		local = func(id int) bool { return set[id] }
+	}
 	nTiles := cfg.M * cfg.N
 	w := &Wall{
 		cfg:      cfg,
 		tr:       tr,
 		ownTr:    own,
+		hasRoot:  local(0),
 		work:     make(chan workItem, cfg.MaxSessions*cfg.MaxInFlightPictures),
 		quit:     make(chan struct{}),
 		sessions: map[int]*Session{},
@@ -157,6 +183,9 @@ func New(cfg Config) (*Wall, error) {
 	}()
 
 	for i := 0; i < cfg.K; i++ {
+		if !local(w.splitterIDs[i]) {
+			continue
+		}
 		i := i
 		w.wg.Add(1)
 		go func() {
@@ -178,6 +207,9 @@ func New(cfg Config) (*Wall, error) {
 		}()
 	}
 	for t := 0; t < nTiles; t++ {
+		if !local(w.decoderIDs[t]) {
+			continue
+		}
 		t := t
 		w.wg.Add(1)
 		go func() {
@@ -194,7 +226,7 @@ func New(cfg Config) (*Wall, error) {
 				Pooled:         cfg.Pooled,
 				OnResult:       w.onDecoderResult,
 			}
-			if cfg.CollectFrames {
+			if cfg.CollectFrames || cfg.OnTileFrame != nil {
 				scfg.OnFrame = w.onFrame
 			}
 			if err := pdec.Serve(tr.Port(w.decoderIDs[t]), scfg); err != nil {
@@ -202,14 +234,25 @@ func New(cfg Config) (*Wall, error) {
 			}
 		}()
 	}
-	w.wg.Add(1)
-	go func() {
-		defer w.wg.Done()
-		if err := w.runRoot(); err != nil {
-			tr.Abort(err)
-		}
-	}()
+	if w.hasRoot {
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			if err := w.runRoot(); err != nil {
+				tr.Abort(err)
+			}
+		}()
+	}
 	return w, nil
+}
+
+// Wait blocks until this process's node loops exit — a clean shutdown
+// broadcast from the (possibly remote) root, or a transport abort, whose
+// cause is returned. Worker processes of a multi-process wall call Wait;
+// the root process drives sessions and calls Close.
+func (w *Wall) Wait() error {
+	w.wg.Wait()
+	return w.tr.AbortCause()
 }
 
 // Transport exposes the wall's transport (stats, per-pair and per-session
@@ -222,6 +265,9 @@ func (w *Wall) Open(name string) (*Session, error) {
 	defer w.mu.Unlock()
 	if err := w.tr.AbortCause(); err != nil {
 		return nil, err
+	}
+	if !w.hasRoot {
+		return nil, ErrNoLocalRoot
 	}
 	if w.closed {
 		return nil, ErrWallClosed
@@ -260,7 +306,7 @@ func (w *Wall) Close() error {
 			w.idle.Wait()
 		}
 		w.mu.Unlock()
-		if w.tr.AbortCause() == nil {
+		if w.hasRoot && w.tr.AbortCause() == nil {
 			select {
 			case w.work <- workItem{kind: workShutdown}:
 			case <-w.tr.Done():
@@ -293,7 +339,13 @@ func (w *Wall) onSecondResult(session, idx int, res *splitter.SecondResult) {
 	w.mu.Unlock()
 }
 
-func (w *Wall) onFrame(session, _, tile int, buf *mpeg2.PixelBuf) {
+func (w *Wall) onFrame(session, displayIdx, tile int, buf *mpeg2.PixelBuf) {
+	if w.cfg.OnTileFrame != nil {
+		w.cfg.OnTileFrame(session, displayIdx, tile, buf)
+	}
+	if !w.cfg.CollectFrames {
+		return
+	}
 	w.mu.Lock()
 	s := w.sessions[session]
 	w.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tiledwall/internal/cluster"
 	"tiledwall/internal/service"
 )
 
@@ -16,7 +17,8 @@ import (
 type ResidentWall struct {
 	cfg Config
 	svc *service.Wall
-	n   int64 // session name counter
+	tcp *cluster.TCPTransport // owned when Config.Transport == "tcp"
+	n   int64                 // session name counter
 }
 
 // NewResidentWall builds the wall. Recovery-enabled configurations are
@@ -26,6 +28,30 @@ func NewResidentWall(cfg Config) (*ResidentWall, error) {
 	cfg.defaults()
 	if cfg.Recovery.Enabled {
 		return nil, fmt.Errorf("system: resident walls do not support recovery; use Run")
+	}
+	var tcp *cluster.TCPTransport
+	switch cfg.Transport {
+	case "", "fabric":
+	case "tcp":
+		// All nodes local, all traffic over loopback sockets through the
+		// hub: the single-process form of the multi-process wall.
+		nn := cfg.NumNodes()
+		ids := make([]int, nn)
+		for i := range ids {
+			ids[i] = i
+		}
+		var err error
+		tcp, err = cluster.ListenTCP("127.0.0.1:0", cluster.TCPConfig{
+			NumNodes:     nn,
+			LocalNodes:   ids,
+			Grid:         cluster.Grid{K: cfg.K, M: cfg.M, N: cfg.N, Overlap: cfg.Overlap},
+			StallTimeout: cfg.Fabric.StallTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("system: unknown transport %q (want \"fabric\" or \"tcp\")", cfg.Transport)
 	}
 	svc, err := service.New(service.Config{
 		K:                   cfg.K,
@@ -41,11 +67,23 @@ func NewResidentWall(cfg Config) (*ResidentWall, error) {
 		Fabric:              cfg.Fabric,
 		MaxSessions:         cfg.MaxSessions,
 		MaxInFlightPictures: cfg.MaxInFlightPictures,
+		Transport:           transportOrNil(tcp),
 	})
 	if err != nil {
+		if tcp != nil {
+			tcp.Abort(err)
+		}
 		return nil, err
 	}
-	return &ResidentWall{cfg: cfg, svc: svc}, nil
+	return &ResidentWall{cfg: cfg, svc: svc, tcp: tcp}, nil
+}
+
+// transportOrNil avoids handing service.New a typed-nil interface.
+func transportOrNil(tcp *cluster.TCPTransport) cluster.Transport {
+	if tcp == nil {
+		return nil
+	}
+	return tcp
 }
 
 // Service exposes the underlying session API (Open/Feed/Close per stream).
@@ -80,8 +118,15 @@ func (w *ResidentWall) Play(stream []byte) (*Result, error) {
 }
 
 // Close drains and tears the wall down, returning the pipeline abort cause
-// if any node failed.
-func (w *ResidentWall) Close() error { return w.svc.Close() }
+// if any node failed. A TCP transport built by NewResidentWall is owned here
+// (service.Wall does not shut down external transports).
+func (w *ResidentWall) Close() error {
+	err := w.svc.Close()
+	if w.tcp != nil {
+		w.tcp.Shutdown()
+	}
+	return err
+}
 
 // result maps a session result onto the batch Result shape. NodeStats and
 // PairBytes report the transport's cumulative counters — equal to the

@@ -49,6 +49,14 @@ type Config struct {
 	// Fabric carries throttling options for the message fabric.
 	Fabric cluster.Config
 
+	// Transport selects the message transport: "" or "fabric" for the
+	// in-process fabric, "tcp" for the socket transport over loopback (every
+	// node still lives in this process, but all traffic crosses real TCP
+	// connections through a hub — the single-process form of the
+	// multi-process wall, and what the cross-transport conformance matrix
+	// exercises). Recovery-enabled runs ignore it and keep the fabric.
+	Transport string
+
 	// CollectFrames assembles full output frames for verification (adds
 	// memory traffic outside the measured path).
 	CollectFrames bool
@@ -87,6 +95,20 @@ func (c Config) validate() []string {
 	if c.Pooled && c.Recovery.Enabled {
 		warns = append(warns,
 			"Pooled is forced off under Recovery: retained replay payloads must not be recycled; see Result.EffectivePooled")
+	}
+	if c.Transport == "tcp" {
+		if c.Recovery.Enabled {
+			warns = append(warns,
+				"Transport=tcp is ignored under Recovery: the fault-tolerance pipeline keeps the in-process fabric")
+		}
+		if c.Fabric.BandwidthBps > 0 || c.Fabric.Latency > 0 {
+			warns = append(warns,
+				"Fabric bandwidth/latency throttling is not applied by the TCP transport; loopback speed is what you measure")
+		}
+		if c.Fabric.Drop != nil {
+			warns = append(warns,
+				"Fabric.Drop is not applied by the TCP transport (TCP is reliable); use TCPTransport.InjectLinkFailure for fault tests")
+		}
 	}
 	return warns
 }
