@@ -118,6 +118,23 @@ func runNode(role, listen, connect string, cfg system.Config, stall time.Duratio
 		Grid:         cluster.Grid{K: cfg.K, M: cfg.M, N: cfg.N, Overlap: cfg.Overlap},
 		StallTimeout: stall,
 	}
+	// The service is built after the transport, so link-state events route
+	// through an indirection armed once the wall exists (cf. NewResidentWall).
+	var linkSink struct {
+		mu sync.Mutex
+		w  *service.Wall
+	}
+	if cfg.Recovery.Enabled {
+		tcfg.Recoverable = true
+		tcfg.OnLinkState = func(node int, up bool) {
+			linkSink.mu.Lock()
+			w := linkSink.w
+			linkSink.mu.Unlock()
+			if w != nil {
+				w.NoteLink(node, up)
+			}
+		}
+	}
 	var (
 		tr  *cluster.TCPTransport
 		err error
@@ -145,6 +162,8 @@ func runNode(role, listen, connect string, cfg system.Config, stall time.Duratio
 		Transport:    tr,
 		LocalNodes:   local,
 		MaxSessions:  sessions,
+		Recovery:     cfg.Recovery,
+		Chaos:        cfg.Chaos,
 	}
 	var dig *tileDigest
 	if digest && hostsDecoders {
@@ -156,11 +175,21 @@ func runNode(role, listen, connect string, cfg system.Config, stall time.Duratio
 		tr.Abort(err)
 		log.Fatal(err)
 	}
+	linkSink.mu.Lock()
+	linkSink.w = w
+	linkSink.mu.Unlock()
 
 	if role == "root" || role == "all" {
 		runNodeRoot(w, tr, data, sessions)
-	} else if err := w.Wait(); err != nil {
-		log.Fatalf("playwall %s: pipeline failed: %v", role, err)
+	} else {
+		if err := w.Wait(); err != nil {
+			log.Fatalf("playwall %s: pipeline failed: %v", role, err)
+		}
+		// Recovery counters are per-process: a kill or a link loss repaired
+		// here is visible here, not at the root.
+		if rec := w.Recovery(); !rec.Zero() {
+			fmt.Printf("playwall %s recovery: %s, health %v\n", role, rec, w.Health())
+		}
 	}
 	if cerr := w.Close(); cerr != nil {
 		log.Fatalf("playwall %s: %v", role, cerr)
@@ -201,4 +230,7 @@ func runNodeRoot(w *service.Wall, tr *cluster.TCPTransport, data []byte, session
 		recv += s.BytesRecv
 	}
 	fmt.Printf("wire traffic: %d bytes sent, %d received across %d nodes\n", sent, recv, len(st))
+	if rec := w.Recovery(); !rec.Zero() {
+		fmt.Printf("recovery: %s, health %v\n", rec, w.Health())
+	}
 }

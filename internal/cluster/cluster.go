@@ -105,6 +105,12 @@ const (
 // in the root's single ack stream.
 const DrainAckSeq = -2
 
+// SessionFailSeq is the Seq sentinel of the failure notice a recovery-enabled
+// resident splitter sends the root when one session's stream is undecodable
+// (corrupt unit, geometry mismatch). The payload carries the cause text. The
+// root fails that session alone; the splitter keeps serving the others.
+const SessionFailSeq = -3
+
 // Message is one fabric message.
 type Message struct {
 	From, To int

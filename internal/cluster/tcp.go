@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,33 @@ type TCPConfig struct {
 	// ErrStalled. Each process watches independently, so a dead peer
 	// eventually terminates every survivor.
 	StallTimeout time.Duration
+
+	// DialRetryBase and DialRetryMax shape the capped exponential backoff
+	// between dial attempts (initial connect and recoverable redial): the
+	// sleep doubles from Base up to Max, with ±50% jitter so a wall's worth
+	// of workers does not retry in lockstep (defaults 25ms and 1s).
+	DialRetryBase time.Duration
+	DialRetryMax  time.Duration
+
+	// Recoverable keeps the transport alive through individual link failures
+	// instead of aborting the wall. A port whose connection dies redials the
+	// hub with the capped backoff above (bounded by RedialTimeout) and
+	// resumes; the hub re-admits the reconnecting node — replacing its dead
+	// inbound link and resuming its queued outbound window on the new
+	// connection — instead of rejecting it as a duplicate. Frames in flight
+	// on the dead connection may be lost or (when a broken batch is re-sent
+	// whole) duplicated; repairing that is the job of the recovery layer
+	// above (deadline concealment, replay windows, duplicate-tolerant
+	// receivers), so Recoverable is meant for recovery-enabled walls.
+	Recoverable bool
+	// RedialTimeout bounds one port's reconnection window in Recoverable
+	// mode; past it the transport aborts with ErrLinkLost (default
+	// DialTimeout).
+	RedialTimeout time.Duration
+	// OnLinkState, when set, observes recoverable link transitions:
+	// up=false when a local port loses its connection, up=true when its
+	// redial completes. Called from transport goroutines — must not block.
+	OnLinkState func(node int, up bool)
 }
 
 func (c *TCPConfig) defaults() {
@@ -66,11 +94,21 @@ func (c *TCPConfig) defaults() {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 15 * time.Second
 	}
+	if c.DialRetryBase <= 0 {
+		c.DialRetryBase = 25 * time.Millisecond
+	}
+	if c.DialRetryMax <= 0 {
+		c.DialRetryMax = time.Second
+	}
+	if c.RedialTimeout <= 0 {
+		c.RedialTimeout = c.DialTimeout
+	}
 }
 
 // TCPTransport implements Transport over TCP links through a hub.
 type TCPTransport struct {
 	cfg   TCPConfig
+	addr  string     // hub address every local port dialed (redial target)
 	ports []*tcpPort // by node id; nil for non-local nodes
 	hub   *hub       // non-nil on the listening process
 
@@ -165,6 +203,7 @@ func newTCPTransport(cfg TCPConfig) *TCPTransport {
 }
 
 func (t *TCPTransport) connectLocal(addr string) error {
+	t.addr = addr
 	for _, id := range t.cfg.LocalNodes {
 		p, err := t.dialPort(addr, id)
 		if err != nil {
@@ -349,7 +388,9 @@ func (t *TCPTransport) allConns() []*net.TCPConn {
 	var conns []*net.TCPConn
 	for _, p := range t.ports {
 		if p != nil {
-			conns = append(conns, p.conn)
+			if c := p.currentConn(); c != nil {
+				conns = append(conns, c)
+			}
 		}
 	}
 	if t.hub != nil {
@@ -401,12 +442,15 @@ func (t *TCPTransport) Shutdown() {
 }
 
 // InjectLinkFailure hard-kills node's connection (RST via linger 0),
-// simulating a peer crash for fault-injection tests.
+// simulating a peer crash for fault-injection tests. On a Recoverable
+// transport the victim's port notices, redials the hub and resumes — the
+// recoverable-mode soak's link-loss axis.
 func (t *TCPTransport) InjectLinkFailure(node int) {
 	if node >= 0 && node < len(t.ports) && t.ports[node] != nil {
-		c := t.ports[node].conn
-		c.SetLinger(0)
-		c.Close()
+		if c := t.ports[node].currentConn(); c != nil {
+			c.SetLinger(0)
+			c.Close()
+		}
 		return
 	}
 	if t.hub != nil {
@@ -428,9 +472,13 @@ func (t *TCPTransport) linkError(what string, node int, err error) {
 
 // tcpPort is one node's endpoint: a dialed link to the hub, a batching
 // writer, and a reader dispatching inbound messages into per-kind pumps.
+// conn and br are guarded by mu: in Recoverable mode either I/O goroutine
+// may replace them by redialing after a link failure.
 type tcpPort struct {
-	id   int
-	t    *TCPTransport
+	id int
+	t  *TCPTransport
+
+	mu   sync.Mutex
 	conn *net.TCPConn
 	br   *bufio.Reader
 
@@ -442,10 +490,31 @@ type tcpPort struct {
 var _ Port = (*tcpPort)(nil)
 
 func (t *TCPTransport) dialPort(addr string, id int) (*tcpPort, error) {
-	conn, err := dialRetry(addr, t.cfg.DialTimeout)
+	conn, err := dialRetry(addr, t.cfg.DialTimeout, t.cfg.DialRetryBase, t.cfg.DialRetryMax)
 	if err != nil {
 		return nil, err
 	}
+	br, err := t.handshake(conn, id)
+	if err != nil {
+		return nil, err
+	}
+	p := &tcpPort{
+		id:         id,
+		t:          t,
+		conn:       conn,
+		br:         br,
+		wq:         newOutQueue(),
+		writerDone: make(chan struct{}),
+	}
+	for k := range p.pumps {
+		p.pumps[k] = newPump(t.done)
+	}
+	return p, nil
+}
+
+// handshake runs the hello/accept exchange for node id on a fresh
+// connection; on failure the connection is closed.
+func (t *TCPTransport) handshake(conn *net.TCPConn, id int) (*bufio.Reader, error) {
 	conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
 	hello := AppendHelloFrame(nil, Hello{
 		Version:  WireVersion,
@@ -478,25 +547,15 @@ func (t *TCPTransport) dialPort(addr string, id int) (*tcpPort, error) {
 		return nil, fmt.Errorf("%w: node %d: unexpected frame %#x instead of accept", ErrHandshake, id, fr.Type)
 	}
 	conn.SetDeadline(time.Time{})
-	p := &tcpPort{
-		id:         id,
-		t:          t,
-		conn:       conn,
-		br:         br,
-		wq:         newOutQueue(),
-		writerDone: make(chan struct{}),
-	}
-	for k := range p.pumps {
-		p.pumps[k] = newPump(t.done)
-	}
-	return p, nil
+	return br, nil
 }
 
 // dialRetry redials until the deadline so the wall's processes can start in
-// any order (a decoder may come up before the root is listening).
-func dialRetry(addr string, timeout time.Duration) (*net.TCPConn, error) {
+// any order (a decoder may come up before the root is listening), backing
+// off exponentially with jitter between attempts.
+func dialRetry(addr string, timeout, base, max time.Duration) (*net.TCPConn, error) {
 	deadline := time.Now().Add(timeout)
-	for {
+	for attempt := 0; ; attempt++ {
 		c, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
 			return c.(*net.TCPConn), nil
@@ -504,7 +563,77 @@ func dialRetry(addr string, timeout time.Duration) (*net.TCPConn, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("%w: dial %s: %v", ErrHandshake, addr, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		backoffSleep(attempt, base, max)
+	}
+}
+
+// backoffSleep sleeps the attempt-th capped exponential backoff step with
+// ±50% jitter, so a wall's worth of redialing processes spreads out instead
+// of retrying in lockstep.
+func backoffSleep(attempt int, base, max time.Duration) {
+	d := max
+	if attempt < 30 {
+		if step := base << uint(attempt); step < max {
+			d = step
+		}
+	}
+	// Jitter to 50–150% of the nominal step.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	time.Sleep(d)
+}
+
+// currentConn returns the port's live connection (nil after a failed
+// recoverable redial gave up).
+func (p *tcpPort) currentConn() *net.TCPConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
+// reconnect re-establishes the port's link after old died (Recoverable
+// mode). The first caller owns the redial; a concurrent caller blocks on the
+// mutex and inherits the fresh connection. Returns (nil, nil) when the
+// transport is closing, aborted, or the redial window expired (which aborts
+// with ErrLinkLost).
+func (p *tcpPort) reconnect(old *net.TCPConn) (*net.TCPConn, *bufio.Reader) {
+	t := p.t
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != old {
+		return p.conn, p.br // the other I/O goroutine already redialed
+	}
+	old.Close()
+	p.conn, p.br = nil, nil
+	if t.cfg.OnLinkState != nil {
+		t.cfg.OnLinkState(p.id, false)
+	}
+	deadline := time.Now().Add(t.cfg.RedialTimeout)
+	for attempt := 0; ; attempt++ {
+		if t.closing.Load() || t.aborted() {
+			return nil, nil
+		}
+		conn, err := net.DialTimeout("tcp", t.addr, time.Second)
+		if err == nil {
+			br, herr := t.handshake(conn.(*net.TCPConn), p.id)
+			if herr != nil {
+				// The hub answered and refused: a real wiring error, not a
+				// transient outage worth retrying through.
+				t.linkError("redial handshake", p.id, herr)
+				return nil, nil
+			}
+			p.conn, p.br = conn.(*net.TCPConn), br
+			atomic.AddInt64(&t.activity, 1)
+			if t.cfg.OnLinkState != nil {
+				t.cfg.OnLinkState(p.id, true)
+			}
+			return p.conn, p.br
+		}
+		if time.Now().After(deadline) {
+			t.linkError("redial", p.id, err)
+			return nil, nil
+		}
+		atomic.AddInt64(&t.activity, 1) // redialing counts as liveness
+		backoffSleep(attempt, t.cfg.DialRetryBase, t.cfg.DialRetryMax)
 	}
 }
 
@@ -610,14 +739,16 @@ func (p *tcpPort) writer() {
 			}
 		}
 		if len(buf) > 0 {
-			if _, err := p.conn.Write(buf); err != nil {
+			if err := p.write(buf); err != nil {
 				p.t.linkError("write", p.id, err)
 				p.wq.closeDiscard()
 				return
 			}
 		}
 		if done {
-			p.conn.CloseWrite()
+			if c := p.currentConn(); c != nil {
+				c.CloseWrite()
+			}
 			return
 		}
 		// A batch can be arbitrarily large (a burst of sub-pictures); don't
@@ -628,17 +759,53 @@ func (p *tcpPort) writer() {
 	}
 }
 
+// write puts one encoded batch on the wire. In Recoverable mode a failed
+// write redials and re-sends the whole batch on the new connection: the hub
+// discards any partial frame the dead connection delivered (its stream
+// breaks mid-frame), so the worst case is a duplicated leading frame, which
+// the layers above absorb (acks are idempotent, data receivers deduplicate).
+func (p *tcpPort) write(buf []byte) error {
+	for {
+		conn := p.currentConn()
+		if conn == nil {
+			return fmt.Errorf("link down")
+		}
+		_, err := conn.Write(buf)
+		if err == nil {
+			return nil
+		}
+		t := p.t
+		if !t.cfg.Recoverable || t.closing.Load() || t.aborted() {
+			return err
+		}
+		if nc, _ := p.reconnect(conn); nc == nil {
+			return err
+		}
+	}
+}
+
 // reader decodes inbound frames and dispatches messages into the per-kind
 // pumps. Message payloads were read into slab-pool slices by readFrame, so
 // the consumer's PutSlab keeps the receive path zero-alloc in steady state.
 func (p *tcpPort) reader() {
 	t := p.t
 	for {
-		fr, err := readFrame(p.br)
+		p.mu.Lock()
+		conn, br := p.conn, p.br
+		p.mu.Unlock()
+		if conn == nil {
+			return // recoverable redial gave up; the abort is already raised
+		}
+		fr, err := readFrame(br)
 		if err != nil {
 			if err == io.EOF {
-				p.conn.Close() // orderly close from the hub side
+				conn.Close() // orderly close from the hub side
 				return
+			}
+			if t.cfg.Recoverable && !t.closing.Load() && !t.aborted() {
+				if nc, _ := p.reconnect(conn); nc != nil {
+					continue
+				}
 			}
 			p.t.linkError("read", p.id, err)
 			return
@@ -697,8 +864,13 @@ type hubLink struct {
 	readerDone chan struct{}
 }
 
+// hubDest is one node's outbound side at the hub. conn and writerDone are
+// guarded by mu; cond signals a (re)attach so a recoverable-mode writer
+// parked on a dead link resumes when the node redials.
 type hubDest struct {
 	q          *outQueue
+	mu         sync.Mutex
+	cond       sync.Cond
 	conn       *net.TCPConn // set when the destination's link attaches
 	writerDone chan struct{}
 }
@@ -707,8 +879,15 @@ func newHub(t *TCPTransport, ln net.Listener) *hub {
 	h := &hub{t: t, ln: ln, links: map[int]*hubLink{}, dests: make([]*hubDest, t.cfg.NumNodes)}
 	for i := range h.dests {
 		h.dests[i] = &hubDest{q: newOutQueue()}
+		h.dests[i].cond.L = &h.dests[i].mu
 	}
 	return h
+}
+
+func (d *hubDest) current() *net.TCPConn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conn
 }
 
 func (h *hub) acceptLoop() {
@@ -756,23 +935,71 @@ func (h *hub) serve(c *net.TCPConn) {
 	}
 	l := &hubLink{node: hl.Node, conn: c, readerDone: make(chan struct{})}
 	h.mu.Lock()
-	if h.links[hl.Node] != nil {
-		h.mu.Unlock()
-		reject(fmt.Errorf("%w: node %d already connected", ErrHandshake, hl.Node))
-		return
+	if old := h.links[hl.Node]; old != nil {
+		if !h.t.cfg.Recoverable {
+			h.mu.Unlock()
+			reject(fmt.Errorf("%w: node %d already connected", ErrHandshake, hl.Node))
+			return
+		}
+		// Takeover: the node is redialing after a link loss its old
+		// connection hasn't surfaced here yet. Kill the stale connection (its
+		// reader detaches quietly in recoverable mode) and re-admit the node
+		// on the fresh one.
+		old.conn.Close()
 	}
 	h.links[hl.Node] = l
-	d := h.dests[hl.Node]
-	d.conn = c
-	d.writerDone = make(chan struct{})
 	h.mu.Unlock()
+	// The accept must be on the wire before the destination writer can touch
+	// the new connection: the redialing port reads exactly one frame as its
+	// handshake answer, and a queued data frame slipping ahead of the accept
+	// would fail it.
 	if _, err := c.Write(AppendAcceptFrame(nil, Accept{Version: WireVersion, NumNodes: h.t.cfg.NumNodes})); err != nil {
+		h.detachLink(l)
 		c.Close()
 		return
 	}
 	c.SetDeadline(time.Time{})
-	go h.destWriter(d)
+	h.mu.Lock()
+	current := h.links[hl.Node] == l // a still-newer redial may have taken over already
+	d := h.dests[hl.Node]
+	start := false
+	if current {
+		d.mu.Lock()
+		// One persistent writer per destination: started at first attach; in
+		// recoverable mode it survives link swaps, resuming the queued
+		// outbound window on the new connection — the replayed window a
+		// reconnecting node is owed.
+		start = d.writerDone == nil
+		if start {
+			d.writerDone = make(chan struct{})
+		}
+		d.conn = c
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+	h.mu.Unlock()
+	if start {
+		go h.destWriter(d)
+	}
 	go h.linkReader(l, br)
+}
+
+// detachLink removes a dead inbound link (if still current) and marks its
+// destination's outbound side down so the writer parks until the node
+// redials.
+func (h *hub) detachLink(l *hubLink) {
+	h.mu.Lock()
+	if h.links[l.node] == l {
+		delete(h.links, l.node)
+	}
+	d := h.dests[l.node]
+	h.mu.Unlock()
+	d.mu.Lock()
+	if d.conn == l.conn {
+		d.conn = nil
+	}
+	d.mu.Unlock()
+	l.conn.Close()
 }
 
 // linkReader moves raw frames from one link into the destination queues.
@@ -781,13 +1008,23 @@ func (h *hub) serve(c *net.TCPConn) {
 func (h *hub) linkReader(l *hubLink, br *bufio.Reader) {
 	defer close(l.readerDone)
 	t := h.t
+	// In recoverable mode a link-level read failure detaches this link
+	// quietly — partial frames die with the connection — and the node's
+	// redial re-admits it; only frame corruption still aborts the wall.
+	linkDown := func(err error) {
+		if t.cfg.Recoverable && !t.closing.Load() && !t.aborted() {
+			h.detachLink(l)
+			return
+		}
+		t.linkError("hub read", l.node, err)
+	}
 	var hdr [frameLenBytes]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
 				return // orderly close; the link's outbound side flushes separately
 			}
-			t.linkError("hub read", l.node, err)
+			linkDown(err)
 			return
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
@@ -799,7 +1036,7 @@ func (h *hub) linkReader(l *hubLink, br *bufio.Reader) {
 		copy(raw, hdr[:])
 		if _, err := io.ReadFull(br, raw[frameLenBytes:]); err != nil {
 			PutSlab(raw)
-			t.linkError("hub read", l.node, truncOrIO(err))
+			linkDown(truncOrIO(err))
 			return
 		}
 		switch raw[rawTypeOff] {
@@ -837,7 +1074,9 @@ func (h *hub) linkReader(l *hubLink, br *bufio.Reader) {
 }
 
 // destWriter coalesces a destination's queued frames into single writes,
-// releasing each routed slab after it is on the wire.
+// releasing each routed slab after it is on the wire. In recoverable mode
+// the writer is persistent: a write failure parks it until the node's redial
+// reattaches a connection, then the batch is re-sent whole.
 func (h *hub) destWriter(d *hubDest) {
 	defer close(d.writerDone)
 	var batch []outItem
@@ -853,19 +1092,56 @@ func (h *hub) destWriter(d *hubDest) {
 			}
 		}
 		if len(buf) > 0 {
-			if _, err := d.conn.Write(buf); err != nil {
-				h.t.linkError("hub write", -1, err)
+			if err := h.writeDest(d, buf); err != nil {
+				if !h.t.cfg.Recoverable {
+					h.t.linkError("hub write", -1, err)
+				}
 				d.q.closeDiscard()
 				return
 			}
 		}
 		if done {
-			d.conn.CloseWrite()
+			if c := d.current(); c != nil {
+				c.CloseWrite()
+			}
 			return
 		}
 		if cap(buf) > 4<<20 {
 			buf = nil
 		}
+	}
+}
+
+// writeDest writes one batch to the destination's current connection. In
+// recoverable mode a dead link parks the writer on the dest's cond until the
+// node redials (or the transport unwinds), then retries the whole batch —
+// this is how a reconnecting node's queued window survives the outage.
+func (h *hub) writeDest(d *hubDest, buf []byte) error {
+	t := h.t
+	for {
+		d.mu.Lock()
+		conn := d.conn
+		for conn == nil && t.cfg.Recoverable && !t.closing.Load() && !t.aborted() {
+			d.cond.Wait()
+			conn = d.conn
+		}
+		d.mu.Unlock()
+		if conn == nil {
+			return fmt.Errorf("destination link down")
+		}
+		_, err := conn.Write(buf)
+		if err == nil {
+			return nil
+		}
+		if !t.cfg.Recoverable || t.closing.Load() || t.aborted() {
+			return err
+		}
+		d.mu.Lock()
+		if d.conn == conn {
+			d.conn = nil
+		}
+		d.mu.Unlock()
+		conn.Close()
 	}
 }
 
@@ -892,15 +1168,22 @@ func (h *hub) shutdown() {
 		}
 	}
 	for _, d := range dests {
-		if d.conn != nil {
+		d.mu.Lock()
+		started := d.writerDone != nil
+		d.cond.Broadcast() // wake a writer parked on a dead link; closing is set
+		d.mu.Unlock()
+		if started {
 			d.q.close()
 		} else {
 			d.q.closeDiscard()
 		}
 	}
 	for _, d := range dests {
-		if d.conn != nil {
-			<-d.writerDone
+		d.mu.Lock()
+		done := d.writerDone
+		d.mu.Unlock()
+		if done != nil {
+			<-done
 		}
 	}
 	h.ln.Close()
@@ -913,7 +1196,11 @@ func (h *hub) abort(frame []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, d := range h.dests {
-		if d.conn != nil {
+		d.mu.Lock()
+		started := d.writerDone != nil
+		d.cond.Broadcast() // wake a writer parked on a dead link; done is closed
+		d.mu.Unlock()
+		if started {
 			d.q.put(outItem{raw: frame})
 			d.q.close()
 		} else {
@@ -927,8 +1214,11 @@ func (h *hub) waitWriters() {
 	dests := append([]*hubDest(nil), h.dests...)
 	h.mu.Unlock()
 	for _, d := range dests {
-		if d.conn != nil {
-			<-d.writerDone
+		d.mu.Lock()
+		done := d.writerDone
+		d.mu.Unlock()
+		if done != nil {
+			<-done
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -270,5 +271,119 @@ func TestTCPCleanShutdownDeliversTail(t *testing.T) {
 	}
 	if worker.AbortCause() != nil {
 		t.Fatalf("clean shutdown aborted the worker: %v", worker.AbortCause())
+	}
+}
+
+// TestTCPDialRetryLateRoot: a worker process often races the root process to
+// the rendezvous address. The capped-exponential dial retry must keep trying
+// until the root's listener appears, and join well within DialTimeout.
+func TestTCPDialRetryLateRoot(t *testing.T) {
+	// Reserve an address, then free it so the first dial attempts miss.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	type dialRes struct {
+		tr  *TCPTransport
+		err error
+	}
+	ch := make(chan dialRes, 1)
+	start := time.Now()
+	go func() {
+		tr, err := DialTCP(addr, TCPConfig{
+			NumNodes: 2, LocalNodes: []int{1},
+			DialTimeout:   5 * time.Second,
+			DialRetryBase: 10 * time.Millisecond,
+			DialRetryMax:  100 * time.Millisecond,
+		})
+		ch <- dialRes{tr, err}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	hub, err := ListenTCP(addr, TCPConfig{NumNodes: 2, LocalNodes: []int{0}})
+	if err != nil {
+		t.Fatalf("late ListenTCP: %v", err)
+	}
+	defer hub.Shutdown()
+	res := <-ch
+	if res.err != nil {
+		t.Fatalf("DialTCP did not survive the late root: %v", res.err)
+	}
+	defer res.tr.Shutdown()
+	if took := time.Since(start); took >= 5*time.Second {
+		t.Fatalf("late join took %v, want well under the 5s DialTimeout", took)
+	}
+	res.tr.Port(1).Send(0, &Message{Kind: MsgAck, Seq: 7})
+	if m := hub.Port(0).Recv(MsgAck); m == nil || m.Seq != 7 {
+		t.Fatalf("no traffic after late join: %+v (cause %v)", m, hub.AbortCause())
+	}
+}
+
+// TestTCPRecoverableReconnect: on a Recoverable transport a hard link kill
+// (RST) must not abort the wall — the victim redials the hub, the link-state
+// hook observes down then up, and traffic resumes (batch re-send may
+// duplicate the tail, which downstream protocols tolerate).
+func TestTCPRecoverableReconnect(t *testing.T) {
+	var mu sync.Mutex
+	var transitions []bool
+	hub, err := ListenTCP("127.0.0.1:0", TCPConfig{
+		NumNodes: 2, LocalNodes: []int{0}, Recoverable: true,
+	})
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer hub.Shutdown()
+	w1, err := DialTCP(hub.Addr(), TCPConfig{
+		NumNodes: 2, LocalNodes: []int{1}, Recoverable: true,
+		RedialTimeout: 5 * time.Second,
+		DialRetryBase: 5 * time.Millisecond,
+		OnLinkState: func(node int, up bool) {
+			mu.Lock()
+			transitions = append(transitions, up)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("DialTCP: %v", err)
+	}
+	defer w1.Shutdown()
+
+	w1.Port(1).Send(0, &Message{Kind: MsgAck, Seq: 1})
+	if m := hub.Port(0).Recv(MsgAck); m == nil || m.Seq != 1 {
+		t.Fatalf("pre-failure message lost: %+v (cause %v)", m, hub.AbortCause())
+	}
+
+	w1.InjectLinkFailure(1)
+	time.Sleep(50 * time.Millisecond) // let the RST land on both ends
+	w1.Port(1).Send(0, &Message{Kind: MsgAck, Seq: 2})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, timedOut := hub.Port(0).RecvTimeout(MsgAck, time.Until(deadline))
+		if timedOut {
+			t.Fatal("post-failure message never arrived; link did not recover")
+		}
+		if m == nil {
+			t.Fatalf("hub aborted instead of recovering: %v", hub.AbortCause())
+		}
+		if m.Seq == 2 {
+			break // Seq 1 may be redelivered by the batch re-send
+		}
+	}
+	mu.Lock()
+	got := append([]bool(nil), transitions...)
+	mu.Unlock()
+	sawDown, sawUpAfterDown := false, false
+	for _, up := range got {
+		if !up {
+			sawDown = true
+		} else if sawDown {
+			sawUpAfterDown = true
+		}
+	}
+	if !sawDown || !sawUpAfterDown {
+		t.Fatalf("link-state transitions %v, want down followed by up", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/service"
 	"tiledwall/internal/system"
 	"tiledwall/internal/wall"
 )
@@ -88,6 +89,16 @@ func playSessions(stream []byte, cfg system.Config, sessions int) ([][]*mpeg2.Pi
 // depend on the session index, so concurrent sessions hit the scanner with
 // different split points (including mid-start-code splits).
 func playChunked(w *system.ResidentWall, stream []byte, idx int) ([]*mpeg2.PixelBuf, error) {
+	res, err := playChunkedResult(w, stream, idx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Frames, nil
+}
+
+// playChunkedResult is playChunked returning the full session result (the
+// chaos axes read Recovery and TileEmissions, not just frames).
+func playChunkedResult(w *system.ResidentWall, stream []byte, idx int) (*service.SessionResult, error) {
 	sess, err := w.Open(fmt.Sprintf("conformance-%d", idx))
 	if err != nil {
 		return nil, err
@@ -103,9 +114,5 @@ func playChunked(w *system.ResidentWall, stream []byte, idx int) ([]*mpeg2.Pixel
 			return nil, err
 		}
 	}
-	res, err := sess.Close()
-	if err != nil {
-		return nil, err
-	}
-	return res.Frames, nil
+	return sess.Close()
 }

@@ -36,6 +36,21 @@ type BenchReport struct {
 	Kernels    []KernelBench   `json:"kernels"`
 	Systems    []ParallelBench `json:"systems"`
 	Service    *ServiceBench   `json:"service,omitempty"`
+	Recovery   *RecoveryBench  `json:"recovery,omitempty"`
+}
+
+// RecoveryBench prices the fault-free cost of arming the fault-tolerance
+// layer on a resident wall: the same stream through the same shape with and
+// without Recovery enabled (both unpooled — recovery forces pooling off, so
+// the pair must share the allocator to isolate the machinery itself).
+// OverheadFrac = (baseline - recovery) / baseline on modeled fps; it is
+// gated structurally at <10% — retainers, leases and stash bookkeeping must
+// stay noise against the decode cost.
+type RecoveryBench struct {
+	Config       string  `json:"config"`
+	BaselineFPS  float64 `json:"baseline_fps"`
+	RecoveryFPS  float64 `json:"recovery_fps"`
+	OverheadFrac float64 `json:"overhead_frac"`
 }
 
 // ServiceBench measures the resident wall service: cold pipeline
@@ -169,7 +184,52 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 	if rep.Service, err = serviceBench(data); err != nil {
 		return nil, err
 	}
+	fmt.Fprintf(o.Log, "benchjson: recovery overhead 1-2-(2,2)\n")
+	if rep.Recovery, err = recoveryBench(data); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// recoveryBench plays the stream through two warm resident walls — identical
+// but for Recovery.Enabled — and reports the best-of-rounds modeled fps of
+// each. Best-of-rounds because the figure gates at 10%: one GC pause or
+// scheduler stall on either side must not read as recovery overhead.
+func recoveryBench(data []byte) (*RecoveryBench, error) {
+	const rounds = 3
+	bestFPS := func(cfg system.Config) (float64, error) {
+		w, err := system.NewResidentWall(cfg)
+		if err != nil {
+			return 0, err
+		}
+		var best float64
+		for i := 0; i < rounds; i++ {
+			res, err := w.Play(data)
+			if err != nil {
+				w.Close()
+				return 0, err
+			}
+			if f := res.Modeled().FPS(); f > best {
+				best = f
+			}
+		}
+		return best, w.Close()
+	}
+	cfg := system.Config{K: 2, M: 2, N: 2, SplitWorkers: 1}
+	base, err := bestFPS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Recovery.Enabled = true
+	rec, err := bestFPS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rb := &RecoveryBench{Config: "1-2-(2,2)", BaselineFPS: base, RecoveryFPS: rec}
+	if base > 0 {
+		rb.OverheadFrac = (base - rec) / base
+	}
+	return rb, nil
 }
 
 // transportName renders the transport axis for log lines.
@@ -423,6 +483,22 @@ func CompareBenchReports(base, cur *BenchReport, tol float64) (violations, warni
 		}
 	} else if base.Service != nil {
 		warnings = append(warnings, "service: in baseline but missing from current report")
+	}
+	if cur.Recovery != nil {
+		// Structural gate, independent of any baseline: arming the recovery
+		// machinery on a fault-free run must cost under 10% of throughput.
+		if cur.Recovery.OverheadFrac > 0.10 {
+			bad = append(bad, fmt.Sprintf("recovery fault-free overhead %.1f%% is not < 10%% (%s: baseline %.1f fps, recovery %.1f fps)",
+				cur.Recovery.OverheadFrac*100, cur.Recovery.Config, cur.Recovery.BaselineFPS, cur.Recovery.RecoveryFPS))
+		}
+		if base.Recovery != nil {
+			check(fmt.Sprintf("recovery %s fps", cur.Recovery.Config),
+				base.Recovery.RecoveryFPS, cur.Recovery.RecoveryFPS, false)
+		} else {
+			warnings = append(warnings, "recovery: not in baseline, skipped (regenerate the baseline to gate it)")
+		}
+	} else if base.Recovery != nil {
+		warnings = append(warnings, "recovery: in baseline but missing from current report")
 	}
 	if base.GoMaxProcs != cur.GoMaxProcs && base.GoMaxProcs > 0 && cur.GoMaxProcs > 0 {
 		warnings = append(warnings, fmt.Sprintf("gomaxprocs differs (baseline %d, current %d): absolute figures are not comparable",

@@ -41,6 +41,9 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 	if tcp != 2 {
 		t.Fatalf("transport axis ran %d tcp systems, want 2", tcp)
 	}
+	if rep.Recovery == nil || rep.Recovery.BaselineFPS <= 0 || rep.Recovery.RecoveryFPS <= 0 {
+		t.Fatalf("empty recovery bench: %+v", rep.Recovery)
+	}
 
 	var buf bytes.Buffer
 	if err := WriteBenchJSON(&buf, rep); err != nil {
@@ -75,6 +78,15 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 	jitter.Serial.FPS *= 0.95
 	if v, _ := CompareBenchReports(rep, &jitter, 0.10); len(v) != 0 {
 		t.Fatalf("5%% jitter flagged: %v", v)
+	}
+	// Recovery overhead past the structural gate fails, baseline or not.
+	heavy := *back
+	heavyRec := *rep.Recovery
+	heavyRec.RecoveryFPS = heavyRec.BaselineFPS * 0.8
+	heavyRec.OverheadFrac = 0.2
+	heavy.Recovery = &heavyRec
+	if v, _ := CompareBenchReports(rep, &heavy, 0.10); len(v) == 0 {
+		t.Fatal("20% fault-free recovery overhead not flagged")
 	}
 	// A system the baseline does not know warns but never fails: growing the
 	// suite must not require a new baseline in the same change.

@@ -74,6 +74,22 @@ func (s RecoverySnapshot) Clean() bool {
 	return s.ConcealedFrames == 0 && s.ConcealedMBs == 0 && s.Restarts == 0
 }
 
+// Plus returns the fieldwise sum of two snapshots — used to combine a
+// session's own charges with the wall-level charges (restarts, replays)
+// accrued while it ran.
+func (s RecoverySnapshot) Plus(o RecoverySnapshot) RecoverySnapshot {
+	return RecoverySnapshot{
+		Retransmits:      s.Retransmits + o.Retransmits,
+		Nacks:            s.Nacks + o.Nacks,
+		Duplicates:       s.Duplicates + o.Duplicates,
+		Restarts:         s.Restarts + o.Restarts,
+		ReplayedPictures: s.ReplayedPictures + o.ReplayedPictures,
+		ConcealedFrames:  s.ConcealedFrames + o.ConcealedFrames,
+		ConcealedMBs:     s.ConcealedMBs + o.ConcealedMBs,
+		AckTimeouts:      s.AckTimeouts + o.AckTimeouts,
+	}
+}
+
 // Zero reports whether no recovery machinery fired at all.
 func (s RecoverySnapshot) Zero() bool {
 	return s == RecoverySnapshot{}

@@ -9,6 +9,7 @@ package pdec
 
 import (
 	"fmt"
+	"time"
 
 	"tiledwall/internal/bits"
 	"tiledwall/internal/cluster"
@@ -98,6 +99,14 @@ type Decoder struct {
 	spStash      map[int]*subpic.SubPicture
 	finalTotal   int
 	validAnchors int
+	// finalsFrom tracks which splitter nodes delivered this session's final
+	// marker (resident recovery): only when every splitter's last message is
+	// in can a missing tail be declared lost and concealed.
+	finalsFrom map[int]bool
+	// gapSince is when the resident reorder stash first stalled on the
+	// current frontier hole; zero while delivery is in order. A hole older
+	// than the per-picture deadline is declared lost and concealed.
+	gapSince time.Time
 
 	res     Result
 	nextPic int

@@ -2,6 +2,7 @@ package pdec
 
 import (
 	"fmt"
+	"time"
 
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
@@ -90,6 +91,141 @@ func (d *Decoder) stepRecover() (bool, error) {
 		return false, nil
 	}
 	return d.handleSubPic(sp)
+}
+
+// ResumeAt restores a respawned resident decoder's position in one session:
+// pictures below next were emitted by the dead incarnation and stay on the
+// projector; everything the new incarnation holds is untrusted, so it
+// conceals (grey, then freeze) until an I picture re-anchors the chain.
+func (d *Decoder) ResumeAt(next int) {
+	d.nextPic = next
+	d.validAnchors = 0
+	for _, b := range d.bufs {
+		b.Fill(128, 128, 128)
+	}
+	d.display.Fill(128, 128, 128)
+}
+
+// HandleSubPictureRecover is HandleSubPicture on the fault-masking protocol,
+// for resident servers that receive on the decoder's behalf. Duplicates
+// (replay overlap) are dropped; pictures that overtake the frontier — root
+// replays after a splitter respawn, or a sibling session's failure skewing
+// the cross-splitter ack chain — wait in the reorder stash; a hole older than
+// the per-picture deadline (SweepDeadline) is declared lost and concealed. A
+// session completes when all pictures are handled or when every one of
+// numFinals splitters has delivered its final marker (its last message, by
+// sender FIFO) and the stash has been flushed around the true holes.
+func (d *Decoder) HandleSubPictureRecover(msg *cluster.Message, numFinals int) (bool, error) {
+	b := &d.res.Breakdown
+	d.cfg.Recovery.Renew()
+	sp, err := subpic.Unmarshal(msg.Payload)
+	if err != nil {
+		// Undecodable sub-picture: drop it; the deadline path conceals the
+		// picture once later ones arrive.
+		return false, nil
+	}
+	if sp.Final {
+		d.finalTotal = int(sp.Pic.Index)
+		if d.finalsFrom == nil {
+			d.finalsFrom = map[int]bool{}
+		}
+		d.finalsFrom[msg.From] = true
+		if len(d.finalsFrom) >= numFinals {
+			// Every splitter's stream is exhausted: by sender FIFO nothing
+			// more is coming. Decode what the reorder stash holds and conceal
+			// the true holes so the session can drain.
+			d.flushToTotal()
+		}
+		return d.doneByTotal(), nil
+	}
+	// Replays are not acked: the original ack (or the upstream credit
+	// timeout) already settled the flow-control ledger.
+	if msg.Flags&cluster.FlagReplay == 0 {
+		b.Timed(metrics.PhaseAck, func() {
+			d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq, Session: msg.Session})
+		})
+	}
+	idx := int(sp.Pic.Index)
+	switch {
+	case idx < d.nextPic:
+		return false, nil // duplicate of a handled (or concealed) picture
+	case idx > d.nextPic:
+		if _, dup := d.spStash[idx]; !dup {
+			d.spStash[idx] = sp
+		}
+		if d.gapSince.IsZero() {
+			d.gapSince = time.Now()
+		}
+		return false, nil
+	}
+	d.nextPic++
+	d.decodePictureRecover(sp)
+	d.res.Pictures++
+	b.Pictures++
+	d.drainStashRecover()
+	return d.doneByTotal(), nil
+}
+
+// drainStashRecover decodes stashed successors that the advancing frontier
+// has made in-order, then re-arms the hole timer: an empty stash means
+// delivery is in order again, a non-empty one starts a fresh deadline for the
+// next hole.
+func (d *Decoder) drainStashRecover() {
+	for {
+		sp := d.spStash[d.nextPic]
+		if sp == nil {
+			break
+		}
+		delete(d.spStash, d.nextPic)
+		d.nextPic++
+		d.decodePictureRecover(sp)
+		d.res.Pictures++
+		d.res.Breakdown.Pictures++
+	}
+	if len(d.spStash) == 0 {
+		d.gapSince = time.Time{}
+	} else {
+		d.gapSince = time.Now()
+	}
+}
+
+// flushToTotal drives the session to its known total: stashed pictures are
+// decoded, holes are concealed.
+func (d *Decoder) flushToTotal() {
+	for d.nextPic < d.finalTotal {
+		if sp := d.spStash[d.nextPic]; sp != nil {
+			delete(d.spStash, d.nextPic)
+			d.nextPic++
+			d.decodePictureRecover(sp)
+			d.res.Pictures++
+			d.res.Breakdown.Pictures++
+		} else {
+			d.concealUnknown(d.nextPic)
+		}
+	}
+	d.gapSince = time.Time{}
+}
+
+// SweepDeadline conceals past a reorder hole that has outlived the
+// per-picture deadline: pictures below the oldest stashed index are lost for
+// good (their splitter died, or their session failed upstream), so the
+// frontier freezes through them and the stash drains. Returns whether the
+// session is now complete.
+func (d *Decoder) SweepDeadline(deadline time.Duration) bool {
+	if len(d.spStash) == 0 || d.gapSince.IsZero() || time.Since(d.gapSince) < deadline {
+		return false
+	}
+	oldest := -1
+	for idx := range d.spStash {
+		if oldest == -1 || idx < oldest {
+			oldest = idx
+		}
+	}
+	for d.nextPic < oldest {
+		d.concealUnknown(d.nextPic)
+	}
+	d.drainStashRecover()
+	return d.doneByTotal()
 }
 
 // handleSubPic processes the in-order sub-picture for d.nextPic.

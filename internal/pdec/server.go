@@ -7,6 +7,7 @@ import (
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/recovery"
 	"tiledwall/internal/wall"
 )
 
@@ -32,6 +33,43 @@ type ServeConfig struct {
 	// OnResult receives the session's decode result when it completes on
 	// this tile, before the drain ack is sent to the root.
 	OnResult func(session, tile int, res *Result)
+
+	// Recovery, when non-nil, switches the server to the fault-masking
+	// protocol: per-session decoders run in recovery mode (gap and tail
+	// concealment instead of ordering aborts), leases are renewed per
+	// message, chaos kills surface as recovery.ErrKilled for the supervisor,
+	// and a respawned incarnation re-joins its sessions from Resume.
+	Recovery *ServeRecovery
+}
+
+// ServeRecovery wires fault masking into one resident decoder server
+// incarnation.
+type ServeRecovery struct {
+	Cfg   recovery.Config
+	Lease *recovery.Lease
+	Chaos recovery.ChaosPlan
+	// Rec returns the recovery counters to charge for a session's
+	// interventions (must not return nil).
+	Rec func(session int) *metrics.Recovery
+	// OnOpen reports every session open this server sees, so the service
+	// registry can snapshot it for future respawns.
+	OnOpen func(session int, header []byte)
+	// NumSplitters is how many session-final markers a session needs before
+	// its tail can be concealed: one per second-level splitter (or one from
+	// the combined root when K=0).
+	NumSplitters int
+	// Resume lists the sessions a respawned incarnation must re-join.
+	Resume []ResumeSession
+}
+
+// ResumeSession re-opens one session on a respawned node server. NextPic is
+// the emission frontier the dead incarnation reached: pictures below it were
+// already displayed and stay displayed; the reference chain restarts
+// untrusted and conceals until an I picture re-anchors it.
+type ResumeSession struct {
+	ID      int
+	Header  []byte
+	NextPic int
 }
 
 // server holds the node-level state shared by every session on one tile.
@@ -85,11 +123,53 @@ func (s *sessionNet) Recv(kind cluster.MsgKind) *cluster.Message {
 }
 
 func (s *sessionNet) TryRecv(kind cluster.MsgKind) (*cluster.Message, bool) {
-	return s.srv.port.TryRecv(kind)
+	if kind != cluster.MsgBlocks {
+		return s.srv.port.TryRecv(kind)
+	}
+	if q := s.srv.pending[s.session]; len(q) > 0 {
+		m := q[0]
+		s.srv.pending[s.session] = q[1:]
+		return m, true
+	}
+	for {
+		m, ok := s.srv.port.TryRecv(kind)
+		if !ok || m == nil {
+			return m, ok
+		}
+		if m.Session == s.session {
+			return m, true
+		}
+		s.srv.pending[m.Session] = append(s.srv.pending[m.Session], m)
+	}
 }
 
 func (s *sessionNet) RecvTimeout(kind cluster.MsgKind, d time.Duration) (*cluster.Message, bool) {
-	return s.srv.port.RecvTimeout(kind, d)
+	if kind != cluster.MsgBlocks {
+		return s.srv.port.RecvTimeout(kind, d)
+	}
+	if q := s.srv.pending[s.session]; len(q) > 0 {
+		m := q[0]
+		s.srv.pending[s.session] = q[1:]
+		return m, false
+	}
+	deadline := time.Now().Add(d)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, true
+		}
+		m, timedOut := s.srv.port.RecvTimeout(kind, remain)
+		if timedOut {
+			return nil, true
+		}
+		if m == nil {
+			return nil, false
+		}
+		if m.Session == s.session {
+			return m, false
+		}
+		s.srv.pending[m.Session] = append(s.srv.pending[m.Session], m)
+	}
 }
 
 func (s *sessionNet) Done() <-chan struct{} { return s.srv.port.Done() }
@@ -104,6 +184,10 @@ func Serve(port cluster.Port, cfg ServeConfig) error {
 		port:     port,
 		sessions: map[int]*Decoder{},
 		pending:  map[int][]*cluster.Message{},
+	}
+	if cfg.Recovery != nil {
+		srv.cfg.Recovery.Cfg = cfg.Recovery.Cfg.WithDefaults()
+		return srv.serveRecover()
 	}
 	for {
 		t0 := time.Now()
@@ -168,7 +252,7 @@ func (srv *server) open(msg *cluster.Message) error {
 			srv.cfg.OnFrame(sess, displayIdx, tile, buf)
 		}
 	}
-	srv.sessions[msg.Session] = NewDecoder(&sessionNet{srv: srv, session: msg.Session}, Config{
+	dcfg := Config{
 		Seq:            seq,
 		Geo:            geo,
 		Tile:           srv.cfg.Tile,
@@ -177,8 +261,96 @@ func (srv *server) open(msg *cluster.Message) error {
 		OnFrame:        onFrame,
 		UnbatchedSends: srv.cfg.UnbatchedSends,
 		Pooled:         srv.cfg.Pooled,
-	})
+	}
+	if rh := srv.cfg.Recovery; rh != nil {
+		if rh.OnOpen != nil {
+			rh.OnOpen(msg.Session, msg.Payload)
+		}
+		// The chaos plan stays with the serve loop (kills are injected before
+		// dispatch); per-session decoders only need the tuning, the lease and
+		// the session's intervention counters.
+		dcfg.Recovery = &recovery.DecoderHooks{
+			Hooks: recovery.Hooks{Cfg: rh.Cfg, Lease: rh.Lease, Rec: rh.Rec(msg.Session)},
+		}
+	}
+	srv.sessions[msg.Session] = NewDecoder(&sessionNet{srv: srv, session: msg.Session}, dcfg)
 	return nil
+}
+
+// serveRecover is the fault-masking serve loop: it re-joins resumed sessions,
+// renews the incarnation's lease on every message, honours the chaos plan,
+// and dispatches data through the tolerant HandleSubPictureRecover path.
+// Unknown sessions and undecodable opens are skipped, never fatal — a broken
+// session must not take the wall down.
+func (srv *server) serveRecover() error {
+	rh := srv.cfg.Recovery
+	for _, rs := range rh.Resume {
+		if err := srv.open(&cluster.Message{Session: rs.ID, Payload: rs.Header}); err != nil {
+			continue // undecodable header: the session fails upstream
+		}
+		srv.sessions[rs.ID].ResumeAt(rs.NextPic)
+	}
+	// Receive in deadline-granularity ticks so reorder holes are swept even
+	// while the port is idle (the hole's successors may be the only traffic a
+	// session will ever see again).
+	tick := rh.Cfg.PictureDeadline / 2
+	if tick <= 0 {
+		tick = 50 * time.Millisecond
+	}
+	for {
+		srv.sweepDeadlines()
+		t0 := time.Now()
+		msg, timedOut := srv.port.RecvTimeout(cluster.MsgSubPicture, tick)
+		wait := time.Since(t0)
+		if rh.Lease != nil {
+			rh.Lease.Renew()
+		}
+		if timedOut {
+			continue
+		}
+		if msg == nil {
+			return fmt.Errorf("tile %d: fabric aborted", srv.cfg.Tile)
+		}
+		switch {
+		case msg.Flags&cluster.FlagShutdown != 0:
+			return nil
+		case msg.Flags&cluster.FlagSessionOpen != 0:
+			_ = srv.open(msg)
+		default:
+			d := srv.sessions[msg.Session]
+			if d == nil {
+				// Completed session's trailing finals, or state lost past the
+				// restart budget; either way nothing to do.
+				continue
+			}
+			// Injected crash before the dispatch (and thus before the ack):
+			// the sub-picture is consumed but unacknowledged, the hardest
+			// loss for the upstream credit ledger.
+			if msg.Flags&(cluster.FlagSessionFinal|cluster.FlagReplay) == 0 &&
+				rh.Chaos.DecoderDies(srv.cfg.Tile, msg.Seq) {
+				return recovery.ErrKilled
+			}
+			d.Breakdown().Add(metrics.PhaseReceive, wait)
+			done, err := d.HandleSubPictureRecover(msg, rh.NumSplitters)
+			if err != nil {
+				return err
+			}
+			if done {
+				srv.finish(msg.Session, d)
+			}
+		}
+	}
+}
+
+// sweepDeadlines runs the per-picture deadline over every session's reorder
+// stash, finishing the sessions a sweep completes.
+func (srv *server) sweepDeadlines() {
+	deadline := srv.cfg.Recovery.Cfg.PictureDeadline
+	for session, d := range srv.sessions {
+		if d.SweepDeadline(deadline) {
+			srv.finish(session, d)
+		}
+	}
 }
 
 // finish completes a session on this tile: flush the reorder tail, hand the

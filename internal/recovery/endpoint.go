@@ -10,8 +10,10 @@ import (
 )
 
 // Endpoint wraps one fabric node with per-link reliability: every covered
-// message carries a per-(destination, kind) transport sequence number and is
-// buffered until the receiver's cumulative ack releases it. Receivers
+// message carries a per-(destination, kind, session) transport sequence
+// number and is buffered until the receiver's cumulative ack releases it —
+// sessions sequence independently, so one resident stream's retransmits
+// never stall or reorder another's (batch runs ride session 0). Receivers
 // deliver covered kinds in sequence order per sender, suppress duplicates,
 // NACK gaps as soon as a later message reveals them, and the sender's
 // background loop retransmits unacked messages on capped exponential
@@ -45,8 +47,9 @@ type Endpoint struct {
 }
 
 type linkKey struct {
-	peer int // destination (send side) or source (receive side)
-	kind cluster.MsgKind
+	peer    int // destination (send side) or source (receive side)
+	kind    cluster.MsgKind
+	session int // resident session the traffic belongs to (0 for batch runs)
 }
 
 type pending struct {
@@ -108,7 +111,7 @@ func (e *Endpoint) Send(to int, msg *cluster.Message) {
 		return
 	}
 	e.mu.Lock()
-	k := linkKey{to, msg.Kind}
+	k := linkKey{to, msg.Kind, msg.Session}
 	e.nextSeq[k]++
 	msg.XSeq = e.nextSeq[k]
 	if e.unacked[k] == nil {
@@ -206,7 +209,7 @@ func (e *Endpoint) admit(m *cluster.Message) *cluster.Message {
 	if !covered(m.Kind) || m.XSeq == 0 {
 		return m // unsequenced traffic passes through
 	}
-	k := linkKey{m.From, m.Kind}
+	k := linkKey{m.From, m.Kind, m.Session}
 	var acks, nacks []int64
 	e.mu.Lock()
 	if e.expect[k] == 0 {
@@ -251,11 +254,11 @@ func (e *Endpoint) admit(m *cluster.Message) *cluster.Message {
 	e.mu.Unlock()
 
 	for _, seq := range acks {
-		e.sendXport(m.From, xportAck, m.Kind, seq)
+		e.sendXport(m.From, xportAck, m.Kind, m.Session, seq)
 	}
 	for _, seq := range nacks {
 		e.rec.AddNack()
-		e.sendXport(m.From, xportNack, m.Kind, seq)
+		e.sendXport(m.From, xportNack, m.Kind, m.Session, seq)
 	}
 	return out
 }
@@ -267,11 +270,12 @@ const (
 	xportNack = 1 // Seq names one missing message to retransmit now
 )
 
-func (e *Endpoint) sendXport(to int, typ byte, kind cluster.MsgKind, seq int64) {
-	p := make([]byte, 10)
+func (e *Endpoint) sendXport(to int, typ byte, kind cluster.MsgKind, session int, seq int64) {
+	p := make([]byte, 14)
 	p[0] = typ
 	p[1] = byte(kind)
 	binary.LittleEndian.PutUint64(p[2:], uint64(seq))
+	binary.LittleEndian.PutUint32(p[10:], uint32(session))
 	// Non-blocking: control traffic is self-repairing (a lost ack is re-sent
 	// on the next duplicate, a lost NACK by the retransmit timer), and this
 	// runs in the receiving process — it must not stall behind a peer that no
@@ -279,11 +283,13 @@ func (e *Endpoint) sendXport(to int, typ byte, kind cluster.MsgKind, seq int64) 
 	e.node.TrySend(to, &cluster.Message{Kind: cluster.MsgXport, Payload: p})
 }
 
-func parseXport(m *cluster.Message) (typ byte, kind cluster.MsgKind, seq int64, ok bool) {
-	if len(m.Payload) != 10 {
-		return 0, 0, 0, false
+func parseXport(m *cluster.Message) (typ byte, kind cluster.MsgKind, session int, seq int64, ok bool) {
+	if len(m.Payload) != 14 {
+		return 0, 0, 0, 0, false
 	}
-	return m.Payload[0], cluster.MsgKind(m.Payload[1]), int64(binary.LittleEndian.Uint64(m.Payload[2:])), true
+	return m.Payload[0], cluster.MsgKind(m.Payload[1]),
+		int(int32(binary.LittleEndian.Uint32(m.Payload[10:]))),
+		int64(binary.LittleEndian.Uint64(m.Payload[2:])), true
 }
 
 // --- sender background loop ---------------------------------------------
@@ -307,11 +313,11 @@ func (e *Endpoint) loop() {
 }
 
 func (e *Endpoint) handleXport(m *cluster.Message) {
-	typ, kind, seq, ok := parseXport(m)
+	typ, kind, session, seq, ok := parseXport(m)
 	if !ok {
 		return
 	}
-	k := linkKey{m.From, kind}
+	k := linkKey{m.From, kind, session}
 	var resend *cluster.Message
 	e.mu.Lock()
 	switch typ {

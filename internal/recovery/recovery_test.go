@@ -240,9 +240,9 @@ func TestLeaseExpiry(t *testing.T) {
 func TestSubPicRetainerWindow(t *testing.T) {
 	r := NewSubPicRetainer(4)
 	for pic := 0; pic <= 10; pic++ {
-		r.Retain(0, pic, 100+pic, []byte{byte(pic)})
+		r.Retain(0, 0, pic, 100+pic, []byte{byte(pic)})
 	}
-	got := r.Since(0, 0)
+	got := r.Since(0, 0, 0)
 	// Window 4 around maxPic 10: everything below 6 is pruned.
 	if len(got) == 0 || got[0].Pic < 6 {
 		t.Fatalf("window not pruned: %+v", got)
@@ -252,32 +252,74 @@ func TestSubPicRetainerWindow(t *testing.T) {
 			t.Fatalf("Since not ascending: %+v", got)
 		}
 	}
-	if sub := r.Since(0, 9); len(sub) != 2 || sub[0].Pic != 9 || sub[1].Pic != 10 {
+	if sub := r.Since(0, 0, 9); len(sub) != 2 || sub[0].Pic != 9 || sub[1].Pic != 10 {
 		t.Fatalf("Since(9) = %+v", sub)
 	}
-	if other := r.Since(1, 0); len(other) != 0 {
+	if other := r.Since(0, 1, 0); len(other) != 0 {
 		t.Fatalf("unknown tile returned %+v", other)
+	}
+	// Session scoping: another session's window is independent, and dropping
+	// it leaves the first session's entries intact.
+	r.Retain(7, 0, 3, 103, []byte{3})
+	if got := r.Since(7, 0, 0); len(got) != 1 || got[0].Pic != 3 {
+		t.Fatalf("session 7 window: %+v", got)
+	}
+	r.Drop(7)
+	if got := r.Since(7, 0, 0); len(got) != 0 {
+		t.Fatalf("session 7 window survived Drop: %+v", got)
+	}
+	if got := r.Since(0, 0, 9); len(got) != 2 {
+		t.Fatalf("session 0 window disturbed by Drop: %+v", got)
 	}
 }
 
 func TestPictureRetainerAck(t *testing.T) {
 	r := NewPictureRetainer()
-	r.Retain(0, 2, 20, []byte{2})
-	r.Retain(0, 4, 40, []byte{4})
-	r.Retain(1, 3, 30, []byte{3})
-	r.Ack(0, 2)
-	p := r.Pending(0)
+	r.Retain(0, 0, 2, 20, 0, []byte{2})
+	r.Retain(0, 0, 4, 40, 0, []byte{4})
+	r.Retain(0, 1, 3, 30, 0, []byte{3})
+	r.Ack(0, 0, 2)
+	p := r.Pending(0, 0)
 	if len(p) != 1 || p[0].Seq != 4 || p[0].Tag != 40 {
 		t.Fatalf("pending after ack: %+v", p)
 	}
-	if p := r.Pending(1); len(p) != 1 || p[0].Seq != 3 {
+	if p := r.Pending(0, 1); len(p) != 1 || p[0].Seq != 3 {
 		t.Fatalf("splitter 1 pending: %+v", p)
 	}
-	r.Ack(0, 4)
-	if p := r.Pending(0); len(p) != 0 {
+	r.Ack(0, 0, 4)
+	if p := r.Pending(0, 0); len(p) != 0 {
 		t.Fatalf("pending after full ack: %+v", p)
 	}
-	r.Ack(2, 9) // unknown splitter: must not panic
+	r.Ack(0, 2, 9) // unknown splitter: must not panic
+}
+
+func TestPictureRetainerSessions(t *testing.T) {
+	r := NewPictureRetainer()
+	// Interleaved sends of two sessions to the same splitter: replay order
+	// must follow send order, not per-session seq order.
+	r.Retain(1, 0, 0, 10, 0, []byte{1})
+	r.Retain(2, 0, 0, 20, 0, []byte{2})
+	r.Retain(1, 0, 1, 11, 0, []byte{3})
+	all := r.PendingSplitter(0)
+	if len(all) != 3 || all[0].Session != 1 || all[1].Session != 2 || all[2].Seq != 1 {
+		t.Fatalf("PendingSplitter order: %+v", all)
+	}
+	if s, ok := r.OldestSession(0); !ok || s != 1 {
+		t.Fatalf("OldestSession = %d, %v", s, ok)
+	}
+	// Acking session 1's oldest shifts the oldest pending to session 2.
+	r.Ack(1, 0, 0)
+	if s, ok := r.OldestSession(0); !ok || s != 2 {
+		t.Fatalf("OldestSession after ack = %d, %v", s, ok)
+	}
+	// One session's entries ack and drop without disturbing the other.
+	r.Drop(1)
+	if p := r.Pending(1, 0); len(p) != 0 {
+		t.Fatalf("session 1 survived Drop: %+v", p)
+	}
+	if p := r.Pending(2, 0); len(p) != 1 || p[0].Seq != 0 {
+		t.Fatalf("session 2 disturbed: %+v", p)
+	}
 }
 
 func TestCheckpointState(t *testing.T) {

@@ -7,51 +7,61 @@ import (
 
 // RetainedSubPic is one tile's marshalled sub-picture kept for replay.
 type RetainedSubPic struct {
+	Session int
 	Pic     int
 	Tag     int // original ANID tag (replays are not acked, but kept for audit)
 	Payload []byte
 }
 
+// subPicKey scopes a tile's replay window to one session, so a resident
+// wall's concurrent streams never see each other's retained sub-pictures
+// (batch runs use session 0 throughout).
+type subPicKey struct {
+	session int
+	tile    int
+}
+
 // SubPicRetainer is the replay window the second-level splitters feed: the
-// last RetainWindow sub-pictures per tile, shared across splitters (each
-// retains the pictures it split, so a tile's entries interleave). When a
-// decoder is respawned, the supervisor replays every retained sub-picture
+// last RetainWindow sub-pictures per (session, tile), shared across splitters
+// (each retains the pictures it split, so a tile's entries interleave). When
+// a decoder is respawned, the supervisor replays every retained sub-picture
 // the new incarnation still owes, in picture order; the decoder's reorder
 // stash restores ANID/NSID sequencing without a dedicated reorder queue.
 type SubPicRetainer struct {
 	mu     sync.Mutex
 	window int
-	byTile map[int]map[int]RetainedSubPic // tile -> pic -> entry
-	maxPic map[int]int
+	byTile map[subPicKey]map[int]RetainedSubPic // (session, tile) -> pic -> entry
+	maxPic map[subPicKey]int
 }
 
-// NewSubPicRetainer keeps the last window pictures per tile.
+// NewSubPicRetainer keeps the last window pictures per (session, tile).
 func NewSubPicRetainer(window int) *SubPicRetainer {
 	if window <= 0 {
 		window = 16
 	}
 	return &SubPicRetainer{
 		window: window,
-		byTile: map[int]map[int]RetainedSubPic{},
-		maxPic: map[int]int{},
+		byTile: map[subPicKey]map[int]RetainedSubPic{},
+		maxPic: map[subPicKey]int{},
 	}
 }
 
-// Retain stores tile's sub-picture for picture pic and prunes entries that
-// fell out of the window.
-func (r *SubPicRetainer) Retain(tile, pic, tag int, payload []byte) {
+// Retain stores the session's sub-picture for (tile, pic) and prunes entries
+// that fell out of the window.
+func (r *SubPicRetainer) Retain(session, tile, pic, tag int, payload []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m := r.byTile[tile]
+	k := subPicKey{session, tile}
+	m := r.byTile[k]
 	if m == nil {
 		m = map[int]RetainedSubPic{}
-		r.byTile[tile] = m
+		r.byTile[k] = m
 	}
-	m[pic] = RetainedSubPic{Pic: pic, Tag: tag, Payload: payload}
-	if pic > r.maxPic[tile] {
-		r.maxPic[tile] = pic
+	m[pic] = RetainedSubPic{Session: session, Pic: pic, Tag: tag, Payload: payload}
+	if pic > r.maxPic[k] {
+		r.maxPic[k] = pic
 	}
-	floor := r.maxPic[tile] - r.window
+	floor := r.maxPic[k] - r.window
 	for p := range m {
 		if p < floor {
 			delete(m, p)
@@ -59,12 +69,13 @@ func (r *SubPicRetainer) Retain(tile, pic, tag int, payload []byte) {
 	}
 }
 
-// Since returns tile's retained sub-pictures with pic >= fromPic, ascending.
-func (r *SubPicRetainer) Since(tile, fromPic int) []RetainedSubPic {
+// Since returns the session's retained sub-pictures for tile with
+// pic >= fromPic, ascending.
+func (r *SubPicRetainer) Since(session, tile, fromPic int) []RetainedSubPic {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []RetainedSubPic
-	for p, e := range r.byTile[tile] {
+	for p, e := range r.byTile[subPicKey{session, tile}] {
 		if p >= fromPic {
 			out = append(out, e)
 		}
@@ -73,58 +84,132 @@ func (r *SubPicRetainer) Since(tile, fromPic int) []RetainedSubPic {
 	return out
 }
 
+// Drop releases every window of one session (resident session close).
+func (r *SubPicRetainer) Drop(session int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.byTile {
+		if k.session == session {
+			delete(r.byTile, k)
+			delete(r.maxPic, k)
+		}
+	}
+}
+
 // RetainedPicture is one picture unit the root keeps until its assignee's
 // credit ack confirms delivery.
 type RetainedPicture struct {
-	Seq     int
+	Session int
+	Seq     int // per-session picture index
 	Tag     int // NSID riding on the original send
+	Flags   uint8
 	Payload []byte
+
+	ord int64 // global send order, for cross-session replay sequencing
+}
+
+// pictureKey scopes the root's replay window per session: one session's
+// retransmits never disturb another's.
+type pictureKey struct {
+	session int
+	seq     int
 }
 
 // PictureRetainer is the root splitter's replay window: every picture sent
 // to a second-level splitter stays retained until that splitter's ack
 // returns the credit — so the buffer is bounded by the two-buffer credit
-// window (at most 2 outstanding pictures per splitter) plus a small slack
-// for acks in flight. When a splitter is respawned, the supervisor replays
-// its unacked pictures with their original NSID tags, preserving the
-// ANID/NSID ordering chain.
+// window (at most 2 outstanding pictures per splitter per session) plus a
+// small slack for acks in flight. When a splitter is respawned, the
+// supervisor replays its unacked pictures with their original NSID tags, in
+// original send order across sessions, preserving the ANID/NSID ordering
+// chain.
 type PictureRetainer struct {
 	mu         sync.Mutex
-	bySplitter map[int]map[int]RetainedPicture // splitter index -> seq -> entry
+	nextOrd    int64
+	bySplitter map[int]map[pictureKey]RetainedPicture // splitter index -> (session, seq) -> entry
 }
 
 // NewPictureRetainer returns an empty retainer.
 func NewPictureRetainer() *PictureRetainer {
-	return &PictureRetainer{bySplitter: map[int]map[int]RetainedPicture{}}
+	return &PictureRetainer{bySplitter: map[int]map[pictureKey]RetainedPicture{}}
 }
 
-// Retain stores the picture sent to splitter idx.
-func (r *PictureRetainer) Retain(idx, seq, tag int, payload []byte) {
+// Retain stores the session's picture seq sent to splitter idx.
+func (r *PictureRetainer) Retain(session, idx, seq, tag int, flags uint8, payload []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := r.bySplitter[idx]
 	if m == nil {
-		m = map[int]RetainedPicture{}
+		m = map[pictureKey]RetainedPicture{}
 		r.bySplitter[idx] = m
 	}
-	m[seq] = RetainedPicture{Seq: seq, Tag: tag, Payload: payload}
+	r.nextOrd++
+	m[pictureKey{session, seq}] = RetainedPicture{
+		Session: session, Seq: seq, Tag: tag, Flags: flags, Payload: payload, ord: r.nextOrd,
+	}
 }
 
-// Ack releases the retained picture seq of splitter idx.
-func (r *PictureRetainer) Ack(idx, seq int) {
+// Ack releases the retained picture (session, seq) of splitter idx.
+func (r *PictureRetainer) Ack(session, idx, seq int) {
 	r.mu.Lock()
-	delete(r.bySplitter[idx], seq)
+	delete(r.bySplitter[idx], pictureKey{session, seq})
 	r.mu.Unlock()
 }
 
-// Pending returns splitter idx's unacked pictures in ascending seq order.
-func (r *PictureRetainer) Pending(idx int) []RetainedPicture {
+// Pending returns one session's unacked pictures at splitter idx in
+// ascending seq order.
+func (r *PictureRetainer) Pending(session, idx int) []RetainedPicture {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []RetainedPicture
+	for k, e := range r.bySplitter[idx] {
+		if k.session == session {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// PendingSplitter returns every session's unacked pictures at splitter idx in
+// original send order — the replay sequence for a respawned resident
+// splitter.
+func (r *PictureRetainer) PendingSplitter(idx int) []RetainedPicture {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []RetainedPicture
 	for _, e := range r.bySplitter[idx] {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	sort.Slice(out, func(i, j int) bool { return out[i].ord < out[j].ord })
 	return out
+}
+
+// OldestSession returns the session owning splitter idx's oldest pending
+// picture — the session whose in-flight token the root releases when it
+// writes a lost credit off after a deadline.
+func (r *PictureRetainer) OldestSession(idx int) (session int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best int64
+	for k, e := range r.bySplitter[idx] {
+		if !ok || e.ord < best {
+			best, session, ok = e.ord, k.session, true
+		}
+	}
+	return session, ok
+}
+
+// Drop releases every retained picture of one session across splitters
+// (resident session close or failure).
+func (r *PictureRetainer) Drop(session int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.bySplitter {
+		for k := range m {
+			if k.session == session {
+				delete(m, k)
+			}
+		}
+	}
 }

@@ -26,14 +26,21 @@ func (c *collector) add(tile int, buf *mpeg2.PixelBuf) {
 	c.mu.Unlock()
 }
 
-func (c *collector) assemble() ([]*mpeg2.PixelBuf, error) {
+// assemble joins per-tile emissions into wall frames. strict demands every
+// tile emitted the same count (any mismatch is a protocol violation on a
+// clean session); tolerant mode — degraded recovery sessions — assembles the
+// frames every tile managed to emit and drops the ragged tail.
+func (c *collector) assemble(strict bool) ([]*mpeg2.PixelBuf, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := -1
 	for t, list := range c.tiles {
-		if n == -1 {
+		if n == -1 || len(list) < n {
+			if n != -1 && strict {
+				return nil, fmt.Errorf("service: tile %d emitted %d frames, others %d", t, len(list), n)
+			}
 			n = len(list)
-		} else if len(list) != n {
+		} else if len(list) != n && strict {
 			return nil, fmt.Errorf("service: tile %d emitted %d frames, others %d", t, len(list), n)
 		}
 	}

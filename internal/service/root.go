@@ -20,6 +20,7 @@ func (w *Wall) runRoot() error {
 	}
 	port := w.tr.Port(0)
 	k := w.cfg.K
+	rv := w.rv
 	// drainTarget: one drain ack per splitter and per decoder closes a
 	// session. By sender FIFO every data ack precedes its sender's drain ack,
 	// so when the count is met no stale ack for the session remains.
@@ -42,13 +43,45 @@ func (w *Wall) runRoot() error {
 			w.drainAck(byID, m, drainTarget)
 			return
 		}
+		if rv != nil && m.Seq == cluster.SessionFailSeq {
+			// A splitter declared this session's stream undecodable: fail it
+			// alone, keep the wall running.
+			w.failSession(byID, port, m.Session, string(m.Payload))
+			return
+		}
 		credit(nodeIdx[m.From])
+		if rv != nil {
+			rv.picRet.Ack(m.Session, nodeIdx[m.From], m.Seq)
+		}
 		// A splitter's receipt ack frees one of the session's in-flight slots.
 		if s := byID[m.Session]; s != nil {
 			s.releaseToken()
 		}
 	}
-	takeAck := func() error {
+	// takeAck waits for a splitter ack; under recovery the wait is bounded
+	// by the picture deadline — a dead splitter's receipt ack never comes —
+	// after which the assignee is granted synthetic credit, and the oldest
+	// retained (unacked) picture's feed token is released so no feeder hangs
+	// on a dead node.
+	takeAck := func(a int) error {
+		if rv != nil {
+			m, timedOut := port.RecvTimeout(cluster.MsgAck, rv.cfg.PictureDeadline)
+			if timedOut {
+				rv.rec.AddAckTimeout()
+				credit(a)
+				if sess, ok := rv.picRet.OldestSession(a); ok {
+					if s := byID[sess]; s != nil {
+						s.releaseToken()
+					}
+				}
+				return nil
+			}
+			if m == nil {
+				return fmt.Errorf("service: root aborted while waiting for splitter ack")
+			}
+			onAck(m)
+			return nil
+		}
 		m := port.Recv(cluster.MsgAck)
 		if m == nil {
 			return fmt.Errorf("service: root aborted while waiting for splitter ack")
@@ -81,9 +114,13 @@ func (w *Wall) runRoot() error {
 	shipped := false
 	emit := func(it workItem) error {
 		s := it.sess
+		if rv != nil && s.failCause() != nil {
+			s.releaseToken() // failed in isolation; drop queued pictures
+			return nil
+		}
 		t0 := time.Now()
 		for credits[a] == 0 {
-			if err := takeAck(); err != nil {
+			if err := takeAck(a); err != nil {
 				return err
 			}
 		}
@@ -108,6 +145,11 @@ func (w *Wall) runRoot() error {
 			flags = cluster.FlagFirstPicture
 			shipped = true
 		}
+		if rv != nil {
+			// Retain until the assignee acks receipt; a respawned splitter
+			// gets everything its predecessor consumed without finishing.
+			rv.picRet.Retain(s.id, a, it.index, w.splitterIDs[next], flags, it.payload)
+		}
 		port.Send(w.splitterIDs[a], &cluster.Message{
 			Kind:    cluster.MsgPicture,
 			Seq:     it.index, // per-session picture index
@@ -121,10 +163,30 @@ func (w *Wall) runRoot() error {
 		return nil
 	}
 
+	var respawn chan int // nil (never fires) without recovery
+	if rv != nil {
+		respawn = rv.respawn
+	}
 	for {
 		select {
 		case m := <-port.Queue(cluster.MsgAck):
 			onAck(m)
+		case idx := <-respawn:
+			// A splitter respawned: replay its retained pictures — every
+			// session's, in original send order — with FlagReplay so the new
+			// incarnation deduplicates against its surviving queue and the
+			// decoders never double-ack.
+			for _, p := range rv.picRet.PendingSplitter(idx) {
+				rv.rec.AddReplayed(1)
+				port.Send(w.splitterIDs[idx], &cluster.Message{
+					Kind:    cluster.MsgPicture,
+					Seq:     p.Seq,
+					Tag:     p.Tag,
+					Flags:   (p.Flags &^ cluster.FlagFirstPicture) | cluster.FlagReplay,
+					Session: p.Session,
+					Payload: p.Payload,
+				})
+			}
 		case it := <-w.work:
 			switch it.kind {
 			case workShutdown:
@@ -145,7 +207,13 @@ func (w *Wall) runRoot() error {
 					return err
 				}
 			case workFinal:
-				for _, id := range w.splitterIDs {
+				for i, id := range w.splitterIDs {
+					if rv != nil {
+						// Finals are retained too: a splitter that dies
+						// between receiving and forwarding one would
+						// otherwise hang the session's drain.
+						rv.picRet.Retain(it.sess.id, i, -1, it.index, cluster.FlagSessionFinal, nil)
+					}
 					port.Send(id, &cluster.Message{
 						Kind:    cluster.MsgPicture,
 						Seq:     -1,
@@ -212,6 +280,7 @@ func (cs *combinedSession) marshal(sp *subpic.SubPicture, pooled bool) []byte {
 func (w *Wall) runRootCombined() error {
 	port := w.tr.Port(0)
 	nd := len(w.decoderIDs)
+	rv := w.rv
 	byID := map[int]*Session{}
 	sessions := map[int]*combinedSession{}
 	banked := 0
@@ -228,6 +297,23 @@ func (w *Wall) runRootCombined() error {
 		aborted := false
 		b.Timed(metrics.PhaseWaitMB, func() {
 			for banked < nd {
+				if rv != nil {
+					// A dead decoder's go-ahead never comes: bound the wait
+					// and move on — the respawned decoder catches up through
+					// its queue and gap concealment.
+					m, timedOut := port.RecvTimeout(cluster.MsgAck, rv.cfg.PictureDeadline)
+					if timedOut {
+						rv.rec.AddAckTimeout()
+						banked = nd
+						break
+					}
+					if m == nil {
+						aborted = true
+						return
+					}
+					onAck(m)
+					continue
+				}
 				m := port.Recv(cluster.MsgAck)
 				if m == nil {
 					aborted = true
@@ -241,6 +327,27 @@ func (w *Wall) runRootCombined() error {
 		}
 		banked -= nd
 		return nil
+	}
+	// failCombined fails one session in isolation: the feeder gets a typed
+	// error, and a final sized to what already shipped lets every decoder
+	// finish and drop the session's state.
+	failCombined := func(s *Session, cs *combinedSession, shippedPics int, cause error) {
+		delete(byID, s.id)
+		delete(sessions, s.id)
+		s.fail(fmt.Errorf("%w: session %q: %v", ErrSessionFailed, s.name, cause))
+		for _, id := range w.decoderIDs {
+			sp := &subpic.SubPicture{Final: true}
+			sp.Pic.Index = int32(shippedPics)
+			port.Send(id, &cluster.Message{
+				Kind:    cluster.MsgSubPicture,
+				Seq:     -1,
+				Tag:     port.ID(),
+				Flags:   cluster.FlagSessionFinal,
+				Session: s.id,
+				Payload: cs.marshal(sp, w.cfg.Pooled),
+			})
+		}
+		cs.ms.Close()
 	}
 
 	for {
@@ -275,12 +382,21 @@ func (w *Wall) runRootCombined() error {
 				}
 			case workPicture:
 				cs := sessions[it.sess.id]
+				if cs == nil {
+					it.sess.releaseToken() // session already failed in isolation
+					continue
+				}
 				b := &cs.res.Breakdown
 				cs.res.InputBytes += int64(len(it.payload))
 				var sps []*subpic.SubPicture
 				var err error
 				b.Timed(metrics.PhaseWork, func() { sps, err = cs.ms.Split(it.payload, it.index) })
 				if err != nil {
+					if rv != nil {
+						failCombined(it.sess, cs, it.index, err)
+						it.sess.releaseToken()
+						continue
+					}
 					return err
 				}
 				if shipped {
@@ -308,6 +424,9 @@ func (w *Wall) runRootCombined() error {
 			case workFinal:
 				s := it.sess
 				cs := sessions[s.id]
+				if cs == nil {
+					continue // session already failed in isolation
+				}
 				for _, id := range w.decoderIDs {
 					sp := &subpic.SubPicture{Final: true}
 					sp.Pic.Index = int32(it.index)

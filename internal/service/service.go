@@ -9,6 +9,7 @@ import (
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/pdec"
+	"tiledwall/internal/recovery"
 	"tiledwall/internal/splitter"
 )
 
@@ -48,12 +49,23 @@ type Config struct {
 	OnTileFrame func(session, displayIdx, tile int, buf *mpeg2.PixelBuf)
 
 	// MaxSessions bounds concurrently open sessions (default 8); Open fails
-	// with ErrTooManySessions beyond it.
+	// with a *TooManySessionsError (wrapping ErrTooManySessions) beyond it.
 	MaxSessions int
 	// MaxInFlightPictures bounds pictures per session between Feed and the
 	// splitter's receipt ack; Feed blocks when the bound is reached
 	// (default 8).
 	MaxInFlightPictures int
+
+	// Recovery, when Enabled, makes the resident wall fault-tolerant: the
+	// local splitter and decoder loops run supervised (heartbeat leases,
+	// respawn with in-band session re-join), the root retains and replays
+	// unacked pictures, credit waits are deadline-bounded, decoders conceal
+	// lost pictures, and a broken session fails alone with a typed error.
+	// Pooling is forced off on recovery-enabled decoders.
+	Recovery recovery.Config
+	// Chaos injects crashes for tests and soaks; each kill fires on the
+	// named node's first incarnation only.
+	Chaos recovery.ChaosPlan
 }
 
 func (c *Config) defaults() {
@@ -117,14 +129,18 @@ type Wall struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	mu        sync.Mutex
-	idle      *sync.Cond
-	sessions  map[int]*Session
-	nextID    int
-	active    int
-	closed    bool
-	closeOnce sync.Once
-	closeErr  error
+	mu         sync.Mutex
+	idle       *sync.Cond
+	sessions   map[int]*Session
+	nextID     int
+	active     int
+	closed     bool
+	closeOnce  sync.Once
+	closeErr   error
+	avgSession time.Duration // EWMA of completed session durations (RetryAfter)
+
+	// rv is the recovery state; nil unless Config.Recovery.Enabled.
+	rv *wallRecovery
 }
 
 // New builds the wall and starts every node server. The caller must Close it.
@@ -170,6 +186,9 @@ func New(cfg Config) (*Wall, error) {
 	for t := 0; t < nTiles; t++ {
 		w.decoderIDs = append(w.decoderIDs, 1+cfg.K+t)
 	}
+	if cfg.Recovery.Enabled {
+		w.rv = newWallRecovery(cfg.Recovery, cfg.Chaos, cfg.K, nTiles)
+	}
 
 	// Wake a Close blocked on active sessions if the transport aborts.
 	go func() {
@@ -190,6 +209,10 @@ func New(cfg Config) (*Wall, error) {
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
+			if w.rv != nil {
+				w.runSplitterSupervised(i)
+				return
+			}
 			err := splitter.ServeSecond(tr.Port(w.splitterIDs[i]), splitter.ServeConfig{
 				Index:        i,
 				M:            cfg.M,
@@ -214,22 +237,11 @@ func New(cfg Config) (*Wall, error) {
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
-			scfg := pdec.ServeConfig{
-				Tile:           t,
-				M:              cfg.M,
-				N:              cfg.N,
-				Overlap:        cfg.Overlap,
-				MaxFCode:       cfg.MaxFCode,
-				TileNode:       func(tile int) int { return w.decoderIDs[tile] },
-				RootNode:       0,
-				UnbatchedSends: cfg.UnbatchedExchange,
-				Pooled:         cfg.Pooled,
-				OnResult:       w.onDecoderResult,
+			if w.rv != nil {
+				w.runDecoderSupervised(t)
+				return
 			}
-			if cfg.CollectFrames || cfg.OnTileFrame != nil {
-				scfg.OnFrame = w.onFrame
-			}
-			if err := pdec.Serve(tr.Port(w.decoderIDs[t]), scfg); err != nil {
+			if err := pdec.Serve(tr.Port(w.decoderIDs[t]), w.decoderServeCfg(t)); err != nil {
 				tr.Abort(err)
 			}
 		}()
@@ -244,6 +256,29 @@ func New(cfg Config) (*Wall, error) {
 		}()
 	}
 	return w, nil
+}
+
+// decoderServeCfg builds one local tile decoder's serve configuration;
+// supervised incarnations add their Recovery wiring on top.
+func (w *Wall) decoderServeCfg(t int) pdec.ServeConfig {
+	scfg := pdec.ServeConfig{
+		Tile:           t,
+		M:              w.cfg.M,
+		N:              w.cfg.N,
+		Overlap:        w.cfg.Overlap,
+		MaxFCode:       w.cfg.MaxFCode,
+		TileNode:       func(tile int) int { return w.decoderIDs[tile] },
+		RootNode:       0,
+		UnbatchedSends: w.cfg.UnbatchedExchange,
+		Pooled:         w.cfg.Pooled,
+		OnResult:       w.onDecoderResult,
+	}
+	// Recovery always observes emissions: the registry's per-tile frontier
+	// is what a respawned decoder resumes from.
+	if w.cfg.CollectFrames || w.cfg.OnTileFrame != nil || w.rv != nil {
+		scfg.OnFrame = w.onFrame
+	}
+	return scfg
 }
 
 // Wait blocks until this process's node loops exit — a clean shutdown
@@ -273,7 +308,11 @@ func (w *Wall) Open(name string) (*Session, error) {
 		return nil, ErrWallClosed
 	}
 	if w.active >= w.cfg.MaxSessions {
-		return nil, fmt.Errorf("%w (%d active, max %d)", ErrTooManySessions, w.active, w.cfg.MaxSessions)
+		return nil, &TooManySessionsError{
+			Active:     w.active,
+			Max:        w.cfg.MaxSessions,
+			RetryAfter: w.retryAfterLocked(),
+		}
 	}
 	w.nextID++
 	s := &Session{
@@ -284,6 +323,7 @@ func (w *Wall) Open(name string) (*Session, error) {
 		scanner:   newUnitScanner(),
 		tokens:    make(chan struct{}, w.cfg.MaxInFlightPictures),
 		drained:   make(chan struct{}),
+		failedCh:  make(chan struct{}),
 		splitters: make([]*splitter.SecondResult, maxInt(1, w.cfg.K)),
 		decoders:  make([]*pdec.Result, w.cfg.M*w.cfg.N),
 	}
@@ -293,6 +333,28 @@ func (w *Wall) Open(name string) (*Session, error) {
 	w.active++
 	w.sessions[s.id] = s
 	return s, nil
+}
+
+// retryAfterLocked estimates how long a rejected Open should back off: the
+// wall's average session duration minus the progress of the oldest in-flight
+// session — an optimistic guess at when the next admission slot drains.
+// Callers hold w.mu.
+func (w *Wall) retryAfterLocked() time.Duration {
+	const floor = 10 * time.Millisecond
+	avg := w.avgSession
+	if avg <= 0 {
+		return 100 * time.Millisecond // no history yet
+	}
+	var oldest time.Duration
+	for _, s := range w.sessions {
+		if el := time.Since(s.openedAt); el > oldest {
+			oldest = el
+		}
+	}
+	if hint := avg - oldest; hint > floor {
+		return hint
+	}
+	return floor
 }
 
 // Close drains the wall: it waits for every open session to close, shuts the
@@ -314,6 +376,9 @@ func (w *Wall) Close() error {
 		}
 		w.wg.Wait()
 		close(w.quit)
+		if w.rv != nil {
+			w.rv.sup.Close()
+		}
 		if w.ownTr {
 			w.tr.Shutdown()
 		}
@@ -322,11 +387,18 @@ func (w *Wall) Close() error {
 	return w.closeErr
 }
 
-// sessionDone releases a session's admission slot.
+// sessionDone releases a session's admission slot and folds its duration
+// into the EWMA behind Open's RetryAfter hint.
 func (w *Wall) sessionDone(s *Session) {
 	w.mu.Lock()
 	delete(w.sessions, s.id)
 	w.active--
+	dur := time.Since(s.openedAt)
+	if w.avgSession == 0 {
+		w.avgSession = dur
+	} else {
+		w.avgSession = (3*w.avgSession + dur) / 4
+	}
 	w.idle.Broadcast()
 	w.mu.Unlock()
 }
@@ -340,6 +412,9 @@ func (w *Wall) onSecondResult(session, idx int, res *splitter.SecondResult) {
 }
 
 func (w *Wall) onFrame(session, displayIdx, tile int, buf *mpeg2.PixelBuf) {
+	if w.rv != nil {
+		w.rv.noteFrame(session, displayIdx, tile)
+	}
 	if w.cfg.OnTileFrame != nil {
 		w.cfg.OnTileFrame(session, displayIdx, tile, buf)
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tiledwall/internal/metrics"
@@ -29,6 +30,14 @@ type Session struct {
 	tokens chan struct{}
 	// drained is closed by the root once every tile has sent its drain ack.
 	drained chan struct{}
+
+	// failedCh is closed (once) when the pipeline fails this session in
+	// isolation; failErr carries the typed cause. Written by the root
+	// goroutine, read by the feeder — hence the mutex, unlike the
+	// feeder-only failed field.
+	failMu   sync.Mutex
+	failErr  error
+	failedCh chan struct{}
 
 	opened bool
 	closed bool
@@ -67,6 +76,14 @@ type SessionResult struct {
 	Frames []*mpeg2.PixelBuf
 	// WireBytes is the fabric traffic attributed to this session.
 	WireBytes int64
+	// Recovery counts the fault-tolerance interventions charged to this
+	// session (zero-valued without recovery enabled). Frames are guaranteed
+	// byte-identical to a serial decode only when Recovery.Clean() holds.
+	Recovery metrics.RecoverySnapshot
+	// TileEmissions lists, per tile, the decode-order picture indices
+	// emitted in display order — the exactly-once evidence chaos soaks
+	// assert. Populated only under recovery.
+	TileEmissions [][]int
 }
 
 // Modeled returns the pipeline-limit throughput: pictures over the busiest
@@ -103,6 +120,10 @@ func (s *Session) Feed(chunk []byte) error {
 	if s.failed != nil {
 		return s.failed
 	}
+	if err := s.failCause(); err != nil {
+		s.failed = err
+		return err
+	}
 	if err := s.w.tr.AbortCause(); err != nil {
 		s.failed = err
 		return err
@@ -125,6 +146,9 @@ func (s *Session) Close() (*SessionResult, error) {
 	}
 	s.closed = true
 	if s.failed == nil {
+		s.failed = s.failCause()
+	}
+	if s.failed == nil {
 		scanStart := time.Now()
 		s.cbTime = 0
 		err := s.scanner.flush(s.onUnit)
@@ -137,15 +161,37 @@ func (s *Session) Close() (*SessionResult, error) {
 		s.failed = fmt.Errorf("service: session %q: no sequence header in stream", s.name)
 	}
 	if s.failed != nil {
-		s.w.sessionDone(s)
+		s.finishFailed()
 		return nil, s.failed
 	}
 	if err := s.submit(workItem{sess: s, kind: workFinal, index: s.pics}); err != nil {
-		s.w.sessionDone(s)
+		s.finishFailed()
 		return nil, err
+	}
+	// Under recovery the drain wait is bounded: a node dead past its restart
+	// budget never drain-acks, and that must disrupt this session, not hang
+	// its feeder. The budget scales with the session length so a loaded wall
+	// concealing its way to the end still drains cleanly.
+	var timeout <-chan time.Time
+	if s.w.rv != nil {
+		budget := time.Duration(s.pics) * s.w.rv.cfg.PictureDeadline
+		if budget < 10*time.Second {
+			budget = 10 * time.Second
+		}
+		timer := time.NewTimer(budget)
+		defer timer.Stop()
+		timeout = timer.C
 	}
 	select {
 	case <-s.drained:
+	case <-s.failedCh:
+		s.failed = s.failCause()
+		s.finishFailed()
+		return nil, s.failed
+	case <-timeout:
+		s.failed = fmt.Errorf("%w: session %q: drain incomplete", ErrSessionDisrupted, s.name)
+		s.finishFailed()
+		return nil, s.failed
 	case <-s.w.tr.Done():
 		s.w.sessionDone(s)
 		return nil, s.w.tr.AbortCause()
@@ -166,12 +212,31 @@ func (s *Session) Close() (*SessionResult, error) {
 	if s.w.cfg.K > 0 {
 		res.Root = &s.rootRes
 	}
+	strict := true
+	if rv := s.w.rv; rv != nil {
+		res.Recovery, res.TileEmissions = rv.dropSession(s.id)
+		rv.noteSessionClose(res.Recovery.Clean())
+		// A degraded session may have lost tail frames on some tiles (a
+		// decoder dead past its budget): assemble what every tile emitted
+		// instead of refusing the whole session.
+		strict = res.Recovery.Clean()
+	}
 	var err error
 	if s.collector != nil {
-		res.Frames, err = s.collector.assemble()
+		res.Frames, err = s.collector.assemble(strict)
 	}
 	s.w.sessionDone(s)
 	return res, err
+}
+
+// finishFailed releases a failed session's admission slot and recovery
+// registry state, and records the close in the wall health machine.
+func (s *Session) finishFailed() {
+	if rv := s.w.rv; rv != nil {
+		rv.dropSession(s.id)
+		rv.noteSessionClose(false)
+	}
+	s.w.sessionDone(s)
 }
 
 // onHeader parses the stream prefix, derives this session's geometry, and
@@ -207,6 +272,8 @@ func (s *Session) onUnit(u []byte) error {
 	s.rootRes.CopyTime += time.Since(t0)
 	select {
 	case <-s.tokens:
+	case <-s.failedCh:
+		return s.failCause()
 	case <-s.w.tr.Done():
 		return s.w.tr.AbortCause()
 	}
@@ -231,4 +298,22 @@ func (s *Session) releaseToken() {
 	case s.tokens <- struct{}{}:
 	default:
 	}
+}
+
+// fail marks the session failed in isolation (root goroutine); the first
+// cause wins and unblocks the feeder.
+func (s *Session) fail(err error) {
+	s.failMu.Lock()
+	if s.failErr == nil {
+		s.failErr = err
+		close(s.failedCh)
+	}
+	s.failMu.Unlock()
+}
+
+// failCause returns the isolated-failure cause, if any.
+func (s *Session) failCause() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failErr
 }

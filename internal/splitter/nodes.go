@@ -90,7 +90,7 @@ func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 		i := nodeIdx[m.From]
 		credit(i)
 		if rh != nil && rh.Retainer != nil {
-			rh.Retainer.Ack(i, m.Seq)
+			rh.Retainer.Ack(0, i, m.Seq)
 		}
 	}
 	// takeAck blocks for one splitter ack while waiting on assignee a's
@@ -173,7 +173,7 @@ func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 
 		t0 = time.Now()
 		if rh != nil && rh.Retainer != nil {
-			rh.Retainer.Retain(a, pics, cfg.SplitterNodes[next], buf)
+			rh.Retainer.Retain(0, a, pics, cfg.SplitterNodes[next], 0, buf)
 		}
 		node.Send(cfg.SplitterNodes[a], &cluster.Message{
 			Kind:    cluster.MsgPicture,
@@ -401,7 +401,7 @@ func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
 				payload := marshal(sps[t])
 				res.SPBytes += int64(len(payload))
 				if rh != nil && rh.Retainer != nil {
-					rh.Retainer.Retain(t, msg.Seq, anid, payload)
+					rh.Retainer.Retain(0, t, msg.Seq, anid, payload)
 				}
 				node.Send(cfg.DecoderNodes[t], &cluster.Message{
 					Kind:    cluster.MsgSubPicture,

@@ -153,7 +153,7 @@ func runRecovery(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 				// Replay the root's unacked pictures (original NSID tags) so
 				// the new incarnation sees everything its predecessor
 				// consumed without finishing.
-				for _, p := range picRet.Pending(i) {
+				for _, p := range picRet.Pending(0, i) {
 					rec.AddReplayed(1)
 					eps[supID].Send(id, &cluster.Message{
 						Kind:    cluster.MsgPicture,
@@ -214,7 +214,7 @@ func runRecovery(stream []byte, s *mpeg2.Stream, geo *wall.Geometry, cfg Config)
 				// owes, from the supervisor's node; the decoder's reorder
 				// stash restores picture order. Replays are never acked.
 				next, _, _, _ := checkpoint.State()
-				rp := subRet.Since(t, next)
+				rp := subRet.Since(0, t, next)
 				rec.AddReplayed(len(rp))
 				for _, sp := range rp {
 					eps[supID].Send(id, &cluster.Message{
@@ -310,7 +310,7 @@ func runCombinedRecovery(node cluster.Net, s *mpeg2.Stream, geo *wall.Geometry, 
 			for t := 0; t < nd; t++ {
 				payload := sps[t].Marshal()
 				res.SPBytes += int64(len(payload))
-				retainer.Retain(t, seq, node.ID(), payload)
+				retainer.Retain(0, t, seq, node.ID(), payload)
 				node.Send(decoderNodes[t], &cluster.Message{
 					Kind:    cluster.MsgSubPicture,
 					Seq:     seq,

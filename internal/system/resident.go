@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,15 +22,19 @@ type ResidentWall struct {
 	n   int64                 // session name counter
 }
 
-// NewResidentWall builds the wall. Recovery-enabled configurations are
-// rejected: the fault-tolerance layer keeps its dedicated one-shot pipeline
-// (Run).
+// NewResidentWall builds the wall. Recovery-enabled configurations run the
+// session-aware fault-tolerance layer: supervised node loops, root-side
+// picture replay, per-session failure isolation, and — on the TCP transport —
+// recoverable links that redial after a loss instead of aborting.
 func NewResidentWall(cfg Config) (*ResidentWall, error) {
 	cfg.defaults()
-	if cfg.Recovery.Enabled {
-		return nil, fmt.Errorf("system: resident walls do not support recovery; use Run")
-	}
 	var tcp *cluster.TCPTransport
+	// The wall is built after the transport, so link-state events are routed
+	// through an indirection armed once the service exists.
+	var linkSink struct {
+		mu sync.Mutex
+		w  *service.Wall
+	}
 	switch cfg.Transport {
 	case "", "fabric":
 	case "tcp":
@@ -40,13 +45,25 @@ func NewResidentWall(cfg Config) (*ResidentWall, error) {
 		for i := range ids {
 			ids[i] = i
 		}
-		var err error
-		tcp, err = cluster.ListenTCP("127.0.0.1:0", cluster.TCPConfig{
+		tcfg := cluster.TCPConfig{
 			NumNodes:     nn,
 			LocalNodes:   ids,
 			Grid:         cluster.Grid{K: cfg.K, M: cfg.M, N: cfg.N, Overlap: cfg.Overlap},
 			StallTimeout: cfg.Fabric.StallTimeout,
-		})
+		}
+		if cfg.Recovery.Enabled {
+			tcfg.Recoverable = true
+			tcfg.OnLinkState = func(node int, up bool) {
+				linkSink.mu.Lock()
+				w := linkSink.w
+				linkSink.mu.Unlock()
+				if w != nil {
+					w.NoteLink(node, up)
+				}
+			}
+		}
+		var err error
+		tcp, err = cluster.ListenTCP("127.0.0.1:0", tcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -68,6 +85,8 @@ func NewResidentWall(cfg Config) (*ResidentWall, error) {
 		MaxSessions:         cfg.MaxSessions,
 		MaxInFlightPictures: cfg.MaxInFlightPictures,
 		Transport:           transportOrNil(tcp),
+		Recovery:            cfg.Recovery,
+		Chaos:               cfg.Chaos,
 	})
 	if err != nil {
 		if tcp != nil {
@@ -75,8 +94,15 @@ func NewResidentWall(cfg Config) (*ResidentWall, error) {
 		}
 		return nil, err
 	}
+	linkSink.mu.Lock()
+	linkSink.w = svc
+	linkSink.mu.Unlock()
 	return &ResidentWall{cfg: cfg, svc: svc, tcp: tcp}, nil
 }
+
+// Health reports the wall's fault-tolerance state (Healthy without
+// Recovery enabled).
+func (w *ResidentWall) Health() service.Health { return w.svc.Health() }
 
 // transportOrNil avoids handing service.New a typed-nil interface.
 func transportOrNil(tcp *cluster.TCPTransport) cluster.Transport {
@@ -134,15 +160,22 @@ func (w *ResidentWall) Close() error {
 // per-session bytes from SessionResult.WireBytes.
 func (w *ResidentWall) result(sres *service.SessionResult, streamBytes int64) *Result {
 	res := &Result{
-		Config:          w.cfg,
-		Throughput:      sres.Throughput,
-		Root:            sres.Root,
-		Splitters:       sres.Splitters,
-		Decoders:        sres.Decoders,
-		Frames:          sres.Frames,
-		StreamBytes:     streamBytes,
-		RootNodeID:      0,
-		NodeStats:       w.svc.Transport().Stats(),
+		Config:      w.cfg,
+		Throughput:  sres.Throughput,
+		Root:        sres.Root,
+		Splitters:   sres.Splitters,
+		Decoders:    sres.Decoders,
+		Frames:      sres.Frames,
+		StreamBytes: streamBytes,
+		RootNodeID:  0,
+		NodeStats:   w.svc.Transport().Stats(),
+		// The batch Result reports one run's total interventions: the
+		// session's own charges (concealment, splitter-gate timeouts) plus
+		// the wall-level charges (restarts, replays, root credit timeouts)
+		// accrued while it ran — cumulative across sessions on a shared wall,
+		// exact for the single-Play wall that Run builds.
+		Recovery:        sres.Recovery.Plus(w.svc.Recovery()),
+		TileEmissions:   sres.TileEmissions,
 		Warnings:        w.cfg.validate(),
 		EffectivePooled: w.cfg.effectivePooled(),
 		transport:       w.svc.Transport(),

@@ -54,7 +54,9 @@ type Config struct {
 	// node still lives in this process, but all traffic crosses real TCP
 	// connections through a hub — the single-process form of the
 	// multi-process wall, and what the cross-transport conformance matrix
-	// exercises). Recovery-enabled runs ignore it and keep the fabric.
+	// exercises). Combines with Recovery: a recovery-enabled TCP wall runs
+	// the resident fault-tolerant pipeline with recoverable (redialing)
+	// links.
 	Transport string
 
 	// CollectFrames assembles full output frames for verification (adds
@@ -97,10 +99,6 @@ func (c Config) validate() []string {
 			"Pooled is forced off under Recovery: retained replay payloads must not be recycled; see Result.EffectivePooled")
 	}
 	if c.Transport == "tcp" {
-		if c.Recovery.Enabled {
-			warns = append(warns,
-				"Transport=tcp is ignored under Recovery: the fault-tolerance pipeline keeps the in-process fabric")
-		}
 		if c.Fabric.BandwidthBps > 0 || c.Fabric.Latency > 0 {
 			warns = append(warns,
 				"Fabric bandwidth/latency throttling is not applied by the TCP transport; loopback speed is what you measure")
@@ -304,7 +302,10 @@ func Run(stream []byte, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Recovery.Enabled {
+	if cfg.Recovery.Enabled && cfg.Transport != "tcp" {
+		// The batch supervisor pipeline (reliable endpoints + sub-picture
+		// replay) stays the reference for fabric recovery runs; TCP recovery
+		// runs take the resident fault-tolerant path below.
 		res, rerr := runRecovery(stream, s, geo, cfg)
 		if res != nil {
 			res.Warnings = cfg.validate()

@@ -95,8 +95,46 @@ func Play(stream []byte, cfg WallConfig) (*WallResult, error) {
 }
 
 // ErrTooManySessions is returned by Wall.Open/Wall.Play when the wall's
-// MaxSessions admission bound is reached.
+// MaxSessions admission bound is reached. The concrete error is a
+// *TooManySessionsError carrying a RetryAfter hint; see that type for the
+// caller backoff contract.
 var ErrTooManySessions = service.ErrTooManySessions
+
+// TooManySessionsError is the concrete admission-rejection error: Active and
+// Max report the bound that was hit, RetryAfter is the wall's estimate of
+// when a slot frees up (derived from observed session durations and the
+// oldest active session's progress).
+//
+// Backoff contract: sleep RetryAfter, then retry; on repeated rejection,
+// multiply the wait (e.g. 1.5–2×) and cap it — RetryAfter is a hint, not a
+// reservation, so concurrent openers may still race for the freed slot.
+// errors.Is(err, ErrTooManySessions) matches it.
+type TooManySessionsError = service.TooManySessionsError
+
+// Typed sentinels for session-isolated recovery failures on a resident wall.
+var (
+	// ErrSessionFailed wraps errors from sessions that failed in isolation
+	// (e.g. a corrupt stream poisoning its own splitter) while the wall and
+	// its other sessions kept running.
+	ErrSessionFailed = service.ErrSessionFailed
+	// ErrSessionDisrupted wraps errors from sessions torn down because a
+	// fault exhausted the recovery budget mid-session (e.g. a node dead past
+	// its restart budget, a drain that never completed).
+	ErrSessionDisrupted = service.ErrSessionDisrupted
+)
+
+// Health is a resident wall's fault-tolerance state: Healthy (all node loops
+// live), Recovering (a node loop died and is being respawned), Degraded (all
+// loops live again, but a session closed unclean since — concealed or lost
+// frames were served). A clean session close returns the wall to Healthy.
+type Health = service.Health
+
+// Health states, re-exported for switch statements.
+const (
+	Healthy    = service.Healthy
+	Recovering = service.Recovering
+	Degraded   = service.Degraded
+)
 
 // Wall is a resident decoding service: the pipeline is built once by NewWall
 // and serves any number of streams — sequentially or concurrently — until
@@ -109,8 +147,12 @@ type Wall struct {
 // Session is an incrementally-fed stream on a resident wall (Wall.Open).
 type Session = service.Session
 
-// NewWall builds a resident wall for the configuration. Recovery-enabled
-// configurations are rejected — use Play.
+// NewWall builds a resident wall for the configuration. With
+// WallConfig.Recovery enabled the wall is fault-tolerant as a service:
+// crashed splitter/decoder loops are respawned and their sessions resumed
+// (replay + concealment), a corrupt stream fails only its own session
+// (ErrSessionFailed), faults past the budget disrupt rather than hang
+// (ErrSessionDisrupted), and Wall.Health reports the state machine.
 func NewWall(cfg WallConfig) (*Wall, error) {
 	w, err := system.NewResidentWall(cfg)
 	if err != nil {
@@ -130,6 +172,10 @@ func (w *Wall) Open(name string) (*Session, error) { return w.w.Open(name) }
 // Close drains open sessions, shuts the pipeline down, and reports the abort
 // cause if any node failed.
 func (w *Wall) Close() error { return w.w.Close() }
+
+// Health reports the wall's fault-tolerance state (always Healthy when
+// Recovery is disabled).
+func (w *Wall) Health() Health { return w.w.Health() }
 
 // Decode runs the serial reference decoder, returning pictures in display
 // order.
