@@ -11,6 +11,7 @@ import (
 
 	"tiledwall/internal/experiments"
 	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/service"
 )
 
 func allocStream(t testing.TB) *mpeg2.Stream {
@@ -65,6 +66,35 @@ func TestDecodeSteadyStateAllocs(t *testing.T) {
 	if perPicture > 4 {
 		t.Fatalf("steady-state decode allocates %.2f objects per picture, budget is 4", perPicture)
 	}
+}
+
+// TestWallLoadAllocs pins the fleet router's admission-time read: Wall.Load
+// is sampled on every routing decision across every open in the fleet, so it
+// must allocate nothing — it reads three atomics off to the side of the
+// session machinery instead of taking the open/close lock.
+func TestWallLoadAllocs(t *testing.T) {
+	w, err := service.New(service.Config{K: 0, M: 1, N: 1, MaxSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Sample under live-session load, not on an idle wall, so a regression
+	// that only bites with sessions registered still fails here.
+	s, err := w.Open("load-alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink service.Load
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = w.Load()
+	})
+	if allocs != 0 {
+		t.Fatalf("Wall.Load allocates %.1f objects per call, budget is 0", allocs)
+	}
+	if sink.ActiveSessions != 1 || sink.MaxSessions != 2 {
+		t.Fatalf("Load snapshot %+v, want 1/2 active sessions", sink)
+	}
+	s.Close()
 }
 
 // BenchmarkDecodeGOP is the headline hot-path benchmark: repeated

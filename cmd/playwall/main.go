@@ -6,11 +6,15 @@
 //
 //	playwall -in stream.m2v -m 4 -n 4 [-k 4 | -auto] [-overlap 40] [-verify]
 //	playwall -in stream.m2v -m 4 -n 4 -k 2 -sessions 4
+//	playwall -in stream.m2v -m 2 -n 2 -fleet 4 -sessions 16
 //
 // With -auto, k is chosen by the §4.6 calibration (ts/td); -k 0 runs the
 // one-level 1-(m,n) system. With -sessions N, one resident wall decodes N
 // concurrent copies of the stream and per-session plus aggregate frame rates
-// are reported.
+// are reported. With -fleet W, W warm walls of the requested shape stand
+// behind one front door and the sessions are routed to the least-loaded wall,
+// with per-wall placement and recycle counts reported alongside the
+// aggregate.
 package main
 
 import (
@@ -23,10 +27,12 @@ import (
 	"sync"
 	"time"
 
+	"tiledwall/internal/fleet"
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/mpegps"
 	"tiledwall/internal/recovery"
+	"tiledwall/internal/service"
 	"tiledwall/internal/system"
 	"tiledwall/internal/video"
 )
@@ -45,6 +51,7 @@ func main() {
 		snap    = flag.String("snapshot", "", "write the first displayed frame as a PPM image")
 		bwBps   = flag.Float64("bandwidth", 0, "fabric throttle in bytes/s (0 = unthrottled)")
 		nSess   = flag.Int("sessions", 1, "concurrent copies of the stream through one resident wall")
+		fleetW  = flag.Int("fleet", 0, "run a fleet of W warm walls of this shape and route -sessions through its front door")
 		trans   = flag.String("transport", "", "message transport: fabric (default) or tcp (loopback sockets through a hub)")
 
 		// Fault tolerance (DESIGN.md §13): -recover arms the recovery layer;
@@ -124,6 +131,10 @@ func main() {
 			fmt.Printf(", kill splitter %d at picture %d", plan.SplitterIdx, plan.KillAtPicture)
 		}
 		fmt.Println()
+	}
+	if *fleetW > 0 {
+		playFleet(data, cfg, *fleetW, *nSess)
+		return
 	}
 	if *nSess > 1 {
 		playSessions(data, cfg, *nSess)
@@ -283,6 +294,89 @@ func playSessions(data []byte, cfg system.Config, n int) {
 		fmt.Printf("  session %-3d %5d pictures in %8v (%6.1f fps)\n",
 			i, r.Throughput.Pictures, r.Throughput.Elapsed.Round(time.Millisecond), r.Throughput.FPS())
 		pics += r.Throughput.Pictures
+	}
+	fmt.Printf("  aggregate   %5d pictures in %8v (%6.1f fps wall clock, %d cores)\n",
+		pics, elapsed.Round(time.Millisecond), float64(pics)/elapsed.Seconds(), runtime.NumCPU())
+}
+
+// playFleet stands up W warm walls of the requested shape behind one fleet
+// front door, routes n concurrent copies of the stream through it, and
+// reports where each session landed plus the per-wall and aggregate figures.
+func playFleet(data []byte, cfg system.Config, wallsN, n int) {
+	// Size each wall so the fleet's aggregate capacity covers the run: the
+	// CLI demonstrates routing spread, not admission-queue behaviour (the
+	// soak harness owns that regime).
+	per := (n + wallsN - 1) / wallsN
+	if per < 4 {
+		per = 4
+	}
+	wc := service.Config{
+		K: cfg.K, M: cfg.M, N: cfg.N, Overlap: cfg.Overlap,
+		Pooled: cfg.Pooled, SplitWorkers: cfg.SplitWorkers,
+		MaxSessions: per,
+		Recovery:    cfg.Recovery,
+	}
+	walls := make([]service.Config, wallsN)
+	for i := range walls {
+		walls[i] = wc
+	}
+	f, err := fleet.New(fleet.Config{Walls: walls})
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N)
+	if cfg.K == 0 {
+		name = fmt.Sprintf("1-(%d,%d)", cfg.M, cfg.N)
+	}
+	fmt.Printf("fleet of %d x %s walls, %d sessions through the front door\n", wallsN, name, n)
+
+	type verdict struct {
+		wall int
+		res  *service.SessionResult
+		err  error
+	}
+	out := make([]verdict, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := f.Open(fmt.Sprintf("playwall-%d", i), fleet.OpenOptions{})
+			if err != nil {
+				out[i] = verdict{wall: -1, err: err}
+				return
+			}
+			if err := s.Feed(data); err != nil {
+				s.Close()
+				out[i] = verdict{wall: s.Wall(), err: err}
+				return
+			}
+			res, err := s.Close()
+			out[i] = verdict{wall: s.Wall(), res: res, err: err}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := f.Stats()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	pics := 0
+	perWall := make([]int, wallsN)
+	for i, v := range out {
+		if v.err != nil {
+			log.Fatalf("session %d (wall %d): %v", i, v.wall, v.err)
+		}
+		fmt.Printf("  session %-3d wall %-2d %5d pictures in %8v (%6.1f fps)\n",
+			i, v.wall, v.res.Throughput.Pictures, v.res.Throughput.Elapsed.Round(time.Millisecond), v.res.Throughput.FPS())
+		pics += v.res.Throughput.Pictures
+		perWall[v.wall]++
+	}
+	for _, ws := range stats.Walls {
+		fmt.Printf("  wall %-2d %s: %d sessions routed, %d recycles\n",
+			ws.Wall, ws.Grid, perWall[ws.Wall], ws.Recycles)
 	}
 	fmt.Printf("  aggregate   %5d pictures in %8v (%6.1f fps wall clock, %d cores)\n",
 		pics, elapsed.Round(time.Millisecond), float64(pics)/elapsed.Seconds(), runtime.NumCPU())

@@ -124,6 +124,41 @@ func TestSessionMatrix(t *testing.T) {
 	}
 }
 
+// TestFleetMatrix holds the fleet front door to the oracle: a dozen
+// concurrent chunk-fed copies of the stream are routed across a
+// heterogeneous four-wall farm — through queued admission, since every wall
+// is sized below the session count — and each session must decode
+// byte-identical to the serial reference under whichever geometry the
+// router picked. One seed bounds the runtime; the wall-level machinery under
+// every route is swept across seeds by TestSessionMatrix.
+func TestFleetMatrix(t *testing.T) {
+	p := ParamsForSeed(7)
+	stream, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 12
+	results, err := RunFleetMatrix(stream, sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallsHit := map[int]bool{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("session %d (wall %d): %v", r.Session, r.Wall, r.Err)
+			continue
+		}
+		if r.Divergence != nil {
+			t.Errorf("session %d (%s): %s", r.Session, r.Grid, r.Divergence)
+			continue
+		}
+		wallsHit[r.Wall] = true
+	}
+	if len(wallsHit) != len(FleetMatrixWalls(sessions)) {
+		t.Errorf("fleet matrix exercised %d of %d walls", len(wallsHit), len(FleetMatrixWalls(sessions)))
+	}
+}
+
 // TestTransportMatrix holds the TCP socket transport to the oracle: every
 // matrix configuration (pooled, split-workers and overlap axes included)
 // decodes the stream over the in-process fabric AND over TCP loopback, plus 2

@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tiledwall/internal/fleet"
+	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/service"
+	"tiledwall/internal/wall"
+)
+
+// FleetMatrixResult is one session's verdict against the serial oracle in
+// RunFleetMatrix: which wall the fleet routed it to, and whether that wall's
+// decode diverged.
+type FleetMatrixResult struct {
+	Session    int
+	Wall       int
+	Grid       string
+	Err        error
+	Divergence *Divergence
+}
+
+// FleetMatrixWalls is the heterogeneous farm the fleet conformance axis
+// routes over: one-level walls from single tile to quad plus a two-level
+// quad, so the same stream is decoded under four different tilings depending
+// on where the router lands it.
+func FleetMatrixWalls(sessions int) []service.Config {
+	// Aggregate capacity stays below the session count, so some sessions
+	// always queue for admission.
+	per := sessions / 6
+	if per < 1 {
+		per = 1
+	}
+	mk := func(k, m, n, sw int) service.Config {
+		return service.Config{
+			K: k, M: m, N: n,
+			SplitWorkers:  sw,
+			CollectFrames: true,
+			// Well under the session count, so the admission queue is part
+			// of what conformance exercises.
+			MaxSessions: per,
+		}
+	}
+	return []service.Config{
+		mk(0, 1, 1, 0),
+		mk(0, 2, 2, 0),
+		mk(1, 2, 1, 0),
+		mk(2, 2, 2, 1),
+	}
+}
+
+// RunFleetMatrix is the fleet conformance axis: `sessions` concurrent
+// chunk-fed copies of the stream are admitted through one fleet front door
+// over the heterogeneous FleetMatrixWalls farm. Each session must decode
+// byte-identical to the serial reference under whichever wall geometry the
+// router picked for it — the oracle RunSessionMatrix holds one wall to,
+// applied across the routing and admission-queue layer.
+func RunFleetMatrix(stream []byte, sessions int) ([]FleetMatrixResult, error) {
+	dec, err := mpeg2.NewDecoder(stream)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: serial parse: %w", err)
+	}
+	ref, err := dec.DecodeAll()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: serial decode: %w", err)
+	}
+	picW, picH := dec.Seq().MBWidth()*16, dec.Seq().MBHeight()*16
+
+	walls := FleetMatrixWalls(sessions)
+	f, err := fleet.New(fleet.Config{
+		Walls:        walls,
+		OpenDeadline: 120 * time.Second,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: fleet: %w", err)
+	}
+	out := make([]FleetMatrixResult, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &out[i]
+			r.Session = i
+			s, err := f.Open(fmt.Sprintf("fleet-conformance-%d", i), fleet.OpenOptions{
+				Priority: fleet.Priority(i % 3),
+			})
+			if err != nil {
+				r.Wall = -1
+				r.Err = err
+				return
+			}
+			cfg := walls[s.Wall()]
+			r.Wall = s.Wall()
+			r.Grid = fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N)
+			size := 64<<(i%5) + 7*i + 1
+			for off := 0; off < len(stream); off += size {
+				end := off + size
+				if end > len(stream) {
+					end = len(stream)
+				}
+				if err := s.Feed(stream[off:end]); err != nil {
+					s.Close()
+					r.Err = err
+					return
+				}
+			}
+			res, err := s.Close()
+			if err != nil {
+				r.Err = err
+				return
+			}
+			geo, gerr := wall.NewGeometry(picW, picH, cfg.M, cfg.N, cfg.Overlap)
+			if gerr != nil {
+				geo = nil
+			}
+			r.Divergence = Diff(ref, res.Frames, geo)
+		}()
+	}
+	wg.Wait()
+	if cerr := f.Close(); cerr != nil {
+		return nil, fmt.Errorf("conformance: fleet close: %w", cerr)
+	}
+	return out, nil
+}

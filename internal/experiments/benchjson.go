@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
 
+	"tiledwall/internal/fleet"
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
+	"tiledwall/internal/service"
 	"tiledwall/internal/system"
 )
 
@@ -37,6 +40,22 @@ type BenchReport struct {
 	Systems    []ParallelBench `json:"systems"`
 	Service    *ServiceBench   `json:"service,omitempty"`
 	Recovery   *RecoveryBench  `json:"recovery,omitempty"`
+	Fleet      *FleetBench     `json:"fleet,omitempty"`
+}
+
+// FleetBench measures the fleet front door: many concurrent sessions admitted
+// through one fleet over a heterogeneous farm of warm walls, with aggregate
+// capacity below the session count so the admission queue is on the measured
+// path. AggregateFPS is gated against the baseline like any system figure;
+// P99OpenMs (queueing included) gets a structural cap plus a gross-regression
+// gate, and Shed must stay zero — the harness sizes its queue and deadline so
+// a shed open can only mean broken admission, never legitimate overload.
+type FleetBench struct {
+	Walls        int     `json:"walls"`
+	Sessions     int     `json:"sessions"`
+	AggregateFPS float64 `json:"aggregate_fps"`
+	P99OpenMs    float64 `json:"p99_open_ms"`
+	Shed         int64   `json:"shed"`
 }
 
 // RecoveryBench prices the fault-free cost of arming the fault-tolerance
@@ -188,7 +207,84 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 	if rep.Recovery, err = recoveryBench(data); err != nil {
 		return nil, err
 	}
+	fmt.Fprintf(o.Log, "benchjson: fleet 4 walls\n")
+	if rep.Fleet, err = fleetBench(data); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// fleetBench runs the fleet front door under oversubscription: 32 sessions
+// against a 4-wall farm with aggregate capacity 16, so half the opens queue
+// and the p99 open latency prices the admission path, not just the lock. The
+// farm mixes one-level and two-level quads so the router exercises its
+// heterogeneous scoring. The deadline is sized far above any plausible
+// session length: a shed here is an admission bug, and the guard gates Shed
+// at zero.
+func fleetBench(data []byte) (*FleetBench, error) {
+	const sessions = 32
+	walls := []service.Config{
+		{K: 0, M: 2, N: 2, MaxSessions: 4},
+		{K: 0, M: 2, N: 2, MaxSessions: 4},
+		{K: 1, M: 2, N: 2, SplitWorkers: 1, Pooled: true, MaxSessions: 4},
+		{K: 1, M: 2, N: 2, SplitWorkers: 1, Pooled: true, MaxSessions: 4},
+	}
+	f, err := fleet.New(fleet.Config{Walls: walls, OpenDeadline: 60 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		pics    int
+		openMs  []float64
+		firstNG error
+	)
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			s, err := f.Open(fmt.Sprintf("fleet-bench-%d", i), fleet.OpenOptions{
+				Priority: fleet.Priority(i % 3),
+			})
+			d := time.Since(t0)
+			if err == nil {
+				err = s.Feed(data)
+				var res *service.SessionResult
+				if res, err = s.Close(); err == nil {
+					mu.Lock()
+					pics += res.Pictures
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			openMs = append(openMs, d.Seconds()*1e3)
+			if err != nil && firstNG == nil {
+				firstNG = fmt.Errorf("benchjson: fleet session %d: %w", i, err)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	shed := f.Stats().Shed
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if firstNG != nil {
+		return nil, firstNG
+	}
+	sort.Float64s(openMs)
+	return &FleetBench{
+		Walls:        len(walls),
+		Sessions:     sessions,
+		AggregateFPS: float64(pics) / elapsed.Seconds(),
+		P99OpenMs:    openMs[len(openMs)*99/100],
+		Shed:         shed,
+	}, nil
 }
 
 // recoveryBench plays the stream through two warm resident walls — identical
@@ -499,6 +595,35 @@ func CompareBenchReports(base, cur *BenchReport, tol float64) (violations, warni
 		}
 	} else if base.Recovery != nil {
 		warnings = append(warnings, "recovery: in baseline but missing from current report")
+	}
+	if cur.Fleet != nil {
+		// Structural gates, independent of any baseline. A shed open means the
+		// fleet refused admission under a queue and deadline the harness sized
+		// to make refusal impossible — an admission bug, not load.
+		if cur.Fleet.Shed != 0 {
+			bad = append(bad, fmt.Sprintf("fleet shed %d of %d sessions under a 60s deadline",
+				cur.Fleet.Shed, cur.Fleet.Sessions))
+		}
+		// The p99 open includes queue wait behind real decodes, so it is
+		// seconds-scale and latency-noisy on shared CI hardware; the relative
+		// fps tolerance would flag it constantly. Instead: an absolute ceiling
+		// (queueing is bounded by capacity × session length), and a 3× gross
+		// gate against the baseline that only applies above a 5ms noise floor.
+		if cur.Fleet.P99OpenMs > 20000 {
+			bad = append(bad, fmt.Sprintf("fleet p99 open %.0fms exceeds the 20s structural cap", cur.Fleet.P99OpenMs))
+		}
+		if base.Fleet != nil {
+			check(fmt.Sprintf("fleet %d-wall %d-session aggregate fps", cur.Fleet.Walls, cur.Fleet.Sessions),
+				base.Fleet.AggregateFPS, cur.Fleet.AggregateFPS, false)
+			if cur.Fleet.P99OpenMs > 5 && cur.Fleet.P99OpenMs > 3*base.Fleet.P99OpenMs {
+				bad = append(bad, fmt.Sprintf("fleet p99 open %.1fms is over 3x the baseline %.1fms",
+					cur.Fleet.P99OpenMs, base.Fleet.P99OpenMs))
+			}
+		} else {
+			warnings = append(warnings, "fleet: not in baseline, skipped (regenerate the baseline to gate it)")
+		}
+	} else if base.Fleet != nil {
+		warnings = append(warnings, "fleet: in baseline but missing from current report")
 	}
 	if base.GoMaxProcs != cur.GoMaxProcs && base.GoMaxProcs > 0 && cur.GoMaxProcs > 0 {
 		warnings = append(warnings, fmt.Sprintf("gomaxprocs differs (baseline %d, current %d): absolute figures are not comparable",

@@ -44,6 +44,15 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 	if rep.Recovery == nil || rep.Recovery.BaselineFPS <= 0 || rep.Recovery.RecoveryFPS <= 0 {
 		t.Fatalf("empty recovery bench: %+v", rep.Recovery)
 	}
+	if rep.Fleet == nil || rep.Fleet.AggregateFPS <= 0 || rep.Fleet.Walls != 4 {
+		t.Fatalf("empty fleet bench: %+v", rep.Fleet)
+	}
+	if rep.Fleet.Shed != 0 {
+		t.Fatalf("fleet bench shed %d sessions under a 60s deadline", rep.Fleet.Shed)
+	}
+	if rep.Fleet.P99OpenMs <= 0 {
+		t.Fatalf("fleet bench recorded no open latency: %+v", rep.Fleet)
+	}
 
 	var buf bytes.Buffer
 	if err := WriteBenchJSON(&buf, rep); err != nil {
@@ -87,6 +96,40 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 	heavy.Recovery = &heavyRec
 	if v, _ := CompareBenchReports(rep, &heavy, 0.10); len(v) == 0 {
 		t.Fatal("20% fault-free recovery overhead not flagged")
+	}
+	// Fleet sheds gate structurally, baseline or not.
+	shedding := *back
+	shedFleet := *rep.Fleet
+	shedFleet.Shed = 3
+	shedding.Fleet = &shedFleet
+	if v, _ := CompareBenchReports(rep, &shedding, 0.10); len(v) == 0 {
+		t.Fatal("fleet sheds not flagged")
+	}
+	// A gross p99 open regression (over 3x baseline, above the noise floor)
+	// fails; small absolute jitter below the floor never does.
+	slowOpen := *back
+	slowFleet := *rep.Fleet
+	slowFleet.P99OpenMs = rep.Fleet.P99OpenMs*4 + 100
+	slowOpen.Fleet = &slowFleet
+	if v, _ := CompareBenchReports(rep, &slowOpen, 0.10); len(v) == 0 {
+		t.Fatal("4x fleet p99 open regression not flagged")
+	}
+	noisy := *back
+	noisyFleet := *rep.Fleet
+	noisyFleet.P99OpenMs = 4 // under the 5ms floor, even if base was near zero
+	noisy.Fleet = &noisyFleet
+	if v, _ := CompareBenchReports(rep, &noisy, 0.10); len(v) != 0 {
+		t.Fatalf("sub-floor fleet p99 jitter flagged: %v", v)
+	}
+	// An old baseline without the fleet section warns, never fails.
+	noFleetBase := *rep
+	noFleetBase.Fleet = nil
+	v0, w0 := CompareBenchReports(&noFleetBase, back, 0.10)
+	if len(v0) != 0 {
+		t.Fatalf("fleet section gated against fleet-less baseline: %v", v0)
+	}
+	if len(w0) != 1 {
+		t.Fatalf("want 1 fleet-missing-from-baseline warning, got %v", w0)
 	}
 	// A system the baseline does not know warns but never fails: growing the
 	// suite must not require a new baseline in the same change.

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiledwall/internal/cluster"
+	"tiledwall/internal/recovery"
+	"tiledwall/internal/service"
+)
+
+func waitRecycled(t *testing.T, f *Fleet, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Recycled < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never recycled %d walls (at %d)", n, f.Stats().Recycled)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRecycleWallDrains pins the ops path: RecycleWall on a wall with a live
+// session drains it (waits for the session), respawns the wall, and the slot
+// admits again on a fresh incarnation.
+func TestRecycleWallDrains(t *testing.T) {
+	f, err := New(Config{
+		Walls: []service.Config{{K: 0, M: 1, N: 1, MaxSessions: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := f.Open("live", OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		// The drain holds until this close: release it shortly after the
+		// recycle starts waiting.
+		time.Sleep(50 * time.Millisecond)
+		s.Close()
+		close(closed)
+	}()
+	if err := f.RecycleWall(0); err != nil {
+		t.Fatal(err)
+	}
+	<-closed
+	waitRecycled(t, f, 1)
+	st := f.Stats()
+	if !st.Walls[0].Up || st.Walls[0].Recycles != 1 {
+		t.Fatalf("slot 0 after recycle: %+v", st.Walls[0])
+	}
+	s2, err := f.Open("after", OpenOptions{})
+	if err != nil {
+		t.Fatalf("open after recycle: %v", err)
+	}
+	s2.Close()
+}
+
+// TestInjectWallFailureReroutes kills one of two walls under held sessions:
+// the dead wall's session surfaces the injected typed cause, the surviving
+// wall's session is untouched, queued opens land on the survivor, and the
+// dead slot comes back recycled.
+func TestInjectWallFailureReroutes(t *testing.T) {
+	f, err := New(Config{
+		Walls: []service.Config{
+			{K: 0, M: 1, N: 1, MaxSessions: 1},
+			{K: 0, M: 1, N: 1, MaxSessions: 1},
+		},
+		MaxQueue: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Occupy both walls so the next open queues.
+	a, err := f.Open("a", OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Open("b", OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wall() == b.Wall() {
+		t.Fatalf("both sessions landed on wall %d", a.Wall())
+	}
+	queuedWall := make(chan int, 1)
+	go func() {
+		s, err := f.Open("queued", OpenOptions{Deadline: 30 * time.Second})
+		if err != nil {
+			queuedWall <- -1
+			return
+		}
+		queuedWall <- s.Wall()
+		s.Close()
+	}()
+	waitQueued(t, f, 1)
+
+	victim, survivor := a, b
+	if err := f.InjectWallFailure(victim.Wall(), cluster.ErrStalled); err != nil {
+		t.Fatal(err)
+	}
+	// The victim's session surfaces the injected typed cause on Feed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Benign filler bytes: the scanner just buffers them, so the only
+		// error Feed can surface here is the transport abort.
+		err := victim.Feed([]byte{0, 0, 0, 0})
+		if err != nil {
+			if !errors.Is(err, cluster.ErrStalled) {
+				t.Fatalf("victim feed error %v is not the injected cluster.ErrStalled", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim session never observed the wall failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := victim.Close(); err == nil {
+		t.Fatal("victim close succeeded on a dead wall")
+	}
+	// The survivor's wall is untouched: its (empty) session still closes on
+	// the normal path, freeing the slot the queued open is waiting for.
+	if _, err := survivor.Close(); err == nil || errors.Is(err, cluster.ErrStalled) {
+		t.Fatalf("survivor close: %v, want the empty-session error, not the injected fault", err)
+	}
+	if w := <-queuedWall; w == -1 {
+		t.Fatal("queued open was not re-routed to a surviving wall")
+	}
+	waitRecycled(t, f, 1)
+	st := f.Stats()
+	if !st.Walls[0].Up || !st.Walls[1].Up {
+		t.Fatalf("a slot stayed down after recycle: %+v", st.Walls)
+	}
+}
+
+// TestDisableRecycle pins the escape hatch: with recycling off a killed wall
+// stays down, capacity shrinks, and routing avoids the dead slot.
+func TestDisableRecycle(t *testing.T) {
+	f, err := New(Config{
+		Walls: []service.Config{
+			{K: 0, M: 1, N: 1, MaxSessions: 1},
+			{K: 0, M: 1, N: 1, MaxSessions: 1},
+		},
+		DisableRecycle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.InjectWallFailure(0, cluster.ErrStalled); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Walls[0].Up {
+		if time.Now().After(deadline) {
+			t.Fatal("killed wall still marked up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		s, err := f.Open("survivor", OpenOptions{})
+		if err != nil {
+			t.Fatalf("open %d after kill: %v", i, err)
+		}
+		if s.Wall() != 1 {
+			t.Fatalf("open %d routed to the dead wall", i)
+		}
+		s.Close()
+	}
+	if got := f.Stats().Recycled; got != 0 {
+		t.Fatalf("recycled %d walls with recycling disabled", got)
+	}
+}
+
+// TestDegradedAutoRecycle drives the health poller: a recovery-enabled wall
+// whose session closes dirty goes Degraded, and two consecutive degraded
+// polls drain and respawn it without any explicit recycle call.
+func TestDegradedAutoRecycle(t *testing.T) {
+	f, err := New(Config{
+		Walls: []service.Config{
+			{K: 0, M: 1, N: 1, MaxSessions: 2, Recovery: recovery.Config{Enabled: true}},
+		},
+		HealthInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := f.Open("dirty", OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A headerless close is a dirty session close: the recovery registry
+	// marks the wall Degraded.
+	if _, err := s.Close(); err == nil {
+		t.Fatal("headerless close should fail")
+	}
+	waitRecycled(t, f, 1)
+	st := f.Stats()
+	if !st.Walls[0].Up {
+		t.Fatalf("wall not back up after degraded recycle: %+v", st.Walls[0])
+	}
+	if st.Walls[0].Health != service.Healthy {
+		t.Fatalf("recycled wall health = %v, want Healthy", st.Walls[0].Health)
+	}
+	s2, err := f.Open("clean", OpenOptions{})
+	if err != nil {
+		t.Fatalf("open after degraded recycle: %v", err)
+	}
+	s2.Close()
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tiledwall/internal/service"
+)
+
+// stickyCounts runs the skewed-arrival experiment from the splitter's
+// rootbalance methodology one level up: waves of four opens, the first of
+// each wave held for the rest of the run ("sticky"), the other three closed
+// immediately. The skew resonates with a four-wall round-robin period — the
+// sticky open always lands on the same rotation phase — so RR funnels every
+// long-lived session onto one wall while least-loaded spreads them.
+func stickyCounts(t *testing.T, route RoutePolicy, waves int) []int {
+	t.Helper()
+	f, err := New(Config{
+		Route: route,
+		Walls: []service.Config{
+			{K: 0, M: 1, N: 1, MaxSessions: 64},
+			{K: 0, M: 1, N: 1, MaxSessions: 64},
+			{K: 0, M: 1, N: 1, MaxSessions: 64},
+			{K: 0, M: 1, N: 1, MaxSessions: 64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var sticky []*Session
+	for wv := 0; wv < waves; wv++ {
+		for j := 0; j < 4; j++ {
+			s, err := f.Open(fmt.Sprintf("w%d-%d", wv, j), OpenOptions{})
+			if err != nil {
+				t.Fatalf("wave %d open %d: %v", wv, j, err)
+			}
+			if j == 0 {
+				sticky = append(sticky, s)
+			} else {
+				s.Close() // empty session: the error is expected, the slot frees
+			}
+		}
+	}
+	counts := make([]int, 4)
+	for _, s := range sticky {
+		counts[s.Wall()]++
+	}
+	for _, s := range sticky {
+		s.Close()
+	}
+	return counts
+}
+
+func busiest(counts []int) int {
+	b := 0
+	for _, c := range counts {
+		if c > b {
+			b = c
+		}
+	}
+	return b
+}
+
+// TestRouteLeastLoadedBeatsRoundRobin is the routing property test: on
+// skewed arrivals at W=4 the least-loaded router's busiest wall holds
+// strictly fewer sessions than round-robin's, and no wall starves.
+func TestRouteLeastLoadedBeatsRoundRobin(t *testing.T) {
+	const waves = 12
+	rr := stickyCounts(t, RoundRobin, waves)
+	ll := stickyCounts(t, LeastLoaded, waves)
+	t.Logf("sticky sessions per wall: round-robin %v, least-loaded %v", rr, ll)
+
+	if busiest(rr) != waves {
+		t.Fatalf("round-robin should funnel all %d sticky sessions onto one wall, got %v", waves, rr)
+	}
+	if busiest(ll) >= busiest(rr) {
+		t.Fatalf("least-loaded busiest wall (%d) not strictly lower than round-robin (%d)", busiest(ll), busiest(rr))
+	}
+	for i, c := range ll {
+		if c == 0 {
+			t.Fatalf("least-loaded starved wall %d: %v", i, ll)
+		}
+	}
+}
+
+// TestRouteMinTiles pins compatibility routing: an open demanding more tiles
+// than any wall has fails fast with ErrNoCompatibleWall, and one demanding a
+// big wall never lands on a small one even when the small wall is idle.
+func TestRouteMinTiles(t *testing.T) {
+	f, err := New(Config{
+		Walls: []service.Config{
+			{K: 0, M: 1, N: 1, MaxSessions: 4},
+			{K: 0, M: 2, N: 2, MaxSessions: 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Open("huge", OpenOptions{MinTiles: 9}); !errors.Is(err, ErrNoCompatibleWall) {
+		t.Fatalf("MinTiles=9: got %v, want ErrNoCompatibleWall", err)
+	}
+	for i := 0; i < 4; i++ {
+		s, err := f.Open(fmt.Sprintf("big-%d", i), OpenOptions{MinTiles: 4})
+		if err != nil {
+			t.Fatalf("big open %d: %v", i, err)
+		}
+		if s.Wall() != 1 {
+			t.Fatalf("big open %d landed on wall %d (1 tile), want wall 1", i, s.Wall())
+		}
+		defer s.Close()
+	}
+}

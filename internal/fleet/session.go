@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"time"
+
+	"tiledwall/internal/service"
+)
+
+// Session is one admitted stream, bound to the wall the router picked. Feed
+// and Close have the same single-goroutine contract as service.Session;
+// Close additionally releases the fleet-level slot and tenant budget and
+// grants the freed capacity to a queued open.
+type Session struct {
+	f        *Fleet
+	sl       *wallSlot
+	inc      *incarnation
+	s        *service.Session
+	tenant   string
+	reserve  int
+	openedAt time.Time
+	closed   bool
+}
+
+// ID returns the session's id on its wall (unique per wall, not per fleet).
+func (s *Session) ID() int { return s.s.ID() }
+
+// Name returns the label given to Open.
+func (s *Session) Name() string { return s.s.Name() }
+
+// Wall returns the fleet slot index the session was routed to.
+func (s *Session) Wall() int { return s.sl.idx }
+
+// Feed hands the session the next chunk of the elementary stream.
+func (s *Session) Feed(chunk []byte) error { return s.s.Feed(chunk) }
+
+// Close drains the session on its wall, then returns its capacity to the
+// fleet. The SessionResult is the wall's own (frames, throughput, recovery
+// evidence); errors are the wall's typed session errors.
+func (s *Session) Close() (*service.SessionResult, error) {
+	if s.closed {
+		return nil, service.ErrSessionClosed
+	}
+	s.closed = true
+	res, err := s.s.Close()
+	s.f.noteClosed(s)
+	return res, err
+}

@@ -203,6 +203,7 @@ func (w *Wall) runRoot() error {
 					})
 				}
 			case workPicture:
+				w.loadBytes.Add(-int64(len(it.payload)))
 				if err := emit(it); err != nil {
 					return err
 				}
@@ -381,6 +382,7 @@ func (w *Wall) runRootCombined() error {
 					})
 				}
 			case workPicture:
+				w.loadBytes.Add(-int64(len(it.payload)))
 				cs := sessions[it.sess.id]
 				if cs == nil {
 					it.sess.releaseToken() // session already failed in isolation

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tiledwall/internal/cluster"
@@ -141,6 +142,44 @@ type Wall struct {
 
 	// rv is the recovery state; nil unless Config.Recovery.Enabled.
 	rv *wallRecovery
+
+	// Load-snapshot counters, maintained with atomics so Load never touches
+	// w.mu and the feed hot path never touches a lock: loadAct mirrors
+	// active, loadPics counts feed tokens held (pictures between Feed and
+	// the splitter's receipt ack), loadBytes counts picture bytes queued
+	// between Feed and the root's dequeue.
+	loadAct   atomic.Int64
+	loadPics  atomic.Int64
+	loadBytes atomic.Int64
+}
+
+// Load is a cheap point-in-time load snapshot of a wall, read by fleet
+// routers on every admission decision. It is maintained with atomic counters
+// off to the side of the session machinery: taking it contends with neither
+// the open/close lock nor the feed hot path, and allocates nothing.
+type Load struct {
+	// ActiveSessions and MaxSessions are the admission occupancy.
+	ActiveSessions int
+	MaxSessions    int
+	// InFlightPictures counts pictures between Session.Feed and the
+	// splitter's receipt ack (the feed tokens currently held), summed over
+	// all sessions — the backlog the pipeline is chewing on.
+	InFlightPictures int
+	// QueuedBytes counts picture bytes accepted by Feed but not yet
+	// dequeued by the root — the feed queue depth in bytes.
+	QueuedBytes int64
+}
+
+// Load snapshots the wall's current load without taking the open/close lock.
+// The three counters are read independently, so a snapshot taken mid-update
+// may be momentarily inconsistent between fields; each field is exact.
+func (w *Wall) Load() Load {
+	return Load{
+		ActiveSessions:   int(w.loadAct.Load()),
+		MaxSessions:      w.cfg.MaxSessions,
+		InFlightPictures: int(w.loadPics.Load()),
+		QueuedBytes:      w.loadBytes.Load(),
+	}
 }
 
 // New builds the wall and starts every node server. The caller must Close it.
@@ -331,6 +370,7 @@ func (w *Wall) Open(name string) (*Session, error) {
 		s.tokens <- struct{}{}
 	}
 	w.active++
+	w.loadAct.Store(int64(w.active))
 	w.sessions[s.id] = s
 	return s, nil
 }
@@ -393,6 +433,7 @@ func (w *Wall) sessionDone(s *Session) {
 	w.mu.Lock()
 	delete(w.sessions, s.id)
 	w.active--
+	w.loadAct.Store(int64(w.active))
 	dur := time.Since(s.openedAt)
 	if w.avgSession == 0 {
 		w.avgSession = dur

@@ -279,6 +279,8 @@ func (s *Session) onUnit(u []byte) error {
 	}
 	idx := s.pics
 	s.pics++
+	s.w.loadPics.Add(1)
+	s.w.loadBytes.Add(int64(len(buf)))
 	return s.submit(workItem{sess: s, kind: workPicture, payload: buf, index: idx})
 }
 
@@ -296,6 +298,9 @@ func (s *Session) submit(it workItem) error {
 func (s *Session) releaseToken() {
 	select {
 	case s.tokens <- struct{}{}:
+		// The load counter mirrors tokens actually outstanding: synthetic
+		// releases into a full bucket (recovery ack timeouts) change nothing.
+		s.w.loadPics.Add(-1)
 	default:
 	}
 }
