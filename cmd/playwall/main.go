@@ -7,6 +7,7 @@
 //	playwall -in stream.m2v -m 4 -n 4 [-k 4 | -auto] [-overlap 40] [-verify]
 //	playwall -in stream.m2v -m 4 -n 4 -k 2 -sessions 4
 //	playwall -in stream.m2v -m 2 -n 2 -fleet 4 -sessions 16
+//	playwall -in stream.m2v -m 6 -n 4 -k 2 -roi 0:0-1:1 -trick drop-b
 //
 // With -auto, k is chosen by the §4.6 calibration (ts/td); -k 0 runs the
 // one-level 1-(m,n) system. With -sessions N, one resident wall decodes N
@@ -14,7 +15,10 @@
 // are reported. With -fleet W, W warm walls of the requested shape stand
 // behind one front door and the sessions are routed to the least-loaded wall,
 // with per-wall placement and recycle counts reported alongside the
-// aggregate.
+// aggregate. With -roi the session subscribes only a tile rectangle (the
+// splitters skip everything outside its halo closure) and -trick plays
+// I-only or drop-B; both print the per-session subscribed-tile and
+// skipped-picture accounting.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"tiledwall/internal/service"
 	"tiledwall/internal/system"
 	"tiledwall/internal/video"
+	"tiledwall/internal/wall"
 )
 
 func main() {
@@ -51,6 +56,8 @@ func main() {
 		snap    = flag.String("snapshot", "", "write the first displayed frame as a PPM image")
 		bwBps   = flag.Float64("bandwidth", 0, "fabric throttle in bytes/s (0 = unthrottled)")
 		nSess   = flag.Int("sessions", 1, "concurrent copies of the stream through one resident wall")
+		roiSpec = flag.String("roi", "", "subscribe only the tile rectangle r0:c0-r1:c1 (rows r0..r1 x columns c0..c1); unwatched tiles are skipped")
+		trickS  = flag.String("trick", "", "trick play: i-only (I pictures only) or drop-b (I and P only)")
 		fleetW  = flag.Int("fleet", 0, "run a fleet of W warm walls of this shape and route -sessions through its front door")
 		trans   = flag.String("transport", "", "message transport: fabric (default) or tcp (loopback sockets through a hub)")
 
@@ -93,6 +100,38 @@ func main() {
 		*ftRecover = true
 	}
 
+	var sub wall.TileSet
+	if *roiSpec != "" {
+		var r0, c0, r1, c1 int
+		if _, err := fmt.Sscanf(*roiSpec, "%d:%d-%d:%d", &r0, &c0, &r1, &c1); err != nil {
+			log.Fatalf("playwall: -roi %q: want r0:c0-r1:c1 (e.g. 0:0-1:1)", *roiSpec)
+		}
+		if sub, err = wall.RectTileSet(*m, *n, r0, c0, r1, c1); err != nil {
+			log.Fatalf("playwall: -roi: %v", err)
+		}
+	}
+	trick := service.TrickNone
+	switch *trickS {
+	case "":
+	case "i-only":
+		trick = service.TrickIOnly
+	case "drop-b":
+		trick = service.TrickDropB
+	default:
+		log.Fatalf("playwall: -trick %q: want i-only or drop-b", *trickS)
+	}
+	roiActive := !sub.Full() || trick != service.TrickNone
+	if roiActive {
+		if *role != "" {
+			log.Fatal("playwall: -roi/-trick are not supported in node mode")
+		}
+		// A partial subscription emits nothing for unwatched tiles and trick
+		// play drops pictures, so full wall frames cannot be assembled.
+		if *verify || *snap != "" {
+			log.Fatal("playwall: -roi/-trick cannot be combined with -verify or -snapshot")
+		}
+	}
+
 	if *role != "" {
 		if (*role == "splitter" || *role == "decoder") && *connect == "" {
 			log.Fatalf("playwall: -role %s requires -connect <hub address>", *role)
@@ -133,11 +172,11 @@ func main() {
 		fmt.Println()
 	}
 	if *fleetW > 0 {
-		playFleet(data, cfg, *fleetW, *nSess)
+		playFleet(data, cfg, *fleetW, *nSess, sub, trick)
 		return
 	}
-	if *nSess > 1 {
-		playSessions(data, cfg, *nSess)
+	if *nSess > 1 || roiActive {
+		playSessions(data, cfg, *nSess, sub, trick)
 		return
 	}
 	res, err := system.Run(data, cfg)
@@ -249,9 +288,21 @@ func chaosPlan(seed int64, k, m, n int) recovery.ChaosPlan {
 	return plan
 }
 
+// subStats renders a session's subscription/trick accounting for the CLI: how
+// many tiles it watched, what the root dropped, and how many per-tile skip
+// markers replaced full sub-pictures.
+func subStats(r *service.SessionResult, tiles int) string {
+	if r.SubscribedTiles == tiles && r.SkippedPictures == 0 && r.SkippedSubPics == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  [%d/%d tiles, %d shipped / %d dropped pictures, %d skipped sub-pictures]",
+		r.SubscribedTiles, tiles, r.ShippedPictures, r.SkippedPictures, r.SkippedSubPics)
+}
+
 // playSessions drives N concurrent copies of the stream through one resident
-// wall and reports per-session and aggregate wall-clock frame rates.
-func playSessions(data []byte, cfg system.Config, n int) {
+// wall and reports per-session and aggregate wall-clock frame rates, plus the
+// subscription accounting when an ROI or trick mode is active.
+func playSessions(data []byte, cfg system.Config, n int, sub wall.TileSet, trick service.TrickMode) {
 	if cfg.MaxSessions < n {
 		cfg.MaxSessions = n
 	}
@@ -264,8 +315,14 @@ func playSessions(data []byte, cfg system.Config, n int) {
 		name = fmt.Sprintf("1-(%d,%d)", cfg.M, cfg.N)
 	}
 	fmt.Printf("%s resident wall, %d concurrent sessions\n", name, n)
+	if !sub.Full() {
+		fmt.Printf("  subscription: %d of %d tiles (%v)\n", sub.Count(), cfg.M*cfg.N, sub)
+	}
+	if trick != service.TrickNone {
+		fmt.Printf("  trick play: %v\n", trick)
+	}
 
-	results := make([]*system.Result, n)
+	results := make([]*service.SessionResult, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -274,7 +331,31 @@ func playSessions(data []byte, cfg system.Config, n int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = w.Play(data)
+			s, err := w.Open(fmt.Sprintf("playwall-%d", i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !sub.Full() {
+				if err := s.Subscribe(sub); err != nil {
+					s.Close()
+					errs[i] = err
+					return
+				}
+			}
+			if trick != service.TrickNone {
+				if err := s.SetTrickMode(trick); err != nil {
+					s.Close()
+					errs[i] = err
+					return
+				}
+			}
+			if err := s.Feed(data); err != nil {
+				s.Close()
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = s.Close()
 		}()
 	}
 	wg.Wait()
@@ -291,8 +372,9 @@ func playSessions(data []byte, cfg system.Config, n int) {
 			log.Fatalf("session %d: %v", i, err)
 		}
 		r := results[i]
-		fmt.Printf("  session %-3d %5d pictures in %8v (%6.1f fps)\n",
-			i, r.Throughput.Pictures, r.Throughput.Elapsed.Round(time.Millisecond), r.Throughput.FPS())
+		fmt.Printf("  session %-3d %5d pictures in %8v (%6.1f fps)%s\n",
+			i, r.Throughput.Pictures, r.Throughput.Elapsed.Round(time.Millisecond), r.Throughput.FPS(),
+			subStats(r, cfg.M*cfg.N))
 		pics += r.Throughput.Pictures
 	}
 	fmt.Printf("  aggregate   %5d pictures in %8v (%6.1f fps wall clock, %d cores)\n",
@@ -302,7 +384,7 @@ func playSessions(data []byte, cfg system.Config, n int) {
 // playFleet stands up W warm walls of the requested shape behind one fleet
 // front door, routes n concurrent copies of the stream through it, and
 // reports where each session landed plus the per-wall and aggregate figures.
-func playFleet(data []byte, cfg system.Config, wallsN, n int) {
+func playFleet(data []byte, cfg system.Config, wallsN, n int, sub wall.TileSet, trick service.TrickMode) {
 	// Size each wall so the fleet's aggregate capacity covers the run: the
 	// CLI demonstrates routing spread, not admission-queue behaviour (the
 	// soak harness owns that regime).
@@ -329,6 +411,12 @@ func playFleet(data []byte, cfg system.Config, wallsN, n int) {
 		name = fmt.Sprintf("1-(%d,%d)", cfg.M, cfg.N)
 	}
 	fmt.Printf("fleet of %d x %s walls, %d sessions through the front door\n", wallsN, name, n)
+	if !sub.Full() {
+		fmt.Printf("  subscription: %d of %d tiles (%v)\n", sub.Count(), cfg.M*cfg.N, sub)
+	}
+	if trick != service.TrickNone {
+		fmt.Printf("  trick play: %v\n", trick)
+	}
 
 	type verdict struct {
 		wall int
@@ -343,7 +431,7 @@ func playFleet(data []byte, cfg system.Config, wallsN, n int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s, err := f.Open(fmt.Sprintf("playwall-%d", i), fleet.OpenOptions{})
+			s, err := f.Open(fmt.Sprintf("playwall-%d", i), fleet.OpenOptions{Subscribe: sub, Trick: trick})
 			if err != nil {
 				out[i] = verdict{wall: -1, err: err}
 				return
@@ -369,8 +457,9 @@ func playFleet(data []byte, cfg system.Config, wallsN, n int) {
 		if v.err != nil {
 			log.Fatalf("session %d (wall %d): %v", i, v.wall, v.err)
 		}
-		fmt.Printf("  session %-3d wall %-2d %5d pictures in %8v (%6.1f fps)\n",
-			i, v.wall, v.res.Throughput.Pictures, v.res.Throughput.Elapsed.Round(time.Millisecond), v.res.Throughput.FPS())
+		fmt.Printf("  session %-3d wall %-2d %5d pictures in %8v (%6.1f fps)%s\n",
+			i, v.wall, v.res.Throughput.Pictures, v.res.Throughput.Elapsed.Round(time.Millisecond), v.res.Throughput.FPS(),
+			subStats(v.res, cfg.M*cfg.N))
 		pics += v.res.Throughput.Pictures
 		perWall[v.wall]++
 	}

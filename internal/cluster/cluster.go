@@ -97,6 +97,14 @@ const (
 	// go-ahead — belongs to the wall's lifetime, not to any one session, so
 	// the root pins it to a flag instead of `Seq == 0`.
 	FlagFirstPicture
+	// FlagSubscribe is the subscription/trick-play control message the root
+	// broadcasts to its splitters when a session's ROI or trick mode changes
+	// (DESIGN.md §15). The payload is one trick-mode byte followed by the
+	// wall.TileSet wire form (empty = full subscription). Like every control
+	// message it is never acked and consumes no flow-control credit; per-
+	// sender FIFO delivery makes every splitter apply it at the same picture
+	// boundary.
+	FlagSubscribe
 )
 
 // DrainAckSeq is the Seq sentinel of the drain acknowledgement a resident

@@ -15,6 +15,7 @@ import (
 	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/service"
 	"tiledwall/internal/system"
+	"tiledwall/internal/wall"
 )
 
 // The continuous-benchmark report: benchwall -json runs a fixed set of
@@ -41,6 +42,32 @@ type BenchReport struct {
 	Service    *ServiceBench   `json:"service,omitempty"`
 	Recovery   *RecoveryBench  `json:"recovery,omitempty"`
 	Fleet      *FleetBench     `json:"fleet,omitempty"`
+	ROI        *ROIBench       `json:"roi,omitempty"`
+}
+
+// ROIBench measures subscription/ROI decode on the paper's 6x4 wall: the same
+// stream played at subscribed fractions {1, 4, 24} of 24 tiles, reporting
+// modeled fps, shipped cluster bytes and aggregate decoder busy time per
+// fraction. BaselineFPS is the plain session path with no Subscribe call at
+// all; FullOverheadFrac prices the explicit full-wall subscription against it
+// and is gated structurally at <=5% — the skip machinery must be free when
+// nothing is skipped. The guard also requires shipped bytes and decoder busy
+// time to grow monotonically with the subscribed fraction: that scaling is
+// the point of the subsystem.
+type ROIBench struct {
+	Config           string        `json:"config"`
+	BaselineFPS      float64       `json:"baseline_fps"`
+	FullOverheadFrac float64       `json:"full_overhead_frac"`
+	Fractions        []ROIFraction `json:"fractions"`
+}
+
+// ROIFraction is one subscribed fraction's cost figures, ordered by Tiles.
+type ROIFraction struct {
+	Tiles          int     `json:"tiles"`
+	FPS            float64 `json:"fps"`
+	ShippedMB      float64 `json:"shipped_mb"`
+	DecoderBusyMs  float64 `json:"decoder_busy_ms"`
+	SkippedSubPics int64   `json:"skipped_sub_pics"`
 }
 
 // FleetBench measures the fleet front door: many concurrent sessions admitted
@@ -211,7 +238,106 @@ func BenchJSON(o Options, now time.Time) (*BenchReport, error) {
 	if rep.Fleet, err = fleetBench(data); err != nil {
 		return nil, err
 	}
+	fmt.Fprintf(o.Log, "benchjson: roi fractions 1-2-(6,4)\n")
+	if rep.ROI, err = roiBench(data); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// roiBench plays the stream on a warm 1-2-(6,4) wall at subscribed fractions
+// 1/24 (one corner tile), 4/24 (a 2x2 window) and 24/24 (an explicit full
+// subscription), plus the plain no-subscription baseline. Best-of-rounds on
+// the modeled fps, like recoveryBench: the overhead figure gates at 5%, so
+// one scheduler stall must not masquerade as skip-machinery cost. Shipped
+// bytes and skip counts are deterministic per subscription, so they are read
+// from the best round without loss.
+func roiBench(data []byte) (*ROIBench, error) {
+	const rounds = 3
+	cfg := system.Config{K: 2, M: 6, N: 4, SplitWorkers: 1, Pooled: true}
+	w, err := system.NewResidentWall(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*ROIBench, error) {
+		w.Close()
+		return nil, err
+	}
+	run := func(name string, sub wall.TileSet) (*service.SessionResult, error) {
+		s, err := w.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		if !sub.Full() {
+			if err := s.Subscribe(sub); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		if err := s.Feed(data); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s.Close()
+	}
+	best := func(name string, sub wall.TileSet) (*service.SessionResult, error) {
+		var top *service.SessionResult
+		for i := 0; i < rounds; i++ {
+			res, err := run(fmt.Sprintf("roi-%s-%d", name, i), sub)
+			if err != nil {
+				return nil, err
+			}
+			if top == nil || res.Modeled().FPS() > top.Modeled().FPS() {
+				top = res
+			}
+		}
+		return top, nil
+	}
+	// Warm the wall so every measured round runs the resident pipeline.
+	if _, err := run("warm", wall.TileSet{}); err != nil {
+		return fail(err)
+	}
+	base, err := best("plain", wall.TileSet{})
+	if err != nil {
+		return fail(err)
+	}
+	rb := &ROIBench{Config: "1-2-(6,4)", BaselineFPS: base.Modeled().FPS()}
+	one, err := wall.RectTileSet(6, 4, 0, 0, 0, 0)
+	if err != nil {
+		return fail(err)
+	}
+	four, err := wall.RectTileSet(6, 4, 0, 0, 1, 1)
+	if err != nil {
+		return fail(err)
+	}
+	full, err := wall.RectTileSet(6, 4, 0, 0, 3, 5)
+	if err != nil {
+		return fail(err)
+	}
+	for _, sub := range []wall.TileSet{one, four, full} {
+		res, err := best(fmt.Sprintf("%dt", sub.Count()), sub)
+		if err != nil {
+			return fail(err)
+		}
+		var busy time.Duration
+		for _, d := range res.Decoders {
+			if d != nil {
+				busy += d.Breakdown.Busy()
+			}
+		}
+		rb.Fractions = append(rb.Fractions, ROIFraction{
+			Tiles:          sub.Count(),
+			FPS:            res.Modeled().FPS(),
+			ShippedMB:      float64(res.WireBytes) / 1e6,
+			DecoderBusyMs:  busy.Seconds() * 1e3,
+			SkippedSubPics: res.SkippedSubPics,
+		})
+	}
+	if rb.BaselineFPS > 0 {
+		fullFPS := rb.Fractions[len(rb.Fractions)-1].FPS
+		rb.FullOverheadFrac = (rb.BaselineFPS - fullFPS) / rb.BaselineFPS
+	}
+	return rb, w.Close()
 }
 
 // fleetBench runs the fleet front door under oversubscription: 32 sessions
@@ -624,6 +750,47 @@ func CompareBenchReports(base, cur *BenchReport, tol float64) (violations, warni
 		}
 	} else if base.Fleet != nil {
 		warnings = append(warnings, "fleet: in baseline but missing from current report")
+	}
+	if cur.ROI != nil {
+		// Structural gate, independent of any baseline: an explicit full-wall
+		// subscription must cost the same as no subscription at all — the skip
+		// machinery is on every picture's path, so its empty case gates at 5%.
+		if cur.ROI.FullOverheadFrac > 0.05 {
+			bad = append(bad, fmt.Sprintf("roi full-subscription overhead %.1f%% is not < 5%% (%s: plain %.1f fps)",
+				cur.ROI.FullOverheadFrac*100, cur.ROI.Config, cur.ROI.BaselineFPS))
+		}
+		// Structural gate: shipped bytes and decode work must grow with the
+		// subscribed fraction — that scaling is the subsystem's claim. Bytes
+		// are deterministic per subscription and gate strictly; decoder busy
+		// time is a CPU measurement and gets 10% noise slack.
+		for i := 0; i+1 < len(cur.ROI.Fractions); i++ {
+			lo, hi := cur.ROI.Fractions[i], cur.ROI.Fractions[i+1]
+			if lo.ShippedMB >= hi.ShippedMB {
+				bad = append(bad, fmt.Sprintf("roi shipped bytes not monotone: %d tiles shipped %.3fMB, %d tiles %.3fMB",
+					lo.Tiles, lo.ShippedMB, hi.Tiles, hi.ShippedMB))
+			}
+			if lo.DecoderBusyMs > 1.10*hi.DecoderBusyMs {
+				bad = append(bad, fmt.Sprintf("roi decode work not monotone: %d tiles busy %.1fms, %d tiles %.1fms",
+					lo.Tiles, lo.DecoderBusyMs, hi.Tiles, hi.DecoderBusyMs))
+			}
+		}
+		if base.ROI != nil {
+			baseFr := map[int]ROIFraction{}
+			for _, fr := range base.ROI.Fractions {
+				baseFr[fr.Tiles] = fr
+			}
+			for _, fr := range cur.ROI.Fractions {
+				if b, ok := baseFr[fr.Tiles]; ok {
+					check(fmt.Sprintf("roi %s %d-tile fps", cur.ROI.Config, fr.Tiles), b.FPS, fr.FPS, false)
+				} else {
+					warnings = append(warnings, fmt.Sprintf("roi %d-tile fraction: not in baseline, skipped", fr.Tiles))
+				}
+			}
+		} else {
+			warnings = append(warnings, "roi: not in baseline, skipped (regenerate the baseline to gate it)")
+		}
+	} else if base.ROI != nil {
+		warnings = append(warnings, "roi: in baseline but missing from current report")
 	}
 	if base.GoMaxProcs != cur.GoMaxProcs && base.GoMaxProcs > 0 && cur.GoMaxProcs > 0 {
 		warnings = append(warnings, fmt.Sprintf("gomaxprocs differs (baseline %d, current %d): absolute figures are not comparable",

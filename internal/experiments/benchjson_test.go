@@ -53,6 +53,20 @@ func TestBenchJSONRoundtripAndGuard(t *testing.T) {
 	if rep.Fleet.P99OpenMs <= 0 {
 		t.Fatalf("fleet bench recorded no open latency: %+v", rep.Fleet)
 	}
+	if rep.ROI == nil || len(rep.ROI.Fractions) != 3 || rep.ROI.BaselineFPS <= 0 {
+		t.Fatalf("empty roi bench: %+v", rep.ROI)
+	}
+	for i, fr := range rep.ROI.Fractions {
+		if fr.FPS <= 0 || fr.ShippedMB <= 0 {
+			t.Fatalf("roi fraction %d tiles measured nothing: %+v", fr.Tiles, fr)
+		}
+		if i > 0 && fr.ShippedMB <= rep.ROI.Fractions[i-1].ShippedMB {
+			t.Fatalf("roi shipped bytes not monotone with subscription: %+v", rep.ROI.Fractions)
+		}
+	}
+	if rep.ROI.Fractions[0].SkippedSubPics == 0 {
+		t.Fatalf("roi 1-tile fraction shipped no skip markers: %+v", rep.ROI.Fractions[0])
+	}
 
 	var buf bytes.Buffer
 	if err := WriteBenchJSON(&buf, rep); err != nil {

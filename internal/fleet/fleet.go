@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"tiledwall/internal/service"
+	"tiledwall/internal/wall"
 )
 
 // RoutePolicy selects how Open picks among eligible walls.
@@ -174,6 +175,10 @@ type incarnation struct {
 	// guarded by Fleet.mu. It is authoritative for admission (all opens go
 	// through the fleet), so the fleet never trips the wall's own limit.
 	active int
+	// tileLoad is the subscribed-tile load: the sum of each active session's
+	// subscribed fraction of the wall (1 for full-wall sessions). Guarded by
+	// Fleet.mu; the router scores on this, so windowed sessions pack.
+	tileLoad float64
 	// down marks the incarnation dead or draining: no further routes.
 	down bool
 
@@ -324,7 +329,44 @@ type OpenOptions struct {
 	// Deadline overrides the fleet's OpenDeadline for this open.
 	Deadline time.Duration
 	// MinTiles restricts routing to walls with at least this many tiles.
+	// With a partial Subscribe it constrains the subscription instead: the
+	// session must watch at least MinTiles tiles, since that — not the wall
+	// shape — is the output the caller gets.
 	MinTiles int
+	// Subscribe is the session's initial tile subscription, applied to the
+	// admitted session before the caller sees it. Tile indices are
+	// geometry-specific, so a partial set routes only to walls with exactly
+	// Subscribe.Size() tiles; the router then charges the wall the subscribed
+	// tile fraction rather than a whole session, so windowed sessions pack
+	// densely where full-wall sessions would not. The zero value subscribes
+	// the whole wall (no routing constraint, full load charge).
+	Subscribe wall.TileSet
+	// Trick is the session's initial trick-play mode (service.TrickNone,
+	// TrickIOnly, TrickDropB), set on the admitted session before the caller
+	// sees it.
+	Trick service.TrickMode
+}
+
+// eligibleTiles reports whether a wall of nt tiles satisfies the open's
+// geometry constraints. A partial subscription binds the open to the geometry
+// the set was built for; MinTiles applies to the wall shape only when the
+// session watches the whole wall.
+func eligibleTiles(nt int, opt OpenOptions) bool {
+	if !opt.Subscribe.Full() {
+		return nt == opt.Subscribe.Size()
+	}
+	return nt >= opt.MinTiles
+}
+
+// loadWeight is the routing charge of one session: the fraction of the wall's
+// tiles it subscribes. Full-wall sessions cost 1; a 4-of-24-tile window costs
+// a sixth of that, which is (to first order) its share of the wall's decode
+// work once the splitters skip unwatched tiles.
+func loadWeight(tiles int, opt OpenOptions) float64 {
+	if opt.Subscribe.Full() || tiles <= 0 {
+		return 1
+	}
+	return float64(opt.Subscribe.Count()) / float64(tiles)
 }
 
 // Open admits one session: immediately when a compatible wall has room,
@@ -335,6 +377,18 @@ func (f *Fleet) Open(name string, opt OpenOptions) (*Session, error) {
 	if opt.Priority < 0 || opt.Priority >= numClasses {
 		return nil, fmt.Errorf("fleet: open %q: unknown priority %d", name, int(opt.Priority))
 	}
+	if opt.Trick < service.TrickNone || opt.Trick > service.TrickDropB {
+		return nil, fmt.Errorf("fleet: open %q: unknown trick mode %d", name, int(opt.Trick))
+	}
+	if !opt.Subscribe.Full() {
+		if opt.Subscribe.Count() == 0 {
+			return nil, fmt.Errorf("fleet: open %q: empty subscription", name)
+		}
+		if opt.Subscribe.Count() < opt.MinTiles {
+			return nil, fmt.Errorf("%w: subscription watches %d tiles, MinTiles wants %d",
+				ErrNoCompatibleWall, opt.Subscribe.Count(), opt.MinTiles)
+		}
+	}
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -342,13 +396,17 @@ func (f *Fleet) Open(name string, opt OpenOptions) (*Session, error) {
 	}
 	compatible := false
 	for _, sl := range f.slots {
-		if sl.tiles >= opt.MinTiles {
+		if eligibleTiles(sl.tiles, opt) {
 			compatible = true
 			break
 		}
 	}
 	if !compatible {
 		f.mu.Unlock()
+		if !opt.Subscribe.Full() {
+			return nil, fmt.Errorf("%w: subscription is sized for a %d-tile wall",
+				ErrNoCompatibleWall, opt.Subscribe.Size())
+		}
 		return nil, fmt.Errorf("%w: no wall has %d tiles", ErrNoCompatibleWall, opt.MinTiles)
 	}
 	if s, ok := f.admitLocked(name, opt); ok {
@@ -455,7 +513,24 @@ func (f *Fleet) admitLocked(name string, opt OpenOptions) (*Session, bool) {
 			}
 			continue
 		}
+		// The subscription and trick mode were validated in Open and the wall
+		// geometry matched by eligibility, so these only fail if the wall is
+		// dying under us — treat that like a failed route and move on.
+		var serr error
+		if !opt.Subscribe.Full() {
+			serr = s.Subscribe(opt.Subscribe)
+		}
+		if serr == nil && opt.Trick != service.TrickNone {
+			serr = s.SetTrickMode(opt.Trick)
+		}
+		if serr != nil {
+			s.Close()
+			inc.down = true
+			continue
+		}
 		inc.active++
+		weight := loadWeight(sl.tiles, opt)
+		inc.tileLoad += weight
 		reserve := 0
 		if ts := f.tenants[opt.Tenant]; ts != nil {
 			ts.sessions++
@@ -469,6 +544,7 @@ func (f *Fleet) admitLocked(name string, opt OpenOptions) (*Session, bool) {
 			s:        s,
 			tenant:   opt.Tenant,
 			reserve:  reserve,
+			weight:   weight,
 			openedAt: time.Now(),
 		}, true
 	}
@@ -496,7 +572,7 @@ func (f *Fleet) pickLocked(opt OpenOptions, tried map[*wallSlot]bool) *wallSlot 
 		if inc == nil || inc.down {
 			continue
 		}
-		if sl.tiles < opt.MinTiles {
+		if !eligibleTiles(sl.tiles, opt) {
 			continue
 		}
 		if inc.active >= sl.cfg.MaxSessions {
@@ -522,14 +598,16 @@ func (f *Fleet) pickLocked(opt OpenOptions, tried map[*wallSlot]bool) *wallSlot 
 	return best
 }
 
-// scoreLocked is the wall's routing load: its session count plus an EWMA of
-// its in-flight pictures, sampled from the lock-free Load snapshot. The
-// blend mirrors the root's DynamicBalance: occupancy steers, backlog breaks
-// ties between equally-occupied walls.
+// scoreLocked is the wall's routing load: its subscribed-tile load (each
+// session charged its subscribed fraction of the wall, so a 4-of-24-tile
+// window costs a sixth of a full session) plus an EWMA of its in-flight
+// pictures, sampled from the lock-free Load snapshot. The blend mirrors the
+// root's DynamicBalance: occupancy steers, backlog breaks ties between
+// equally-occupied walls.
 func (f *Fleet) scoreLocked(sl *wallSlot) float64 {
 	ld := sl.cur.w.Load()
 	sl.ewma = 0.75*sl.ewma + 0.25*float64(ld.InFlightPictures)
-	return float64(sl.cur.active) + sl.ewma
+	return sl.cur.tileLoad + sl.ewma
 }
 
 // dispatchLocked grants queued opens while capacity allows.
@@ -602,7 +680,7 @@ func (f *Fleet) placeableLocked(opt OpenOptions) bool {
 		if inc == nil || inc.down {
 			continue
 		}
-		if sl.tiles < opt.MinTiles || inc.active >= sl.cfg.MaxSessions {
+		if !eligibleTiles(sl.tiles, opt) || inc.active >= sl.cfg.MaxSessions {
 			continue
 		}
 		if ts != nil && ts.cfg.MaxInFlightPictures > 0 &&
@@ -619,6 +697,7 @@ func (f *Fleet) placeableLocked(opt OpenOptions) bool {
 func (f *Fleet) noteClosed(s *Session) {
 	f.mu.Lock()
 	s.inc.active--
+	s.inc.tileLoad -= s.weight
 	if ts := f.tenants[s.tenant]; ts != nil {
 		ts.sessions--
 		ts.reserved -= s.reserve

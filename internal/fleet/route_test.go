@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tiledwall/internal/service"
+	"tiledwall/internal/wall"
 )
 
 // stickyCounts runs the skewed-arrival experiment from the splitter's
@@ -111,5 +112,72 @@ func TestRouteMinTiles(t *testing.T) {
 			t.Fatalf("big open %d landed on wall %d (1 tile), want wall 1", i, s.Wall())
 		}
 		defer s.Close()
+	}
+}
+
+// oneTile builds a subscription to a single tile of an n-tile wall.
+func oneTile(t *testing.T, n, tile int) wall.TileSet {
+	t.Helper()
+	ts := wall.NewTileSet(n)
+	ts.Add(tile)
+	return ts
+}
+
+// TestRouteSubscription pins subscription-aware routing: a partial
+// subscription binds the open to walls of the geometry the set was built for,
+// MinTiles constrains the subscribed tile count rather than the wall shape,
+// and the router charges a windowed session only its subscribed fraction, so
+// partial sessions pack onto a wall that session counting would call busier.
+func TestRouteSubscription(t *testing.T) {
+	f, err := New(Config{
+		Walls: []service.Config{
+			{K: 0, M: 1, N: 1, MaxSessions: 8},
+			{K: 0, M: 2, N: 2, MaxSessions: 8},
+			{K: 0, M: 2, N: 2, MaxSessions: 8},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Geometry binding: a set sized for a wall shape the fleet lacks can
+	// never be placed, regardless of load.
+	if _, err := f.Open("nine", OpenOptions{Subscribe: oneTile(t, 9, 0)}); !errors.Is(err, ErrNoCompatibleWall) {
+		t.Fatalf("9-tile subscription: got %v, want ErrNoCompatibleWall", err)
+	}
+	// MinTiles constrains the subscription, not the wall: watching 1 tile
+	// cannot satisfy a 2-tile demand even though 4-tile walls exist.
+	if _, err := f.Open("narrow", OpenOptions{Subscribe: oneTile(t, 4, 0), MinTiles: 2}); !errors.Is(err, ErrNoCompatibleWall) {
+		t.Fatalf("1-tile subscription with MinTiles=2: got %v, want ErrNoCompatibleWall", err)
+	}
+
+	// A full-wall session pins one 2x2 wall at load 1.
+	full, err := f.Open("full", OpenOptions{MinTiles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if full.Wall() == 0 {
+		t.Fatalf("full 4-tile session landed on wall 0 (1 tile)")
+	}
+	other := 1
+	if full.Wall() == 1 {
+		other = 2
+	}
+	// Three 1-of-4-tile windows: each costs 0.25, so all three must pack
+	// onto the other 2x2 wall (0.25 → 0.5 → 0.75, all below the full
+	// session's 1.0). Session-count scoring would have sent the second and
+	// third back to the full session's wall (1 session vs 2). They must also
+	// never land on the 1-tile wall: the set is sized for 4 tiles.
+	for i := 0; i < 3; i++ {
+		s, err := f.Open(fmt.Sprintf("win-%d", i), OpenOptions{Subscribe: oneTile(t, 4, i)})
+		if err != nil {
+			t.Fatalf("window open %d: %v", i, err)
+		}
+		defer s.Close()
+		if s.Wall() != other {
+			t.Fatalf("window open %d landed on wall %d, want wall %d (tile-weighted load)", i, s.Wall(), other)
+		}
 	}
 }

@@ -17,6 +17,7 @@ type Session struct {
 	s        *service.Session
 	tenant   string
 	reserve  int
+	weight   float64 // subscribed-tile routing charge, released on Close
 	openedAt time.Time
 	closed   bool
 }

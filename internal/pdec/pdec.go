@@ -72,6 +72,10 @@ func HaloForFCode(fcode int) int {
 type Result struct {
 	Breakdown metrics.Breakdown
 	Pictures  int
+	// Skipped counts sub-pictures that arrived as subscription skip markers:
+	// acked and sequenced but neither decoded nor displayed. A decoder whose
+	// tile nobody watches spends its session here, at near-zero cost.
+	Skipped int
 }
 
 // Decoder is the per-tile decode engine, usable standalone (one-level
@@ -86,7 +90,11 @@ type Decoder struct {
 	display          *mpeg2.PixelBuf
 	pendingAnchor    bool
 	pendingAnchorIdx int
-	displayCount     int
+	// pendingAnchorEmit is false when the held anchor was decoded for
+	// reference exactness only (subscription NoEmit): it still gates the
+	// reorder window but is discarded instead of displayed.
+	pendingAnchorEmit bool
+	displayCount      int
 
 	// Out-of-order stash for block bundles from peers that run ahead.
 	stash []*subpic.BlockBundle
@@ -233,7 +241,9 @@ func (d *Decoder) Run() (*Result, error) {
 // resident server calls it when the decoder's session completes.
 func (d *Decoder) Finish() *Result {
 	if d.pendingAnchor {
-		d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		if d.pendingAnchorEmit {
+			d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		}
 		d.pendingAnchor = false
 	}
 	return &d.res
@@ -313,6 +323,17 @@ func (d *Decoder) HandleSubPicture(msg *cluster.Message) (bool, error) {
 			d.cfg.Tile, sp.Pic.Index, d.nextPic)
 	}
 	d.nextPic++
+	if sp.Skipped {
+		// Subscription skip marker: the ack above kept the go-ahead protocol
+		// whole and the sequence check kept ordering honest; there is nothing
+		// to decode, display, or rotate (the splitter only skips pictures
+		// that feed no reference this tile will ever need).
+		if d.cfg.Pooled {
+			cluster.PutSlab(msg.Payload)
+		}
+		d.res.Skipped++
+		return false, nil
+	}
 	if err := d.decodePicture(sp); err != nil {
 		return false, err
 	}
@@ -365,20 +386,26 @@ func (d *Decoder) decodePicture(sp *subpic.SubPicture) error {
 		return workErr
 	}
 
-	b.Timed(metrics.PhaseWork, func() {
-		// Display: blit the tile's visible rectangle (models the frame
-		// buffer upload the paper counts inside Work).
-		d.display.CopyRect(d.bufs[d.cur], d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
-	})
+	if !sp.NoEmit {
+		b.Timed(metrics.PhaseWork, func() {
+			// Display: blit the tile's visible rectangle (models the frame
+			// buffer upload the paper counts inside Work). NoEmit pictures —
+			// decoded for reference exactness on unwatched tiles — skip it.
+			d.display.CopyRect(d.bufs[d.cur], d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+		})
+	}
 
 	// Reordering and reference management, as in the serial decoder.
 	if ph.PicType == mpeg2.PictureB {
-		d.emitFrame(int(sp.Pic.Index), d.bufs[d.cur])
+		if !sp.NoEmit {
+			d.emitFrame(int(sp.Pic.Index), d.bufs[d.cur])
+		}
 	} else {
-		if d.pendingAnchor {
+		if d.pendingAnchor && d.pendingAnchorEmit {
 			d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
 		}
 		d.pendingAnchor = true
+		d.pendingAnchorEmit = !sp.NoEmit
 		d.pendingAnchorIdx = int(sp.Pic.Index)
 		// Rotate: the old refA buffer becomes the next current buffer.
 		old := d.refA

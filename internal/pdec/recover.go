@@ -246,6 +246,13 @@ func (d *Decoder) handleSubPic(sp *subpic.SubPicture) (bool, error) {
 // pixels and keeps the wall live.
 func (d *Decoder) decodePictureRecover(sp *subpic.SubPicture) {
 	b := &d.res.Breakdown
+	if sp.Skipped {
+		// Subscription skip marker: advances the frontier (the caller already
+		// did) with nothing to decode, exchange, or conceal — skip markers
+		// only replace pictures that feed no reference this tile needs.
+		d.res.Skipped++
+		return
+	}
 	ph := sp.Pic.Header()
 	idx := int(sp.Pic.Index)
 
@@ -278,15 +285,20 @@ func (d *Decoder) decodePictureRecover(sp *subpic.SubPicture) {
 		return
 	}
 
-	b.Timed(metrics.PhaseWork, func() {
-		d.display.CopyRect(d.bufs[d.cur], d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
-	})
+	if !sp.NoEmit {
+		b.Timed(metrics.PhaseWork, func() {
+			d.display.CopyRect(d.bufs[d.cur], d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
+		})
+	}
 
 	if ph.PicType == mpeg2.PictureB {
-		d.emitFrame(idx, d.bufs[d.cur])
+		if !sp.NoEmit {
+			d.emitFrame(idx, d.bufs[d.cur])
+		}
 	} else {
 		d.flushPending()
 		d.pendingAnchor = true
+		d.pendingAnchorEmit = !sp.NoEmit
 		d.pendingAnchorIdx = idx
 		d.rotate()
 		if d.validAnchors < 2 {
@@ -304,10 +316,14 @@ func (d *Decoder) rotate() {
 	d.cur = old
 }
 
-// flushPending emits the held anchor, if any (its pixels are real).
+// flushPending emits the held anchor, if any (its pixels are real). A held
+// NoEmit anchor — decoded for reference exactness on an unwatched tile — is
+// released without display.
 func (d *Decoder) flushPending() {
 	if d.pendingAnchor {
-		d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		if d.pendingAnchorEmit {
+			d.emitFrame(d.pendingAnchorIdx, d.bufs[d.refB])
+		}
 		d.pendingAnchor = false
 	}
 }

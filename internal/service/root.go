@@ -6,9 +6,72 @@ import (
 
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
+	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/splitter"
 	"tiledwall/internal/subpic"
 )
+
+// picTypeOf peeks a picture unit's coding type without parsing: the unit
+// starts with the picture start code (00 00 01 00), then 10 bits of
+// temporal_reference and 3 bits of picture_coding_type — the type therefore
+// sits in bits 5..3 of byte 5. Trick play and subscription activation key
+// off this peek so dropped pictures never reach the splitters.
+func picTypeOf(unit []byte) mpeg2.PictureType {
+	if len(unit) < 6 {
+		return 0
+	}
+	return mpeg2.PictureType((unit[5] >> 3) & 7)
+}
+
+// applySubscribe stages a session's subscription change (root goroutine).
+// The activation itself waits for the next I picture.
+func applySubscribe(s *Session, payload []byte) {
+	trick, tiles, err := splitter.ParseSubscribe(payload)
+	if err != nil {
+		return // validated at Subscribe; never happens in-process
+	}
+	s.pendTrick, s.pendSub = trick, tiles
+	s.subPending = true
+}
+
+// trickDrops reports whether trick mode m drops pictures of type t.
+func trickDrops(m splitter.TrickMode, t mpeg2.PictureType) bool {
+	switch m {
+	case splitter.TrickIOnly:
+		return t != mpeg2.PictureI
+	case splitter.TrickDropB:
+		return t == mpeg2.PictureB
+	}
+	return false
+}
+
+// activateSub promotes a pending subscription at an I-picture boundary and
+// logs the activation against the picture index the I will ship with.
+func activateSub(s *Session) (changed bool) {
+	if !s.subPending {
+		return false
+	}
+	s.subPending = false
+	s.rootSub, s.rootTrick = s.pendSub, s.pendTrick
+	s.subEvents = append(s.subEvents, SubscriptionEvent{
+		Picture: s.shippedPics,
+		Tiles:   s.rootSub,
+		Trick:   s.rootTrick,
+	})
+	return true
+}
+
+// subControlPayload encodes a session's active subscription for the
+// splitter broadcast.
+func subControlPayload(s *Session) []byte {
+	return splitter.AppendSubscribe(nil, s.rootTrick, s.rootSub)
+}
+
+// hasSubState reports whether the session deviates from the defaults (used
+// to skip the respawn re-broadcast for ordinary sessions).
+func hasSubState(s *Session) bool {
+	return !s.rootSub.Full() || s.rootTrick != splitter.TrickNone || s.subPending
+}
 
 // runRoot is the resident root: it serialises every session's pictures into
 // one global order on the batch credit protocol, so the ANID/NSID chain —
@@ -118,6 +181,34 @@ func (w *Wall) runRoot() error {
 			s.releaseToken() // failed in isolation; drop queued pictures
 			return nil
 		}
+		pt := picTypeOf(it.payload)
+		if pt == mpeg2.PictureI && activateSub(s) {
+			// Broadcast the new subscription to every splitter immediately
+			// before the activating I picture; per-sender FIFO makes every
+			// splitter switch at the same picture boundary. Control-only: no
+			// ack, no credit, no retention (respawn re-broadcasts instead).
+			payload := subControlPayload(s)
+			for _, id := range w.splitterIDs {
+				port.Send(id, &cluster.Message{
+					Kind:    cluster.MsgPicture,
+					Flags:   cluster.FlagSubscribe,
+					Session: s.id,
+					Payload: payload,
+				})
+			}
+		}
+		if trickDrops(s.rootTrick, pt) {
+			// Trick play drops the picture at the root: it never reaches a
+			// splitter, costs no credit, and frees its feed slot at once.
+			s.droppedPics++
+			s.releaseToken()
+			return nil
+		}
+		// Shipped pictures are re-indexed densely so the downstream protocol
+		// (per-session Seq, decoder index checks, the final's total) never
+		// sees gaps from trick-play drops.
+		sIdx := s.shippedPics
+		s.shippedPics++
 		t0 := time.Now()
 		for credits[a] == 0 {
 			if err := takeAck(a); err != nil {
@@ -148,11 +239,11 @@ func (w *Wall) runRoot() error {
 		if rv != nil {
 			// Retain until the assignee acks receipt; a respawned splitter
 			// gets everything its predecessor consumed without finishing.
-			rv.picRet.Retain(s.id, a, it.index, w.splitterIDs[next], flags, it.payload)
+			rv.picRet.Retain(s.id, a, sIdx, w.splitterIDs[next], flags, it.payload)
 		}
 		port.Send(w.splitterIDs[a], &cluster.Message{
 			Kind:    cluster.MsgPicture,
-			Seq:     it.index, // per-session picture index
+			Seq:     sIdx, // per-session shipped-picture index (dense)
 			Tag:     w.splitterIDs[next],
 			Flags:   flags,
 			Session: s.id,
@@ -172,10 +263,23 @@ func (w *Wall) runRoot() error {
 		case m := <-port.Queue(cluster.MsgAck):
 			onAck(m)
 		case idx := <-respawn:
-			// A splitter respawned: replay its retained pictures — every
-			// session's, in original send order — with FlagReplay so the new
-			// incarnation deduplicates against its surviving queue and the
-			// decoders never double-ack.
+			// A splitter respawned: first restore every live session's
+			// subscription/trick state (the predecessor's copy died with it;
+			// a fresh splitter defaults to full subscription), then replay its
+			// retained pictures — every session's, in original send order —
+			// with FlagReplay so the new incarnation deduplicates against its
+			// surviving queue and the decoders never double-ack.
+			for _, s := range byID {
+				if !hasSubState(s) {
+					continue
+				}
+				port.Send(w.splitterIDs[idx], &cluster.Message{
+					Kind:    cluster.MsgPicture,
+					Flags:   cluster.FlagSubscribe,
+					Session: s.id,
+					Payload: subControlPayload(s),
+				})
+			}
 			for _, p := range rv.picRet.PendingSplitter(idx) {
 				rv.rec.AddReplayed(1)
 				port.Send(w.splitterIDs[idx], &cluster.Message{
@@ -207,18 +311,24 @@ func (w *Wall) runRoot() error {
 				if err := emit(it); err != nil {
 					return err
 				}
+			case workSubscribe:
+				applySubscribe(it.sess, it.payload)
 			case workFinal:
+				// The total counts shipped pictures, not fed ones: trick-play
+				// drops must not make decoders wait for pictures that never
+				// existed downstream.
+				total := it.sess.shippedPics
 				for i, id := range w.splitterIDs {
 					if rv != nil {
 						// Finals are retained too: a splitter that dies
 						// between receiving and forwarding one would
 						// otherwise hang the session's drain.
-						rv.picRet.Retain(it.sess.id, i, -1, it.index, cluster.FlagSessionFinal, nil)
+						rv.picRet.Retain(it.sess.id, i, -1, total, cluster.FlagSessionFinal, nil)
 					}
 					port.Send(id, &cluster.Message{
 						Kind:    cluster.MsgPicture,
 						Seq:     -1,
-						Tag:     it.index, // session picture total
+						Tag:     total, // session shipped-picture total
 						Flags:   cluster.FlagSessionFinal,
 						Session: it.sess.id,
 					})
@@ -261,6 +371,7 @@ func (w *Wall) broadcastShutdown(port cluster.Port) {
 type combinedSession struct {
 	ms  *splitter.MBSplitter
 	res *splitter.SecondResult
+	roi splitter.ROIScratch
 }
 
 func (cs *combinedSession) marshal(sp *subpic.SubPicture, pooled bool) []byte {
@@ -381,22 +492,38 @@ func (w *Wall) runRootCombined() error {
 						Payload: it.payload,
 					})
 				}
+			case workSubscribe:
+				applySubscribe(it.sess, it.payload)
 			case workPicture:
 				w.loadBytes.Add(-int64(len(it.payload)))
-				cs := sessions[it.sess.id]
+				s := it.sess
+				cs := sessions[s.id]
 				if cs == nil {
-					it.sess.releaseToken() // session already failed in isolation
+					s.releaseToken() // session already failed in isolation
 					continue
 				}
+				// The root is the (single) splitter here, so subscription
+				// activation needs no broadcast: the state lives on s and the
+				// ROI rewrite happens right after the split below.
+				pt := picTypeOf(it.payload)
+				if pt == mpeg2.PictureI {
+					activateSub(s)
+				}
+				if trickDrops(s.rootTrick, pt) {
+					s.droppedPics++
+					s.releaseToken()
+					continue
+				}
+				sIdx := s.shippedPics
 				b := &cs.res.Breakdown
 				cs.res.InputBytes += int64(len(it.payload))
 				var sps []*subpic.SubPicture
 				var err error
-				b.Timed(metrics.PhaseWork, func() { sps, err = cs.ms.Split(it.payload, it.index) })
+				b.Timed(metrics.PhaseWork, func() { sps, err = cs.ms.Split(it.payload, sIdx) })
 				if err != nil {
 					if rv != nil {
-						failCombined(it.sess, cs, it.index, err)
-						it.sess.releaseToken()
+						failCombined(s, cs, sIdx, err)
+						s.releaseToken()
 						continue
 					}
 					return err
@@ -407,22 +534,25 @@ func (w *Wall) runRootCombined() error {
 					}
 				}
 				shipped = true
+				ship, nSkipped := cs.roi.Apply(sps, s.rootSub, s.rootTrick == splitter.TrickIOnly)
+				cs.res.SkippedSubPics += int64(nSkipped)
 				b.Timed(metrics.PhaseServe, func() {
 					for t := 0; t < nd; t++ {
-						payload := cs.marshal(sps[t], w.cfg.Pooled)
+						payload := cs.marshal(ship[t], w.cfg.Pooled)
 						cs.res.SPBytes += int64(len(payload))
 						port.Send(w.decoderIDs[t], &cluster.Message{
 							Kind:    cluster.MsgSubPicture,
-							Seq:     it.index,
+							Seq:     sIdx,
 							Tag:     port.ID(),
-							Session: it.sess.id,
+							Session: s.id,
 							Payload: payload,
 						})
 					}
 				})
+				s.shippedPics = sIdx + 1
 				cs.res.Pictures++
 				b.Pictures++
-				it.sess.releaseToken()
+				s.releaseToken()
 			case workFinal:
 				s := it.sess
 				cs := sessions[s.id]
@@ -431,7 +561,7 @@ func (w *Wall) runRootCombined() error {
 				}
 				for _, id := range w.decoderIDs {
 					sp := &subpic.SubPicture{Final: true}
-					sp.Pic.Index = int32(it.index)
+					sp.Pic.Index = int32(s.shippedPics)
 					port.Send(id, &cluster.Message{
 						Kind:    cluster.MsgSubPicture,
 						Seq:     -1,

@@ -106,6 +106,10 @@ const (
 	workPicture
 	workFinal
 	workShutdown
+	// workSubscribe carries a subscription/trick-play change (payload is the
+	// FlagSubscribe control encoding). The root holds it until the next I
+	// picture it ships for the session, then broadcasts it to the splitters.
+	workSubscribe
 )
 
 type workItem struct {

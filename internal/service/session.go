@@ -48,11 +48,97 @@ type Session struct {
 	geo       *wall.Geometry
 	collector *collector
 
+	// sub and trick are the feeder-side subscription state (same
+	// single-goroutine contract as Feed; the root applies its own copy at
+	// I-picture boundaries).
+	sub   wall.TileSet
+	trick splitter.TrickMode
+
 	rootRes   splitter.RootResult
 	splitters []*splitter.SecondResult
 	decoders  []*pdec.Result
 
-	drainAcks int // root-goroutine only
+	// Root-goroutine-only state (like drainAcks): the active subscription,
+	// the pending one awaiting the next I picture, the dense shipped-picture
+	// counter trick play re-indexes with, and the activation log.
+	drainAcks   int
+	rootSub     wall.TileSet
+	rootTrick   splitter.TrickMode
+	pendSub     wall.TileSet
+	pendTrick   splitter.TrickMode
+	subPending  bool
+	shippedPics int
+	droppedPics int
+	subEvents   []SubscriptionEvent
+}
+
+// SubscriptionEvent records one subscription/trick activation: the change
+// took effect at the shipped picture with index Picture (always an I
+// picture, or 0 for a subscription set before the first picture).
+type SubscriptionEvent struct {
+	Picture int
+	Tiles   wall.TileSet
+	Trick   splitter.TrickMode
+}
+
+// TrickMode selects the root's trick-play drop ladder (re-exported from the
+// splitter package for the façade).
+type TrickMode = splitter.TrickMode
+
+// Trick-play modes.
+const (
+	TrickNone  = splitter.TrickNone
+	TrickIOnly = splitter.TrickIOnly
+	TrickDropB = splitter.TrickDropB
+)
+
+// Subscribe sets the session's tile subscription: only subscribed tiles (plus
+// the halo sources their motion vectors need) are materialized, serialised
+// and shipped; everything else is skipped. The zero TileSet subscribes every
+// tile (the default). The change is delivered in-band and takes effect at the
+// next I picture the root ships, so every splitter applies it at the same
+// consistent picture boundary; anchors keep materializing everywhere (stamped
+// no-emit on unwatched tiles), so a newly subscribed tile resumes exactly at
+// activation. Same goroutine contract as Feed; may be called before the
+// first Feed (active from the first picture) and again mid-session.
+func (s *Session) Subscribe(tiles wall.TileSet) error {
+	if !tiles.Full() && tiles.Size() != s.w.cfg.M*s.w.cfg.N {
+		return fmt.Errorf("service: session %q: subscription sized for %d tiles, wall has %d",
+			s.name, tiles.Size(), s.w.cfg.M*s.w.cfg.N)
+	}
+	if tiles.Empty() {
+		return fmt.Errorf("service: session %q: empty subscription", s.name)
+	}
+	s.sub = tiles.Clone()
+	return s.sendSubscribe()
+}
+
+// SetTrickMode sets the session's trick-play mode: TrickDropB ships I and P
+// pictures only, TrickIOnly ships I pictures only; dropped pictures never
+// reach the splitters. Like Subscribe, the change activates at the next I
+// picture. Switching back to TrickNone resumes full decode; output is exact
+// again from the next closed GOP (pictures referencing a dropped anchor
+// decode against the nearest shipped one until then).
+func (s *Session) SetTrickMode(m splitter.TrickMode) error {
+	if m > splitter.TrickDropB {
+		return fmt.Errorf("service: session %q: unknown trick mode %d", s.name, m)
+	}
+	s.trick = m
+	return s.sendSubscribe()
+}
+
+func (s *Session) sendSubscribe() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	return s.submit(workItem{
+		sess:    s,
+		kind:    workSubscribe,
+		payload: splitter.AppendSubscribe(nil, s.trick, s.sub),
+	})
 }
 
 // ID returns the session's wall-unique id (the wire session key).
@@ -84,6 +170,21 @@ type SessionResult struct {
 	// emitted in display order — the exactly-once evidence chaos soaks
 	// assert. Populated only under recovery.
 	TileEmissions [][]int
+
+	// SubscribedTiles is the session's final subscription size (the wall's
+	// tile count when no partial subscription was set).
+	SubscribedTiles int
+	// ShippedPictures counts pictures that reached the pipeline; with trick
+	// play active it is smaller than Pictures.
+	ShippedPictures int
+	// SkippedPictures counts pictures the root dropped for trick play.
+	SkippedPictures int
+	// SkippedSubPics counts per-tile skip markers shipped in place of full
+	// sub-pictures (summed over splitters; zero on a full subscription).
+	SkippedSubPics int64
+	// Subscriptions logs every subscription/trick activation with the
+	// shipped picture index it took effect at.
+	Subscriptions []SubscriptionEvent
 }
 
 // Modeled returns the pipeline-limit throughput: pictures over the busiest
@@ -208,6 +309,20 @@ func (s *Session) Close() (*SessionResult, error) {
 		Splitters: s.splitters,
 		Decoders:  s.decoders,
 		WireBytes: s.w.tr.SessionBytes(s.id),
+		// Root-goroutine fields are settled: workFinal was processed before
+		// the finals whose drain acks closed s.drained.
+		ShippedPictures: s.shippedPics,
+		SkippedPictures: s.droppedPics,
+		Subscriptions:   s.subEvents,
+	}
+	res.SubscribedTiles = s.geo.NumTiles()
+	if !s.sub.Full() {
+		res.SubscribedTiles = s.sub.Count()
+	}
+	for _, sr := range s.splitters {
+		if sr != nil {
+			res.SkippedSubPics += sr.SkippedSubPics
+		}
 	}
 	if s.w.cfg.K > 0 {
 		res.Root = &s.rootRes
@@ -222,7 +337,9 @@ func (s *Session) Close() (*SessionResult, error) {
 		strict = res.Recovery.Clean()
 	}
 	var err error
-	if s.collector != nil {
+	// A partial subscription emits nothing on unwatched tiles, so full wall
+	// frames cannot be assembled; per-tile output rides on OnTileFrame.
+	if s.collector != nil && s.sub.Full() {
 		res.Frames, err = s.collector.assemble(strict)
 	}
 	s.w.sessionDone(s)

@@ -261,6 +261,9 @@ type SecondResult struct {
 	Split      metrics.SplitBreakdown // PhaseWork resolved into scan/parse/sort, plus serialization from PhaseServe
 	SPBytes    int64                  // serialised sub-picture bytes produced
 	InputBytes int64                  // picture bytes received
+	// SkippedSubPics counts tiles reduced to ROI skip markers (subscription
+	// sessions only; zero on a full subscription).
+	SkippedSubPics int64
 }
 
 // FoldSplit merges the splitter's phase breakdown into the result and models

@@ -74,6 +74,12 @@ type splitSession struct {
 	// a replayed picture may be older than originals already processed (the
 	// consumed-but-unshipped loss), so a high-watermark is not enough.
 	seen map[int]bool
+	// live and trick hold the session's subscription state, applied by the
+	// root's FlagSubscribe broadcasts at I-picture boundaries. The zero
+	// TileSet is the full subscription (today's behaviour, byte-identical).
+	live  wall.TileSet
+	trick TrickMode
+	roi   ROIScratch
 }
 
 func (ss *splitSession) marshal(sp *subpic.SubPicture, pooled bool) []byte {
@@ -133,6 +139,18 @@ func ServeSecond(port cluster.Port, cfg ServeConfig) error {
 				}
 				return err
 			}
+		case msg.Flags&cluster.FlagSubscribe != 0:
+			ss := sessions[msg.Session]
+			if ss == nil {
+				continue
+			}
+			trick, live, err := ParseSubscribe(msg.Payload)
+			if err != nil {
+				// A malformed control frame must not corrupt the session's
+				// materialization state; keep the previous subscription.
+				continue
+			}
+			ss.trick, ss.live = trick, live
 		case msg.Flags&cluster.FlagSessionFinal != 0:
 			ss := sessions[msg.Session]
 			if ss == nil {
@@ -305,6 +323,12 @@ func splitOne(port cluster.Port, cfg ServeConfig, ss *splitSession, msg *cluster
 		}
 	}
 
+	// Partial subscription: rewrite what ships per tile (skip markers for
+	// unmaterialized tiles, SEND-only shells for halo sources, NoEmit stamps
+	// on unwatched anchors). The full-subscription path returns sps as-is.
+	ship, nSkipped := ss.roi.Apply(sps, ss.live, ss.trick == TrickIOnly)
+	ss.res.SkippedSubPics += int64(nSkipped)
+
 	anid := msg.Tag // root told us who handles the next picture
 	var spFlags uint8
 	if replay {
@@ -312,7 +336,7 @@ func splitOne(port cluster.Port, cfg ServeConfig, ss *splitSession, msg *cluster
 	}
 	b.Timed(metrics.PhaseServe, func() {
 		for t := 0; t < nd; t++ {
-			payload := ss.marshal(sps[t], cfg.Pooled)
+			payload := ss.marshal(ship[t], cfg.Pooled)
 			ss.res.SPBytes += int64(len(payload))
 			port.Send(cfg.DecoderNodes[t], &cluster.Message{
 				Kind:    cluster.MsgSubPicture,

@@ -162,7 +162,25 @@ type SubPicture struct {
 	MEI    []MEIInstr
 	// Final marks an end-of-stream message; no pieces follow.
 	Final bool
+	// Skipped marks an ROI skip marker: the session's subscription does not
+	// materialize this picture on this tile. The decoder acks it, advances
+	// its picture frontier, and does nothing else — no pieces, no MEI, no
+	// reference rotation. Skip markers keep the nd-ack gate arithmetic of
+	// the ANID protocol intact while costing ~20 bytes on the wire.
+	Skipped bool
+	// NoEmit marks a materialized-but-unwatched picture: the decoder decodes
+	// it in full (it may feed references or MEI sends) but must not emit the
+	// frame to the display path.
+	NoEmit bool
 }
+
+// Wire flag bits of byte 0. Final stays the value 1 it has always been, so
+// a full-subscription sub-picture is byte-identical to the pre-ROI format.
+const (
+	spFlagFinal   = 1 << 0
+	spFlagSkipped = 1 << 1
+	spFlagNoEmit  = 1 << 2
+)
 
 // --- Binary serialisation ---------------------------------------------------
 //
@@ -273,11 +291,17 @@ func (sp *SubPicture) Marshal() []byte {
 // AppendTo serialises the sub-picture onto b and returns the extended slice.
 // With cap(b)-len(b) >= WireSize() it performs no allocation.
 func (sp *SubPicture) AppendTo(b []byte) []byte {
+	var flags byte
 	if sp.Final {
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
+		flags |= spFlagFinal
 	}
+	if sp.Skipped {
+		flags |= spFlagSkipped
+	}
+	if sp.NoEmit {
+		flags |= spFlagNoEmit
+	}
+	b = append(b, flags)
 	b = put32(b, sp.Pic.Index)
 	b = put32(b, sp.Pic.TemporalRef)
 	b = append(b, sp.Pic.PicType)
@@ -324,7 +348,9 @@ func UnmarshalInto(sp *SubPicture, b []byte) error {
 	if err := need(1 + 4 + 4 + 1 + 4 + 2 + 4); err != nil {
 		return err
 	}
-	sp.Final = b[0] == 1
+	sp.Final = b[0]&spFlagFinal != 0
+	sp.Skipped = b[0]&spFlagSkipped != 0
+	sp.NoEmit = b[0]&spFlagNoEmit != 0
 	b = b[1:]
 	g32 := func() int32 {
 		v := int32(binary.LittleEndian.Uint32(b))

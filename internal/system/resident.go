@@ -81,6 +81,7 @@ func NewResidentWall(cfg Config) (*ResidentWall, error) {
 		UnbatchedExchange:   cfg.UnbatchedExchange,
 		Pooled:              cfg.Pooled,
 		CollectFrames:       cfg.CollectFrames,
+		OnTileFrame:         cfg.OnTileFrame,
 		Fabric:              cfg.Fabric,
 		MaxSessions:         cfg.MaxSessions,
 		MaxInFlightPictures: cfg.MaxInFlightPictures,

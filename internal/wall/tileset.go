@@ -1,0 +1,162 @@
+package wall
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// TileSet is a subscription: the set of tiles a session wants emitted.
+// Tiles are indexed row-major, row*M+col, matching Geometry.TileIndex.
+//
+// The zero value is the *full* subscription — every tile — so sessions that
+// never call Subscribe keep today's behaviour exactly, and the pipeline's
+// full-subscription fast path costs nothing. A TileSet built with Add is a
+// partial subscription even if it happens to cover every tile; use All to
+// ask whether a set covers the whole wall.
+type TileSet struct {
+	bits []uint64
+	n    int // tile count the set was sized for (0 = zero value / full)
+}
+
+// NewTileSet returns an empty partial subscription over n tiles.
+func NewTileSet(n int) TileSet {
+	return TileSet{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// RectTileSet subscribes the inclusive tile rectangle rows r0..r1 ×
+// columns c0..c1 of an m-column, n-row wall (the playwall -roi syntax).
+func RectTileSet(m, n, r0, c0, r1, c1 int) (TileSet, error) {
+	if r0 < 0 || c0 < 0 || r1 >= n || c1 >= m || r0 > r1 || c0 > c1 {
+		return TileSet{}, fmt.Errorf("wall: tile rect %d:%d-%d:%d outside %dx%d grid", r0, c0, r1, c1, m, n)
+	}
+	ts := NewTileSet(m * n)
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			ts.Add(r*m + c)
+		}
+	}
+	return ts, nil
+}
+
+// Full reports whether the set is the zero value, i.e. the implicit
+// every-tile subscription.
+func (ts TileSet) Full() bool { return ts.bits == nil }
+
+// Add subscribes tile t. Panics on the zero value (a full subscription has
+// no room to grow); size it with NewTileSet first.
+func (ts TileSet) Add(t int) {
+	ts.bits[t>>6] |= 1 << (uint(t) & 63)
+}
+
+// Has reports whether tile t is subscribed. The zero value has every tile.
+func (ts TileSet) Has(t int) bool {
+	if ts.bits == nil {
+		return true
+	}
+	if t < 0 || t >= ts.n {
+		return false
+	}
+	return ts.bits[t>>6]&(1<<(uint(t)&63)) != 0
+}
+
+// Count returns the number of subscribed tiles; -1 for the zero value,
+// whose cardinality is "all of them" without knowing the wall size.
+func (ts TileSet) Count() int {
+	if ts.bits == nil {
+		return -1
+	}
+	n := 0
+	for _, w := range ts.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// All reports whether the set covers every tile of an n-tile wall.
+func (ts TileSet) All(n int) bool {
+	if ts.bits == nil {
+		return true
+	}
+	return ts.n >= n && ts.Count() >= n
+}
+
+// Empty reports whether a partial set has no tiles at all.
+func (ts TileSet) Empty() bool { return ts.bits != nil && ts.Count() == 0 }
+
+// Size returns the tile count a partial set was sized for (NewTileSet's n);
+// 0 for the zero value.
+func (ts TileSet) Size() int { return ts.n }
+
+// Clone returns an independent copy.
+func (ts TileSet) Clone() TileSet {
+	if ts.bits == nil {
+		return TileSet{}
+	}
+	return TileSet{bits: append([]uint64(nil), ts.bits...), n: ts.n}
+}
+
+// Marshal appends the wire form: u16 tile count, then ceil(n/64) u64 words
+// little-endian. The zero value marshals to nothing — callers send an empty
+// payload section for a full subscription.
+func (ts TileSet) Marshal(dst []byte) []byte {
+	if ts.bits == nil {
+		return dst
+	}
+	dst = append(dst, byte(ts.n), byte(ts.n>>8))
+	for _, w := range ts.bits {
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(w>>(8*i)))
+		}
+	}
+	return dst
+}
+
+// UnmarshalTileSet parses Marshal's output. An empty buffer is the full
+// subscription.
+func UnmarshalTileSet(b []byte) (TileSet, error) {
+	if len(b) == 0 {
+		return TileSet{}, nil
+	}
+	if len(b) < 2 {
+		return TileSet{}, fmt.Errorf("wall: tileset truncated (%d bytes)", len(b))
+	}
+	n := int(b[0]) | int(b[1])<<8
+	words := (n + 63) / 64
+	if len(b) != 2+8*words {
+		return TileSet{}, fmt.Errorf("wall: tileset wants %d bytes for %d tiles, got %d", 2+8*words, n, len(b))
+	}
+	ts := NewTileSet(n)
+	for w := 0; w < words; w++ {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(b[2+8*w+i]) << (8 * i)
+		}
+		ts.bits[w] = v
+	}
+	// Bits beyond n would make Count lie; a hostile frame must not.
+	if tail := n & 63; tail != 0 && ts.bits[words-1]>>uint(tail) != 0 {
+		return TileSet{}, fmt.Errorf("wall: tileset has bits beyond tile %d", n-1)
+	}
+	return ts, nil
+}
+
+func (ts TileSet) String() string {
+	if ts.bits == nil {
+		return "full"
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for t := 0; t < ts.n; t++ {
+		if ts.Has(t) {
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&sb, "%d", t)
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package wall
+
+import "testing"
+
+func TestTileSetZeroValueIsFull(t *testing.T) {
+	var ts TileSet
+	if !ts.Full() || !ts.Has(0) || !ts.Has(23) || !ts.All(24) || ts.Empty() {
+		t.Fatalf("zero value must be the full subscription: %v", ts)
+	}
+	if ts.Count() != -1 {
+		t.Fatalf("zero-value Count = %d, want -1", ts.Count())
+	}
+	if got := ts.Marshal(nil); len(got) != 0 {
+		t.Fatalf("zero value marshals to %d bytes, want 0", len(got))
+	}
+}
+
+func TestTileSetRoundTrip(t *testing.T) {
+	ts := NewTileSet(24)
+	for _, x := range []int{0, 7, 8, 23} {
+		ts.Add(x)
+	}
+	if ts.Count() != 4 || ts.Full() || ts.All(24) || ts.Empty() {
+		t.Fatalf("bad set state: count=%d", ts.Count())
+	}
+	if ts.Has(-1) || ts.Has(24) || ts.Has(1) {
+		t.Fatal("Has out of set")
+	}
+	back, err := UnmarshalTileSet(ts.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 24; x++ {
+		if back.Has(x) != ts.Has(x) {
+			t.Fatalf("tile %d lost in round trip", x)
+		}
+	}
+}
+
+func TestTileSetAllAndRect(t *testing.T) {
+	ts, err := RectTileSet(6, 4, 0, 0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.All(24) || ts.Count() != 24 {
+		t.Fatalf("full rect: count=%d", ts.Count())
+	}
+	win, err := RectTileSet(6, 4, 1, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Count() != 4 || !win.Has(1*6+1) || !win.Has(2*6+2) || win.Has(0) {
+		t.Fatalf("2x2 window wrong: %v", win)
+	}
+	if _, err := RectTileSet(6, 4, 0, 0, 4, 0); err == nil {
+		t.Fatal("out-of-grid rect accepted")
+	}
+}
+
+func TestTileSetUnmarshalHostile(t *testing.T) {
+	// Truncated and oversized bodies, and bits beyond the tile count, must
+	// all fail typed instead of producing a lying set.
+	for _, b := range [][]byte{{1}, {24, 0, 1, 2, 3}, {1, 0, 0xff, 0, 0, 0, 0, 0, 0, 0}} {
+		if _, err := UnmarshalTileSet(b); err == nil {
+			t.Fatalf("hostile tileset %v accepted", b)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"tiledwall/internal/recovery"
 	"tiledwall/internal/service"
 	"tiledwall/internal/system"
+	"tiledwall/internal/wall"
 )
 
 // Typed sentinels for the failure modes the pipeline promises to bound.
@@ -146,6 +147,39 @@ type Wall struct {
 
 // Session is an incrementally-fed stream on a resident wall (Wall.Open).
 type Session = service.Session
+
+// TileSet is a session subscription: the set of tiles whose output the
+// session wants (Session.Subscribe). The zero value subscribes every tile.
+// Build partial sets with NewTileSet/Add or RectTileSet.
+type TileSet = wall.TileSet
+
+// NewTileSet returns an empty subscription over n tiles (n = M*N); add tiles
+// with Add (row-major index row*M+col).
+func NewTileSet(n int) TileSet { return wall.NewTileSet(n) }
+
+// RectTileSet subscribes the inclusive tile rectangle rows r0..r1 × columns
+// c0..c1 of an M-column, N-row wall.
+func RectTileSet(m, n, r0, c0, r1, c1 int) (TileSet, error) {
+	return wall.RectTileSet(m, n, r0, c0, r1, c1)
+}
+
+// TrickMode selects a session's trick-play drop ladder
+// (Session.SetTrickMode): dropped pictures never reach the splitters.
+type TrickMode = service.TrickMode
+
+// Trick-play modes: TrickNone ships every picture, TrickDropB ships I and P
+// only (fast forward at full reference fidelity), TrickIOnly ships I only
+// (seek/scrub preview).
+const (
+	TrickNone  = service.TrickNone
+	TrickIOnly = service.TrickIOnly
+	TrickDropB = service.TrickDropB
+)
+
+// SubscriptionEvent records one subscription/trick activation on a session
+// (SessionResult.Subscriptions): the change took effect at shipped picture
+// index Picture, always an I-picture boundary.
+type SubscriptionEvent = service.SubscriptionEvent
 
 // NewWall builds a resident wall for the configuration. With
 // WallConfig.Recovery enabled the wall is fault-tolerant as a service:
