@@ -12,6 +12,7 @@ import (
 	"tiledwall/internal/experiments"
 	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/service"
+	"tiledwall/internal/system"
 )
 
 func allocStream(t testing.TB) *mpeg2.Stream {
@@ -65,6 +66,49 @@ func TestDecodeSteadyStateAllocs(t *testing.T) {
 	t.Logf("%d pictures, %.1f allocs per full decode, %.2f per picture", pics, allocs, perPicture)
 	if perPicture > 4 {
 		t.Fatalf("steady-state decode allocates %.2f objects per picture, budget is 4", perPicture)
+	}
+}
+
+// TestPooledRecoveryWallAllocs pins the composition the refcounted slab
+// ownership buys (DESIGN.md §9): a warm resident wall with pooling AND
+// recovery armed must hold a bounded per-picture allocation rate in steady
+// state. Retention shares the pooled payload slabs by reference, so arming
+// the retainer must not clone pictures or bleed slabs out of the pool — a
+// regression on either shows up here as a per-picture alloc jump.
+func TestPooledRecoveryWallAllocs(t *testing.T) {
+	data, _, err := experiments.Stream(8, experiments.Options{Frames: 36, Scale: 4, Seed: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := system.Config{K: 1, M: 2, N: 1, Pooled: true, SplitWorkers: 1}
+	cfg.Recovery.Enabled = true
+	w, err := system.NewResidentWall(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Warm the slab classes and the session machinery before measuring.
+	res, err := w.Play(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pics := res.Throughput.Pictures
+	if pics == 0 {
+		t.Fatal("stream decoded to zero pictures")
+	}
+	allocs := testing.AllocsPerRun(4, func() {
+		if _, err := w.Play(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perPicture := allocs / float64(pics)
+	t.Logf("%d pictures, %.1f allocs per session, %.2f per picture", pics, allocs, perPicture)
+	// The per-session constant (open, channels, goroutines, result) amortises
+	// over the pictures; the per-picture share is the retention + transport
+	// bookkeeping. An unshared retainer copy alone would add the whole
+	// payload-slab traffic back, blowing far past this budget.
+	if perPicture > 60 {
+		t.Fatalf("pooled+recovery wall allocates %.2f objects per picture, budget is 60", perPicture)
 	}
 }
 

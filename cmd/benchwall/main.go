@@ -35,9 +35,9 @@ func main() {
 		scale     = flag.Int("scale", 2, "resolution divisor (paper: 1)")
 		seed      = flag.Int64("seed", 1, "content generator seed (results are reproducible per seed)")
 		verbose   = flag.Bool("v", false, "progress logging")
-		chaos     = flag.Bool("chaos", false, "run the fault-tolerance sweep: every configuration under message loss and a decoder kill, with the recovery breakdown per run")
-		chaosDrop = flag.Float64("chaos-drop", 0.04, "chaos mode: fraction of first-attempt data messages dropped")
-		chaosKill = flag.Bool("chaos-kill", true, "chaos mode: inject one decoder kill per run")
+		chaos       = flag.Bool("chaos", false, "run the fault-tolerance sweep: every configuration with recovery armed and a decoder kill, with the recovery breakdown per run")
+		chaosKill   = flag.Bool("chaos-kill", true, "chaos mode: inject one decoder kill per run")
+		chaosPooled = flag.Bool("chaos-pooled", false, "chaos mode: arm buffer pooling (recovery composes with slab refcounting)")
 		jsonMode  = flag.Bool("json", false, "run the continuous-benchmark suite and write BENCH_<date>.json")
 		jsonOut   = flag.String("json-out", "", "output path for -json (default BENCH_<date>.json)")
 	)
@@ -74,11 +74,11 @@ func main() {
 	}
 
 	if *chaos {
-		rows, err := experiments.Chaos(8, *chaosDrop, *chaosKill, o)
+		rows, err := experiments.Chaos(8, *chaosKill, *chaosPooled, o)
 		if err != nil {
 			log.Fatalf("chaos: %v", err)
 		}
-		label := fmt.Sprintf("stream 8, drop %.1f%%, kill=%v, seed %d", *chaosDrop*100, *chaosKill, *seed)
+		label := fmt.Sprintf("stream 8, kill=%v, pooled=%v, seed %d", *chaosKill, *chaosPooled, *seed)
 		experiments.PrintChaos(out, label, rows)
 		return
 	}

@@ -179,8 +179,20 @@ func main() {
 		playSessions(data, cfg, *nSess, sub, trick)
 		return
 	}
-	res, err := system.Run(data, cfg)
+	// Build the wall explicitly rather than through system.Run so the health
+	// state can be read before teardown — the recovery report is identical
+	// over the in-process fabric and TCP (one pipeline, DESIGN.md §6).
+	rw, err := system.NewResidentWall(cfg)
 	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rw.Play(data)
+	if err != nil {
+		rw.Close()
+		log.Fatal(err)
+	}
+	health := rw.Health()
+	if err := rw.Close(); err != nil {
 		log.Fatal(err)
 	}
 	for _, w := range res.Warnings {
@@ -197,7 +209,7 @@ func main() {
 		tp.FPS(), tp.PixelRate(), tp.EquivalentBitRate(res.StreamBytes))
 	fmt.Printf("  (simulation wall clock: %v on %d cores)\n", res.Throughput.Elapsed, runtime.NumCPU())
 	if *ftRecover {
-		fmt.Printf("  recovery: %s (clean=%v)\n", res.Recovery, res.Recovery.Clean())
+		fmt.Printf("  recovery: %s (clean=%v), health %v\n", res.Recovery, res.Recovery.Clean(), health)
 	}
 
 	fmt.Printf("  decoder runtime breakdown (ms/picture):\n")

@@ -3,6 +3,7 @@ package cluster
 import (
 	"math/bits"
 	"sync"
+	"unsafe"
 )
 
 // Message slab pool. Every sub-picture and block bundle that crosses the
@@ -10,11 +11,15 @@ import (
 // hundreds of multi-kilobyte allocations per second per node. The pool
 // recycles payload slabs in power-of-two size classes.
 //
-// Ownership follows the fabric's zero-copy contract: a sender that Sends a
-// pooled slab gives it up; only the final consumer of the message may
-// PutSlab it, and only once nothing aliases the payload (recovery retainers
-// keep payloads alive indefinitely, which is why pooling is forced off when
-// recovery is enabled).
+// Ownership follows the fabric's zero-copy contract with reference counts:
+// a slab leaves GetSlab holding one implicit reference; anything that keeps
+// the payload alive past the consumer (a recovery retainer whose replay
+// sends alias the retained bytes) acquires an extra reference with SlabRef.
+// PutSlab releases one reference, and only the last release recycles the
+// slab — the PR 3 rule "only the final consumer releases" generalised to
+// "the last reference releases". Holders that vanish without releasing
+// (a killed worker mid-picture) merely leak their slab to the garbage
+// collector; a slab can never be pooled while a reference aliases it.
 //
 // The implementation is mutex-guarded per-class free stacks rather than
 // sync.Pool: Put-ting a []byte into a sync.Pool boxes the slice header on
@@ -67,15 +72,60 @@ func GetSlab(n int) []byte {
 	return make([]byte, 0, 1<<c)
 }
 
-// PutSlab returns a slab to the pool. Only slabs whose capacity is an exact
-// class size are accepted (i.e. slabs that came from GetSlab); anything else
-// — including slices of foreign provenance — is left to the garbage
-// collector. The caller must not touch b afterwards.
-func PutSlab(b []byte) {
+// slabRefs is the extra-reference side table, keyed by a slab's backing
+// array. Entries exist only while a slab holds references beyond the
+// implicit one, so the steady-state map is tiny (bounded by the recovery
+// retain windows) and ref-free traffic never touches it beyond one lookup.
+var slabRefs = struct {
+	mu sync.Mutex
+	n  map[*byte]int
+}{n: map[*byte]int{}}
+
+// isSlab reports whether b plausibly came from GetSlab: only exact
+// class-sized capacities are pool property; anything else belongs to the
+// garbage collector and is never counted or recycled.
+func isSlab(b []byte) bool {
 	c := slabClass(cap(b))
-	if c < 0 || cap(b) != 1<<c {
+	return c >= 0 && cap(b) == 1<<c
+}
+
+// SlabRef acquires an extra reference on slab b: the next PutSlab releases
+// the reference instead of recycling the slab. Call it when a second holder
+// (a retainer entry, a replay send) starts aliasing a payload that a
+// downstream consumer will PutSlab independently. Slices of foreign
+// provenance and nil are ignored — PutSlab would not recycle them anyway.
+func SlabRef(b []byte) {
+	if cap(b) == 0 || !isSlab(b) {
 		return
 	}
+	p := unsafe.SliceData(b[:1])
+	slabRefs.mu.Lock()
+	slabRefs.n[p]++
+	slabRefs.mu.Unlock()
+}
+
+// PutSlab releases one reference on b; the last release returns the slab to
+// the pool. Only slabs whose capacity is an exact class size are accepted
+// (i.e. slabs that came from GetSlab); anything else — including slices of
+// foreign provenance — is left to the garbage collector. The caller must
+// not touch b after its own release.
+func PutSlab(b []byte) {
+	if cap(b) == 0 || !isSlab(b) {
+		return
+	}
+	p := unsafe.SliceData(b[:1])
+	slabRefs.mu.Lock()
+	if n := slabRefs.n[p]; n > 0 {
+		if n == 1 {
+			delete(slabRefs.n, p)
+		} else {
+			slabRefs.n[p] = n - 1
+		}
+		slabRefs.mu.Unlock()
+		return
+	}
+	slabRefs.mu.Unlock()
+	c := slabClass(cap(b))
 	cl := &slabClasses[c]
 	cl.mu.Lock()
 	if len(cl.free) < slabMaxFree {

@@ -57,6 +57,35 @@ func TestSlabClassBounds(t *testing.T) {
 	}
 }
 
+// TestSlabRefCount proves "last reference releases": a slab with an extra
+// reference survives one PutSlab (the retained copy stays intact) and is
+// recycled only by the final one.
+func TestSlabRefCount(t *testing.T) {
+	s := GetSlab(2048)
+	s = append(s, make([]byte, 2000)...)
+	SlabRef(s) // e.g. a retainer starts aliasing the payload
+	PutSlab(s) // consumer releases: must NOT recycle yet
+	if r := GetSlab(2048); cap(r) == cap(s) && &r[:1][0] == &s[:1][0] {
+		t.Fatal("slab recycled while a reference was outstanding")
+	}
+	PutSlab(s) // last reference releases
+	r := GetSlab(2048)
+	if &r[:1][0] != &s[:1][0] {
+		t.Fatal("slab not recycled after the last release")
+	}
+	PutSlab(r)
+
+	// Double refs stack; foreign slices and nil are ignored.
+	s2 := GetSlab(4096)
+	SlabRef(s2)
+	SlabRef(s2)
+	PutSlab(s2)
+	PutSlab(s2)
+	PutSlab(s2)
+	SlabRef(nil)
+	SlabRef(make([]byte, 0, 1000))
+}
+
 // TestSlabGetPutNoAlloc proves the steady-state slab cycle allocates
 // nothing — the property the cluster send path relies on.
 func TestSlabGetPutNoAlloc(t *testing.T) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"time"
 
@@ -17,29 +16,29 @@ import (
 )
 
 // Chaos mode extends the conformance oracle to the recovery layer: the same
-// serial-vs-parallel differ runs while the fabric drops a bounded fraction
-// of messages and (optionally) one random decoder is killed mid-stream. The
-// contract under chaos is weaker than bit-exactness but still sharp:
+// serial-vs-parallel differ runs while (optionally) one random decoder is
+// killed mid-stream and respawned by the supervisor. The contract under chaos
+// is weaker than bit-exactness but still sharp:
 //
 //   - every configuration completes (no hang, no abort);
 //   - every tile emits every picture index exactly once — restarts and
 //     replays must neither lose nor duplicate a frame;
-//   - when the recovery snapshot is Clean (loss repaired purely by
-//     retransmission: no restarts, no concealment), the output must still be
-//     byte-identical with the serial decode.
+//   - when the recovery snapshot is Clean (no restarts, no concealment — the
+//     fault-free sweep), the output must still be byte-identical with the
+//     serial decode.
 
 // ChaosOptions parameterises one chaos sweep.
 type ChaosOptions struct {
-	// Seed derives every per-configuration random stream (drop pattern, kill
-	// site), making a sweep reproducible from one number.
+	// Seed derives every per-configuration random stream (kill site), making
+	// a sweep reproducible from one number.
 	Seed int64
-	// DropRate is the probability that a first-attempt data message is
-	// dropped. Retransmissions and transport control are never dropped, so
-	// all loss is repairable. CI keeps this at or below 0.05.
-	DropRate float64
 	// Kill arms one decoder crash per run, at a seeded random tile and
-	// picture.
+	// picture. Without it the sweep is fault-free: the recovery layer is on
+	// but never intervenes, so the run must be Clean and bit-exact.
 	Kill bool
+	// Pooled arms buffer pooling, proving recovery composes with slab
+	// reference counting.
+	Pooled bool
 	// StallTimeout bounds a hung run (watchdog backstop); 0 means 30s.
 	StallTimeout time.Duration
 }
@@ -71,28 +70,8 @@ func chaosRecoveryConfig() recovery.Config {
 		Enabled:         true,
 		LeaseInterval:   3 * time.Millisecond,
 		LeaseExpiry:     12 * time.Millisecond,
-		RetryInterval:   5 * time.Millisecond,
-		MaxBackoff:      100 * time.Millisecond,
 		PictureDeadline: 250 * time.Millisecond,
 		MaxRestarts:     3,
-		RetainWindow:    16,
-	}
-}
-
-// seededDrop returns a thread-safe Drop hook losing dropRate of first-attempt
-// data messages. Transport control and retransmitted copies always pass, so
-// every loss is repairable and the run cannot be starved by the hook itself.
-func seededDrop(seed int64, dropRate float64) func(*cluster.Message) bool {
-	var mu sync.Mutex
-	rng := rand.New(rand.NewSource(seed))
-	return func(m *cluster.Message) bool {
-		if dropRate <= 0 || m.Flags&cluster.FlagRetransmit != 0 || m.Kind == cluster.MsgXport {
-			return false
-		}
-		mu.Lock()
-		drop := rng.Float64() < dropRate
-		mu.Unlock()
-		return drop
 	}
 }
 
@@ -149,15 +128,13 @@ func newChaosRunner(stream []byte, opt ChaosOptions) (*chaosRunner, error) {
 	}, nil
 }
 
-// run executes one configuration; ci seeds the drop pattern and kill site.
+// run executes one configuration; ci seeds the kill site.
 func (cr *chaosRunner) run(cfg system.Config, ci int) ChaosResult {
 	rng := rand.New(rand.NewSource(cr.opt.Seed*1000003 + int64(ci)))
 	cfg.CollectFrames = true
 	cfg.Recovery = chaosRecoveryConfig()
-	cfg.Fabric = cluster.Config{
-		StallTimeout: cr.stall,
-		Drop:         seededDrop(rng.Int63(), cr.opt.DropRate),
-	}
+	cfg.Pooled = cr.opt.Pooled
+	cfg.Fabric = cluster.Config{StallTimeout: cr.stall}
 	out := ChaosResult{Config: cfg, KilledTile: -1, KilledAt: -1}
 	if cr.opt.Kill && len(cr.ref) > 2 {
 		out.KilledTile = rng.Intn(cfg.M * cfg.N)

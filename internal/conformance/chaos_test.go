@@ -21,11 +21,11 @@ func chaosSeed(t *testing.T) int64 {
 }
 
 // TestChaosMatrix is the conformance oracle under injected failure: every
-// configuration of the default matrix runs with up to 5% message loss and one
-// random decoder kill. The run must complete, every tile must emit every
-// picture index exactly once, and runs whose recovery snapshot is Clean (all
-// loss repaired by retransmission alone) must remain bit-exact with the
-// serial decode.
+// configuration of the default matrix runs with the recovery layer armed,
+// fault-free and with one random decoder kill, unpooled and pooled. The run
+// must complete, every tile must emit every picture index exactly once, and
+// runs whose recovery snapshot is Clean (the fault-free sweeps) must remain
+// bit-exact with the serial decode.
 func TestChaosMatrix(t *testing.T) {
 	seed := chaosSeed(t)
 	p := ParamsForSeed(seed)
@@ -37,12 +37,14 @@ func TestChaosMatrix(t *testing.T) {
 		name string
 		opt  ChaosOptions
 	}{
-		// Drop-only: loss is always repairable, so most runs come back Clean
-		// and must hit the bit-exactness bar.
-		{"drop-only", ChaosOptions{Seed: seed, DropRate: 0.04}},
-		// Drop + one decoder kill per run: restart, replay, and (rarely)
-		// concealment are all in play; exactly-once must still hold.
-		{"drop-and-kill", ChaosOptions{Seed: seed, DropRate: 0.04, Kill: true}},
+		// Fault-free: recovery armed but never intervening — every run must
+		// come back Clean and hit the bit-exactness bar.
+		{"fault-free", ChaosOptions{Seed: seed}},
+		{"fault-free-pooled", ChaosOptions{Seed: seed, Pooled: true}},
+		// One decoder kill per run: restart, replay, and (rarely) concealment
+		// are all in play; exactly-once must still hold.
+		{"kill", ChaosOptions{Seed: seed, Kill: true}},
+		{"kill-pooled", ChaosOptions{Seed: seed, Kill: true, Pooled: true}},
 	} {
 		sweep := sweep
 		t.Run(sweep.name, func(t *testing.T) {
@@ -74,10 +76,10 @@ func TestChaosMatrix(t *testing.T) {
 					}
 				}
 			}
-			// The Clean path must actually be exercised somewhere in the
-			// drop-only sweep, or the bit-exactness clause is vacuous.
-			if !sweep.opt.Kill && cleanRuns == 0 {
-				t.Errorf("no configuration came back clean; bit-exactness under loss was never checked")
+			// The Clean path must actually be exercised in the fault-free
+			// sweeps, or the bit-exactness clause is vacuous.
+			if !sweep.opt.Kill && cleanRuns != len(results) {
+				t.Errorf("only %d/%d fault-free configurations came back clean", cleanRuns, len(results))
 			}
 		})
 	}

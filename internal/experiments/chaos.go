@@ -24,19 +24,20 @@ type ChaosRow struct {
 }
 
 // Chaos runs the conformance chaos sweep on a catalogue stream: the default
-// configuration matrix under seeded message loss plus one decoder kill per
-// run, reporting the per-configuration recovery interventions.
-func Chaos(streamID int, dropRate float64, kill bool, o Options) ([]ChaosRow, error) {
+// configuration matrix with the recovery layer armed and (optionally) one
+// seeded decoder kill per run, reporting the per-configuration recovery
+// interventions.
+func Chaos(streamID int, kill, pooled bool, o Options) ([]ChaosRow, error) {
 	o.defaults()
 	data, _, err := Stream(streamID, o, false)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(o.Log, "chaos: stream %d, drop %.1f%%, kill=%v, seed %d\n", streamID, dropRate*100, kill, o.Seed)
+	fmt.Fprintf(o.Log, "chaos: stream %d, kill=%v, pooled=%v, seed %d\n", streamID, kill, pooled, o.Seed)
 	results, err := conformance.RunChaosMatrix(data, conformance.DefaultMatrix(), conformance.ChaosOptions{
-		Seed:     o.Seed,
-		DropRate: dropRate,
-		Kill:     kill,
+		Seed:   o.Seed,
+		Kill:   kill,
+		Pooled: pooled,
 	})
 	if err != nil {
 		return nil, err

@@ -44,17 +44,18 @@ type Config struct {
 	// the cluster slab pool once fully consumed, outgoing bundles are
 	// serialised into pooled slabs, and the picture context, reconstructor,
 	// slice decoder and bit reader are reused in place, making steady-state
-	// decoding allocation-free per macroblock. Incompatible with Recovery
-	// (retainers alias message payloads indefinitely); NewDecoder forces it
-	// off when recovery hooks are wired.
+	// decoding allocation-free per macroblock. Composes with Recovery: every
+	// holder that outlives the consumer (the reorder stash, upstream
+	// retainers) carries its own slab reference, so the last release — not a
+	// fixed "final consumer" — recycles the payload.
 	Pooled bool
 
 	// Recovery, when non-nil, switches the decoder from fail-stop to
 	// fault-masking behaviour: sub-pictures may arrive out of order (reorder
 	// stash), duplicated (dropped), or not at all (concealed after the
-	// per-picture deadline); a respawned incarnation resumes from the
-	// checkpoint in freeze-last-frame concealment until an I picture
-	// re-anchors its reference chain.
+	// per-picture deadline); a respawned incarnation resumes at its emission
+	// frontier (ResumeAt) in freeze-last-frame concealment until an I
+	// picture re-anchors its reference chain.
 	Recovery *recovery.DecoderHooks
 }
 
@@ -104,7 +105,7 @@ type Decoder struct {
 	// before), and how many of refA/refB hold trustworthy pixels — a
 	// respawned incarnation starts at 0 and conceals until I (1 anchor,
 	// P decodable) then P (2, B decodable) restore the chain.
-	spStash      map[int]*subpic.SubPicture
+	spStash      map[int]stashedSubPic
 	finalTotal   int
 	validAnchors int
 	// finalsFrom tracks which splitter nodes delivered this session's final
@@ -141,10 +142,9 @@ type sendBundle struct {
 	pixels []byte
 }
 
-// NewDecoder allocates the decoder's buffers. In recovery-resume mode it
-// restores progress from the checkpoint: the next owed picture, the deferred
-// anchor emission the dead incarnation still owed, and the projector's last
-// frame for freeze concealment.
+// NewDecoder allocates the decoder's buffers. A respawned incarnation is
+// restored by the serving layer with ResumeAt, which starts it at the
+// session's emission frontier in concealment.
 func NewDecoder(node cluster.Net, cfg Config) *Decoder {
 	rect := cfg.Geo.Tile(cfg.Tile)
 	halo := cfg.HaloPx
@@ -164,11 +164,6 @@ func NewDecoder(node cluster.Net, cfg Config) *Decoder {
 	if y1 > cfg.Geo.PicH {
 		y1 = cfg.Geo.PicH
 	}
-	if cfg.Recovery != nil {
-		// Recovery retainers keep message payloads alive for replay; a slab
-		// returned to the pool would be overwritten under them.
-		cfg.Pooled = false
-	}
 	d := &Decoder{cfg: cfg, rect: rect, node: node, cur: 0, refA: -1, refB: -1, finalTotal: -1}
 	d.rcScratch = mpeg2.NewReconstructor(nil)
 	for i := 0; i < 3; i++ {
@@ -177,63 +172,13 @@ func NewDecoder(node cluster.Net, cfg Config) *Decoder {
 	d.display = mpeg2.NewPixelBuf(rect.X0, rect.Y0, rect.W(), rect.H())
 	if rh := cfg.Recovery; rh != nil {
 		rh.Cfg = rh.Cfg.WithDefaults()
-		d.spStash = map[int]*subpic.SubPicture{}
+		d.spStash = map[int]stashedSubPic{}
 		// Recovery mode keeps all three windows live from the start so MEI
 		// SEND/RECV stays structurally valid even while the reference chain
 		// is untrusted; validAnchors gates what may actually be decoded.
 		d.cur, d.refA, d.refB = 0, 1, 2
-		if rh.Resume {
-			d.resume()
-		} else if rh.Checkpoint != nil {
-			rh.Checkpoint.SetDisplay(d.display)
-		}
 	}
 	return d
-}
-
-// resume restores a respawned incarnation from the checkpoint. The pixel
-// state of the dead incarnation is gone (a crashed process loses memory),
-// so the reference chain is invalid until the next I picture; the projector
-// frame buffer survives the crash, seeding freeze-last-frame concealment.
-func (d *Decoder) resume() {
-	rh := d.cfg.Recovery
-	nextPic, pendingAnchor, lastDisplay, finalTotal := rh.Checkpoint.State()
-	d.nextPic = nextPic
-	d.finalTotal = finalTotal
-	d.validAnchors = 0
-	for _, b := range d.bufs {
-		b.Fill(128, 128, 128) // conceal pattern, served to peers until re-anchored
-	}
-	if lastDisplay != nil && lastDisplay != d.display {
-		d.display.CopyRect(lastDisplay, d.rect.X0, d.rect.Y0, d.rect.W(), d.rect.H())
-	} else {
-		d.display.Fill(128, 128, 128)
-	}
-	rh.Checkpoint.SetDisplay(d.display)
-	// The dead incarnation held this decoded anchor back for display
-	// reordering; its pixels are lost, so emit it frozen now.
-	if pendingAnchor >= 0 {
-		d.concealEmit(pendingAnchor)
-		rh.Checkpoint.Update(d.nextPic, -1)
-	}
-}
-
-// Run processes sub-pictures until a Final message arrives.
-func (d *Decoder) Run() (*Result, error) {
-	for {
-		done, err := d.Step()
-		if err != nil {
-			return &d.res, err
-		}
-		if done {
-			break
-		}
-	}
-	d.Finish()
-	if rh := d.cfg.Recovery; rh != nil && rh.Checkpoint != nil {
-		rh.Checkpoint.Update(d.nextPic, -1)
-	}
-	return &d.res, nil
 }
 
 // Finish flushes the display-reorder tail (the held anchor frame) and
@@ -254,28 +199,6 @@ func (d *Decoder) Finish() *Result {
 // the receive wait to the session that the arriving message belongs to.
 func (d *Decoder) Breakdown() *metrics.Breakdown { return &d.res.Breakdown }
 
-// Step handles one sub-picture message; it reports done=true on Final. With
-// recovery hooks wired it runs the fault-masking protocol instead of the
-// strict fail-stop one.
-func (d *Decoder) Step() (bool, error) {
-	if d.cfg.Recovery != nil {
-		return d.stepRecover()
-	}
-	return d.stepStrict()
-}
-
-func (d *Decoder) stepStrict() (bool, error) {
-	b := &d.res.Breakdown
-	var msg *cluster.Message
-	b.Timed(metrics.PhaseReceive, func() {
-		msg = d.node.Recv(cluster.MsgSubPicture)
-	})
-	if msg == nil {
-		return false, fmt.Errorf("tile %d: fabric aborted", d.cfg.Tile)
-	}
-	return d.HandleSubPicture(msg)
-}
-
 // HandleSubPicture runs the strict fail-stop protocol on one already-received
 // sub-picture message: ack to the ANID node, unmarshal, enforce ordering,
 // decode, display. done=true reports stream (or session) completion — a
@@ -286,8 +209,8 @@ func (d *Decoder) HandleSubPicture(msg *cluster.Message) (bool, error) {
 	// its go-ahead (credit) — the ordering protocol of §4.5. Session-final
 	// control messages are never acked: in a resident wall the splitters
 	// keep running, and a stray ack would inflate the go-ahead count of the
-	// next session's pictures. (Batch Final markers carry no flag and keep
-	// their harmless ack — the splitters have already exited.)
+	// next session's pictures. (Unflagged Final markers — standalone
+	// single-decoder tests — keep their harmless ack.)
 	if msg.Flags&cluster.FlagSessionFinal == 0 {
 		b.Timed(metrics.PhaseAck, func() {
 			d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq, Session: msg.Session})

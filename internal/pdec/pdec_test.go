@@ -9,6 +9,14 @@ import (
 	"tiledwall/internal/wall"
 )
 
+
+// step receives one sub-picture and dispatches it through the strict
+// protocol path, standing in for the deleted batch Step loop in these
+// single-decoder protocol tests.
+func step(d *Decoder) (bool, error) {
+	return d.HandleSubPicture(d.node.Recv(cluster.MsgSubPicture))
+}
+
 func TestHaloForFCode(t *testing.T) {
 	cases := []struct{ fcode, want int }{
 		{1, 32}, // reach 8 px + macroblock + alignment
@@ -57,7 +65,7 @@ func TestDecoderRejectsOutOfOrderPicture(t *testing.T) {
 	sp.Pic.Index = 3 // decoder expects 0
 	sp.Pic.PicType = uint8(mpeg2.PictureI)
 	fab.Node(0).Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: 3, Tag: 0, Payload: sp.Marshal()})
-	if _, err := d.Step(); err == nil {
+	if _, err := step(d); err == nil {
 		t.Fatal("out-of-order picture accepted")
 	}
 }
@@ -70,7 +78,7 @@ func TestDecoderRejectsGarbagePayload(t *testing.T) {
 		TileNode: func(tile int) int { return 1 },
 	})
 	fab.Node(0).Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: 0, Tag: 0, Payload: []byte{1, 2, 3}})
-	if _, err := d.Step(); err == nil {
+	if _, err := step(d); err == nil {
 		t.Fatal("garbage payload accepted")
 	}
 }
@@ -87,7 +95,7 @@ func TestDecoderFinalCountdown(t *testing.T) {
 	final := &subpic.SubPicture{Final: true}
 	final.Pic.Index = 1 // total pictures
 	fab.Node(0).Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: 0, Payload: final.Marshal()})
-	done, err := d.Step()
+	done, err := step(d)
 	if err != nil || done {
 		t.Fatalf("early Final: done=%v err=%v", done, err)
 	}
@@ -96,11 +104,11 @@ func TestDecoderFinalCountdown(t *testing.T) {
 	sp.Pic.Index = 0
 	sp.Pic.PicType = uint8(mpeg2.PictureI)
 	fab.Node(0).Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: 0, Tag: 0, Payload: sp.Marshal()})
-	if done, err = d.Step(); err != nil || done {
+	if done, err = step(d); err != nil || done {
 		t.Fatalf("picture: done=%v err=%v", done, err)
 	}
 	fab.Node(0).Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: 0, Payload: final.Marshal()})
-	if done, err = d.Step(); err != nil || !done {
+	if done, err = step(d); err != nil || !done {
 		t.Fatalf("final: done=%v err=%v", done, err)
 	}
 }
@@ -119,7 +127,7 @@ func TestDecoderAcksANID(t *testing.T) {
 	sp.Pic.PicType = uint8(mpeg2.PictureI)
 	// Sent by node 0, ANID = node 2.
 	fab.Node(0).Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: 0, Tag: 2, Payload: sp.Marshal()})
-	if _, err := d.Step(); err != nil {
+	if _, err := step(d); err != nil {
 		t.Fatal(err)
 	}
 	if m, ok := fab.Node(2).TryRecv(cluster.MsgAck); !ok || m.From != 1 {
@@ -143,7 +151,7 @@ func TestDecoderRejectsMissingReference(t *testing.T) {
 	sp.Pic.PicType = uint8(mpeg2.PictureP)
 	sp.Pic.FCode = [2][2]uint8{{3, 3}, {15, 15}}
 	fab.Node(0).Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: 0, Tag: 0, Payload: sp.Marshal()})
-	if _, err := d.Step(); err == nil {
+	if _, err := step(d); err == nil {
 		t.Fatal("P picture before anchor accepted")
 	}
 }

@@ -1,109 +1,68 @@
 package pdec
 
 import (
-	"fmt"
 	"time"
 
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
-	"tiledwall/internal/recovery"
 	"tiledwall/internal/subpic"
 )
 
 // This file is the decoder's fault-masking path (DESIGN.md §6), active when
-// Config.Recovery is wired. Sub-pictures may arrive out of order (the
-// supervisor replays retained pictures to a respawned incarnation while the
-// splitters keep sending new ones), duplicated (replay overlaps the fabric
-// queue the dead incarnation left behind), or not at all (a splitter died
-// mid-distribution after its credit was settled). The strict path treats all
-// of these as protocol violations; this path reorders, deduplicates, and —
-// past the per-picture deadline — conceals.
+// Config.Recovery is wired. Sub-pictures may arrive out of order (the root
+// replays retained pictures to a respawned splitter while the others keep
+// sending new ones), duplicated (replay overlaps the queue a dead
+// incarnation left behind), or not at all (a splitter died mid-distribution
+// after its credit was settled). The strict path treats all of these as
+// protocol violations; this path reorders, deduplicates, and — past the
+// per-picture deadline — conceals. It runs identically over the in-process
+// fabric and TCP: the serving layer owns the receive loop, this file owns
+// the protocol.
+
+// stashedSubPic is one out-of-order sub-picture parked until the frontier
+// reaches it. On a pooled wall the entry keeps the message payload (which
+// the parsed pieces alias) so it can be released when the entry is consumed.
+type stashedSubPic struct {
+	sp      *subpic.SubPicture
+	payload []byte
+}
 
 // doneByTotal reports whether every picture of the stream has been handled.
 func (d *Decoder) doneByTotal() bool {
 	return d.finalTotal >= 0 && d.nextPic >= d.finalTotal
 }
 
-func (d *Decoder) stepRecover() (bool, error) {
-	rh := d.cfg.Recovery
-	rh.Renew()
-	if sp := d.spStash[d.nextPic]; sp != nil {
-		delete(d.spStash, d.nextPic)
-		return d.handleSubPic(sp)
-	}
-	if d.doneByTotal() {
-		return true, nil
-	}
-	b := &d.res.Breakdown
-	var msg *cluster.Message
-	var timedOut bool
-	b.Timed(metrics.PhaseReceive, func() {
-		msg, timedOut = d.node.RecvTimeout(cluster.MsgSubPicture, rh.Cfg.PictureDeadline)
-	})
-	if timedOut {
-		// Conceal only when there is evidence the pipeline has moved past
-		// this picture (a later sub-picture is stashed, or the stream end is
-		// known): fabric loss is repaired by retransmission and node death by
-		// replay, so a bare timeout usually means "still in flight".
-		if len(d.spStash) > 0 || d.finalTotal >= 0 {
-			d.concealUnknown(d.nextPic)
-			d.checkpointProgress()
-			return d.doneByTotal(), nil
-		}
-		return false, nil
-	}
-	if msg == nil {
-		return false, fmt.Errorf("tile %d: fabric aborted", d.cfg.Tile)
-	}
-	sp, err := subpic.Unmarshal(msg.Payload)
-	if err != nil {
-		// Without a picture index there is nothing to ack or conceal against;
-		// the deadline path covers whichever picture this was.
-		return false, nil
-	}
-	// Injected crash: the sub-picture is consumed but not yet acked — the
-	// hardest loss case, exercising both the splitter's credit timeout and
-	// the checkpoint/replay path.
-	if !sp.Final && rh.Chaos.DecoderDies(d.cfg.Tile, int(sp.Pic.Index)) {
-		return false, recovery.ErrKilled
-	}
-	// Replays are not acked: the original ack (or the splitter's credit
-	// timeout) already settled the flow-control ledger.
-	if msg.Flags&cluster.FlagReplay == 0 {
-		b.Timed(metrics.PhaseAck, func() {
-			d.node.Send(msg.Tag, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
-		})
-	}
-	if sp.Final {
-		d.finalTotal = int(sp.Pic.Index)
-		if rh.Checkpoint != nil {
-			rh.Checkpoint.SetFinalTotal(d.finalTotal)
-		}
-		return d.doneByTotal(), nil
-	}
-	idx := int(sp.Pic.Index)
-	switch {
-	case idx < d.nextPic:
-		return false, nil // duplicate of a handled picture (replay overlap)
-	case idx > d.nextPic:
-		d.spStash[idx] = sp // ran ahead; delivered in order later
-		return false, nil
-	}
-	return d.handleSubPic(sp)
-}
-
 // ResumeAt restores a respawned resident decoder's position in one session:
 // pictures below next were emitted by the dead incarnation and stay on the
 // projector; everything the new incarnation holds is untrusted, so it
 // conceals (grey, then freeze) until an I picture re-anchors the chain.
-func (d *Decoder) ResumeAt(next int) {
+// holes lists decode indices below next the dead incarnation held back
+// (B-reorder anchors) and never emitted; they are conceal-emitted here, once,
+// so every index still reaches the projector exactly once.
+func (d *Decoder) ResumeAt(next int, holes []int) {
 	d.nextPic = next
 	d.validAnchors = 0
 	for _, b := range d.bufs {
 		b.Fill(128, 128, 128)
 	}
 	d.display.Fill(128, 128, 128)
+	for _, idx := range holes {
+		d.concealEmit(idx)
+	}
+}
+
+// releaseStash returns every parked payload to the slab pool (pooled walls
+// only): called when the session ends with the stash non-empty — entries
+// beyond the final total that no frontier will ever consume.
+func (d *Decoder) releaseStash() {
+	if !d.cfg.Pooled {
+		return
+	}
+	for idx, e := range d.spStash {
+		cluster.PutSlab(e.payload)
+		delete(d.spStash, idx)
+	}
 }
 
 // HandleSubPictureRecover is HandleSubPicture on the fault-masking protocol,
@@ -118,13 +77,27 @@ func (d *Decoder) ResumeAt(next int) {
 func (d *Decoder) HandleSubPictureRecover(msg *cluster.Message, numFinals int) (bool, error) {
 	b := &d.res.Breakdown
 	d.cfg.Recovery.Renew()
-	sp, err := subpic.Unmarshal(msg.Payload)
-	if err != nil {
-		// Undecodable sub-picture: drop it; the deadline path conceals the
-		// picture once later ones arrive.
-		return false, nil
+	pooled := d.cfg.Pooled
+	var sp *subpic.SubPicture
+	if pooled {
+		sp = &d.spScratch
+		if err := subpic.UnmarshalInto(sp, msg.Payload); err != nil {
+			// Undecodable sub-picture: drop it; the deadline path conceals
+			// the picture once later ones arrive.
+			cluster.PutSlab(msg.Payload)
+			return false, nil
+		}
+	} else {
+		var err error
+		sp, err = subpic.Unmarshal(msg.Payload)
+		if err != nil {
+			return false, nil
+		}
 	}
 	if sp.Final {
+		if pooled {
+			cluster.PutSlab(msg.Payload)
+		}
 		d.finalTotal = int(sp.Pic.Index)
 		if d.finalsFrom == nil {
 			d.finalsFrom = map[int]bool{}
@@ -148,10 +121,29 @@ func (d *Decoder) HandleSubPictureRecover(msg *cluster.Message, numFinals int) (
 	idx := int(sp.Pic.Index)
 	switch {
 	case idx < d.nextPic:
-		return false, nil // duplicate of a handled (or concealed) picture
+		// Duplicate of a handled (or concealed) picture. Each duplicate is a
+		// distinct marshalled slab (splitters serialise per send), so this
+		// copy is released independently of the one already consumed.
+		if pooled {
+			cluster.PutSlab(msg.Payload)
+		}
+		return false, nil
 	case idx > d.nextPic:
-		if _, dup := d.spStash[idx]; !dup {
-			d.spStash[idx] = sp
+		if _, dup := d.spStash[idx]; dup {
+			if pooled {
+				cluster.PutSlab(msg.Payload)
+			}
+		} else if pooled {
+			// The stash outlives this call and the scratch sub-picture: park
+			// a heap-parsed copy whose pieces keep aliasing the payload, and
+			// carry the payload for release when the entry is consumed.
+			if stSp, err := subpic.Unmarshal(msg.Payload); err == nil {
+				d.spStash[idx] = stashedSubPic{sp: stSp, payload: msg.Payload}
+			} else {
+				cluster.PutSlab(msg.Payload)
+			}
+		} else {
+			d.spStash[idx] = stashedSubPic{sp: sp}
 		}
 		if d.gapSince.IsZero() {
 			d.gapSince = time.Now()
@@ -160,6 +152,11 @@ func (d *Decoder) HandleSubPictureRecover(msg *cluster.Message, numFinals int) (
 	}
 	d.nextPic++
 	d.decodePictureRecover(sp)
+	if pooled {
+		// Every piece aliased the message payload and has been decoded (or
+		// concealed); nothing references the slab anymore.
+		cluster.PutSlab(msg.Payload)
+	}
 	d.res.Pictures++
 	b.Pictures++
 	d.drainStashRecover()
@@ -172,13 +169,16 @@ func (d *Decoder) HandleSubPictureRecover(msg *cluster.Message, numFinals int) (
 // next hole.
 func (d *Decoder) drainStashRecover() {
 	for {
-		sp := d.spStash[d.nextPic]
-		if sp == nil {
+		e, ok := d.spStash[d.nextPic]
+		if !ok {
 			break
 		}
 		delete(d.spStash, d.nextPic)
 		d.nextPic++
-		d.decodePictureRecover(sp)
+		d.decodePictureRecover(e.sp)
+		if d.cfg.Pooled {
+			cluster.PutSlab(e.payload)
+		}
 		d.res.Pictures++
 		d.res.Breakdown.Pictures++
 	}
@@ -193,10 +193,13 @@ func (d *Decoder) drainStashRecover() {
 // decoded, holes are concealed.
 func (d *Decoder) flushToTotal() {
 	for d.nextPic < d.finalTotal {
-		if sp := d.spStash[d.nextPic]; sp != nil {
+		if e, ok := d.spStash[d.nextPic]; ok {
 			delete(d.spStash, d.nextPic)
 			d.nextPic++
-			d.decodePictureRecover(sp)
+			d.decodePictureRecover(e.sp)
+			if d.cfg.Pooled {
+				cluster.PutSlab(e.payload)
+			}
 			d.res.Pictures++
 			d.res.Breakdown.Pictures++
 		} else {
@@ -204,6 +207,7 @@ func (d *Decoder) flushToTotal() {
 		}
 	}
 	d.gapSince = time.Time{}
+	d.releaseStash()
 }
 
 // SweepDeadline conceals past a reorder hole that has outlived the
@@ -226,17 +230,6 @@ func (d *Decoder) SweepDeadline(deadline time.Duration) bool {
 	}
 	d.drainStashRecover()
 	return d.doneByTotal()
-}
-
-// handleSubPic processes the in-order sub-picture for d.nextPic.
-func (d *Decoder) handleSubPic(sp *subpic.SubPicture) (bool, error) {
-	d.nextPic++
-	d.decodePictureRecover(sp)
-	d.res.Pictures++
-	d.res.Breakdown.Pictures++
-	d.checkpointProgress()
-	d.cfg.Recovery.Renew()
-	return d.doneByTotal(), nil
 }
 
 // decodePictureRecover is decodePicture with every abort turned into
@@ -364,20 +357,6 @@ func (d *Decoder) concealEmit(idx int) {
 	d.emitFrame(idx, d.display)
 }
 
-// checkpointProgress records the emission frontier for a future respawn:
-// everything below nextPic has been emitted except the held anchor.
-func (d *Decoder) checkpointProgress() {
-	rh := d.cfg.Recovery
-	if rh.Checkpoint == nil {
-		return
-	}
-	pending := -1
-	if d.pendingAnchor {
-		pending = d.pendingAnchorIdx
-	}
-	rh.Checkpoint.Update(d.nextPic, pending)
-}
-
 // drainRecvsRecover is drainRecvs with the per-picture deadline: halo
 // macroblocks that do not arrive in time are concealed by copy-from-reference
 // (the window simply keeps the previous picture's pixels there) rather than
@@ -448,15 +427,49 @@ func (d *Decoder) drainRecvsRecover(sp *subpic.SubPicture, picType mpeg2.Picture
 		if msg == nil {
 			return // fabric aborted; the next sub-picture Recv reports it
 		}
-		bb, err := subpic.UnmarshalBlocks(msg.Payload)
-		if err != nil {
-			continue
+		var bb *subpic.BlockBundle
+		if d.cfg.Pooled {
+			bb = &d.bbScratch
+			if err := subpic.UnmarshalBlocksInto(bb, msg.Payload); err != nil {
+				cluster.PutSlab(msg.Payload)
+				continue
+			}
+		} else {
+			var err error
+			bb, err = subpic.UnmarshalBlocks(msg.Payload)
+			if err != nil {
+				continue
+			}
 		}
 		switch {
 		case int(bb.PicIndex) == int(sp.Pic.Index):
 			apply(bb)
+			if d.cfg.Pooled {
+				// Pixels were injected into the halo above; the payload they
+				// alias can go back to the pool.
+				cluster.PutSlab(msg.Payload)
+			}
 		case int(bb.PicIndex) > int(sp.Pic.Index):
-			d.stash = append(d.stash, bb)
+			if d.cfg.Pooled {
+				// The stash outlives this call, so detach it from the scratch
+				// bundle; its pixels keep aliasing the payload, which (like
+				// the strict path's ahead-stash) is left to the garbage
+				// collector once applied — ahead-bundles are rare.
+				clone := &subpic.BlockBundle{
+					PicIndex: bb.PicIndex,
+					Cells:    append([]subpic.BlockCell(nil), bb.Cells...),
+					Pixels:   bb.Pixels,
+				}
+				d.stash = append(d.stash, clone)
+			} else {
+				d.stash = append(d.stash, bb)
+			}
+		default:
+			// Stale bundle from a replayed picture: this decoder is its only
+			// consumer, so the payload is done.
+			if d.cfg.Pooled {
+				cluster.PutSlab(msg.Payload)
+			}
 		}
 	}
 }

@@ -63,13 +63,17 @@ type ServeRecovery struct {
 }
 
 // ResumeSession re-opens one session on a respawned node server. NextPic is
-// the emission frontier the dead incarnation reached: pictures below it were
-// already displayed and stay displayed; the reference chain restarts
-// untrusted and conceals until an I picture re-anchors it.
+// the emission frontier the dead incarnation reached (one past the highest
+// emitted decode index): pictures below it were already displayed and stay
+// displayed; the reference chain restarts untrusted and conceals until an I
+// picture re-anchors it. Holes lists the decode indices below NextPic the
+// dead incarnation never emitted — its held anchor, lost with it — which the
+// respawned incarnation conceal-emits once so no tile skips a frame.
 type ResumeSession struct {
 	ID      int
 	Header  []byte
 	NextPic int
+	Holes   []int
 }
 
 // server holds the node-level state shared by every session on one tile.
@@ -212,6 +216,11 @@ func Serve(port cluster.Port, cfg ServeConfig) error {
 				// open: every splitter forwards the open before anything
 				// else, and sender order is preserved.)
 				if msg.Flags&cluster.FlagSessionFinal != 0 {
+					if cfg.Pooled {
+						// Final markers are marshalled per destination; this
+						// tile is the payload's only consumer.
+						cluster.PutSlab(msg.Payload)
+					}
 					continue
 				}
 				return fmt.Errorf("tile %d: picture for unknown session %d", cfg.Tile, msg.Session)
@@ -288,7 +297,7 @@ func (srv *server) serveRecover() error {
 		if err := srv.open(&cluster.Message{Session: rs.ID, Payload: rs.Header}); err != nil {
 			continue // undecodable header: the session fails upstream
 		}
-		srv.sessions[rs.ID].ResumeAt(rs.NextPic)
+		srv.sessions[rs.ID].ResumeAt(rs.NextPic, rs.Holes)
 	}
 	// Receive in deadline-granularity ticks so reorder holes are swept even
 	// while the port is idle (the hole's successors may be the only traffic a
@@ -320,7 +329,11 @@ func (srv *server) serveRecover() error {
 			d := srv.sessions[msg.Session]
 			if d == nil {
 				// Completed session's trailing finals, or state lost past the
-				// restart budget; either way nothing to do.
+				// restart budget; either way the payload — marshalled for this
+				// tile alone — has no consumer left.
+				if srv.cfg.Pooled {
+					cluster.PutSlab(msg.Payload)
+				}
 				continue
 			}
 			// Injected crash before the dispatch (and thus before the ack):
@@ -357,6 +370,7 @@ func (srv *server) sweepDeadlines() {
 // result out, drop the state, and send the drain ack that lets the root
 // close the session.
 func (srv *server) finish(session int, d *Decoder) {
+	d.releaseStash()
 	res := d.Finish()
 	delete(srv.sessions, session)
 	delete(srv.pending, session)

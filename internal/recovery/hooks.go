@@ -22,30 +22,10 @@ func (h *Hooks) Renew() {
 	}
 }
 
-// DecoderHooks wires one tile decoder incarnation.
+// DecoderHooks wires one tile decoder incarnation. A respawned incarnation
+// resumes at its emission frontier (pdec.Decoder.ResumeAt) and starts in
+// concealment until an I picture re-anchors it; the resume state rides on
+// the serve layer (pdec.ServeRecovery), not here.
 type DecoderHooks struct {
 	Hooks
-	// Checkpoint survives incarnations; Resume marks a respawn, which starts
-	// in concealment (freeze-last-frame) until an I picture re-anchors it.
-	Checkpoint *Checkpoint
-	Resume     bool
-}
-
-// SplitterHooks wires one second-level splitter incarnation.
-type SplitterHooks struct {
-	Hooks
-	// Retainer receives every sub-picture this splitter ships, for replay to
-	// respawned decoders.
-	Retainer *SubPicRetainer
-	// Resume marks a respawned incarnation, which must not claim the
-	// stream's first-picture credit exemption.
-	Resume bool
-}
-
-// RootHooks wires the root splitter.
-type RootHooks struct {
-	Cfg Config
-	Rec *metrics.Recovery
-	// Retainer holds sent pictures until the assignee's ack releases them.
-	Retainer *PictureRetainer
 }

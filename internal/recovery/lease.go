@@ -1,11 +1,8 @@
 package recovery
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
-
-	"tiledwall/internal/mpeg2"
 )
 
 // Lease is one node's heartbeat: the worker renews it on every unit of
@@ -28,60 +25,4 @@ func (l *Lease) Renew() { atomic.StoreInt64(&l.last, time.Now().UnixNano()) }
 // Expired reports whether the lease has not been renewed for at least d.
 func (l *Lease) Expired(d time.Duration) bool {
 	return time.Since(time.Unix(0, atomic.LoadInt64(&l.last))) >= d
-}
-
-// Checkpoint is the durable progress record of one tile decoder, written by
-// the worker after every display emission and read by the supervisor when it
-// respawns the node. It models the state that survives a decoder crash on a
-// real wall: the supervisor's view of the node's progress reports, plus the
-// projector's frame buffer (which keeps showing the last uploaded frame —
-// the physical basis of freeze-last-frame concealment).
-type Checkpoint struct {
-	mu sync.Mutex
-
-	// nextPic is the decode-order index of the next picture the tile owes.
-	nextPic int
-	// pendingAnchor is the decode index of a decoded anchor picture that has
-	// not been emitted yet (display reordering holds one anchor back), or -1.
-	pendingAnchor int
-	// lastDisplay is the last frame handed to the projector, retained for
-	// freeze concealment. Never written after handoff.
-	lastDisplay *mpeg2.PixelBuf
-	// finalTotal is the stream's total picture count once a Final marker has
-	// been seen, else -1.
-	finalTotal int
-}
-
-// NewCheckpoint returns the initial (no progress) checkpoint.
-func NewCheckpoint() *Checkpoint {
-	return &Checkpoint{pendingAnchor: -1, finalTotal: -1}
-}
-
-// Update records the decoder's progress after handling one picture.
-func (c *Checkpoint) Update(nextPic, pendingAnchor int) {
-	c.mu.Lock()
-	c.nextPic = nextPic
-	c.pendingAnchor = pendingAnchor
-	c.mu.Unlock()
-}
-
-// SetDisplay records the frame most recently uploaded to the projector.
-func (c *Checkpoint) SetDisplay(buf *mpeg2.PixelBuf) {
-	c.mu.Lock()
-	c.lastDisplay = buf
-	c.mu.Unlock()
-}
-
-// SetFinalTotal records the stream's total picture count.
-func (c *Checkpoint) SetFinalTotal(n int) {
-	c.mu.Lock()
-	c.finalTotal = n
-	c.mu.Unlock()
-}
-
-// State returns the recorded progress.
-func (c *Checkpoint) State() (nextPic, pendingAnchor int, lastDisplay *mpeg2.PixelBuf, finalTotal int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nextPic, c.pendingAnchor, c.lastDisplay, c.finalTotal
 }

@@ -1,24 +1,26 @@
-// Package recovery is the supervision and retry layer of the parallel
-// decoder (DESIGN.md §6). The paper's wall must keep projecting when a node
-// hiccups; PR 1's fault injection could only *detect* loss (a dropped
-// message stalls the pipeline into ErrStalled). This package masks faults at
-// three levels:
+// Package recovery is the supervision layer of the resident wall (DESIGN.md
+// §6). The paper's wall must keep projecting when a node hiccups; PR 1's
+// fault injection could only *detect* loss (a dropped message stalls the
+// pipeline into ErrStalled). One recovery model serves every transport —
+// the in-process fabric and TCP alike — masking faults at two levels:
 //
-//   - fabric: a reliable endpoint wrapping each cluster node with per-link
-//     sequence tracking, NACK-triggered and timeout-triggered retransmission
-//     with capped exponential backoff, and receive-side dedup/reordering —
-//     the retransmit buffer is bounded in practice by the pipeline's own
-//     two-buffer credit window;
 //   - node: per-node leases renewed on every picture; a supervisor declares
-//     a decoder or second-level splitter dead after missed leases, respawns
-//     it on the same fabric node, and replays the in-flight pictures it
-//     owned from the retained windows kept at the root splitter (pictures)
-//     and second-level splitters (sub-pictures), preserving ANID/NSID order;
+//     a decoder or second-level splitter dead after missed leases and
+//     respawns it in place. A respawned splitter is replayed the unacked
+//     pictures the root retained for it (PictureRetainer, preserving the
+//     ANID/NSID ordering chain across sessions); a respawned decoder is not
+//     replayed to — it resumes at its emission frontier and conceals forward
+//     until an I picture re-anchors the reference chain;
 //   - output: when a sub-picture or exchanged reference macroblock stays
 //     unrecoverable past a per-picture deadline, the owning decoder conceals
 //     instead of aborting — freeze-last-frame for a lost tile picture,
 //     copy-from-reference for missing halo macroblocks — and every
 //     intervention is counted in metrics.Recovery.
+//
+// On a pooled wall the retainer participates in slab reference counting
+// (cluster.SlabRef/PutSlab): retaining a payload acquires a reference,
+// replaying shares the retained bytes, and the releasing ack or session
+// drop returns the reference — the last holder recycles the slab.
 package recovery
 
 import (
@@ -44,12 +46,6 @@ type Config struct {
 	LeaseInterval time.Duration
 	LeaseExpiry   time.Duration
 
-	// RetryInterval is the base retransmission timeout of the reliable
-	// endpoint; successive retransmits of the same message back off
-	// exponentially up to MaxBackoff. Defaults: 15ms / 250ms.
-	RetryInterval time.Duration
-	MaxBackoff    time.Duration
-
 	// PictureDeadline bounds how long a decoder waits for a missing
 	// sub-picture or reference macroblock before concealing, and how long a
 	// splitter waits for credit acks before proceeding. It should comfortably
@@ -62,11 +58,6 @@ type Config struct {
 	// the watchdog). Default: 3.
 	MaxRestarts int
 
-	// RetainWindow is how many recent pictures the root and the second-level
-	// splitters keep for replay. It needs to cover the pipeline depth between
-	// a splitter and the slowest decoder (a few pictures under the two-buffer
-	// credit protocol). Default: 16.
-	RetainWindow int
 }
 
 // WithDefaults returns c with zero fields filled in.
@@ -77,20 +68,11 @@ func (c Config) WithDefaults() Config {
 	if c.LeaseExpiry <= 0 {
 		c.LeaseExpiry = 4 * c.LeaseInterval
 	}
-	if c.RetryInterval <= 0 {
-		c.RetryInterval = 15 * time.Millisecond
-	}
-	if c.MaxBackoff <= 0 {
-		c.MaxBackoff = 250 * time.Millisecond
-	}
 	if c.PictureDeadline <= 0 {
 		c.PictureDeadline = 400 * time.Millisecond
 	}
 	if c.MaxRestarts == 0 {
 		c.MaxRestarts = 3
-	}
-	if c.RetainWindow <= 0 {
-		c.RetainWindow = 16
 	}
 	return c
 }

@@ -1,12 +1,10 @@
 package recovery
 
 import (
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"tiledwall/internal/cluster"
-	"tiledwall/internal/metrics"
 )
 
 func testCfg() Config {
@@ -14,154 +12,8 @@ func testCfg() Config {
 		Enabled:         true,
 		LeaseInterval:   2 * time.Millisecond,
 		LeaseExpiry:     8 * time.Millisecond,
-		RetryInterval:   3 * time.Millisecond,
-		MaxBackoff:      20 * time.Millisecond,
 		PictureDeadline: 100 * time.Millisecond,
 		MaxRestarts:     2,
-		RetainWindow:    4,
-	}
-}
-
-// pair builds two endpoints on a fresh fabric with an optional drop hook.
-func pair(t *testing.T, fcfg cluster.Config) (*Endpoint, *Endpoint, *metrics.Recovery, func()) {
-	t.Helper()
-	fab := cluster.New(2, fcfg)
-	rec := &metrics.Recovery{}
-	a := NewEndpoint(fab.Node(0), testCfg(), rec)
-	b := NewEndpoint(fab.Node(1), testCfg(), rec)
-	return a, b, rec, func() {
-		a.Close()
-		b.Close()
-		fab.Shutdown()
-	}
-}
-
-func TestEndpointInOrder(t *testing.T) {
-	a, b, _, done := pair(t, cluster.Config{})
-	defer done()
-	for i := 0; i < 5; i++ {
-		a.Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: i})
-	}
-	for i := 0; i < 5; i++ {
-		m, timedOut := b.RecvTimeout(cluster.MsgSubPicture, time.Second)
-		if timedOut || m == nil || m.Seq != i {
-			t.Fatalf("message %d: got %+v timedOut=%v", i, m, timedOut)
-		}
-		if m.XSeq != int64(i+1) {
-			t.Fatalf("message %d carries XSeq %d, want %d", i, m.XSeq, i+1)
-		}
-	}
-	// Uncovered kinds pass through unsequenced.
-	xm := &cluster.Message{Kind: cluster.MsgXport, Seq: 9, Payload: make([]byte, 1)}
-	a.Send(1, xm)
-	if xm.XSeq != 0 {
-		t.Fatalf("transport control was sequenced: XSeq=%d", xm.XSeq)
-	}
-}
-
-// TestEndpointRepairsLoss drops the first attempt of one mid-stream message:
-// the gap is NACKed as soon as a later message exposes it, the retransmission
-// passes, and delivery order is preserved with the duplicate counted.
-func TestEndpointRepairsLoss(t *testing.T) {
-	var dropped int32
-	fcfg := cluster.Config{
-		Drop: func(m *cluster.Message) bool {
-			if m.Kind == cluster.MsgSubPicture && m.XSeq == 2 &&
-				m.Flags&cluster.FlagRetransmit == 0 &&
-				atomic.CompareAndSwapInt32(&dropped, 0, 1) {
-				return true
-			}
-			return false
-		},
-	}
-	a, b, rec, done := pair(t, fcfg)
-	defer done()
-	for i := 0; i < 4; i++ {
-		a.Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: i})
-	}
-	for i := 0; i < 4; i++ {
-		m, timedOut := b.RecvTimeout(cluster.MsgSubPicture, 2*time.Second)
-		if timedOut || m == nil || m.Seq != i {
-			t.Fatalf("message %d: got %+v timedOut=%v", i, m, timedOut)
-		}
-	}
-	if s := rec.Snapshot(); s.Retransmits < 1 {
-		t.Fatalf("loss repaired without a recorded retransmit: %s", s)
-	}
-}
-
-// TestEndpointRepairsTailLoss drops the final message's first attempt: no
-// later traffic exposes the gap, so only the sender's backoff timer can
-// repair it.
-func TestEndpointRepairsTailLoss(t *testing.T) {
-	var dropped int32
-	fcfg := cluster.Config{
-		Drop: func(m *cluster.Message) bool {
-			return m.Kind == cluster.MsgSubPicture && m.XSeq == 3 &&
-				m.Flags&cluster.FlagRetransmit == 0 &&
-				atomic.CompareAndSwapInt32(&dropped, 0, 1)
-		},
-	}
-	a, b, _, done := pair(t, fcfg)
-	defer done()
-	for i := 0; i < 3; i++ {
-		a.Send(1, &cluster.Message{Kind: cluster.MsgSubPicture, Seq: i})
-	}
-	for i := 0; i < 3; i++ {
-		m, timedOut := b.RecvTimeout(cluster.MsgSubPicture, 2*time.Second)
-		if timedOut || m == nil || m.Seq != i {
-			t.Fatalf("message %d: got %+v timedOut=%v", i, m, timedOut)
-		}
-	}
-}
-
-// TestEndpointCloseWithDeadPeer is the teardown-deadlock regression: a peer
-// that stopped draining its queues (finished or crashed) must not wedge the
-// sender's retransmit loop — and with it Close — once retransmissions have
-// filled the peer's bounded queue.
-func TestEndpointCloseWithDeadPeer(t *testing.T) {
-	fab := cluster.New(2, cluster.Config{QueueDepth: 2})
-	defer fab.Shutdown()
-	cfg := testCfg()
-	cfg.RetryInterval = time.Millisecond
-	a := NewEndpoint(fab.Node(0), cfg, nil)
-	// Two covered messages, never acked: node 1 has no process. Retransmits
-	// fill its 2-deep queue almost immediately.
-	a.Send(1, &cluster.Message{Kind: cluster.MsgAck, Seq: 1})
-	a.Send(1, &cluster.Message{Kind: cluster.MsgAck, Seq: 2})
-	time.Sleep(30 * time.Millisecond)
-	closed := make(chan struct{})
-	go func() {
-		a.Close()
-		close(closed)
-	}()
-	select {
-	case <-closed:
-	case <-time.After(2 * time.Second):
-		t.Fatal("Close blocked behind a dead peer's full queue")
-	}
-}
-
-// TestEndpointSendNeverBlocks: covered first attempts must be non-blocking
-// too — a worker acking to a peer that already finished (full queue, nobody
-// draining) has to keep making progress, with the retained copy left to the
-// NACK/timer path.
-func TestEndpointSendNeverBlocks(t *testing.T) {
-	fab := cluster.New(2, cluster.Config{QueueDepth: 1})
-	defer fab.Shutdown()
-	a := NewEndpoint(fab.Node(0), testCfg(), nil)
-	defer a.Close()
-	done := make(chan struct{})
-	go func() {
-		for i := 0; i < 8; i++ {
-			a.Send(1, &cluster.Message{Kind: cluster.MsgAck, Seq: i})
-		}
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("Send blocked behind a dead peer's full queue")
 	}
 }
 
@@ -237,44 +89,8 @@ func TestLeaseExpiry(t *testing.T) {
 	}
 }
 
-func TestSubPicRetainerWindow(t *testing.T) {
-	r := NewSubPicRetainer(4)
-	for pic := 0; pic <= 10; pic++ {
-		r.Retain(0, 0, pic, 100+pic, []byte{byte(pic)})
-	}
-	got := r.Since(0, 0, 0)
-	// Window 4 around maxPic 10: everything below 6 is pruned.
-	if len(got) == 0 || got[0].Pic < 6 {
-		t.Fatalf("window not pruned: %+v", got)
-	}
-	for i := 1; i < len(got); i++ {
-		if got[i].Pic <= got[i-1].Pic {
-			t.Fatalf("Since not ascending: %+v", got)
-		}
-	}
-	if sub := r.Since(0, 0, 9); len(sub) != 2 || sub[0].Pic != 9 || sub[1].Pic != 10 {
-		t.Fatalf("Since(9) = %+v", sub)
-	}
-	if other := r.Since(0, 1, 0); len(other) != 0 {
-		t.Fatalf("unknown tile returned %+v", other)
-	}
-	// Session scoping: another session's window is independent, and dropping
-	// it leaves the first session's entries intact.
-	r.Retain(7, 0, 3, 103, []byte{3})
-	if got := r.Since(7, 0, 0); len(got) != 1 || got[0].Pic != 3 {
-		t.Fatalf("session 7 window: %+v", got)
-	}
-	r.Drop(7)
-	if got := r.Since(7, 0, 0); len(got) != 0 {
-		t.Fatalf("session 7 window survived Drop: %+v", got)
-	}
-	if got := r.Since(0, 0, 9); len(got) != 2 {
-		t.Fatalf("session 0 window disturbed by Drop: %+v", got)
-	}
-}
-
 func TestPictureRetainerAck(t *testing.T) {
-	r := NewPictureRetainer()
+	r := NewPictureRetainer(false)
 	r.Retain(0, 0, 2, 20, 0, []byte{2})
 	r.Retain(0, 0, 4, 40, 0, []byte{4})
 	r.Retain(0, 1, 3, 30, 0, []byte{3})
@@ -294,7 +110,7 @@ func TestPictureRetainerAck(t *testing.T) {
 }
 
 func TestPictureRetainerSessions(t *testing.T) {
-	r := NewPictureRetainer()
+	r := NewPictureRetainer(false)
 	// Interleaved sends of two sessions to the same splitter: replay order
 	// must follow send order, not per-session seq order.
 	r.Retain(1, 0, 0, 10, 0, []byte{1})
@@ -322,14 +138,33 @@ func TestPictureRetainerSessions(t *testing.T) {
 	}
 }
 
-func TestCheckpointState(t *testing.T) {
-	c := NewCheckpoint()
-	if next, pending, buf, total := c.State(); next != 0 || pending != -1 || buf != nil || total != -1 {
-		t.Fatalf("initial state: %d %d %v %d", next, pending, buf, total)
+// TestPictureRetainerPooledRefs proves the pooled retainer holds a slab
+// reference per entry: the consumer's release cannot recycle a retained
+// slab, the releasing ack can, and duplicate acks never double-release.
+func TestPictureRetainerPooledRefs(t *testing.T) {
+	r := NewPictureRetainer(true)
+	payload := append(cluster.GetSlab(512), make([]byte, 400)...)
+	r.Retain(0, 0, 0, 0, 0, payload)
+	cluster.PutSlab(payload) // the consuming splitter's release
+	if got := cluster.GetSlab(512); &got[:1][0] == &payload[:1][0] {
+		t.Fatal("retained slab recycled by the consumer's release")
 	}
-	c.Update(5, 4)
-	c.SetFinalTotal(12)
-	if next, pending, _, total := c.State(); next != 5 || pending != 4 || total != 12 {
-		t.Fatalf("updated state: %d %d %d", next, pending, total)
+	r.Ack(0, 0, 0) // releasing ack: the retainer's reference returns
+	got := cluster.GetSlab(512)
+	if &got[:1][0] != &payload[:1][0] {
+		t.Fatal("slab not recycled after the retainer released it")
 	}
+	cluster.PutSlab(got)
+	r.Ack(0, 0, 0) // duplicate ack: entry gone, must not double-release
+
+	// Drop releases every retained reference of the session.
+	p2 := append(cluster.GetSlab(512), make([]byte, 300)...)
+	r.Retain(3, 0, 0, 0, 0, p2)
+	cluster.PutSlab(p2)
+	r.Drop(3)
+	got2 := cluster.GetSlab(512)
+	if &got2[:1][0] != &p2[:1][0] {
+		t.Fatal("slab not recycled after Drop")
+	}
+	cluster.PutSlab(got2)
 }

@@ -3,98 +3,9 @@ package recovery
 import (
 	"sort"
 	"sync"
+
+	"tiledwall/internal/cluster"
 )
-
-// RetainedSubPic is one tile's marshalled sub-picture kept for replay.
-type RetainedSubPic struct {
-	Session int
-	Pic     int
-	Tag     int // original ANID tag (replays are not acked, but kept for audit)
-	Payload []byte
-}
-
-// subPicKey scopes a tile's replay window to one session, so a resident
-// wall's concurrent streams never see each other's retained sub-pictures
-// (batch runs use session 0 throughout).
-type subPicKey struct {
-	session int
-	tile    int
-}
-
-// SubPicRetainer is the replay window the second-level splitters feed: the
-// last RetainWindow sub-pictures per (session, tile), shared across splitters
-// (each retains the pictures it split, so a tile's entries interleave). When
-// a decoder is respawned, the supervisor replays every retained sub-picture
-// the new incarnation still owes, in picture order; the decoder's reorder
-// stash restores ANID/NSID sequencing without a dedicated reorder queue.
-type SubPicRetainer struct {
-	mu     sync.Mutex
-	window int
-	byTile map[subPicKey]map[int]RetainedSubPic // (session, tile) -> pic -> entry
-	maxPic map[subPicKey]int
-}
-
-// NewSubPicRetainer keeps the last window pictures per (session, tile).
-func NewSubPicRetainer(window int) *SubPicRetainer {
-	if window <= 0 {
-		window = 16
-	}
-	return &SubPicRetainer{
-		window: window,
-		byTile: map[subPicKey]map[int]RetainedSubPic{},
-		maxPic: map[subPicKey]int{},
-	}
-}
-
-// Retain stores the session's sub-picture for (tile, pic) and prunes entries
-// that fell out of the window.
-func (r *SubPicRetainer) Retain(session, tile, pic, tag int, payload []byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	k := subPicKey{session, tile}
-	m := r.byTile[k]
-	if m == nil {
-		m = map[int]RetainedSubPic{}
-		r.byTile[k] = m
-	}
-	m[pic] = RetainedSubPic{Session: session, Pic: pic, Tag: tag, Payload: payload}
-	if pic > r.maxPic[k] {
-		r.maxPic[k] = pic
-	}
-	floor := r.maxPic[k] - r.window
-	for p := range m {
-		if p < floor {
-			delete(m, p)
-		}
-	}
-}
-
-// Since returns the session's retained sub-pictures for tile with
-// pic >= fromPic, ascending.
-func (r *SubPicRetainer) Since(session, tile, fromPic int) []RetainedSubPic {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out []RetainedSubPic
-	for p, e := range r.byTile[subPicKey{session, tile}] {
-		if p >= fromPic {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pic < out[j].Pic })
-	return out
-}
-
-// Drop releases every window of one session (resident session close).
-func (r *SubPicRetainer) Drop(session int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for k := range r.byTile {
-		if k.session == session {
-			delete(r.byTile, k)
-			delete(r.maxPic, k)
-		}
-	}
-}
 
 // RetainedPicture is one picture unit the root keeps until its assignee's
 // credit ack confirms delivery.
@@ -123,18 +34,27 @@ type pictureKey struct {
 // supervisor replays its unacked pictures with their original NSID tags, in
 // original send order across sessions, preserving the ANID/NSID ordering
 // chain.
+//
+// On a pooled wall the retainer is a slab reference holder: Retain acquires
+// an extra reference on the payload (the sent copy and the retained copy
+// are the same bytes on the in-process fabric), and the releasing ack or
+// session drop returns it — the consuming splitter's own release can then
+// never recycle a slab the retainer might still replay.
 type PictureRetainer struct {
 	mu         sync.Mutex
+	pooled     bool
 	nextOrd    int64
 	bySplitter map[int]map[pictureKey]RetainedPicture // splitter index -> (session, seq) -> entry
 }
 
-// NewPictureRetainer returns an empty retainer.
-func NewPictureRetainer() *PictureRetainer {
-	return &PictureRetainer{bySplitter: map[int]map[pictureKey]RetainedPicture{}}
+// NewPictureRetainer returns an empty retainer. pooled marks payloads as
+// pooled cluster slabs whose references the retainer must manage.
+func NewPictureRetainer(pooled bool) *PictureRetainer {
+	return &PictureRetainer{pooled: pooled, bySplitter: map[int]map[pictureKey]RetainedPicture{}}
 }
 
-// Retain stores the session's picture seq sent to splitter idx.
+// Retain stores the session's picture seq sent to splitter idx, acquiring a
+// slab reference on a pooled wall.
 func (r *PictureRetainer) Retain(session, idx, seq, tag int, flags uint8, payload []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -143,17 +63,29 @@ func (r *PictureRetainer) Retain(session, idx, seq, tag int, flags uint8, payloa
 		m = map[pictureKey]RetainedPicture{}
 		r.bySplitter[idx] = m
 	}
+	if r.pooled {
+		cluster.SlabRef(payload)
+	}
 	r.nextOrd++
 	m[pictureKey{session, seq}] = RetainedPicture{
 		Session: session, Seq: seq, Tag: tag, Flags: flags, Payload: payload, ord: r.nextOrd,
 	}
 }
 
-// Ack releases the retained picture (session, seq) of splitter idx.
+// Ack releases the retained picture (session, seq) of splitter idx — and its
+// slab reference, but only when the entry still exists: replay and synthetic
+// credits can produce duplicate acks, which must not double-release.
 func (r *PictureRetainer) Ack(session, idx, seq int) {
 	r.mu.Lock()
-	delete(r.bySplitter[idx], pictureKey{session, seq})
+	k := pictureKey{session, seq}
+	e, ok := r.bySplitter[idx][k]
+	if ok {
+		delete(r.bySplitter[idx], k)
+	}
 	r.mu.Unlock()
+	if ok && r.pooled {
+		cluster.PutSlab(e.Payload)
+	}
 }
 
 // Pending returns one session's unacked pictures at splitter idx in
@@ -201,15 +133,23 @@ func (r *PictureRetainer) OldestSession(idx int) (session int, ok bool) {
 }
 
 // Drop releases every retained picture of one session across splitters
-// (resident session close or failure).
+// (resident session close or failure), returning the slab references the
+// entries held.
 func (r *PictureRetainer) Drop(session int) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	var freed [][]byte
 	for _, m := range r.bySplitter {
-		for k := range m {
+		for k, e := range m {
 			if k.session == session {
+				if r.pooled {
+					freed = append(freed, e.Payload)
+				}
 				delete(m, k)
 			}
 		}
+	}
+	r.mu.Unlock()
+	for _, p := range freed {
+		cluster.PutSlab(p)
 	}
 }

@@ -13,13 +13,15 @@ import (
 	"tiledwall/internal/splitter"
 )
 
-// This file wires the batch recovery layer (DESIGN.md §6) into the resident
-// wall: supervised incarnation loops for the local splitter and decoder
-// servers, a session registry that snapshots what a respawned incarnation
-// must re-join, root-side picture retention and replay, and the wall health
-// state machine. Failure isolation is per session: a corrupt stream or an
-// exhausted deadline budget fails that session with a typed error while the
-// other sessions keep flowing.
+// This file is the wall's recovery wiring (DESIGN.md §6) — the one recovery
+// model the repo has, identical over the in-process fabric and TCP:
+// supervised incarnation loops for the local splitter and decoder servers, a
+// session registry that snapshots what a respawned incarnation must re-join,
+// root-side picture retention and replay, and the wall health state machine.
+// Failure isolation is per session: a corrupt stream or an exhausted deadline
+// budget fails that session with a typed error while the other sessions keep
+// flowing. On a pooled wall the retainer holds slab references (DESIGN.md
+// §9), so retention composes with buffer recycling.
 
 // Health is the resident wall's fault-tolerance state.
 type Health int32
@@ -102,7 +104,7 @@ type wallRecovery struct {
 	sessions map[int]*sessionRecState
 }
 
-func newWallRecovery(cfg recovery.Config, chaos recovery.ChaosPlan, k, nTiles int) *wallRecovery {
+func newWallRecovery(cfg recovery.Config, chaos recovery.ChaosPlan, k, nTiles int, pooled bool) *wallRecovery {
 	rcfg := cfg.WithDefaults()
 	rec := &metrics.Recovery{}
 	return &wallRecovery{
@@ -110,7 +112,7 @@ func newWallRecovery(cfg recovery.Config, chaos recovery.ChaosPlan, k, nTiles in
 		chaos:    chaos,
 		rec:      rec,
 		sup:      recovery.NewSupervisor(rcfg, rec),
-		picRet:   recovery.NewPictureRetainer(),
+		picRet:   recovery.NewPictureRetainer(pooled),
 		respawn:  make(chan int, k+1),
 		nTiles:   nTiles,
 		sessions: map[int]*sessionRecState{},
@@ -187,10 +189,12 @@ func (rv *wallRecovery) splitterResume() []splitter.ResumeSession {
 }
 
 // decoderResume snapshots the sessions a respawned decoder must re-join,
-// with each session's emission frontier on that tile. Emission order is
-// display order, but the count of emitted frames bounds the decode-order
-// frontier: pictures below it stay on the projector, and a picture consumed
-// as the held anchor re-emerges through gap concealment — exactly once.
+// with each session's emission frontier on that tile. B-picture reordering
+// means the emitted indices are not contiguous: the dead incarnation's held
+// anchor may be missing below indices it already emitted. The frontier is
+// therefore one past the highest emitted index, and every hole below it —
+// the lost held anchor — is listed for the respawned decoder to conceal-emit
+// once, preserving exactly-once delivery.
 func (rv *wallRecovery) decoderResume(tile int) []pdec.ResumeSession {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
@@ -200,10 +204,22 @@ func (rv *wallRecovery) decoderResume(tile int) []pdec.ResumeSession {
 			continue
 		}
 		next := 0
+		var holes []int
 		if tile >= 0 && tile < len(st.emitted) {
-			next = len(st.emitted[tile])
+			done := map[int]bool{}
+			for _, idx := range st.emitted[tile] {
+				done[idx] = true
+				if idx+1 > next {
+					next = idx + 1
+				}
+			}
+			for i := 0; i < next; i++ {
+				if !done[i] {
+					holes = append(holes, i)
+				}
+			}
 		}
-		out = append(out, pdec.ResumeSession{ID: id, Header: st.header, NextPic: next})
+		out = append(out, pdec.ResumeSession{ID: id, Header: st.header, NextPic: next, Holes: holes})
 	}
 	return out
 }

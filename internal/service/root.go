@@ -175,10 +175,18 @@ func (w *Wall) runRoot() error {
 	// not restart per stream.
 	a := choose()
 	shipped := false
+	// release returns a dropped picture payload's reference to the slab pool
+	// (pictures the root drops never reach a consumer).
+	release := func(payload []byte) {
+		if w.cfg.Pooled {
+			cluster.PutSlab(payload)
+		}
+	}
 	emit := func(it workItem) error {
 		s := it.sess
 		if rv != nil && s.failCause() != nil {
 			s.releaseToken() // failed in isolation; drop queued pictures
+			release(it.payload)
 			return nil
 		}
 		pt := picTypeOf(it.payload)
@@ -202,6 +210,7 @@ func (w *Wall) runRoot() error {
 			// splitter, costs no credit, and frees its feed slot at once.
 			s.droppedPics++
 			s.releaseToken()
+			release(it.payload)
 			return nil
 		}
 		// Shipped pictures are re-indexed densely so the downstream protocol
@@ -282,6 +291,12 @@ func (w *Wall) runRoot() error {
 			}
 			for _, p := range rv.picRet.PendingSplitter(idx) {
 				rv.rec.AddReplayed(1)
+				if w.cfg.Pooled {
+					// Each replay delivery shares the retained bytes and the
+					// consumer releases per delivery, so every send acquires
+					// its own slab reference (nil Final payloads are no-ops).
+					cluster.SlabRef(p.Payload)
+				}
 				port.Send(w.splitterIDs[idx], &cluster.Message{
 					Kind:    cluster.MsgPicture,
 					Seq:     p.Seq,
@@ -500,6 +515,9 @@ func (w *Wall) runRootCombined() error {
 				cs := sessions[s.id]
 				if cs == nil {
 					s.releaseToken() // session already failed in isolation
+					if w.cfg.Pooled {
+						cluster.PutSlab(it.payload)
+					}
 					continue
 				}
 				// The root is the (single) splitter here, so subscription
@@ -512,6 +530,9 @@ func (w *Wall) runRootCombined() error {
 				if trickDrops(s.rootTrick, pt) {
 					s.droppedPics++
 					s.releaseToken()
+					if w.cfg.Pooled {
+						cluster.PutSlab(it.payload)
+					}
 					continue
 				}
 				sIdx := s.shippedPics
@@ -524,6 +545,9 @@ func (w *Wall) runRootCombined() error {
 					if rv != nil {
 						failCombined(s, cs, sIdx, err)
 						s.releaseToken()
+						if w.cfg.Pooled {
+							cluster.PutSlab(it.payload)
+						}
 						continue
 					}
 					return err
@@ -553,6 +577,12 @@ func (w *Wall) runRootCombined() error {
 				cs.res.Pictures++
 				b.Pictures++
 				s.releaseToken()
+				// The sub-pictures aliased the picture payload until the
+				// serialisation above; there is no retainer on a one-level
+				// wall, so the root's release is the last.
+				if w.cfg.Pooled {
+					cluster.PutSlab(it.payload)
+				}
 			case workFinal:
 				s := it.sess
 				cs := sessions[s.id]

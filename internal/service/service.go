@@ -62,7 +62,8 @@ type Config struct {
 	// respawn with in-band session re-join), the root retains and replays
 	// unacked pictures, credit waits are deadline-bounded, decoders conceal
 	// lost pictures, and a broken session fails alone with a typed error.
-	// Pooling is forced off on recovery-enabled decoders.
+	// Composes with Pooled: retained payloads carry slab references, so
+	// replay and recycling share buffers safely (DESIGN.md §9).
 	Recovery recovery.Config
 	// Chaos injects crashes for tests and soaks; each kill fires on the
 	// named node's first incarnation only.
@@ -230,7 +231,7 @@ func New(cfg Config) (*Wall, error) {
 		w.decoderIDs = append(w.decoderIDs, 1+cfg.K+t)
 	}
 	if cfg.Recovery.Enabled {
-		w.rv = newWallRecovery(cfg.Recovery, cfg.Chaos, cfg.K, nTiles)
+		w.rv = newWallRecovery(cfg.Recovery, cfg.Chaos, cfg.K, nTiles, cfg.Pooled)
 	}
 
 	// Wake a Close blocked on active sessions if the transport aborts.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
 	"tiledwall/internal/mpeg2"
 	"tiledwall/internal/pdec"
@@ -384,8 +385,15 @@ func (s *Session) onHeader(prefix []byte) error {
 func (s *Session) onUnit(u []byte) error {
 	t0 := time.Now()
 	defer func() { s.cbTime += time.Since(t0) }()
-	buf := make([]byte, len(u))
-	copy(buf, u)
+	var buf []byte
+	if s.w.cfg.Pooled {
+		// Picture units travel as pooled slabs so the root's retainer and the
+		// consuming splitter can share the payload by reference count.
+		buf = append(cluster.GetSlab(len(u)), u...)
+	} else {
+		buf = make([]byte, len(u))
+		copy(buf, u)
+	}
 	s.rootRes.CopyTime += time.Since(t0)
 	select {
 	case <-s.tokens:

@@ -7,10 +7,6 @@ import (
 	"tiledwall/internal/bits"
 	"tiledwall/internal/cluster"
 	"tiledwall/internal/metrics"
-	"tiledwall/internal/mpeg2"
-	"tiledwall/internal/recovery"
-	"tiledwall/internal/subpic"
-	"tiledwall/internal/wall"
 )
 
 // RootConfig wires the root splitter node.
@@ -27,13 +23,6 @@ type RootConfig struct {
 	// ordering protocol is unaffected because the root always announces the
 	// actual next assignee.
 	Dynamic bool
-
-	// Recovery, when non-nil, makes the root fault-tolerant: sent pictures
-	// are retained until the assignee's ack releases them (the supervisor
-	// replays the rest to a respawned splitter), and credit waits give up
-	// after the per-picture deadline instead of deadlocking on a dead
-	// splitter's lost acks.
-	Recovery *recovery.RootHooks
 }
 
 // RootResult reports the root splitter's run.
@@ -52,6 +41,10 @@ type RootResult struct {
 // buffers at each splitter make the pipeline two pictures deep). The NSID —
 // the splitter responsible for the next picture — rides along so splitters
 // can fill in the ANID without knowing each other (§4.5, Table 3).
+//
+// RunRoot is the bare batch protocol driver (benchmarks and load-balance
+// tests); the resident wall's root — sessions, retention, recovery — lives
+// in internal/service.
 func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 	res := &RootResult{}
 	k := len(cfg.SplitterNodes)
@@ -59,13 +52,6 @@ func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 		return nil, fmt.Errorf("splitter: root needs at least one second-level splitter")
 	}
 	data := cfg.Stream
-	rh := cfg.Recovery
-	if rh != nil {
-		rh.Cfg = rh.Cfg.WithDefaults()
-		if rh.Rec == nil {
-			rh.Rec = &metrics.Recovery{}
-		}
-	}
 
 	// The root's per-picture work is exactly the paper's: find the picture
 	// boundaries by start-code scan and copy the bytes out. Flow control is
@@ -78,40 +64,10 @@ func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 		credits[i] = 2
 		nodeIdx[id] = i
 	}
-	// Credits never exceed the two posted buffers: under recovery, replay
-	// and synthetic credits can produce duplicate acks, which must not
-	// inflate the window.
-	credit := func(i int) {
-		if credits[i] < 2 {
-			credits[i]++
-		}
-	}
 	onAck := func(m *cluster.Message) {
-		i := nodeIdx[m.From]
-		credit(i)
-		if rh != nil && rh.Retainer != nil {
-			rh.Retainer.Ack(0, i, m.Seq)
-		}
+		credits[nodeIdx[m.From]]++
 	}
-	// takeAck blocks for one splitter ack while waiting on assignee a's
-	// credit. Under recovery it gives up after the per-picture deadline (a
-	// dead splitter's ack is gone for good — its retained pictures are the
-	// supervisor's to replay) and grants a synthetic credit so the pipeline
-	// keeps moving.
-	takeAck := func(a int) error {
-		if rh != nil {
-			m, timedOut := node.RecvTimeout(cluster.MsgAck, rh.Cfg.PictureDeadline)
-			if timedOut {
-				rh.Rec.AddAckTimeout()
-				credit(a)
-				return nil
-			}
-			if m == nil {
-				return fmt.Errorf("splitter: root aborted while waiting for splitter ack")
-			}
-			onAck(m)
-			return nil
-		}
+	takeAck := func() error {
 		m := node.Recv(cluster.MsgAck)
 		if m == nil {
 			return fmt.Errorf("splitter: root aborted while waiting for splitter ack")
@@ -154,7 +110,7 @@ func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 
 		t0 = time.Now()
 		for credits[a] == 0 {
-			if err := takeAck(a); err != nil {
+			if err := takeAck(); err != nil {
 				return err
 			}
 		}
@@ -172,9 +128,6 @@ func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 		next := choose()
 
 		t0 = time.Now()
-		if rh != nil && rh.Retainer != nil {
-			rh.Retainer.Retain(0, a, pics, cfg.SplitterNodes[next], 0, buf)
-		}
 		node.Send(cfg.SplitterNodes[a], &cluster.Message{
 			Kind:    cluster.MsgPicture,
 			Seq:     pics,
@@ -221,40 +174,8 @@ func RunRoot(node cluster.Net, cfg RootConfig) (*RootResult, error) {
 	return res, nil
 }
 
-// SecondConfig wires one second-level splitter node.
-type SecondConfig struct {
-	Seq *mpeg2.SequenceHeader
-	Geo *wall.Geometry
-	// Index is this splitter's position in the round-robin order (0-based);
-	// only the splitter with Index 0 skips the decoder-ack wait, and only
-	// for the very first picture of the stream (Table 3).
-	Index int
-	// DecoderNodes maps tile index to decoder node id.
-	DecoderNodes []int
-	// RootNode is the root splitter's node id.
-	RootNode int
-
-	// Recovery, when non-nil, makes the splitter fault-tolerant: it renews
-	// its lease per picture, retains every sub-picture it ships for replay to
-	// respawned decoders, deduplicates pictures it receives twice (replay can
-	// overlap the queue a dead incarnation left behind), and abandons credit
-	// waits after the per-picture deadline.
-	Recovery *recovery.SplitterHooks
-
-	// Pooled serialises sub-pictures into recycled cluster slabs (the
-	// receiving decoder releases them once decoded) and lets the splitter
-	// reuse its sub-picture accumulators across pictures. Must be off under
-	// Recovery: the retainer keeps payloads alive for replay, which a
-	// recycled slab would corrupt. RunSecond forces it off when recovery
-	// hooks are wired.
-	Pooled bool
-
-	// SplitWorkers is the slice-parallel fan-out inside the splitter
-	// (SplitOptions.Workers): 0 selects GOMAXPROCS, 1 the serial path.
-	SplitWorkers int
-}
-
-// SecondResult reports a second-level splitter's run.
+// SecondResult reports a second-level splitter's run (one session on a
+// resident splitter server).
 type SecondResult struct {
 	Pictures   int
 	Breakdown  metrics.Breakdown      // PhaseWork = splitting, PhaseReceive = waiting for root, PhaseWaitMB = waiting for decoder acks
@@ -281,140 +202,5 @@ func (r *SecondResult) FoldSplit(ms *MBSplitter) {
 		if *w -= over; *w < 0 {
 			*w = 0
 		}
-	}
-}
-
-// RunSecond receives pictures from the root, splits them at macroblock
-// level, and ships one sub-picture (with MEIs) to every decoder, gated on
-// decoder acks addressed to this node by the ANID redirect.
-func RunSecond(node cluster.Net, cfg SecondConfig) (*SecondResult, error) {
-	res := &SecondResult{}
-	b := &res.Breakdown
-	rh := cfg.Recovery
-	if rh != nil {
-		rh.Cfg = rh.Cfg.WithDefaults()
-		if rh.Rec == nil {
-			rh.Rec = &metrics.Recovery{}
-		}
-		cfg.Pooled = false // retained payloads must never be recycled
-	}
-	// Pooled pipelines marshal every sub-picture before the next Split, so
-	// they can also run the splitter in Reuse mode (splitter-owned output).
-	ms := NewMBSplitterOpts(cfg.Seq, cfg.Geo, SplitOptions{Workers: cfg.SplitWorkers, Reuse: cfg.Pooled})
-	defer ms.Close()
-	defer func() { res.FoldSplit(ms) }()
-	nd := len(cfg.DecoderNodes)
-	marshal := func(sp *subpic.SubPicture) []byte {
-		t0 := time.Now()
-		var payload []byte
-		if cfg.Pooled {
-			payload = sp.AppendTo(cluster.GetSlab(sp.WireSize()))
-		} else {
-			payload = sp.Marshal()
-		}
-		res.Split.Add(metrics.SplitSerialize, time.Since(t0))
-		return payload
-	}
-	// A respawned incarnation must not skip the decoder-ack wait: the "very
-	// first picture" exemption belongs to the stream, not the incarnation.
-	first := rh == nil || !rh.Resume
-	// Pictures already split by this incarnation, for dedup when the
-	// supervisor's replay overlaps the originals still queued on the node.
-	// (Cross-incarnation duplicates are caught by the decoders' own dedup.)
-	processed := map[int]bool{}
-
-	for {
-		if rh != nil {
-			rh.Renew()
-		}
-		var msg *cluster.Message
-		b.Timed(metrics.PhaseReceive, func() { msg = node.Recv(cluster.MsgPicture) })
-		if msg == nil {
-			return res, fmt.Errorf("splitter %d: fabric aborted", cfg.Index)
-		}
-		if msg.Seq < 0 { // end of stream: forward the marker and quit
-			for t := 0; t < nd; t++ {
-				sp := &subpic.SubPicture{Final: true}
-				sp.Pic.Index = int32(msg.Tag) // total picture count
-				node.Send(cfg.DecoderNodes[t], &cluster.Message{Kind: cluster.MsgSubPicture, Seq: -1, Tag: node.ID(), Payload: marshal(sp)})
-			}
-			return res, nil
-		}
-		// Injected crash: the picture is consumed but the root has not been
-		// acked — the root's retained copy is what the supervisor replays.
-		if rh != nil && rh.Chaos.SplitterDies(cfg.Index, msg.Seq) {
-			return res, recovery.ErrKilled
-		}
-		replay := msg.Flags&cluster.FlagReplay != 0
-		// Ack the root immediately: the posted buffer is recycled. Replays
-		// are not acked (the root's credit was settled by timeout), but
-		// duplicate originals are — the root expects its credit back.
-		if !replay {
-			b.Timed(metrics.PhaseAck, func() {
-				node.Send(cfg.RootNode, &cluster.Message{Kind: cluster.MsgAck, Seq: msg.Seq})
-			})
-		}
-		if processed[msg.Seq] {
-			continue
-		}
-		processed[msg.Seq] = true
-		res.InputBytes += int64(len(msg.Payload))
-
-		var sps []*subpic.SubPicture
-		var err error
-		b.Timed(metrics.PhaseWork, func() { sps, err = ms.Split(msg.Payload, msg.Seq) })
-		if err != nil {
-			return res, fmt.Errorf("splitter %d: %w", cfg.Index, err)
-		}
-
-		// Wait for the go-ahead from every decoder (redirected acks), except
-		// for the very first picture in the stream. Under recovery the wait
-		// is bounded: a dead decoder's ack may never come.
-		if !(first && msg.Seq == 0) {
-			aborted := false
-			b.Timed(metrics.PhaseWaitMB, func() {
-				for i := 0; i < nd; i++ {
-					if rh != nil {
-						m, timedOut := node.RecvTimeout(cluster.MsgAck, rh.Cfg.PictureDeadline)
-						if timedOut {
-							rh.Rec.AddAckTimeout()
-							return
-						}
-						if m == nil {
-							aborted = true
-							return
-						}
-						continue
-					}
-					if node.Recv(cluster.MsgAck) == nil {
-						aborted = true
-						return
-					}
-				}
-			})
-			if aborted {
-				return res, fmt.Errorf("splitter %d: fabric aborted while waiting for decoder acks", cfg.Index)
-			}
-		}
-		first = false
-
-		anid := msg.Tag // root told us who handles the next picture
-		b.Timed(metrics.PhaseServe, func() {
-			for t := 0; t < nd; t++ {
-				payload := marshal(sps[t])
-				res.SPBytes += int64(len(payload))
-				if rh != nil && rh.Retainer != nil {
-					rh.Retainer.Retain(0, t, msg.Seq, anid, payload)
-				}
-				node.Send(cfg.DecoderNodes[t], &cluster.Message{
-					Kind:    cluster.MsgSubPicture,
-					Seq:     msg.Seq,
-					Tag:     anid,
-					Payload: payload,
-				})
-			}
-		})
-		res.Pictures++
-		b.Pictures++
 	}
 }

@@ -190,7 +190,12 @@ func ServeSecond(port cluster.Port, cfg ServeConfig) error {
 			ss := sessions[msg.Session]
 			if ss == nil {
 				if rh != nil {
-					continue // session failed or completed; drop quietly
+					// Session failed or completed; drop quietly, releasing
+					// this delivery's reference to the payload.
+					if cfg.Pooled {
+						cluster.PutSlab(msg.Payload)
+					}
+					continue
 				}
 				return fmt.Errorf("splitter %d: picture for unknown session %d", cfg.Index, msg.Session)
 			}
@@ -245,7 +250,13 @@ func splitOne(port cluster.Port, cfg ServeConfig, ss *splitSession, msg *cluster
 	replay := msg.Flags&cluster.FlagReplay != 0
 	if rh != nil {
 		if ss.seen[msg.Seq] {
-			return nil // root replay overlapping the surviving node queue
+			// Root replay overlapping the surviving node queue. Each delivery
+			// carries its own slab reference (the root acquires one per replay
+			// send), so the duplicate's reference is released here.
+			if cfg.Pooled {
+				cluster.PutSlab(msg.Payload)
+			}
+			return nil
 		}
 		ss.seen[msg.Seq] = true
 		// Injected crash before the receipt ack: the picture is consumed but
@@ -272,6 +283,12 @@ func splitOne(port cluster.Port, cfg ServeConfig, ss *splitSession, msg *cluster
 	var err error
 	b.Timed(metrics.PhaseWork, func() { sps, err = ss.ms.Split(msg.Payload, msg.Seq) })
 	if err != nil {
+		// This consumer is done with the picture payload; the root's retainer
+		// may still hold its own reference, in which case the release only
+		// drops this delivery's.
+		if cfg.Pooled {
+			cluster.PutSlab(msg.Payload)
+		}
 		if rh != nil {
 			// A corrupt picture unit fails its session alone: notify the
 			// root (which surfaces a typed error to the feeder) and keep
@@ -350,5 +367,11 @@ func splitOne(port cluster.Port, cfg ServeConfig, ss *splitSession, msg *cluster
 	})
 	ss.res.Pictures++
 	b.Pictures++
+	// The sub-pictures aliased the picture payload until serialisation; this
+	// delivery's reference can now be released (the root's retainer still
+	// holds its own until the receipt ack above lands).
+	if cfg.Pooled {
+		cluster.PutSlab(msg.Payload)
+	}
 	return nil
 }

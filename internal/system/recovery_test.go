@@ -6,7 +6,6 @@ import (
 	"os"
 	"sort"
 	"strconv"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,11 +36,8 @@ func testRecoveryConfig() recovery.Config {
 		Enabled:         true,
 		LeaseInterval:   2 * time.Millisecond,
 		LeaseExpiry:     10 * time.Millisecond,
-		RetryInterval:   5 * time.Millisecond,
-		MaxBackoff:      80 * time.Millisecond,
 		PictureDeadline: 150 * time.Millisecond,
 		MaxRestarts:     3,
-		RetainWindow:    16,
 	}
 }
 
@@ -75,11 +71,13 @@ func TestRecoveryFaultFreeBitExact(t *testing.T) {
 	for _, cfg := range []Config{
 		{K: 0, M: 2, N: 1},
 		{K: 2, M: 2, N: 2},
+		{K: 2, M: 2, N: 2, Pooled: true},
+		{K: 0, M: 2, N: 1, Pooled: true},
 	} {
 		cfg.CollectFrames = true
 		cfg.Recovery = testRecoveryConfig()
 		cfg.Fabric = cluster.Config{StallTimeout: 10 * time.Second}
-		name := fmt.Sprintf("1-%d-(%d,%d)", cfg.K, cfg.M, cfg.N)
+		name := fmt.Sprintf("1-%d-(%d,%d) pooled=%v", cfg.K, cfg.M, cfg.N, cfg.Pooled)
 		res, err := Run(stream, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -113,6 +111,7 @@ func TestRecoveryDecoderKill(t *testing.T) {
 		{Config{K: 0, M: 2, N: 1}, 1, 3},
 		{Config{K: 2, M: 2, N: 2}, 2, 4},
 		{Config{K: 1, M: 2, N: 2}, 0, 7},
+		{Config{K: 2, M: 2, N: 2, Pooled: true}, 2, 4},
 	} {
 		cfg := tc.cfg
 		cfg.Recovery = testRecoveryConfig()
@@ -145,6 +144,7 @@ func TestRecoverySplitterKill(t *testing.T) {
 		// so the kill picture must be on the target's schedule.
 		{Config{K: 2, M: 2, N: 2}, 1, 3},
 		{Config{K: 3, M: 2, N: 1}, 0, 6},
+		{Config{K: 2, M: 2, N: 2, Pooled: true}, 1, 3},
 	} {
 		cfg := tc.cfg
 		cfg.Recovery = testRecoveryConfig()
@@ -159,55 +159,6 @@ func TestRecoverySplitterKill(t *testing.T) {
 			t.Fatalf("%s: kill did not register a restart: %s", name, res.Recovery)
 		}
 		checkExactlyOnce(t, name, res, len(ref))
-	}
-}
-
-// TestRecoveryDroppedData: random loss of data messages (the fault PR 1
-// could only detect) is repaired by NACK/timeout retransmission. A clean
-// snapshot guarantees bit-exact output; any snapshot preserves exactly-once.
-func TestRecoveryDroppedData(t *testing.T) {
-	stream := makeStream(t, video.SceneFilm, 160, 96, 8)
-	ref := serialFrames(t, stream)
-	rng := rand.New(rand.NewSource(recoverySeed(t)))
-	for trial := 0; trial < 4; trial++ {
-		seed := rng.Int63()
-		var calls int64
-		dropRng := rand.New(rand.NewSource(seed))
-		var dropMu = make(chan struct{}, 1)
-		dropMu <- struct{}{}
-		cfg := Config{
-			K: 1 + trial%3, M: 2, N: 1 + trial%2,
-			CollectFrames: true,
-			Recovery:      testRecoveryConfig(),
-			Fabric: cluster.Config{
-				StallTimeout: 15 * time.Second,
-				Drop: func(m *cluster.Message) bool {
-					// Retransmitted copies always go through, so loss is
-					// repairable; ~4% of first-attempt data messages drop.
-					if m.Flags&cluster.FlagRetransmit != 0 || m.Kind == cluster.MsgXport {
-						return false
-					}
-					atomic.AddInt64(&calls, 1)
-					<-dropMu
-					drop := dropRng.Float64() < 0.04
-					dropMu <- struct{}{}
-					return drop
-				},
-			},
-		}
-		name := fmt.Sprintf("trial %d: seed %d, 1-%d-(%d,%d)", trial, seed, cfg.K, cfg.M, cfg.N)
-		res, err := Run(stream, cfg)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		checkExactlyOnce(t, name, res, len(ref))
-		if res.Recovery.Clean() {
-			for i := range ref {
-				if !video.Equal(ref[i].Buf, res.Frames[i]) {
-					t.Fatalf("%s: clean run, frame %d differs from serial decode", name, i)
-				}
-			}
-		}
 	}
 }
 

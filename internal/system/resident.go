@@ -178,7 +178,7 @@ func (w *ResidentWall) result(sres *service.SessionResult, streamBytes int64) *R
 		Recovery:        sres.Recovery.Plus(w.svc.Recovery()),
 		TileEmissions:   sres.TileEmissions,
 		Warnings:        w.cfg.validate(),
-		EffectivePooled: w.cfg.effectivePooled(),
+		EffectivePooled: w.cfg.Pooled,
 		transport:       w.svc.Transport(),
 	}
 	for i := 0; i < w.cfg.K; i++ {

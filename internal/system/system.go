@@ -72,16 +72,18 @@ type Config struct {
 	// Pooled recycles message slabs, pixel buffers and per-picture decode
 	// state across the pipeline, eliminating steady-state heap allocation on
 	// the decode hot path. Pixels must be bit-identical either way — the
-	// conformance matrix runs a pooled axis to prove it. Forced off when
-	// Recovery is enabled: retained replay payloads must not be recycled
-	// under the retainers.
+	// conformance matrix runs a pooled axis to prove it. Composes with
+	// Recovery: every holder that outlives a payload's consumer (the root's
+	// retainer, the decoders' reorder stashes) carries its own slab reference
+	// and the last release recycles the buffer (DESIGN.md §9).
 	Pooled bool
 
-	// Recovery enables the fault-tolerance layer (DESIGN.md §6): reliable
-	// endpoints with retransmission on every node, a supervisor that respawns
-	// crashed splitters and decoders from retained picture windows, and
-	// concealment past the per-picture deadline. Disabled (the zero value),
-	// the pipeline keeps PR 1's fail-stop behaviour.
+	// Recovery enables the fault-tolerance layer (DESIGN.md §6): supervised
+	// in-place respawn of crashed splitters and decoders (heartbeat leases),
+	// root-side picture retention and replay, and concealment past the
+	// per-picture deadline — the same model over the in-process fabric and
+	// TCP. Disabled (the zero value), the pipeline keeps PR 1's fail-stop
+	// behaviour.
 	Recovery recovery.Config
 
 	// Chaos injects crashes into a recovery-enabled run (tests and the
@@ -100,10 +102,6 @@ type Config struct {
 // recorded on Result.Warnings.
 func (c Config) validate() []string {
 	var warns []string
-	if c.Pooled && c.Recovery.Enabled {
-		warns = append(warns,
-			"Pooled is forced off under Recovery: retained replay payloads must not be recycled; see Result.EffectivePooled")
-	}
 	if c.Transport == "tcp" {
 		if c.Fabric.BandwidthBps > 0 || c.Fabric.Latency > 0 {
 			warns = append(warns,
@@ -116,9 +114,6 @@ func (c Config) validate() []string {
 	}
 	return warns
 }
-
-// effectivePooled is the pooling state the pipeline actually runs with.
-func (c Config) effectivePooled() bool { return c.Pooled && !c.Recovery.Enabled }
 
 // Result reports one pipeline run.
 type Result struct {
@@ -155,8 +150,9 @@ type Result struct {
 	TileEmissions [][]int
 
 	// Warnings lists accepted-but-surprising configuration interactions
-	// (Config.validate); EffectivePooled is the pooling state the run
-	// actually used (false under Recovery even when Config.Pooled is set).
+	// (Config.validate). EffectivePooled always equals Config.Pooled now
+	// that pooling composes with recovery; the field survives so report
+	// tooling keyed on it keeps working.
 	Warnings        []string
 	EffectivePooled bool
 
@@ -293,32 +289,13 @@ func (fc *frameCollector) assemble() ([]*mpeg2.PixelBuf, error) {
 }
 
 // Run executes the pipeline over a complete elementary stream: it opens a
-// resident wall, plays the stream as its only session, and closes the wall
-// (recovery-enabled runs keep their dedicated supervisor pipeline). The
-// session path is byte-identical to the historical batch pipeline — the
-// conformance matrix proves it — so Run remains the reference entry point.
+// resident wall, plays the stream as its only session, and closes the wall.
+// This is the single execution path for every configuration — transports,
+// pooling and recovery included. The session path is byte-identical to the
+// historical batch pipeline — the conformance matrix proves it — so Run
+// remains the reference entry point.
 func Run(stream []byte, cfg Config) (*Result, error) {
 	cfg.defaults()
-	s, err := mpeg2.ParseStream(stream)
-	if err != nil {
-		return nil, err
-	}
-	picW, picH := s.Seq.MBWidth()*16, s.Seq.MBHeight()*16
-	geo, err := wall.NewGeometry(picW, picH, cfg.M, cfg.N, cfg.Overlap)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Recovery.Enabled && cfg.Transport != "tcp" {
-		// The batch supervisor pipeline (reliable endpoints + sub-picture
-		// replay) stays the reference for fabric recovery runs; TCP recovery
-		// runs take the resident fault-tolerant path below.
-		res, rerr := runRecovery(stream, s, geo, cfg)
-		if res != nil {
-			res.Warnings = cfg.validate()
-			res.EffectivePooled = cfg.effectivePooled()
-		}
-		return res, rerr
-	}
 	w, err := NewResidentWall(cfg)
 	if err != nil {
 		return nil, err
